@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered output is printed (visible with ``pytest -s``) and also written
+to ``benchmarks/output/<test>.txt`` so the regenerated artifacts survive
+stdout capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def emit(request):
+    """Return a callable that prints and persists one rendered artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    target = OUTPUT_DIR / f"{request.node.name}.txt"
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        target.write_text(text + "\n")
+
+    return _emit

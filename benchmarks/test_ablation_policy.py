@@ -1,0 +1,53 @@
+"""Ablation: threshold-selection policy.
+
+Chapter 2's three perspectives, scored on their consequences at the 1995
+snapshot: applications given up (security cost) and installed units
+decontrolled (economic benefit) — plus the historical 1,500-Mtops choice
+for contrast.
+"""
+
+from repro.core.threshold import ThresholdPolicy, select_threshold
+from repro.diffusion.policy import evaluate_policy
+from repro.reporting.tables import render_table
+
+
+def build_sweep():
+    choices = {p: select_threshold(1995.5, p) for p in ThresholdPolicy}
+    historical = evaluate_policy(1_500.0, 1995.5)
+    return choices, historical
+
+
+def test_ablation_threshold_policy(benchmark, emit):
+    choices, historical = benchmark(build_sweep)
+    rows = []
+    for policy, s in choices.items():
+        pe = evaluate_policy(s.threshold_mtops, 1995.5)
+        rows.append([
+            policy.value, round(s.threshold_mtops),
+            len(s.applications_given_up), round(s.units_decontrolled),
+            len(pe.protected_applications),
+            "yes" if pe.credible else "NO",
+        ])
+    rows.append([
+        "(historical 1,500 Mtops)", 1_500,
+        0, 0, len(historical.protected_applications),
+        "yes" if historical.credible else "NO",
+    ])
+    emit(render_table(
+        ["policy", "threshold", "apps given up", "units decontrolled",
+         "apps protected", "credible"],
+        rows,
+        title="Ablation: threshold policy consequences, mid-1995",
+    ))
+
+    control_all = choices[ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED]
+    app_driven = choices[ThresholdPolicy.APPLICATION_DRIVEN]
+    economic = choices[ThresholdPolicy.ECONOMIC]
+    # The orderings the chapter predicts.
+    assert control_all.threshold_mtops <= app_driven.threshold_mtops
+    assert app_driven.units_decontrolled >= control_all.units_decontrolled
+    assert len(economic.applications_given_up) <= 3
+    # All three beat the stale historical threshold on credibility.
+    assert not historical.credible
+    for s in choices.values():
+        assert evaluate_policy(s.threshold_mtops, 1995.5).credible

@@ -1,0 +1,61 @@
+"""Ablation: controllability factor weights.
+
+Monte-Carlo over Dirichlet-perturbed factor weightings: does the headline
+lower bound depend on the specific 0.20/0.25/0.20/0.15/0.20 split, and
+which Table 4 verdicts are actually weight-sensitive?
+"""
+
+from repro.core.sensitivity import (
+    bound_sensitivity,
+    catalog_uncertainty_sensitivity,
+    classification_stability,
+)
+from repro.reporting.tables import render_table
+
+
+def build_study():
+    bounds = bound_sensitivity(1995.5, n_samples=300, seed=0)
+    stability = classification_stability(n_samples=300, seed=0)
+    ratings = catalog_uncertainty_sensitivity(1995.5, n_samples=300, seed=0)
+    return bounds, stability, ratings
+
+
+def test_ablation_controllability_weights(benchmark, emit):
+    bounds, stability, ratings = benchmark(build_study)
+    text = (
+        f"Lower bound at 1995.5 over 300 weight draws:\n"
+        f"  median {bounds.median:,.0f} Mtops; 90% interval "
+        f"[{bounds.quantile(0.05):,.0f}, {bounds.quantile(0.95):,.0f}]\n"
+        f"  fraction inside the paper's 4,000-5,000 band: "
+        f"{bounds.fraction_in_band(4_000.0, 5_000.0):.0%}\n\n"
+    )
+    text += render_table(
+        ["machine", "default verdict", "agreement across draws"],
+        [[r.machine_key, r.default_classification.value,
+          f"{r.agreement:.0%}" + ("  <- borderline" if r.is_borderline else "")]
+         for r in stability],
+        title="Table 4 verdict stability",
+    )
+    text += (
+        f"\n\nCatalog-rating uncertainty (0.1-decade lognormal jitter on "
+        f"every rating):\n"
+        f"  median {ratings.median:,.0f} Mtops; 90% interval "
+        f"[{ratings.quantile(0.05):,.0f}, {ratings.quantile(0.95):,.0f}]\n"
+        f"  the finding is weight-robust and rating-limited: the band's "
+        f"precision\n  is bounded by how well 1995 ratings are known, not "
+        f"by the factor model."
+    )
+    emit(text)
+
+    # Rating uncertainty keeps the median in the paper band and the mass
+    # within the 3,000-7,000 envelope.
+    assert 3_500.0 <= ratings.median <= 5_500.0
+    assert ratings.fraction_in_band(3_000.0, 7_000.0) >= 0.85
+
+    # The headline band is weight-robust; the one genuinely borderline
+    # system is the SP2 (which the paper itself flags as a straddler).
+    assert bounds.fraction_in_band(4_000.0, 5_000.0) >= 0.9
+    borderline = {r.machine_key for r in stability if r.is_borderline}
+    assert borderline <= {"IBM SP2 (16)", "DEC AlphaServer 8400 (12)",
+                          "Cray CS6400 (64)"}
+    assert "IBM SP2 (16)" in borderline

@@ -1,0 +1,63 @@
+"""Cluster claims: the Chapter 3 notes 50-55 findings as one harness.
+
+Mattson's node ceilings by interconnect, the NOW GATOR comparison, and the
+cluster-penalty spectrum across the workload suite.
+"""
+
+from repro.reporting.tables import render_table
+from repro.simulate.cluster_study import (
+    compare_architectures,
+    gator_study,
+    max_competitive_cluster_size,
+)
+from repro.simulate.interconnect import ATM_155, ETHERNET_10, FDDI
+from repro.simulate.workloads import WORKLOAD_SUITE
+
+
+def build_study():
+    ceilings = {
+        w.name: (
+            max_competitive_cluster_size(w.name, ETHERNET_10),
+            max_competitive_cluster_size(w.name, FDDI),
+            max_competitive_cluster_size(w.name, ATM_155, dedicated=True),
+        )
+        for w in WORKLOAD_SUITE
+    }
+    penalties = {
+        w.name: compare_architectures(w.name).cluster_penalty()
+        for w in WORKLOAD_SUITE
+    }
+    return ceilings, penalties, gator_study()
+
+
+def test_cluster_claims(benchmark, emit):
+    ceilings, penalties, gator = benchmark(build_study)
+    rows = [
+        [name, *ceilings[name],
+         "inf" if penalties[name] == float("inf")
+         else round(penalties[name], 1)]
+        for name in ceilings
+    ]
+    text = render_table(
+        ["workload", "Ethernet ceiling", "FDDI ceiling", "ATM ceiling",
+         "SMP/ad-hoc penalty"],
+        rows,
+        title="Cluster competitiveness by workload and interconnect "
+              "(nodes at >= 50% efficiency)",
+    )
+    text += "\n\n" + render_table(
+        ["machine", "time (s)"],
+        [[name, round(r.time_s)] for name, r in gator.items()],
+        title="GATOR (note 50)",
+    )
+    emit(text)
+
+    # Mattson: medium-grain ceilings of 8-16 on the office LAN; fine grain
+    # not competitive; embarrassing parallel unlimited.
+    assert 8 <= ceilings["molecular dynamics"][0] <= 32
+    assert ceilings["shallow-water model"][0] <= 2
+    assert ceilings["ray tracing"][0] == 256
+    # NOW: the ATM cluster wins; the Ethernet/PVM one loses.
+    assert gator["NOW cluster (256, ATM)"].time_s < gator["Cray C90 (16)"].time_s
+    assert gator["NOW cluster (256, Ethernet/PVM)"].time_s \
+        > gator["Cray C90 (16)"].time_s

@@ -1,0 +1,68 @@
+"""Extension experiment: deployability under size/weight/power limits.
+
+Chapter 4's operations chapter keeps hitting the same wall: the deployed
+form of a sensor or battle-management system must fit a platform's power
+budget, which "precludes the use of clustered or networked systems".  This
+bench builds the deployability matrix for the military-operations catalog
+and the first-deployable-year timeline.
+"""
+
+from repro.apps.catalog import applications_by_mission
+from repro.apps.taxonomy import MissionArea, TimingClass
+from repro.reporting.tables import render_table
+from repro.simulate.embedded import (
+    Platform,
+    assess_deployability,
+    swap_limited_mtops,
+)
+
+_PLATFORMS = (Platform.MAN_PACK, Platform.AIRBORNE_POD,
+              Platform.FIGHTER_AVIONICS_BAY, Platform.SHIPBOARD)
+
+
+def build_matrix():
+    apps = [a for a in applications_by_mission(MissionArea.MILITARY_OPERATIONS)
+            if a.timing is TimingClass.REAL_TIME]
+    matrix = {
+        (a.name, p): assess_deployability(a, p, 1995.5)
+        for a in apps for p in _PLATFORMS
+    }
+    return apps, matrix
+
+
+def test_ext_deployability(benchmark, emit):
+    apps, matrix = benchmark(build_matrix)
+    rows = []
+    for a in apps:
+        cells = []
+        for p in _PLATFORMS:
+            cell = matrix[(a.name, p)]
+            cells.append("yes" if cell.deployable
+                         else f"{cell.first_deployable_year:.0f}")
+        rows.append([a.name, round(a.min_mtops)] + cells)
+    text = render_table(
+        ["real-time application", "needs (Mtops)"]
+        + [p.name.lower() for p in _PLATFORMS],
+        rows,
+        title="Deployability at mid-1995 (yes, or first feasible year)",
+    )
+    budgets = ", ".join(f"{p.name.lower()}={p.power_budget_w:,.0f}W"
+                        for p in _PLATFORMS)
+    text += (f"\n\npower budgets: {budgets}"
+             f"\nshipboard capability mid-1995: "
+             f"{swap_limited_mtops(1995.5, 10_000.0):,.0f} Mtops")
+    emit(text)
+
+    # The structural claims: nothing heavy is man-packable in 1995; the
+    # shipboard budget covers the SIRST-class requirement; everything
+    # becomes deployable eventually (the trend the paper says is driving
+    # the operations boom).
+    heavy = [a for a in apps if a.min_mtops >= 5_000.0]
+    assert heavy
+    for a in heavy:
+        assert not matrix[(a.name, Platform.MAN_PACK)].deployable
+    sirst = [a for a in apps if a.name.startswith("SIRST")][0]
+    assert matrix[(sirst.name, Platform.SHIPBOARD)].deployable
+    for a in apps:
+        cell = matrix[(a.name, Platform.SHIPBOARD)]
+        assert cell.deployable or cell.first_deployable_year < 2005.0

@@ -1,0 +1,64 @@
+"""Extension experiment: the networked-systems study Chapter 6 calls for.
+
+"Conduct a study of the implications of networked computing systems on the
+export control regime."  This bench runs that study: cluster ratings of
+commodity building blocks under the conservative and CSTAC rules,
+threshold-crossing years, and the premise-3 collapse projection.
+"""
+
+from repro.diffusion.networks import (
+    building_block_year,
+    cstac_ctp,
+    network_ctp,
+    premise3_collapse_year,
+)
+from repro.reporting.tables import render_table
+from repro.trends.moore import projected_micro_mtops
+
+_THRESHOLDS = (1_500.0, 4_100.0, 7_500.0, 16_000.0)
+_NODE_COUNTS = (16, 64, 256)
+
+
+def build_study():
+    scenarios = {
+        (t, n): building_block_year(t, n)
+        for t in _THRESHOLDS for n in _NODE_COUNTS
+    }
+    collapse = premise3_collapse_year()
+    return scenarios, collapse
+
+
+def test_ext_networked_systems(benchmark, emit):
+    scenarios, collapse = benchmark(build_study)
+    rows = [
+        [f"{t:,.0f}", n, f"{s.crossing_year:.1f}",
+         f"{s.cstac_crossing_year:.1f}",
+         round(s.node_mtops_at_crossing, 1)]
+        for (t, n), s in sorted(scenarios.items())
+    ]
+    text = render_table(
+        ["threshold (Mtops)", "cluster nodes", "crossing year",
+         "CSTAC crossing", "node Mtops needed"],
+        rows,
+        title="Building-block threshold crossings (commodity micro trend, "
+              "fit through mid-1995)",
+    )
+    node_1995 = projected_micro_mtops(1995.5)
+    text += (
+        f"\n\ncommodity node in mid-1995: ~{node_1995:,.0f} Mtops"
+        f"\n256-node cluster rating (conservative rule): "
+        f"{network_ctp(node_1995, 256):,.0f} Mtops"
+        f"\nsame under the CSTAC flat-75% rule: "
+        f"{cstac_ctp(node_1995, 256):,.0f} Mtops (note 55: 'overly "
+        f"optimistic')"
+        f"\npremise-3 collapse (within 2x of best integrated system): "
+        f"{collapse:.1f}"
+    )
+    emit(text)
+
+    # The 1,500-Mtops definition is already breached by modest clusters.
+    assert scenarios[(1_500.0, 64)].crossing_year < 1995.5
+    # The CSTAC rule always crosses earlier (it flatters clusters).
+    for s in scenarios.values():
+        assert s.cstac_crossing_year <= s.crossing_year
+    assert collapse is not None and collapse <= 2005.0

@@ -1,0 +1,61 @@
+"""Extension experiment: the future-scenario sweep (Chapters 2 and 6).
+
+One table for the regime's possible futures: erosion with no new
+applications, renewal under different application-demand assumptions, and
+the building-block collapse of premise 3.
+"""
+
+from repro.core.scenarios import (
+    erosion_report,
+    premise1_with_renewal,
+)
+from repro.diffusion.networks import premise3_collapse_year
+from repro.reporting.tables import render_table
+
+_RENEWAL_GRID = (
+    (1.0, 2.0), (1.0, 1.5), (2.0, 2.0), (2.0, 4.0), (4.0, 1.1),
+)
+
+
+def build_study():
+    erosion = erosion_report()
+    renewals = {
+        (interval, multiple): premise1_with_renewal(interval, multiple)
+        for interval, multiple in _RENEWAL_GRID
+    }
+    collapse = premise3_collapse_year()
+    return erosion, renewals, collapse
+
+
+def test_ext_future_scenarios(benchmark, emit):
+    erosion, renewals, collapse = benchmark(build_study)
+    rows = [["(no new applications)", "-",
+             erosion.premise1.failure_year or "never"]]
+    for (interval, multiple), outcome in sorted(renewals.items()):
+        rows.append([
+            f"every {interval:g} yr", f"{multiple:g}x frontier",
+            outcome.failure_year or "never (renews indefinitely)",
+        ])
+    text = render_table(
+        ["new-application cadence", "requirement level",
+         "premise-1 failure year"],
+        rows,
+        title="Scenario sweep: when does the regime's justification run out?",
+    )
+    text += (
+        f"\n\npremise-3 collapse (building blocks within 2x of the best "
+        f"integrated system): {collapse:.1f}"
+        f"\ncontrollable-range gap: {erosion.gap_1995:.1f}x (1995) -> "
+        f"{erosion.gap_1999:.1f}x (1999)"
+    )
+    emit(text)
+
+    # The structure of the answer: without new demand the regime dies
+    # around the turn of the century; with annual 2x-frontier demand it
+    # renews; either way the controllable range narrows and building
+    # blocks close in.
+    assert erosion.premise1.failure_year is not None
+    assert renewals[(1.0, 2.0)].failure_year is None
+    assert renewals[(4.0, 1.1)].failure_year is not None
+    assert erosion.gap_1999 < erosion.gap_1995
+    assert collapse is not None

@@ -1,0 +1,39 @@
+"""Figure 1: Range of Computational Power for the F-22 Design.
+
+Regenerates the three curves of the paper's first figure: the minimum
+computational requirement, the system actually used, and the maximum
+available, from the application's first performance (1991) through the
+study date.
+"""
+
+from repro._util import year_range
+from repro.core.stalactite import f22_stalactite
+from repro.reporting.figures import render_series
+
+
+def build_figure():
+    stalactite = f22_stalactite()
+    years = year_range(1991.0, 1995.5, 0.5)
+    ranges = stalactite.series(years)
+    return years, ranges
+
+
+def test_fig01_f22_range(benchmark, emit):
+    years, ranges = benchmark(build_figure)
+    text = render_series(
+        "Figure 1: Range of computational power for the F-22 design (Mtops)",
+        years,
+        {
+            "minimum": [r.minimum_mtops for r in ranges],
+            "actual": [r.actual_mtops for r in ranges],
+            "max available": [r.maximum_available_mtops for r in ranges],
+        },
+    )
+    emit(text)
+    first, last = ranges[0], ranges[-1]
+    # The F-22 was designed on the 958-Mtops Y-MP/2, near but not at the
+    # 1991 maximum; the envelope orders min <= actual <= max throughout.
+    assert first.actual_mtops >= 900.0
+    for r in ranges:
+        assert r.minimum_mtops <= r.actual_mtops <= r.maximum_available_mtops
+    assert last.maximum_available_mtops > first.maximum_available_mtops

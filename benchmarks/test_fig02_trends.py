@@ -1,0 +1,58 @@
+"""Figure 2: HPC Applications and Technology Trends.
+
+The framework chart: the uncontrollability frontier, the foreign
+indigenous envelope, and the most powerful system available, with the
+stalactite minimums of a few marquee applications overlaid as reference
+levels.
+"""
+
+import numpy as np
+
+from repro._util import year_range
+from repro.apps.catalog import find_application
+from repro.controllability.frontier import frontier_series
+from repro.machines.catalog import max_available_mtops
+from repro.reporting.figures import render_log_chart, render_series
+from repro.trends.foreign import foreign_envelope_mtops
+
+
+def build_figure():
+    years = year_range(1990.0, 1999.5, 0.5)
+    return {
+        "years": years,
+        "uncontrollable": frontier_series(years),
+        "foreign": np.array([foreign_envelope_mtops(y) for y in years]),
+        "max available": np.array([max_available_mtops(y) for y in years]),
+    }
+
+
+def test_fig02_trends(benchmark, emit):
+    data = benchmark(build_figure)
+    years = data["years"]
+    stalactites = {
+        name: find_application(name).min_mtops
+        for name in ("JAST candidate aircraft design",
+                     "Tactical weather prediction (45 km)",
+                     "ATR template development")
+    }
+    series = render_series(
+        "Figure 2: HPC applications and technology trends (Mtops)",
+        years,
+        {k: v for k, v in data.items() if k != "years"},
+    )
+    levels = "\n".join(
+        f"  stalactite: {name} minimum = {v:,.0f} Mtops"
+        for name, v in stalactites.items()
+    )
+    chart = render_log_chart(
+        "Technology curves (log scale)", years,
+        {k: np.maximum(v, 1.0) for k, v in data.items() if k != "years"},
+    )
+    emit(f"{series}\n{levels}\n\n{chart}")
+
+    # Shape checks: all three curves rise; max available dominates.
+    unc, foreign, avail = (data["uncontrollable"], data["foreign"],
+                           data["max available"])
+    assert unc[-1] > unc[0]
+    assert np.all(avail >= unc)
+    assert np.all(avail >= foreign)

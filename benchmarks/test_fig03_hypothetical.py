@@ -1,0 +1,48 @@
+"""Figure 3: Hypothetical Distribution of Applications and Computer
+Installations.
+
+The textbook version of the snapshot: the two distributions with lines A
+(controllability) and D (most powerful available), plus candidate
+thresholds B (reasonable) and C (unreasonable).  Regenerated from the
+actual mid-1995 data rather than hypothetical curves — which is the
+paper's own Figure 11 move — then the B/C logic is demonstrated.
+"""
+
+import numpy as np
+
+from repro.core.threshold import ThresholdPolicy, select_threshold, snapshot
+from repro.reporting.tables import render_table
+
+
+def build_snapshot():
+    return snapshot(1995.5)
+
+
+def test_fig03_distributions(benchmark, emit):
+    snap = benchmark(build_snapshot)
+    centers = snap.bin_centers()
+    keep = (snap.installed_counts > 0) | (snap.application_counts > 0)
+    rows = [
+        [f"{centers[i]:,.2f}", snap.installed_counts[i],
+         int(snap.application_counts[i])]
+        for i in np.nonzero(keep)[0]
+    ]
+    b_choice = select_threshold(1995.5, ThresholdPolicy.ECONOMIC)
+    text = render_table(
+        ["bin center (Mtops)", "installed units", "application minimums"],
+        rows,
+        title="Figure 3: installations vs application requirements, mid-1995",
+    )
+    lines = (
+        f"\nline A (lower bound of controllability) = "
+        f"{snap.line_a_mtops:,.0f} Mtops"
+        f"\nline B (economic choice, above A, below the applications hump) = "
+        f"{b_choice.threshold_mtops:,.0f} Mtops"
+        f"\nline D (most powerful available) = {snap.line_d_mtops:,.0f} Mtops"
+    )
+    emit(text + lines)
+
+    # Geometry: the installations hump is below line A; B sits in [A, D].
+    peak = centers[np.argmax(snap.installed_counts)]
+    assert peak < snap.line_a_mtops
+    assert snap.line_a_mtops <= b_choice.threshold_mtops < snap.line_d_mtops

@@ -1,0 +1,45 @@
+"""Figure 4: HPC in Russia, PRC, and India.
+
+Per-country running-maximum curves of indigenous capability against the
+control threshold in force.
+"""
+
+import numpy as np
+
+from repro._util import year_range
+from repro.diffusion.policy import threshold_at
+from repro.machines.foreign import ForeignCountry
+from repro.reporting.figures import render_series
+from repro.trends.curves import running_max_series
+from repro.trends.foreign import foreign_points
+
+
+def build_figure():
+    years = year_range(1985.0, 1996.0, 1.0)
+    series = {
+        country.value: running_max_series(foreign_points(country), years)
+        for country in ForeignCountry
+    }
+    series["threshold in force"] = np.array(
+        [threshold_at(y) if y >= 1984.5 else np.nan for y in years]
+    )
+    return years, series
+
+
+def test_fig04_foreign_indigenous(benchmark, emit):
+    years, series = benchmark(build_figure)
+    emit(render_series(
+        "Figure 4: HPC in Russia, PRC, and India (most powerful domestic "
+        "system, Mtops)",
+        years, series,
+    ))
+    # Every country curve is non-decreasing where defined, and all three
+    # countries cross the 195-Mtops threshold before the 1,500-Mtops one
+    # replaces it.
+    for country in ForeignCountry:
+        values = series[country.value]
+        finite = values[~np.isnan(values)]
+        assert np.all(np.diff(finite) >= 0)
+    assert series["Russia"][years.index(1991.0)] > 195.0
+    assert series["PRC"][years.index(1993.0)] > 195.0
+    assert series["India"][years.index(1993.0)] > 195.0

@@ -1,0 +1,36 @@
+"""Figure 5: Advances in 64-bit Microprocessors.
+
+The single-chip Mtops point cloud by introduction year with the fitted
+exponential, doubling at the commodity-silicon pace.
+"""
+
+from repro.reporting.tables import render_table
+from repro.trends.moore import micro_mtops_trend, micro_points
+
+
+def build_figure():
+    points = micro_points(1996.5)
+    trend = micro_mtops_trend(1996.5)
+    return points, trend
+
+
+def test_fig05_microprocessors(benchmark, emit):
+    points, trend = benchmark(build_figure)
+    rows = [[p.label, f"{p.year:.1f}", round(p.mtops)] for p in points]
+    text = render_table(
+        ["microprocessor", "year", "Mtops"],
+        rows,
+        title="Figure 5: advances in 64-bit microprocessors",
+    )
+    text += (
+        f"\n\nfitted trend: x{trend.growth_per_year:.2f} per year "
+        f"(doubling every {trend.doubling_time_years:.1f} years), "
+        f"fit residual {trend.residual_std:.2f} decades"
+    )
+    emit(text)
+
+    assert len(points) >= 12
+    assert 1.0 < trend.doubling_time_years < 3.0
+    # The era claim: 1995 single chips beat late-80s supercomputer CPUs.
+    latest = max(p.mtops for p in points)
+    assert latest > 1_000.0

@@ -1,0 +1,42 @@
+"""Figure 6: Performance of "Uncontrollable" Symmetrical Multiprocessor
+Systems.
+
+Per-vendor top-of-line SMP points (at maximum configuration), the fitted
+envelope, and the same envelope shifted right by the two-year market-
+maturity lag — the uncontrollability frontier itself.
+"""
+
+from repro.controllability.frontier import UNCONTROLLABILITY_LAG_YEARS
+from repro.reporting.tables import render_table
+from repro.trends.smp import smp_trend, smp_vendor_lines
+
+
+def build_figure():
+    lines = smp_vendor_lines(1997.0)
+    trend = smp_trend(1997.0)
+    return lines, trend
+
+
+def test_fig06_uncontrollable_smps(benchmark, emit):
+    lines, trend = benchmark(build_figure)
+    rows = []
+    for vendor, points in lines.items():
+        for p in points:
+            rows.append([vendor, p.label, f"{p.year:.1f}", round(p.mtops),
+                         f"{p.year + UNCONTROLLABILITY_LAG_YEARS:.1f}"])
+    text = render_table(
+        ["vendor", "system (max config)", "introduced", "CTP (Mtops)",
+         "uncontrollable by"],
+        rows,
+        title='Figure 6: performance of "uncontrollable" SMP systems',
+    )
+    text += (
+        f"\n\nenvelope trend: x{trend.growth_per_year:.2f}/yr; shifted "
+        f"{UNCONTROLLABILITY_LAG_YEARS:.0f} years for market maturity"
+    )
+    emit(text)
+
+    assert len(lines) >= 4  # the vendor "spaghetti"
+    all_points = [p for pts in lines.values() for p in pts]
+    # Two orders of magnitude growth across the early-90s SMP wave.
+    assert max(p.mtops for p in all_points) / min(p.mtops for p in all_points) > 50

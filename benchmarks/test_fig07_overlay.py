@@ -1,0 +1,51 @@
+"""Figure 7: Performance of Foreign and Domestic HPC Systems.
+
+The "spaghetti" overlay of Figures 4 and 6: foreign indigenous curves
+against the Western uncontrollable-SMP envelope.  The chapter's key
+finding — Western uncontrollable systems eclipse every foreign indigenous
+program by the mid-1990s — falls out as an assertion.
+"""
+
+import numpy as np
+
+from repro._util import year_range
+from repro.controllability.frontier import frontier_series
+from repro.machines.foreign import ForeignCountry, max_indigenous_mtops
+from repro.reporting.figures import render_log_chart, render_series
+
+
+def build_figure():
+    years = year_range(1988.0, 1997.0, 0.5)
+    series = {
+        country.value: np.array(
+            [max_indigenous_mtops(country, y) for y in years]
+        )
+        for country in ForeignCountry
+    }
+    series["US uncontrollable"] = frontier_series(years)
+    return years, series
+
+
+def test_fig07_overlay(benchmark, emit):
+    years, series = benchmark(build_figure)
+    table = render_series(
+        "Figure 7: performance of foreign and domestic HPC systems (Mtops)",
+        years, series,
+    )
+    chart = render_log_chart(
+        "Overlay (log scale)", years,
+        {k: np.maximum(v, 0.5) for k, v in series.items()},
+    )
+    emit(f"{table}\n\n{chart}")
+
+    # By mid-1995 the Western uncontrollable envelope exceeds every
+    # foreign indigenous curve ("eclipsing most, if not all").
+    idx95 = years.index(1995.5)
+    western = series["US uncontrollable"][idx95]
+    for country in ForeignCountry:
+        assert western > series[country.value][idx95]
+    # Earlier in the period, foreign indigenous systems (MKP, Galaxy-II)
+    # were still ahead of the tiny uncontrollable envelope.
+    idx91 = years.index(1991.0)
+    assert max(series[c.value][idx91] for c in ForeignCountry) \
+        > series["US uncontrollable"][idx91]

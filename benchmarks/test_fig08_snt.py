@@ -1,0 +1,38 @@
+"""Figure 8: Performance Distribution of S&T Applications (1994).
+
+Histogram of the synthetic HPCMO science-and-technology projects over the
+machines they currently run on.
+"""
+
+import numpy as np
+
+from repro.apps.hpcmo import generate_hpcmo
+from repro.reporting.tables import render_table
+
+_EDGES = 10.0 ** np.arange(0.0, 5.51, 0.5)
+
+
+def build_figure():
+    db = generate_hpcmo(seed=0, year=1994.0)
+    counts = db.histogram(db.current_mtops("S&T"), _EDGES)
+    return db, counts
+
+
+def test_fig08_snt_distribution(benchmark, emit):
+    db, counts = benchmark(build_figure)
+    rows = [
+        [f"{_EDGES[i]:,.0f} - {_EDGES[i + 1]:,.0f}", int(counts[i])]
+        for i in range(counts.size)
+    ]
+    emit(render_table(
+        ["performance band (Mtops)", "S&T projects"],
+        rows,
+        title="Figure 8: performance distribution of S&T applications (1994)",
+    ))
+
+    n_st = len(db.of_kind("S&T"))
+    assert counts.sum() >= 0.95 * n_st  # a few outliers may fall outside
+    # The bulk sits below 1,500 Mtops ("many are lower than current export
+    # control thresholds").
+    below_1500 = counts[: np.searchsorted(_EDGES, 1_500.0) - 1].sum()
+    assert below_1500 / counts.sum() > 0.6

@@ -1,0 +1,49 @@
+"""Figure 10: Distribution of Minimum Computational Requirements.
+
+The combined minimum-requirement population: the named-application catalog
+plus the synthetic HPCMO projects, binned over Mtops, with the mid-1995
+lower bound of controllability marked.
+"""
+
+import numpy as np
+
+from repro.apps.catalog import min_requirements_mtops
+from repro.apps.hpcmo import generate_hpcmo
+from repro.core.framework import lower_bound_mtops
+from repro.reporting.tables import render_table
+
+_EDGES = 10.0 ** np.arange(-1.0, 5.51, 0.5)
+
+
+def build_figure():
+    named = np.array(min_requirements_mtops(1995.5))
+    db = generate_hpcmo(seed=0)
+    hpcmo = db.min_mtops()
+    named_counts = np.histogram(named, bins=_EDGES)[0]
+    hpcmo_counts = np.histogram(hpcmo, bins=_EDGES)[0]
+    return named, named_counts, hpcmo_counts
+
+
+def test_fig10_minimum_requirements(benchmark, emit):
+    named, named_counts, hpcmo_counts = benchmark(build_figure)
+    lower = lower_bound_mtops(1995.5)
+    rows = [
+        [f"{_EDGES[i]:,.1f} - {_EDGES[i + 1]:,.1f}", int(named_counts[i]),
+         int(hpcmo_counts[i])]
+        for i in range(named_counts.size)
+    ]
+    text = render_table(
+        ["minimum requirement band (Mtops)", "named applications",
+         "HPCMO projects"],
+        rows,
+        title="Figure 10: distribution of minimum computational requirements "
+              "(mid-1995, drifted)",
+    )
+    text += f"\n\nlower bound of controllability = {lower:,.0f} Mtops"
+    emit(text)
+
+    # The named catalog has a protectable tail above the bound; the HPCMO
+    # population is overwhelmingly below it.
+    assert (named > lower).sum() >= 10
+    assert hpcmo_counts[: np.searchsorted(_EDGES, lower) - 1].sum() \
+        > 0.66 * hpcmo_counts.sum()

@@ -1,0 +1,47 @@
+"""Figure 11: Threshold Analysis: June 1995 Snapshot.
+
+The paper's culminating figure: both distributions, lines A and D, the
+valid threshold range, and the protectable application clusters.
+"""
+
+import numpy as np
+
+from repro.core.framework import application_clusters
+from repro.core.threshold import snapshot
+from repro.reporting.tables import render_table
+
+
+def build_snapshot():
+    snap = snapshot(1995.5)
+    clusters = application_clusters(1995.5)
+    return snap, clusters
+
+
+def test_fig11_june_1995_snapshot(benchmark, emit):
+    snap, clusters = benchmark(build_snapshot)
+    centers = snap.bin_centers()
+    keep = (snap.installed_counts > 0.5) | (snap.application_counts > 0)
+    rows = [
+        [f"{centers[i]:,.2f}", round(snap.installed_counts[i]),
+         int(snap.application_counts[i])]
+        for i in np.nonzero(keep)[0]
+    ]
+    text = render_table(
+        ["bin center (Mtops)", "installed units", "application minimums"],
+        rows,
+        title="Figure 11: threshold analysis, June 1995 snapshot",
+    )
+    text += (
+        f"\n\nline A (lower bound) = {snap.line_a_mtops:,.0f} Mtops"
+        f"\nline D (max available) = {snap.line_d_mtops:,.0f} Mtops"
+        f"\nvalid range exists: {snap.bounds.valid_range_exists}"
+        "\n\nprotectable clusters:"
+    )
+    for start, members in clusters:
+        text += f"\n  from {start:,.0f} Mtops: {len(members)} applications"
+    emit(text)
+
+    # The paper's reading of this snapshot.
+    assert 4_000.0 <= snap.line_a_mtops <= 5_000.0
+    assert snap.bounds.valid_range_exists
+    assert len(clusters) >= 2

@@ -1,0 +1,59 @@
+"""Figure 12: Trends in Distribution of Top500 Installations.
+
+Synthetic Top500 lists for successive publication years: performance-band
+histograms and architecture shares, showing the list's mass marching up
+the Mtops axis while vector machines give way to MPPs and SMPs.
+"""
+
+import numpy as np
+
+from repro.machines.spec import Architecture
+from repro.reporting.tables import render_table
+from repro.trends.top500 import generate_top500
+
+_YEARS = (1993.5, 1994.5, 1995.5, 1996.5)
+_EDGES = 10.0 ** np.arange(2.0, 6.01, 0.5)
+
+
+def build_figure():
+    lists = {year: generate_top500(year, seed=0) for year in _YEARS}
+    histograms = {year: lst.histogram(_EDGES) for year, lst in lists.items()}
+    shares = {year: lst.share_by_architecture() for year, lst in lists.items()}
+    return histograms, shares
+
+
+def test_fig12_top500_distribution(benchmark, emit):
+    histograms, shares = benchmark(build_figure)
+    rows = [
+        [f"{_EDGES[i]:,.0f} - {_EDGES[i + 1]:,.0f}"]
+        + [int(histograms[y][i]) for y in _YEARS]
+        for i in range(_EDGES.size - 1)
+    ]
+    text = render_table(
+        ["band (Mtops)"] + [f"{y:.0f}" for y in _YEARS],
+        rows,
+        title="Figure 12: Top500 installations by performance band",
+    )
+    share_rows = [
+        [f"{y:.1f}"] + [
+            f"{shares[y].get(a, 0.0):.0%}"
+            for a in (Architecture.VECTOR, Architecture.MPP, Architecture.SMP)
+        ]
+        for y in _YEARS
+    ]
+    text += "\n\n" + render_table(
+        ["list year", "vector", "MPP", "SMP"],
+        share_rows,
+        title="Architecture shares",
+    )
+    emit(text)
+
+    # The median entry climbs; the vector share declines.
+    def median_of(year):
+        lst = generate_top500(year, seed=0)
+        return np.median(lst.mtops())
+
+    assert median_of(_YEARS[-1]) > median_of(_YEARS[0])
+    assert shares[_YEARS[-1]].get(Architecture.VECTOR, 0.0) < shares[
+        _YEARS[0]
+    ].get(Architecture.VECTOR, 0.0)

@@ -1,0 +1,57 @@
+"""Figure 13: Top500 Trends and the Lower Bound of Controllability.
+
+Rank trend lines (#1, #10, #100, #500) against the rising lower bound: the
+bound climbs into the list, and the fraction of installations below it —
+systems on the world's flagship list that controls cannot reach — stays
+dominant through the decade.
+"""
+
+import numpy as np
+
+from repro._util import year_range
+from repro.controllability.frontier import frontier_series
+from repro.reporting.figures import render_log_chart, render_series
+from repro.trends.top500 import generate_top500, rank_trend
+
+
+def build_figure():
+    years = year_range(1993.5, 1999.5, 0.5)
+    series = {
+        f"rank {r}": np.array([rank_trend(r, y) for y in years])
+        for r in (1, 10, 100, 500)
+    }
+    series["lower bound"] = frontier_series(years)
+    fractions = [
+        generate_top500(y, seed=0).fraction_below(series["lower bound"][i])
+        for i, y in enumerate(years)
+    ]
+    return years, series, np.array(fractions)
+
+
+def test_fig13_top500_vs_bound(benchmark, emit):
+    years, series, fractions = benchmark(build_figure)
+    table = render_series(
+        "Figure 13: Top500 rank trends and the lower bound (Mtops)",
+        years, series,
+    )
+    frac_table = render_series(
+        "Fraction of the list below the lower bound",
+        years, {"fraction": fractions},
+    )
+    chart = render_log_chart("Rank trends vs lower bound", years, series)
+    emit(f"{table}\n\n{frac_table}\n\n{chart}")
+
+    # The bound overtakes rank 100 during the window, and most of the
+    # list sits below it throughout.
+    lb = series["lower bound"]
+    r100 = series["rank 100"]
+    assert lb[0] < r100[0] * 2  # starts in the list's neighbourhood
+    assert np.any(lb >= r100)
+    # Once the SMP wave matures (mid-1995 on), the bulk of the list sits
+    # below the bound.  The fraction breathes with product cycles (the
+    # list's head grows faster than the frontier between SMP generations)
+    # but never recovers to a mostly-controllable state.
+    idx95 = years.index(1995.5)
+    assert np.all(fractions[idx95:] >= 0.45)
+    assert np.mean(fractions[idx95:]) >= 0.6
+    assert fractions[-1] > fractions[0]

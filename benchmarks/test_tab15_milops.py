@@ -1,0 +1,44 @@
+"""Table 15: Summary of Representative Computational Requirements for
+Military Operations.
+
+The operations-side applications (C4I, sensors, meteorology, simulation)
+with their timing classes — the group whose real-time and embedded
+constraints CTP-based controls fit worst.
+"""
+
+from repro.apps.catalog import applications_by_mission
+from repro.apps.taxonomy import MissionArea, Parallelizability, TimingClass
+from repro.reporting.tables import render_table
+
+
+def build_table():
+    return applications_by_mission(MissionArea.MILITARY_OPERATIONS)
+
+
+def test_tab15_military_operations(benchmark, emit):
+    apps = benchmark(build_table)
+    rows = [
+        [a.name, round(a.min_mtops, 1),
+         round(a.actual_mtops, 1) if a.actual_mtops else "-",
+         a.timing.value, a.parallelizable.value]
+        for a in apps
+    ]
+    emit(render_table(
+        ["application", "min Mtops", "actual Mtops", "timing",
+         "cluster-convertible"],
+        rows,
+        title="Table 15: representative computational requirements for "
+              "military operations",
+    ))
+
+    assert len(apps) >= 10
+    # Real-time dominates operations ("processing must occur in
+    # real-time").
+    real_time = [a for a in apps if a.timing is TimingClass.REAL_TIME]
+    assert len(real_time) > len(apps) / 2
+    # The 10,000-Mtops operations group: weather, SIRST-deployed class.
+    heavy = [a for a in apps if a.min_mtops >= 7_000.0]
+    assert len(heavy) >= 4
+    # And the size/weight/power-constrained ones cannot take the cluster
+    # escape route.
+    assert any(a.parallelizable is Parallelizability.NO for a in heavy)

@@ -1,0 +1,49 @@
+"""Table 16: Foreign Capability in Selected Applications.
+
+The application x country grid: can the country get the computing
+(indigenously or via uncontrollable Western systems), and do
+non-computational gates bind?
+"""
+
+from repro.apps.foreign_capability import foreign_capability_table
+from repro.machines.foreign import ForeignCountry
+from repro.reporting.tables import render_table
+
+
+def build_table():
+    return foreign_capability_table(1995.5)
+
+
+def test_tab16_foreign_capability(benchmark, emit):
+    cells = benchmark(build_table)
+    rows = []
+    for c in cells:
+        rows.append([
+            c.application.name, c.country.value,
+            round(c.required_mtops), round(c.best_available_mtops),
+            c.computing_source or "NO",
+            "; ".join(c.other_gates) or "-",
+            "ENABLED" if c.enabled else "blocked",
+        ])
+    emit(render_table(
+        ["application", "country", "needs", "has", "computing via",
+         "other gates", "verdict"],
+        rows,
+        title="Table 16: foreign capability in selected applications "
+              "(mid-1995)",
+    ))
+
+    # The grid's aggregate story: computing is available for most rows,
+    # but the highest-end sensor/weather applications stay out of reach,
+    # and hard-gated programs stay blocked regardless of computing.
+    available = sum(1 for c in cells if c.computing_available)
+    assert available / len(cells) > 0.5
+    blocked_high_end = [
+        c for c in cells
+        if c.application.name in ("ATR template development",
+                                  "Tactical weather prediction (45 km)")
+    ]
+    assert all(not c.computing_available for c in blocked_high_end)
+    gated = [c for c in cells if c.other_gates]
+    assert all(not c.enabled for c in gated)
+    assert {c.country for c in cells} == set(ForeignCountry)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Can clustered workstations replace a controlled supercomputer?
+
+Chapter 3's answer: only for coarse-grained work.  This example drives the
+parallel-architecture simulator over the workload suite, printing:
+
+* the Table 5 spectrum with measured efficiencies;
+* the maximum competitive cluster size per workload and interconnect
+  (Mattson's 8-16-node Ethernet ceiling);
+* the Berkeley NOW "GATOR" comparison (note 50);
+* the applications the cluster route simply cannot touch (memory-bound
+  and schedule-bound cases).
+
+Run:  python examples/cluster_vs_supercomputer.py
+"""
+
+from repro.simulate import (
+    ATM_155,
+    ETHERNET_10,
+    FDDI,
+    JobMix,
+    WORKLOAD_SUITE,
+    acoustic_campaign_days,
+    compare_architectures,
+    cost_per_job_rate,
+    gator_study,
+    max_competitive_cluster_size,
+    spectrum_table,
+    throughput,
+)
+from repro.simulate.architectures import cluster_machine, vector_machine
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    print(render_table(
+        ["architecture", "example system", "eff. (coarse)", "eff. (fine)"],
+        [[r.architecture.value, r.example, round(r.coarse_efficiency, 2),
+          round(r.fine_efficiency, 2)] for r in spectrum_table()],
+        title="Table 5: the architecture spectrum, with measured efficiency",
+    ))
+
+    print()
+    rows = []
+    for w in WORKLOAD_SUITE:
+        rows.append([
+            w.name,
+            w.pattern.value,
+            max_competitive_cluster_size(w.name, ETHERNET_10),
+            max_competitive_cluster_size(w.name, FDDI),
+            max_competitive_cluster_size(w.name, ATM_155, dedicated=True),
+        ])
+    print(render_table(
+        ["workload", "communication pattern", "Ethernet", "FDDI",
+         "ATM (dedicated)"],
+        rows,
+        title="Largest competitive cluster (nodes at >= 50% efficiency)",
+    ))
+
+    print()
+    results = gator_study()
+    print(render_table(
+        ["machine", "time (s)", "efficiency"],
+        [[name, round(r.time_s), round(r.efficiency, 2)]
+         for name, r in results.items()],
+        title="The NOW GATOR study (note 50): the cluster wins only with "
+              "ATM + low-overhead messaging",
+    ))
+
+    print()
+    comp = compare_architectures("turbulent-flow CSM")
+    print("Turbulent-flow CSM (the submarine-quieting code):")
+    for r in comp.results:
+        status = (f"{r.time_s:,.0f} s" if r.feasible
+                  else f"INFEASIBLE ({r.infeasible_reason})")
+        print(f"  {r.machine.name:28s} {status}")
+
+    print("\n=== Throughput is a different question (note 52) ===\n")
+    mix = JobMix("overnight CFD cases", job_mops=1.0e6, job_memory_mb=64.0)
+    farm = throughput(mix, cluster_machine(16))
+    cray = throughput(mix, vector_machine(16))
+    print(render_table(
+        ["machine", "jobs/day", "price", "$ per job/day"],
+        [
+            ["16-workstation Ethernet farm", round(farm.jobs_per_day),
+             "$500K", round(cost_per_job_rate(farm, 500_000.0))],
+            ["16-processor vector machine", round(cray.jobs_per_day),
+             "$30M", round(cost_per_job_rate(cray, 30_000_000.0))],
+        ],
+        title="Independent-job throughput: granularity is irrelevant, "
+              "economics decide",
+    ))
+
+    print("\nSubmarine acoustic-signature campaign (2,000 runs):")
+    for mtops, label in [(21_125.0, "Cray C916 (controlled)"),
+                         (4_100.0, "mid-1995 uncontrollable frontier"),
+                         (1_500.0, "in-force threshold level")]:
+        days = acoustic_campaign_days(mtops)
+        print(f"  {label:36s} {days / 365.0:6.1f} years of compute")
+    print("  -> 'little chance that a country of national security concern "
+          "could replicate this program' below the frontier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Brute-force cryptoanalysis, from real cipher to policy conclusion.
+
+Chapter 4's cryptology judgment — "significant cryptologic capabilities
+can be achieved through the use of widely available computer equipment" —
+demonstrated end to end:
+
+1. encrypt a message block with the library's DES implementation;
+2. recover the key by brute force over a demonstration keyspace,
+   partitioned across simulated processors exactly as the paper
+   describes ("each processor ... can be set to work on only a portion
+   of the keyspace");
+3. scale the measured rate to the 1995 machine park and print what key
+   lengths fall to which aggregates.
+
+Run:  python examples/keysearch_demo.py
+"""
+
+import time
+
+from repro.crypto.des import des_encrypt_block
+from repro.crypto.keysearch import (
+    WORD_OPS_PER_KEY,
+    brute_force,
+    keyspace_partition,
+)
+from repro.reporting.tables import render_table
+from repro.simulate.applications import (
+    keysearch_required_mtops,
+    keysearch_time_days,
+)
+
+PLAINTEXT = 0x4E6F762E31393935  # "Nov.1995"
+SECRET_KEY = 0x000000000000B37A
+SEARCH_BITS = 16
+
+
+def main() -> None:
+    ciphertext = des_encrypt_block(PLAINTEXT, SECRET_KEY)
+    print(f"plaintext  = 0x{PLAINTEXT:016X}")
+    print(f"ciphertext = 0x{ciphertext:016X}")
+    print(f"searching the low {SEARCH_BITS} bits of the keyspace...\n")
+
+    start = time.perf_counter()
+    result = brute_force(PLAINTEXT, ciphertext, search_bits=SEARCH_BITS)
+    elapsed = time.perf_counter() - start
+    rate = result.keys_tried / elapsed
+    print(f"recovered key 0x{result.found_key:016X} after "
+          f"{result.keys_tried:,} trials in {elapsed:.2f} s "
+          f"({rate:,.0f} keys/s on one Python process)\n")
+
+    print("Zero-communication partition of a 2^20 keyspace over 8 nodes:")
+    for i, (lo, hi) in enumerate(keyspace_partition(20, 8)):
+        print(f"  node {i}: keys [{lo:>8,}, {hi:>8,})")
+    print("  -> no node ever needs to hear from another until a hit.\n")
+
+    rows = []
+    for bits in (40, 48, 56):
+        rows.append([
+            bits,
+            round(keysearch_required_mtops(bits, 24.0)),
+            round(keysearch_time_days(bits, 4_100.0), 1),
+            round(keysearch_time_days(bits, 50_000.0), 1),
+        ])
+    print(render_table(
+        ["key bits", "Mtops for 24-h break",
+         "days @ 4,100 Mtops (1995 frontier)",
+         "days @ 50,000 Mtops (big aggregate)"],
+        rows,
+        title=f"Scaling up ({WORD_OPS_PER_KEY:.0f} word ops per key, "
+              f"derived from the cipher)",
+    ))
+    print("\nExport-grade 40-bit keys fall to uncontrollable aggregates in "
+          "about a day;\nDES-56 does not fall to anything in the 1995 park "
+          "- but no *threshold* separates\nthe two, because the work "
+          "aggregates perfectly.  Hence the paper's judgment:\n"
+          "'cryptologic applications can no longer be used as a basis for "
+          "... a control threshold.'")
+
+
+if __name__ == "__main__":
+    main()

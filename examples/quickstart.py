@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's June-1995 analysis end to end.
+
+Derives the lower bound of controllability, tests the three basic
+premises, clusters the protectable applications, and recommends a control
+threshold under each of the three selection policies — the contents of
+Chapter 5 / Figure 11, regenerated.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ThresholdPolicy,
+    evaluate_premises,
+    run_annual_review,
+    select_threshold,
+)
+from repro.core.framework import application_clusters
+from repro.reporting.tables import render_table
+
+YEAR = 1995.5
+
+
+def main() -> None:
+    review = run_annual_review(YEAR)
+    bounds = review.bounds
+
+    print(f"=== Annual review, {YEAR} (the study's snapshot) ===\n")
+
+    premises = evaluate_premises(YEAR)
+    for report in (premises.premise1, premises.premise2, premises.premise3):
+        verdict = "HOLDS" if report.holds else "FAILS"
+        print(f"Premise {report.number} [{verdict}]: {report.statement}")
+        for line in report.evidence[:3]:
+            print(f"    - {line}")
+    print()
+
+    print(render_table(
+        ["quantity", "Mtops"],
+        [
+            ["most powerful uncontrollable system", bounds.uncontrollable_mtops],
+            ["foreign indigenous envelope", bounds.foreign_mtops],
+            ["=> lower bound (line A)", bounds.lower_mtops],
+            ["smallest protectable application minimum",
+             bounds.upper_application_mtops],
+            ["most powerful system available (line D)",
+             bounds.upper_theoretical_mtops],
+            ["threshold actually in force", review.threshold_in_force],
+        ],
+        title="Threshold bounds",
+    ))
+    print(f"\nValid control range exists: {bounds.valid_range_exists}")
+    print(f"In-force threshold is stale: {review.threshold_is_stale} "
+          f"(paper: the 1,500-Mtops definition lagged the ~4,100-Mtops "
+          f"frontier)\n")
+
+    print("Protectable application clusters (paper: RDT&E group ~7,000, "
+          "military-operations group ~10,000):")
+    for start, members in application_clusters(YEAR):
+        names = ", ".join(m.name for m in members[:4])
+        more = "" if len(members) <= 4 else f" (+{len(members) - 4} more)"
+        print(f"  starting {start:>9,.0f} Mtops: {names}{more}")
+    print()
+
+    rows = []
+    for policy in ThresholdPolicy:
+        s = select_threshold(YEAR, policy)
+        rows.append([policy.value, s.threshold_mtops,
+                     len(s.applications_given_up), s.units_decontrolled])
+    print(render_table(
+        ["selection policy", "threshold (Mtops)", "apps given up",
+         "units decontrolled"],
+        rows,
+        title="Recommended thresholds",
+    ))
+
+
+if __name__ == "__main__":
+    main()

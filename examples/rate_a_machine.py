@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Rate hardware under the CTP metric and the export-control regime.
+
+Builds machines from computing elements — a 1995 workstation, a maximum-
+configuration SMP, an MPP, and a hypothetical home-built cluster of
+commodity Pentium Pro boards (the kind of system Chapter 3 worries about)
+— rates each in Mtops, and runs license decisions against the 1,500-Mtops
+definition in force in 1995.
+
+Run:  python examples/rate_a_machine.py
+"""
+
+from repro.ctp import ComputingElement, Coupling, ctp_homogeneous
+from repro.diffusion.policy import ExportControlPolicy, threshold_at
+from repro.machines.catalog import find_machine
+from repro.machines.microprocessors import find_micro
+from repro.reporting.tables import render_table
+
+YEAR = 1995.5
+
+
+def main() -> None:
+    alpha = find_micro("Alpha 21164-300").element
+    p6 = find_micro("Pentium Pro-200").element
+    custom = ComputingElement(
+        name="hypothetical 500 MHz RISC",
+        clock_mhz=500.0, word_bits=64.0,
+        fp_ops_per_cycle=2.0, int_ops_per_cycle=2.0, concurrent_int_fp=True,
+    )
+
+    configs = [
+        ("AlphaStation (1 x 21164)", alpha, 1, Coupling.SINGLE),
+        ("AlphaServer 8400 (12 x 21164)", alpha, 12, Coupling.SHARED),
+        ("Paragon-style MPP (64 x 21164)", alpha, 64, Coupling.DISTRIBUTED),
+        ("Garage cluster (64 x Pentium Pro)", p6, 64, Coupling.CLUSTER),
+        ("Garage cluster (256 x Pentium Pro)", p6, 256, Coupling.CLUSTER),
+        ("Hypothetical 1998 SMP (16 x 500 MHz)", custom, 16, Coupling.SHARED),
+    ]
+
+    threshold = threshold_at(YEAR)
+    rows = []
+    for name, element, n, coupling in configs:
+        rating = ctp_homogeneous(element, n, coupling)
+        rows.append([name, n, round(rating),
+                     "supercomputer" if rating >= threshold else "below"])
+    print(render_table(
+        ["configuration", "CPUs", "CTP (Mtops)",
+         f"vs {threshold:,.0f}-Mtops definition"],
+        rows,
+        title="Rating machines under the CTP metric",
+    ))
+    print("\nNote the cluster rows: big aggregates of uncontrollable parts "
+          "cross the definition — 'there is no approved way of computing "
+          "their CTP' was the era's open problem (Chapter 3, note 55).\n")
+
+    policy = ExportControlPolicy(threshold)
+    rows = []
+    for key in ("Sun SPARCstation 10", "SGI PowerChallenge (4)",
+                "Cray C916", "Cray T3D (512)"):
+        machine = find_machine(key)
+        for destination in ("UK", "India", "Iran"):
+            d = policy.license_decision(machine, destination)
+            rows.append([
+                machine.key, destination, round(d.rating_mtops),
+                "yes" if d.requires_license else "no",
+                "yes" if d.safeguards_required else "no",
+                "approved" if d.approved else "DENIED",
+            ])
+    print(render_table(
+        ["machine", "destination", "rated Mtops", "license?", "safeguards?",
+         "outcome"],
+        rows,
+        title="License decisions under the 1994 regime "
+              "(field-upgradable families rated at their ceiling)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

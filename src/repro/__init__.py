@@ -1,0 +1,62 @@
+"""repro — reproduction of Goodman, Wolcott & Burkhart (1995),
+*Building on the Basics: An Examination of High-Performance Computing
+Export Control Policy in the 1990s* (CISAC, Stanford).
+
+The library implements the paper's analytical framework end-to-end:
+
+* :mod:`repro.ctp` — the CTP/Mtops performance metric;
+* :mod:`repro.machines` — the reconstructed 1976-1997 machine catalog
+  (U.S./Japanese commercial systems; Russian, Chinese, Indian indigenous
+  systems);
+* :mod:`repro.apps` — national-security applications, their minimum
+  computational requirements, and the synthetic HPCMO database;
+* :mod:`repro.controllability` — the factor model, Table 4
+  classifications, and the uncontrollability frontier;
+* :mod:`repro.trends` — technology trend fitting (micros, SMPs, foreign
+  systems, Top500);
+* :mod:`repro.simulate` — the parallel-architecture performance simulator
+  behind the cluster-vs-integrated analysis;
+* :mod:`repro.market` / :mod:`repro.diffusion` — the economic and
+  policy-mechanics substrates;
+* :mod:`repro.core` — premises, bounds, threshold selection, scenarios,
+  and the annual review.
+
+Quickstart::
+
+    from repro import run_annual_review
+    review = run_annual_review(1995.5)
+    print(review.bounds.lower_mtops)          # ~4,100 (paper: 4,000-5,000)
+    print(review.premises.all_hold)           # True (the 1995 verdict)
+"""
+
+from repro.core import (
+    derive_bounds,
+    evaluate_premises,
+    headline_summary,
+    run_annual_review,
+    select_threshold,
+    snapshot,
+)
+from repro.core.threshold import ThresholdPolicy
+from repro.ctp import Coupling, ComputingElement, ctp, ctp_homogeneous
+from repro.machines import COMMERCIAL_SYSTEMS, FOREIGN_SYSTEMS, MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "derive_bounds",
+    "evaluate_premises",
+    "headline_summary",
+    "run_annual_review",
+    "select_threshold",
+    "snapshot",
+    "ThresholdPolicy",
+    "Coupling",
+    "ComputingElement",
+    "ctp",
+    "ctp_homogeneous",
+    "COMMERCIAL_SYSTEMS",
+    "FOREIGN_SYSTEMS",
+    "MachineSpec",
+]

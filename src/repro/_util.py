@@ -1,0 +1,117 @@
+"""Small shared utilities: decimal-year handling and argument validation.
+
+Dates throughout the library are *decimal years* (e.g. ``1995.5`` means
+mid-1995), matching the paper's timeline granularity.  Performance values are
+Mtops (millions of theoretical operations per second) unless a name says
+otherwise (``mflops``, ``mips``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_year",
+    "geometric_interp",
+    "log_midpoint",
+    "year_range",
+]
+
+#: The paper's analysis window.  Years far outside this range almost always
+#: indicate a units bug (e.g. passing Mtops where a year is expected).
+YEAR_MIN = 1940.0
+YEAR_MAX = 2050.0
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` if within [0, 1], else raise ``ValueError``."""
+    value = float(value)
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_year(value: float, name: str = "year") -> float:
+    """Validate a decimal year; guards against unit mix-ups."""
+    value = float(value)
+    if not math.isfinite(value) or not YEAR_MIN <= value <= YEAR_MAX:
+        raise ValueError(
+            f"{name} must be a decimal year in [{YEAR_MIN}, {YEAR_MAX}], got {value!r}"
+        )
+    return value
+
+
+def geometric_interp(x0: float, y0: float, x1: float, y1: float, x: float) -> float:
+    """Interpolate geometrically (linear in log-space) between two points.
+
+    Performance trends in the paper are exponential, so interpolation
+    between catalog anchor points is done in log space.
+    """
+    y0 = check_positive(y0, "y0")
+    y1 = check_positive(y1, "y1")
+    if x1 == x0:
+        if y0 != y1:
+            raise ValueError("degenerate interpolation: x0 == x1 but y0 != y1")
+        return y0
+    t = (x - x0) / (x1 - x0)
+    return math.exp(math.log(y0) * (1.0 - t) + math.log(y1) * t)
+
+
+def log_midpoint(a: float, b: float) -> float:
+    """Geometric mean of two positive numbers (midpoint on a log axis)."""
+    return math.sqrt(check_positive(a, "a") * check_positive(b, "b"))
+
+
+def year_range(start: float, stop: float, step: float = 0.25) -> list[float]:
+    """Inclusive range of decimal years with a fixed step.
+
+    The endpoint is included when it lands within floating-point noise of a
+    step multiple, which keeps snapshot loops like ``year_range(1993, 1997)``
+    intuitive.
+    """
+    check_year(start, "start")
+    check_year(stop, "stop")
+    check_positive(step, "step")
+    if stop < start:
+        raise ValueError(f"stop ({stop}) must be >= start ({start})")
+    n = int(round((stop - start) / step))
+    years = [start + i * step for i in range(n + 1)]
+    # Guard against accumulating past `stop` by more than float noise.
+    while years and years[-1] > stop + 1e-9:
+        years.pop()
+    return years
+
+
+def as_sorted_unique(values: Iterable[float]) -> list[float]:
+    """Sorted unique floats, used to normalize user-supplied grids."""
+    return sorted(set(float(v) for v in values))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean with validation."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive number")
+    return sum(v * w for v, w in zip(values, weights)) / total

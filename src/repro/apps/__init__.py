@@ -1,0 +1,65 @@
+"""National-security applications of HPC (Chapter 4).
+
+Four mission areas — nuclear weapons, cryptology, advanced conventional
+weapons (ACW) RDT&E, and military operations — with the computational
+taxonomy of Tables 6-13, the named-application catalog whose quoted Mtops
+figures anchor the analysis (Tables 14-15, Figures 1 and 10), a synthetic
+reconstruction of the ~700-project HPCMO requirements database (Figures
+8-9), and the Table 16 foreign-capability assessment.
+"""
+
+from repro.apps.taxonomy import (
+    CTA,
+    CF,
+    MissionArea,
+    Parallelizability,
+    TimingClass,
+    DesignFunction,
+    FunctionalArea,
+    ACW_FUNCTIONAL_AREAS,
+    MILOPS_FUNCTIONAL_AREAS,
+)
+from repro.apps.requirements import (
+    ApplicationRequirement,
+    drifted_min_mtops,
+)
+from repro.apps.catalog import (
+    APPLICATIONS,
+    applications_by_mission,
+    find_application,
+    min_requirements_mtops,
+)
+from repro.apps.hpcmo import (
+    HpcmoProject,
+    HpcmoDatabase,
+    generate_hpcmo,
+)
+from repro.apps.foreign_capability import (
+    CapabilityAssessment,
+    assess_foreign_capability,
+    foreign_capability_table,
+)
+
+__all__ = [
+    "CTA",
+    "CF",
+    "MissionArea",
+    "Parallelizability",
+    "TimingClass",
+    "DesignFunction",
+    "FunctionalArea",
+    "ACW_FUNCTIONAL_AREAS",
+    "MILOPS_FUNCTIONAL_AREAS",
+    "ApplicationRequirement",
+    "drifted_min_mtops",
+    "APPLICATIONS",
+    "applications_by_mission",
+    "find_application",
+    "min_requirements_mtops",
+    "HpcmoProject",
+    "HpcmoDatabase",
+    "generate_hpcmo",
+    "CapabilityAssessment",
+    "assess_foreign_capability",
+    "foreign_capability_table",
+]

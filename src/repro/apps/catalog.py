@@ -1,0 +1,439 @@
+"""Named-application catalog (Chapter 4; Tables 14-15; Figures 1, 10).
+
+Every Mtops figure the paper states is carried with ``quoted=True``; the
+rest are reconstructions consistent with the surrounding text.  The
+catalog's minimums drive the upper-bound analysis: the paper finds "a group
+of research and development applications starting roughly at the level of
+7,000 Mtops, and a group of military operations applications at 10,000
+Mtops".
+"""
+
+from __future__ import annotations
+
+from repro.apps.requirements import ApplicationRequirement
+from repro.apps.taxonomy import (
+    CTA,
+    MissionArea,
+    Parallelizability,
+    TimingClass,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "find_application",
+    "applications_by_mission",
+    "min_requirements_mtops",
+]
+
+_N = MissionArea.NUCLEAR
+_C = MissionArea.CRYPTOLOGY
+_A = MissionArea.ACW
+_M = MissionArea.MILITARY_OPERATIONS
+
+_RT = TimingClass.REAL_TIME
+_OP = TimingClass.OPERATIONAL
+_CAM = TimingClass.CAMPAIGN
+
+_EASY = Parallelizability.EASY
+_LIM = Parallelizability.LIMITED
+_NO = Parallelizability.NO
+
+
+APPLICATIONS: tuple[ApplicationRequirement, ...] = (
+    # ------------------------------ nuclear -------------------------------
+    ApplicationRequirement(
+        name="First-generation nuclear weapon design", mission=_N,
+        functional_area="", ctas=(CTA.CFD, CTA.CSM),
+        min_mtops=0.1, year_first=1945.5, timing=_CAM, parallelizable=_LIM,
+        quoted=False,
+        notes="Designed with mechanical calculators; a PC greatly helps but "
+              "is not required (Ch. 4).",
+    ),
+    ApplicationRequirement(
+        name="Robust nuclear weapons simulation", mission=_N,
+        functional_area="", ctas=(CTA.CFD, CTA.CCM),
+        min_mtops=1_400.0, year_first=1994.0, timing=_OP, parallelizable=_LIM,
+        quoted=True,
+        notes='"Fairly robust" simulations on dedicated 1,400-Mtops '
+              "workstations (Ch. 4).",
+    ),
+    ApplicationRequirement(
+        name="Second-generation weapons design (with test data)", mission=_N,
+        functional_area="", ctas=(CTA.CFD, CTA.CCM, CTA.CSM),
+        min_mtops=1_500.0, year_first=1975.0, timing=_OP, parallelizable=_LIM,
+        quoted=True,
+        notes="Requires >= 1,500 Mtops AND empirical test data; computing "
+              "alone is insufficient (key judgment).",
+    ),
+    ApplicationRequirement(
+        name="Stockpile confidence simulation", mission=_N,
+        functional_area="", ctas=(CTA.CFD, CTA.CCM),
+        min_mtops=10_000.0, year_first=1993.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_CAM, parallelizable=_LIM, memory_bound=True, quoted=False,
+        notes='"Requiring the most powerful computers available" absent '
+              "live testing.",
+    ),
+    # ----------------------------- cryptology -----------------------------
+    ApplicationRequirement(
+        name="Brute-force keysearch (24-hour break)", mission=_C,
+        functional_area="", ctas=(CTA.CRYPTOLOGY,),
+        min_mtops=2_000.0, year_first=1990.0, timing=_OP, parallelizable=_EASY,
+        quoted=False,
+        notes="Tailor-made for parallel processors; aggregate power governs, "
+              "so controls on single boxes cannot bind (key judgment).",
+    ),
+    ApplicationRequirement(
+        name="Narrow-target cryptoanalysis (single cipher system)", mission=_C,
+        functional_area="", ctas=(CTA.CRYPTOLOGY,),
+        min_mtops=200.0, year_first=1992.0, timing=_CAM, parallelizable=_EASY,
+        quoted=False,
+        notes="Limited means, limited goals: clustered workstations suffice.",
+    ),
+    # ------------------------ ACW: aerodynamic design ---------------------
+    ApplicationRequirement(
+        name="F-117A design", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CEA, CTA.CFD),
+        min_mtops=0.8, year_first=1979.0,
+        actual_mtops=189.0, actual_system="IBM 3090/250",
+        timing=_OP, parallelizable=_LIM, quoted=True,
+        notes="A VAX-11/780 (0.8 Mtops) 'would have just met their "
+              "requirements' - the faceting myth debunked (Ch. 4).",
+    ),
+    ApplicationRequirement(
+        name="B-2 / Advanced Technology Bomber design", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CEA, CTA.CFD),
+        min_mtops=189.0, year_first=1981.0,
+        actual_mtops=189.0, actual_system="IBM 3090/250",
+        timing=_OP, parallelizable=_LIM, quoted=True,
+        notes="The 189-Mtops mainframe 'was the smallest computer that "
+              "could have been effectively employed'.",
+    ),
+    ApplicationRequirement(
+        name="F-22 design", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CEA, CTA.CFD, CTA.CSM),
+        min_mtops=700.0, year_first=1991.0,
+        actual_mtops=958.0, actual_system="Cray Y-MP/2",
+        timing=_OP, parallelizable=_LIM, quoted=False,
+        notes="Simultaneous CEA/CFD optimization 'required the most "
+              "powerful computer available for solution within reasonable "
+              "time scales'; high-resolution 3-D simulation gates the "
+              "minimum (Figure 1).",
+    ),
+    ApplicationRequirement(
+        name="JAST candidate aircraft design", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CEA, CTA.CFD),
+        min_mtops=3_485.0, year_first=1994.0,
+        actual_mtops=4_864.0, actual_system="Intel Paragon XP/S (150)",
+        timing=_OP, parallelizable=_LIM, quoted=True,
+        notes="Originally on a 128-node iPSC/860 (3,485 Mtops), 'believed "
+              "to be minimally sufficient'.",
+    ),
+    ApplicationRequirement(
+        name="Stealth cruise missile design", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CEA, CTA.CFD),
+        min_mtops=500.0, year_first=1993.0, timing=_OP, parallelizable=_LIM,
+        quoted=False,
+        notes="Smaller body, fewer calculations; materials and propulsion "
+              "gate the threat, not computing.",
+    ),
+    ApplicationRequirement(
+        name="Flight-test trajectory image analysis (constrained)", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.SIP,),
+        min_mtops=6.0, year_first=1988.0,
+        actual_mtops=3_439.0, actual_system="Cray T3D (64)",
+        timing=_RT, parallelizable=_EASY, quoted=True,
+        notes="Runs 'very constrained' on a 6-Mtops VAX-8600 cluster; the "
+              "T3D buys many more real-time sensor inputs.",
+    ),
+    ApplicationRequirement(
+        name="Store separation simulation (F/A-18)", mission=_A,
+        functional_area="Aerodynamic vehicle design",
+        ctas=(CTA.CFD,),
+        min_mtops=1_153.0, year_first=1994.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_LIM, memory_bound=True, quoted=True,
+        notes="Machines from PowerChallenge (1,153) to C916 (21,125); "
+              "'memory size is often more critical than processor "
+              "performance'.",
+    ),
+    # ------------------------ ACW: submarine design -----------------------
+    ApplicationRequirement(
+        name="Submarine acoustic-signature CSM", mission=_A,
+        functional_area="Submarine design",
+        ctas=(CTA.CEA, CTA.CSM),
+        min_mtops=10_000.0, year_first=1993.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_NO, memory_bound=True, quoted=False,
+        notes="10-20 h/run x 2,000+ runs; 'little chance that a country of "
+              "concern could replicate this program with computers not "
+              "subject to export controls'.",
+    ),
+    ApplicationRequirement(
+        name="Shallow-water turbulent-flow noise modeling", mission=_A,
+        functional_area="Submarine design",
+        ctas=(CTA.CFD,),
+        min_mtops=21_125.0, year_first=1994.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_NO, memory_bound=True, quoted=True,
+        notes="Needs >= 128M 64-bit words; 'the only system currently "
+              "capable ... is a 16-node Cray'; cannot be converted to "
+              "parallel systems.",
+    ),
+    # ---------------------- ACW: surveillance / sensors -------------------
+    ApplicationRequirement(
+        name="ATR template development", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.SIP, CTA.CEA),
+        min_mtops=24_000.0, year_first=1994.0,
+        actual_mtops=24_000.0,
+        timing=_CAM, parallelizable=_EASY, quoted=True,
+        notes="Thousands of hours on 24,000+ Mtops systems; convertible to "
+              "very large workstation clusters.",
+    ),
+    ApplicationRequirement(
+        name="Acoustic sensor R&D and ocean modeling", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.CEA, CTA.CWO),
+        min_mtops=20_000.0, year_first=1993.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_NO, memory_bound=True, quoted=True,
+        notes="'Cannot be executed on computers less powerful than 20,000 "
+              "Mtops with significant high-speed memory' (key judgment).",
+    ),
+    ApplicationRequirement(
+        name="Shallow-water bottom-contour acoustic modeling", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.CEA, CTA.CWO),
+        min_mtops=8_000.0, year_first=1994.5,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_NO, memory_bound=True, quoted=True,
+        notes="'Absolute minimum of 8,000-9,600 Mtops of processing power "
+              "to execute'.",
+    ),
+    ApplicationRequirement(
+        name="Non-acoustic ASW sensor development", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.CEA, CTA.SIP),
+        min_mtops=2_000.0, year_first=1994.0,
+        actual_mtops=4_600.0,
+        timing=_OP, parallelizable=_LIM, quoted=True,
+        notes="64-128-node Paragon (2,000-4,600 Mtops), overnight tasks; "
+              "cluster conversion costs two weeks and accuracy.  Deployed "
+              "suite needs only ~500 Mtops.",
+    ),
+    ApplicationRequirement(
+        name="TOPSAR near-real-time digital topography", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.SIP,),
+        min_mtops=8_000.0, year_first=1995.0,
+        actual_mtops=8_000.0,
+        timing=_RT, parallelizable=_LIM, quoted=True,
+        notes="'A minimum of 8,000 Mtops and possibly as much as 24,000' "
+              "for combat-support timelines.",
+    ),
+    ApplicationRequirement(
+        name="Cartography (digital map production)", mission=_A,
+        functional_area="Surveillance and target detection and recognition",
+        ctas=(CTA.SIP,),
+        min_mtops=200.0, year_first=1992.0, timing=_CAM, parallelizable=_EASY,
+        quoted=False,
+        notes="'Generally not time-constrained' - economics picks the "
+              "machine, not capability.",
+    ),
+    # -------------------- ACW: survivability / lethality ------------------
+    ApplicationRequirement(
+        name="Armor/anti-armor penetration modeling", mission=_A,
+        functional_area="Survivability, protective structures, and weapons lethality",
+        ctas=(CTA.CSM,),
+        min_mtops=1_098.0, year_first=1991.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_CAM, parallelizable=_LIM, quoted=True,
+        notes="200 h/run on a 1,098-Mtops Cray-2-class machine; full "
+              "optimization up to 14,000 h per armor candidate.",
+    ),
+    ApplicationRequirement(
+        name="Deep-penetration weapon design", mission=_A,
+        functional_area="Survivability, protective structures, and weapons lethality",
+        ctas=(CTA.CSM,),
+        min_mtops=10_000.0, year_first=1994.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_OP, parallelizable=_LIM, memory_bound=True, quoted=False,
+        notes="Multiple 3-D nonlinear finite-element iterations; layered "
+              "strata coupling like hybrid armor.",
+    ),
+    ApplicationRequirement(
+        name="Nuclear blast protective-structure simulation", mission=_A,
+        functional_area="Survivability, protective structures, and weapons lethality",
+        ctas=(CTA.CFD, CTA.CSM),
+        min_mtops=10_056.0, year_first=1994.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_CAM, parallelizable=_LIM, quoted=True,
+        notes="200-600 h per 2-/3-D blast model on the C916; being adapted "
+              "to the T3D (10,056) and CM-5 (10,457).",
+    ),
+    ApplicationRequirement(
+        name="Smart Munitions Test Suite", mission=_A,
+        functional_area="Survivability, protective structures, and weapons lethality",
+        ctas=(CTA.SIP, CTA.FMS),
+        min_mtops=5_194.0, year_first=1995.0,
+        actual_mtops=5_194.0, actual_system="Thinking Machines CM-5 (128)",
+        timing=_RT, parallelizable=_LIM, quoted=True,
+        notes="128-node CM-5 partition; upgrading to 14,410 Mtops for "
+              "added realism.  70-MHz double-wide HIPPI data paths.",
+    ),
+    # -------------------------- military operations -----------------------
+    ApplicationRequirement(
+        name="SIRST development (ASCM defense algorithms)", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.SIP,),
+        min_mtops=7_400.0, year_first=1995.0,
+        actual_mtops=8_980.0, actual_system="Intel Paragon XP/S (328)",
+        timing=_RT, parallelizable=_LIM, memory_bound=True, quoted=True,
+        notes="Deployed system ~13,000 Mtops for real-time; a ~7,400-Mtops "
+              "Mercury 'might be minimally sufficient'.",
+    ),
+    ApplicationRequirement(
+        name="Visible-light sensor processing", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.SIP,),
+        min_mtops=24_000.0, year_first=1995.0,
+        actual_mtops=24_000.0,
+        timing=_RT, parallelizable=_NO, quoted=True,
+        notes="Deployed processing 'will require similar computing power' "
+              "to the 24,000-Mtops development machine, within "
+              "size/weight/power limits.",
+    ),
+    ApplicationRequirement(
+        name="Integrated battle management / C4I", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.FMS, CTA.SIP),
+        min_mtops=100.0, year_first=1994.0,
+        actual_mtops=1_000.0,
+        timing=_RT, parallelizable=_EASY, quoted=True,
+        notes="Scalable across distributed 100-1,000-Mtops SP2/"
+              "PowerChallenge nodes; communications, not CTP, is the "
+              "critical element (Ch. 6's metric problem).",
+    ),
+    ApplicationRequirement(
+        name="F-22 avionics suite", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.FMS, CTA.SIP),
+        min_mtops=9_000.0, year_first=1995.0,
+        actual_mtops=9_000.0,
+        timing=_RT, parallelizable=_NO, quoted=True,
+        notes="1.6M lines of code on a pair of ~9,000-Mtops embedded "
+              "computers; size/weight/power-constrained.",
+    ),
+    ApplicationRequirement(
+        name="ALERT theater missile warning", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.SIP, CTA.FMS),
+        min_mtops=1_700.0, year_first=1994.0,
+        actual_mtops=1_700.0, actual_system="SGI Onyx server (12)",
+        timing=_RT, parallelizable=_EASY, quoted=True,
+        notes="Three Onyx servers (1,700 Mtops) + 14 networked Onyx "
+              "workstations (300 Mtops).",
+    ),
+    ApplicationRequirement(
+        name="Theater communications switching", mission=_M,
+        functional_area="C4I, target engagement, and battle management",
+        ctas=(CTA.FMS,),
+        min_mtops=20.8, year_first=1990.6,
+        actual_mtops=53.3, actual_system="Sun SPARCstation 10",
+        timing=_RT, parallelizable=_EASY, quoted=True,
+        notes="Desert Storm ran on 20.8-53.3-Mtops SPARCstations; the 1991 "
+              "fix was software, not hardware.",
+    ),
+    ApplicationRequirement(
+        name="Information warfare operations", mission=_M,
+        functional_area="Information warfare",
+        ctas=(CTA.FMS, CTA.CRYPTOLOGY),
+        min_mtops=100.0, year_first=1994.0, timing=_OP, parallelizable=_EASY,
+        quoted=False,
+        notes="'A large number of efficiently networked workstations will "
+              "prove more useful ... than a few HPC installations'.",
+    ),
+    ApplicationRequirement(
+        name="Real-time battlefield simulation (decision support)", mission=_M,
+        functional_area="Training and battlefield simulation",
+        ctas=(CTA.FMS,),
+        min_mtops=8_000.0, year_first=1995.0,
+        actual_mtops=8_000.0,
+        timing=_RT, parallelizable=_LIM, quoted=True,
+        notes="Simulations execute on remote MPPs 'in excess of 8,000 "
+              "Mtops'; fielded versions well above 1,000.",
+    ),
+    ApplicationRequirement(
+        name="Global weather model (120 km)", mission=_M,
+        functional_area="Meteorology",
+        ctas=(CTA.CWO,),
+        min_mtops=200.0, year_first=1991.0, timing=_OP, parallelizable=_LIM,
+        quoted=True,
+        notes="Runs on a 200-Mtops-class workstation.",
+    ),
+    ApplicationRequirement(
+        name="Tactical weather prediction (45 km)", mission=_M,
+        functional_area="Meteorology",
+        ctas=(CTA.CWO,),
+        min_mtops=10_000.0, year_first=1993.0,
+        actual_mtops=10_625.0, actual_system="Cray C90/8",
+        timing=_RT, parallelizable=_NO, quoted=True,
+        notes="'Require computers rated in excess of 10,000'; the C90/8 is "
+              "'barely adequate'; does not parallelize well.",
+    ),
+    ApplicationRequirement(
+        name="Littoral chem/bio defense forecasting (1 km, 3 h)", mission=_M,
+        functional_area="Meteorology",
+        ctas=(CTA.CWO,),
+        min_mtops=21_125.0, year_first=1995.0,
+        actual_mtops=21_125.0, actual_system="Cray C916",
+        timing=_RT, parallelizable=_NO, quoted=True,
+        notes="'This system requires a Cray C916'.",
+    ),
+    ApplicationRequirement(
+        name="Routine 10-day / 5-km forecasting", mission=_M,
+        functional_area="Meteorology",
+        ctas=(CTA.CWO,),
+        min_mtops=100_000.0, year_first=1996.0, timing=_OP, parallelizable=_NO,
+        quoted=True,
+        notes="Needs the 64-node C90-class upgrade ('well over 100,000 "
+              "Mtops') - a stalactite above everything uncontrollable.",
+    ),
+)
+
+
+_BY_NAME = {a.name: a for a in APPLICATIONS}
+assert len(_BY_NAME) == len(APPLICATIONS), "duplicate application names"
+
+
+def find_application(name: str) -> ApplicationRequirement:
+    """Look up an application by exact name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def applications_by_mission(mission: MissionArea) -> list[ApplicationRequirement]:
+    """Applications of one mission area, by year first performed."""
+    return sorted(
+        (a for a in APPLICATIONS if a.mission is mission),
+        key=lambda a: (a.year_first, a.name),
+    )
+
+
+def min_requirements_mtops(year: float | None = None) -> list[float]:
+    """All minimum requirements, optionally drifted to ``year``
+    (the Figure 10 population)."""
+    if year is None:
+        return sorted(a.min_mtops for a in APPLICATIONS)
+    return sorted(a.min_at(year) for a in APPLICATIONS)

@@ -1,0 +1,137 @@
+"""Foreign capability in selected applications (Table 16).
+
+For each selected application and country of concern, the assessment asks:
+
+1. **Computing** — can the country obtain sufficient computing for the
+   application's (drifted) minimum requirement, either indigenously or by
+   acquiring an uncontrollable Western system?
+2. **Other gates** — the paper repeatedly notes that computing is necessary
+   but not sufficient: composite materials and machine tools gate stealth
+   airframes and quiet submarines, nuclear test data gates advanced weapon
+   design, classified codes gate acoustic processing.
+
+An application is *enabled* only when the computing is available and no
+other gate binds.  This operationalizes Chapter 4's threat discussions and
+the executive summary's conjecture that most applications are already
+possible at uncontrollable levels "at least from the standpoint of the
+necessary computing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_year
+from repro.apps.catalog import APPLICATIONS, find_application
+from repro.apps.requirements import ApplicationRequirement
+from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.machines.foreign import ForeignCountry, max_indigenous_mtops
+
+__all__ = [
+    "CapabilityAssessment",
+    "OTHER_GATES",
+    "assess_foreign_capability",
+    "foreign_capability_table",
+    "TABLE16_APPLICATIONS",
+]
+
+#: Non-computational gates by application name (Chapter 4's threat text).
+OTHER_GATES: dict[str, tuple[str, ...]] = {
+    "Second-generation weapons design (with test data)": ("nuclear test data",),
+    "Stockpile confidence simulation": ("nuclear test data",),
+    "F-22 design": ("composite materials", "propulsion"),
+    "JAST candidate aircraft design": ("composite materials", "propulsion"),
+    "Stealth cruise missile design": ("composite materials", "guidance"),
+    "Submarine acoustic-signature CSM": ("advanced materials",
+                                         "numerically controlled machine tools"),
+    "Shallow-water turbulent-flow noise modeling": ("advanced materials",
+                                                    "numerically controlled machine tools"),
+    "Acoustic sensor R&D and ocean modeling": ("classified U.S. processing codes",),
+    "Shallow-water bottom-contour acoustic modeling": ("ocean survey data",),
+}
+
+#: The applications Table 16 assesses (a spread across mission areas).
+TABLE16_APPLICATIONS: tuple[str, ...] = (
+    "First-generation nuclear weapon design",
+    "Second-generation weapons design (with test data)",
+    "Brute-force keysearch (24-hour break)",
+    "F-117A design",
+    "F-22 design",
+    "JAST candidate aircraft design",
+    "Submarine acoustic-signature CSM",
+    "Shallow-water bottom-contour acoustic modeling",
+    "ATR template development",
+    "Integrated battle management / C4I",
+    "Tactical weather prediction (45 km)",
+    "SIRST development (ASCM defense algorithms)",
+)
+
+
+@dataclass(frozen=True)
+class CapabilityAssessment:
+    """One (application, country, year) cell of Table 16."""
+
+    application: ApplicationRequirement
+    country: ForeignCountry
+    year: float
+    required_mtops: float
+    indigenous_mtops: float
+    uncontrollable_mtops: float
+    other_gates: tuple[str, ...]
+
+    @property
+    def computing_available(self) -> bool:
+        return self.best_available_mtops >= self.required_mtops
+
+    @property
+    def best_available_mtops(self) -> float:
+        return max(self.indigenous_mtops, self.uncontrollable_mtops)
+
+    @property
+    def computing_source(self) -> str | None:
+        """Where sufficient computing would come from, if anywhere."""
+        if not self.computing_available:
+            return None
+        if self.indigenous_mtops >= self.required_mtops:
+            return "indigenous"
+        return "uncontrollable Western"
+
+    @property
+    def enabled(self) -> bool:
+        """True when computing is available and no other gate binds."""
+        return self.computing_available and not self.other_gates
+
+
+def assess_foreign_capability(
+    application_name: str,
+    country: ForeignCountry,
+    year: float = 1995.5,
+) -> CapabilityAssessment:
+    """Assess one Table 16 cell."""
+    check_year(year, "year")
+    app = find_application(application_name)
+    return CapabilityAssessment(
+        application=app,
+        country=country,
+        year=year,
+        required_mtops=app.min_at(year),
+        indigenous_mtops=max_indigenous_mtops(country, year),
+        uncontrollable_mtops=lower_bound_uncontrollable(year).mtops,
+        other_gates=OTHER_GATES.get(application_name, ()),
+    )
+
+
+def foreign_capability_table(
+    year: float = 1995.5,
+    applications: tuple[str, ...] = TABLE16_APPLICATIONS,
+) -> list[CapabilityAssessment]:
+    """The full Table 16 grid: every selected application x country."""
+    known = {a.name for a in APPLICATIONS}
+    unknown = [n for n in applications if n not in known]
+    if unknown:
+        raise KeyError(f"unknown applications: {unknown}")
+    return [
+        assess_foreign_capability(name, country, year)
+        for name in applications
+        for country in ForeignCountry
+    ]

@@ -1,0 +1,242 @@
+"""Synthetic HPCMO requirements database (Figures 8-10).
+
+The study reviewed ~700 DoD HPC projects from the High-Performance
+Computing Modernization Office databases.  Those records are not public;
+this generator produces a population whose *marginals* match what the paper
+reports, which is all the downstream analysis consumes:
+
+* most projects run "well below the uncontrollability level; many are lower
+  than current export control thresholds" (Figure 8's mass sits under
+  1,500 Mtops);
+* "more than two-thirds of the applications ... can be carried out using
+  computers below the threshold of controllability" (our mixture puts
+  >90% below ~4,100 Mtops);
+* "of those remaining, about five percent require ... 7,000-8,000 Mtops";
+* "a smaller but still significant number ... at least 10,000 Mtops";
+* projected 1996 DT&E requirements roughly double current usage
+  (Figure 9's right-shift), with a migrating-to-parallel contingent.
+
+The mixture is three lognormal components: a volume workstation-class
+population, a mid-range MPP/SMP population, and a small high-end vector
+population.  All sampling is vectorized and seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_year
+from repro.apps.taxonomy import CF, CTA, Parallelizability
+
+__all__ = ["HpcmoProject", "HpcmoDatabase", "MigrationSummary",
+           "generate_hpcmo", "migration_summary"]
+
+#: Mixture weights / medians (Mtops) / sigmas (log-space) for current usage.
+_MIX_WEIGHTS = np.array([0.70, 0.25, 0.05])
+_MIX_MEDIANS = np.array([150.0, 1_200.0, 9_000.0])
+_MIX_SIGMAS = np.array([1.10, 0.90, 0.55])
+
+#: S&T CTAs weighted by the paper's emphasis (CFD and CSM are "the most
+#: frequently encountered" and "most computationally stressful").
+_CTA_WEIGHTS: tuple[tuple[CTA, float], ...] = (
+    (CTA.CFD, 0.22), (CTA.CSM, 0.18), (CTA.CEA, 0.12), (CTA.SIP, 0.14),
+    (CTA.FMS, 0.10), (CTA.CWO, 0.08), (CTA.CCM, 0.08), (CTA.CEN, 0.05),
+    (CTA.EQM, 0.03),
+)
+_CF_WEIGHTS: tuple[tuple[CF, float], ...] = (
+    (CF.TA, 0.35), (CF.RTMS, 0.30), (CF.RTDA, 0.22), (CF.DBA, 0.13),
+)
+_SERVICES = ("Army", "Navy", "Air Force", "Defense agencies")
+_SERVICE_WEIGHTS = np.array([0.27, 0.30, 0.28, 0.15])
+
+
+@dataclass(frozen=True)
+class HpcmoProject:
+    """One synthetic project record.
+
+    ``current_mtops`` is the machine the project runs on today (the Figure
+    8/9 axis); ``projected_mtops`` its stated 1996 requirement;
+    ``min_mtops`` the estimated least-capable sufficient configuration
+    (``min <= current`` by construction, mirroring how practitioners
+    answered the study's minimum-configuration question).
+    """
+
+    project_id: int
+    kind: str                      # "S&T" or "DT&E"
+    discipline: CTA | CF
+    service: str
+    current_mtops: float
+    projected_mtops: float
+    min_mtops: float
+    parallelizable: Parallelizability
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("S&T", "DT&E"):
+            raise ValueError(f"kind must be 'S&T' or 'DT&E', got {self.kind!r}")
+        if not (0 < self.min_mtops <= self.current_mtops):
+            raise ValueError("need 0 < min_mtops <= current_mtops")
+        if self.projected_mtops < self.current_mtops * 0.999:
+            raise ValueError("projected requirement cannot shrink (Ch. 2)")
+
+
+@dataclass(frozen=True)
+class HpcmoDatabase:
+    """The synthetic database plus its summary accessors."""
+
+    year: float
+    projects: tuple[HpcmoProject, ...]
+
+    def of_kind(self, kind: str) -> list[HpcmoProject]:
+        return [p for p in self.projects if p.kind == kind]
+
+    def current_mtops(self, kind: str | None = None) -> np.ndarray:
+        pool = self.projects if kind is None else self.of_kind(kind)
+        return np.array([p.current_mtops for p in pool])
+
+    def projected_mtops(self, kind: str | None = None) -> np.ndarray:
+        pool = self.projects if kind is None else self.of_kind(kind)
+        return np.array([p.projected_mtops for p in pool])
+
+    def min_mtops(self, kind: str | None = None) -> np.ndarray:
+        pool = self.projects if kind is None else self.of_kind(kind)
+        return np.array([p.min_mtops for p in pool])
+
+    def histogram(
+        self, values: np.ndarray, bin_edges: Sequence[float]
+    ) -> np.ndarray:
+        """Counts in performance bins (the Figures 8-10 bars)."""
+        return np.histogram(values, bins=np.asarray(bin_edges, dtype=float))[0]
+
+    def fraction_below(self, mtops: float, which: str = "min") -> float:
+        """Fraction of projects whose requirement sits below ``mtops``."""
+        values = {"min": self.min_mtops, "current": self.current_mtops,
+                  "projected": self.projected_mtops}[which]()
+        return float(np.mean(values < mtops))
+
+
+@dataclass(frozen=True)
+class MigrationSummary:
+    """The parallelizing-migration picture of Chapter 4.
+
+    "A large segment of DoD high-performance computing is migrating to
+    small computers through the process of code conversion and
+    'parallelizing'" — but a hard core cannot follow.
+    """
+
+    total_projects: int
+    convertible_now: int          # EASY, any requirement level
+    convertible_with_cost: int    # LIMITED
+    stranded: int                 # NO: stays on big iron
+    #: Projects above a reference threshold whose parallelizability lets
+    #: them escape the controlled tier entirely.
+    escapees_above_threshold: int
+
+    @property
+    def migrating_fraction(self) -> float:
+        return (self.convertible_now + self.convertible_with_cost) \
+            / self.total_projects
+
+
+def migration_summary(
+    db: "HpcmoDatabase",
+    threshold_mtops: float = 1_500.0,
+) -> MigrationSummary:
+    """Summarize the cluster-migration potential of a project population."""
+    if threshold_mtops <= 0:
+        raise ValueError("threshold_mtops must be positive")
+    easy = sum(1 for p in db.projects
+               if p.parallelizable is Parallelizability.EASY)
+    limited = sum(1 for p in db.projects
+                  if p.parallelizable is Parallelizability.LIMITED)
+    stranded = sum(1 for p in db.projects
+                   if p.parallelizable is Parallelizability.NO)
+    escapees = sum(
+        1 for p in db.projects
+        if p.min_mtops >= threshold_mtops
+        and p.parallelizable is Parallelizability.EASY
+    )
+    return MigrationSummary(
+        total_projects=len(db.projects),
+        convertible_now=easy,
+        convertible_with_cost=limited,
+        stranded=stranded,
+        escapees_above_threshold=escapees,
+    )
+
+
+def _sample_mixture(rng: np.random.Generator, n: int) -> np.ndarray:
+    comp = rng.choice(len(_MIX_WEIGHTS), size=n, p=_MIX_WEIGHTS)
+    return np.exp(
+        np.log(_MIX_MEDIANS[comp]) + _MIX_SIGMAS[comp] * rng.normal(size=n)
+    )
+
+
+def generate_hpcmo(
+    seed: int = 0,
+    n_projects: int = 700,
+    year: float = 1995.0,
+    st_fraction: float = 0.6,
+) -> HpcmoDatabase:
+    """Generate the synthetic database (deterministic per seed).
+
+    ``st_fraction`` splits the population between S&T and DT&E projects.
+    """
+    check_year(year, "year")
+    if n_projects < 1:
+        raise ValueError("n_projects must be >= 1")
+    if not 0.0 < st_fraction < 1.0:
+        raise ValueError("st_fraction must be in (0, 1)")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_projects]))
+
+    n_st = int(round(n_projects * st_fraction))
+    kinds = np.array(["S&T"] * n_st + ["DT&E"] * (n_projects - n_st))
+
+    current = np.clip(_sample_mixture(rng, n_projects), 0.5, 120_000.0)
+    # Minimum <= current: practitioners' answers clustered at a modest
+    # fraction of what they run on (today's machine "almost always seems
+    # barely functional", so the admitted minimum is rarely tiny).
+    min_factor = rng.uniform(0.25, 0.95, size=n_projects)
+    minimum = current * min_factor
+    # Projected 1996 requirements grow ~2x on median, heavier for DT&E
+    # (Figure 9 shows the projected distribution shifted right).
+    growth = np.exp(rng.normal(np.log(1.8), 0.45, size=n_projects))
+    growth = np.maximum(growth, 1.0)
+    growth[kinds == "DT&E"] *= 1.15
+    projected = current * growth
+
+    ctas = [c for c, _ in _CTA_WEIGHTS]
+    cta_w = np.array([w for _, w in _CTA_WEIGHTS])
+    cfs = [c for c, _ in _CF_WEIGHTS]
+    cf_w = np.array([w for _, w in _CF_WEIGHTS])
+    service_idx = rng.choice(len(_SERVICES), size=n_projects,
+                             p=_SERVICE_WEIGHTS / _SERVICE_WEIGHTS.sum())
+
+    # "A large segment of DoD high-performance computing is migrating to
+    # small computers through ... parallelizing" — but some problems (e.g.
+    # tactical weather) do not parallelize well.
+    par_pool = np.array([Parallelizability.EASY, Parallelizability.LIMITED,
+                         Parallelizability.NO])
+    par_idx = rng.choice(3, size=n_projects, p=[0.45, 0.35, 0.20])
+
+    projects = []
+    for i in range(n_projects):
+        if kinds[i] == "S&T":
+            discipline: CTA | CF = ctas[rng.choice(len(ctas), p=cta_w / cta_w.sum())]
+        else:
+            discipline = cfs[rng.choice(len(cfs), p=cf_w / cf_w.sum())]
+        projects.append(
+            HpcmoProject(
+                project_id=i + 1,
+                kind=str(kinds[i]),
+                discipline=discipline,
+                service=_SERVICES[service_idx[i]],
+                current_mtops=float(current[i]),
+                projected_mtops=float(projected[i]),
+                min_mtops=float(minimum[i]),
+                parallelizable=par_pool[par_idx[i]],
+            )
+        )
+    return HpcmoDatabase(year=year, projects=tuple(projects))

@@ -1,0 +1,135 @@
+"""Application requirement records and the downward-drift model.
+
+An :class:`ApplicationRequirement` is one "stalactite" of Chapter 2: an
+application with a *minimum* computational requirement (below which it
+cannot be performed in a useful fashion), the system *actually* used, and
+the year it was first successfully performed.
+
+Chapter 2's drift rule: "Over time, the minimum requirements for a given
+application ... tend to drift downward.  As algorithms, models, and systems
+software improve, the number of computer cycles and amount of memory needed
+to achieve the same results declines.  But for a given problem and problem
+size, they do not increase."  We model that as a bounded exponential decay
+from the year of first performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction, check_positive, check_year
+from repro.apps.taxonomy import (
+    CTA,
+    MissionArea,
+    Parallelizability,
+    TimingClass,
+)
+
+__all__ = [
+    "ApplicationRequirement",
+    "DRIFT_RATE_PER_YEAR",
+    "DRIFT_FLOOR_FRACTION",
+    "drifted_min_mtops",
+]
+
+#: Default annual improvement from better algorithms/models/software.
+DRIFT_RATE_PER_YEAR = 0.08
+#: Software alone cannot reduce a requirement below this fraction of the
+#: original minimum — the problem still has to be computed.
+DRIFT_FLOOR_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class ApplicationRequirement:
+    """One application of national-security concern.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"F-22 design"``.
+    mission:
+        One of the four Chapter 4 mission areas.
+    functional_area:
+        The Table 8/13 functional area the application belongs to
+        (empty for nuclear/cryptologic applications, which predate that
+        taxonomy).
+    ctas:
+        Computational technology areas exercised.
+    min_mtops:
+        Minimum computational requirement at ``year_first`` — the value
+        practitioners gave when asked "what is the least computational
+        power that would be sufficient?"
+    actual_mtops:
+        CTP of the system actually used (``None`` when the paper gives no
+        figure).
+    actual_system:
+        Catalog key of the machine actually used, when known.
+    year_first:
+        Year the application was first successfully performed.
+    timing:
+        Time-to-solution class.
+    parallelizable:
+        Cluster-conversion feasibility.
+    memory_bound:
+        True for applications the paper flags as limited by large
+        closely-coupled memory rather than by operation rate (these are
+        the ones CTP mis-measures; Chapter 6).
+    quoted:
+        True when ``min_mtops`` is a figure the paper states, False when
+        it is our reconstruction.
+    """
+
+    name: str
+    mission: MissionArea
+    functional_area: str
+    ctas: tuple[CTA, ...]
+    min_mtops: float
+    year_first: float
+    actual_mtops: float | None = None
+    actual_system: str | None = None
+    timing: TimingClass = TimingClass.OPERATIONAL
+    parallelizable: Parallelizability = Parallelizability.LIMITED
+    memory_bound: bool = False
+    quoted: bool = False
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.min_mtops, f"{self.name}: min_mtops")
+        check_year(self.year_first, f"{self.name}: year_first")
+        if not self.ctas:
+            raise ValueError(f"{self.name}: at least one CTA required")
+        if self.actual_mtops is not None:
+            check_positive(self.actual_mtops, f"{self.name}: actual_mtops")
+            if self.actual_mtops < self.min_mtops * (1 - 1e-9):
+                raise ValueError(
+                    f"{self.name}: actual system ({self.actual_mtops}) below "
+                    f"the stated minimum ({self.min_mtops})"
+                )
+
+    def min_at(self, year: float, rate: float = DRIFT_RATE_PER_YEAR,
+               floor: float = DRIFT_FLOOR_FRACTION) -> float:
+        """Minimum requirement at ``year`` after downward drift."""
+        return drifted_min_mtops(self, year, rate, floor)
+
+
+def drifted_min_mtops(
+    app: ApplicationRequirement,
+    year: float,
+    rate: float = DRIFT_RATE_PER_YEAR,
+    floor: float = DRIFT_FLOOR_FRACTION,
+) -> float:
+    """Minimum requirement of ``app`` at ``year``.
+
+    Before ``year_first`` the requirement is the original minimum (the
+    problem existed; nobody had yet solved it cheaper).  After it, the
+    requirement decays by ``rate`` per year down to ``floor`` times the
+    original.  Monotone non-increasing in ``year``, never zero.
+    """
+    check_year(year, "year")
+    rate = check_fraction(rate, "rate")
+    floor = check_fraction(floor, "floor")
+    if floor == 0.0:
+        raise ValueError("floor must be positive: requirements never vanish")
+    elapsed = max(0.0, year - app.year_first)
+    factor = max((1.0 - rate) ** elapsed, floor)
+    return app.min_mtops * factor

@@ -1,0 +1,198 @@
+"""Computational taxonomy of national-security HPC (Tables 6-13).
+
+Table 6's nine Computational Technology Areas (CTAs) cover science and
+technology projects; Table 7's four Computational Functions (CFs) cover
+developmental test and evaluation; cryptology stands alone as a fourteenth
+discipline.  Tables 8-13 organize the mission side: functional areas of
+advanced-conventional-weapons RDT&E and of military operations, each with
+its design/evaluation functions mapped to CTAs (Tables 9-12).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CTA",
+    "CF",
+    "MissionArea",
+    "TimingClass",
+    "Parallelizability",
+    "DesignFunction",
+    "FunctionalArea",
+    "ACW_FUNCTIONAL_AREAS",
+    "MILOPS_FUNCTIONAL_AREAS",
+]
+
+
+class CTA(enum.Enum):
+    """Computational Technology Areas for S&T projects (Table 6)."""
+
+    CCM = "Computational Chemistry and Materials Science"
+    CEA = "Computational Electromagnetics and Acoustics"
+    CEN = "Computational Electronics and Nanoelectronics"
+    CFD = "Computational Fluid Dynamics"
+    CSM = "Computational Structural Mechanics"
+    CWO = "Climate, Weather, and Ocean Modeling"
+    EQM = "Environmental Quality Monitoring and Simulation"
+    FMS = "Forces Modeling and Simulation / C4I"
+    SIP = "Signal and Image Processing"
+    #: "Cryptology represents a fourteenth distinct computational area."
+    CRYPTOLOGY = "Cryptology"
+
+
+class CF(enum.Enum):
+    """Computational Functions for DT&E projects (Table 7)."""
+
+    DBA = "Database Activities"
+    RTDA = "Real-Time Data Acquisition"
+    RTMS = "Real-Time Modeling and Simulation"
+    TA = "Test Analysis"
+
+
+class MissionArea(enum.Enum):
+    """The four broad application groups of Chapter 4."""
+
+    NUCLEAR = "Nuclear weapons programs"
+    CRYPTOLOGY = "Cryptology"
+    ACW = "Advanced conventional weapons programs"
+    MILITARY_OPERATIONS = "Military operations"
+
+
+class TimingClass(enum.Enum):
+    """Time-to-solution constraint class (Chapter 2, "timing
+    considerations vary greatly among application groups")."""
+
+    #: Solutions in fractions of a second to minutes (sensors, C4I).
+    REAL_TIME = "real-time"
+    #: Overnight-class turnaround keeps engineers iterating (design work).
+    OPERATIONAL = "operational"
+    #: Weeks-long runs are tolerable (template generation, cartography).
+    CAMPAIGN = "campaign"
+
+
+class Parallelizability(enum.Enum):
+    """How readily an application maps onto clusters of smaller machines
+    (the Chapter 3/4 cluster-conversion question)."""
+
+    #: Embarrassingly parallel or replicated-problem (crypto keysearch,
+    #: template generation, flight-test processing).
+    EASY = "easy"
+    #: Convertible at real cost in time or accuracy (NAASW development).
+    LIMITED = "limited"
+    #: Tightly coupled, memory-bound, or physically constrained
+    #: (turbulent-flow CSM, tactical weather, embedded sensors).
+    NO = "no"
+
+
+@dataclass(frozen=True)
+class DesignFunction:
+    """One design/evaluation function within a functional area
+    (a row of Tables 9-12)."""
+
+    name: str
+    ctas: tuple[CTA, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ctas:
+            raise ValueError(f"{self.name}: at least one CTA required")
+
+
+@dataclass(frozen=True)
+class FunctionalArea:
+    """A mission functional area (a row of Table 8 or Table 13)."""
+
+    name: str
+    mission: MissionArea
+    functions: tuple[DesignFunction, ...]
+
+
+#: Table 8 (ACW functional areas) with the function rows of Tables 9-12.
+ACW_FUNCTIONAL_AREAS: tuple[FunctionalArea, ...] = (
+    FunctionalArea(
+        name="Aerodynamic vehicle design",
+        mission=MissionArea.ACW,
+        functions=(
+            DesignFunction("Airfoils (wings) and airframe", (CTA.CFD,)),
+            DesignFunction("Airframe structure", (CTA.CSM,)),
+            DesignFunction("Signature reduction", (CTA.CFD, CTA.CEA)),
+            DesignFunction("Engines (turbines)", (CTA.CFD,)),
+            DesignFunction("Rocket motors", (CTA.CCM,)),
+        ),
+    ),
+    FunctionalArea(
+        name="Submarine design",
+        mission=MissionArea.ACW,
+        functions=(
+            DesignFunction("Acoustic signature reduction", (CTA.CEA,)),
+            DesignFunction("Hull structure and survivability", (CTA.CSM,)),
+            DesignFunction("Hydrodynamics", (CTA.CFD,)),
+            DesignFunction("Turbulent-flow radiated noise", (CTA.CFD,)),
+            DesignFunction("Subsurface weapons", (CTA.CFD, CTA.CSM)),
+        ),
+    ),
+    FunctionalArea(
+        name="Surveillance and target detection and recognition",
+        mission=MissionArea.ACW,
+        functions=(
+            DesignFunction("Automatic target recognition templates", (CTA.SIP,)),
+            DesignFunction("Radar signature prediction", (CTA.CEA,)),
+            DesignFunction("Acoustic sensor systems", (CTA.CEA, CTA.CWO)),
+            DesignFunction("Non-acoustic ASW sensors", (CTA.CEA, CTA.SIP)),
+            DesignFunction("Cartography and digital topography", (CTA.SIP,)),
+        ),
+    ),
+    FunctionalArea(
+        name="Survivability, protective structures, and weapons lethality",
+        mission=MissionArea.ACW,
+        functions=(
+            DesignFunction("Warhead/structure interaction", (CTA.CSM,)),
+            DesignFunction("Armor and armor-penetration", (CTA.CSM,)),
+            DesignFunction("Deep penetration weapons", (CTA.CSM,)),
+            DesignFunction("Nuclear blast effects on structures", (CTA.CFD, CTA.CSM)),
+            DesignFunction("Weapons-effects test simulation", (CTA.SIP, CTA.FMS)),
+        ),
+    ),
+)
+
+
+#: Table 13 (military-operations functional areas).
+MILOPS_FUNCTIONAL_AREAS: tuple[FunctionalArea, ...] = (
+    FunctionalArea(
+        name="C4I, target engagement, and battle management",
+        mission=MissionArea.MILITARY_OPERATIONS,
+        functions=(
+            DesignFunction("Sensor data fusion and decision support", (CTA.FMS, CTA.SIP)),
+            DesignFunction("Shipboard IR search and track (ASCM defense)", (CTA.SIP,)),
+            DesignFunction("Theater missile warning (ALERT)", (CTA.SIP, CTA.FMS)),
+            DesignFunction("Combat direction and avionics", (CTA.FMS,)),
+            DesignFunction("Communications switching", (CTA.FMS,)),
+        ),
+    ),
+    FunctionalArea(
+        name="Information warfare",
+        mission=MissionArea.MILITARY_OPERATIONS,
+        functions=(
+            DesignFunction("Friendly-data processing and protection", (CTA.FMS,)),
+            DesignFunction("Adversary data-processing manipulation", (CTA.FMS, CTA.CRYPTOLOGY)),
+        ),
+    ),
+    FunctionalArea(
+        name="Meteorology",
+        mission=MissionArea.MILITARY_OPERATIONS,
+        functions=(
+            DesignFunction("Global numerical weather prediction", (CTA.CWO,)),
+            DesignFunction("Tactical fine-grained forecasting", (CTA.CWO,)),
+            DesignFunction("Littoral air-ocean interaction", (CTA.CWO,)),
+        ),
+    ),
+    FunctionalArea(
+        name="Training and battlefield simulation",
+        mission=MissionArea.MILITARY_OPERATIONS,
+        functions=(
+            DesignFunction("Real-time order-of-battle simulation", (CTA.FMS,)),
+            DesignFunction("Interactive battlefield decision support", (CTA.FMS, CTA.SIP)),
+        ),
+    ),
+)

@@ -1,0 +1,334 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the analyses a policy analyst would actually run:
+
+* ``review``      — the annual review for a date (premises, bounds,
+  recommendation);
+* ``headline``    — the paper-vs-reproduction headline table;
+* ``rate``        — CTP of a hardware configuration given from flags;
+* ``machine``     — catalog lookup plus controllability assessment;
+* ``license``     — a license decision for a machine/destination pair;
+* ``sensitivity`` — robustness of the lower bound and the Table 4
+  verdicts to the factor weights;
+* ``simulate``    — run a suite workload across the architecture spectrum;
+* ``acquire``     — covert-acquisition premium for a capability level;
+* ``report``      — the full markdown review document for a date.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.core.framework import headline_summary
+from repro.diffusion.acquisition import acquisition_premium, simulate_acquisitions
+from repro.core.review import run_annual_review
+from repro.core.sensitivity import bound_sensitivity, classification_stability
+from repro.core.threshold import ThresholdPolicy, select_threshold
+from repro.ctp import ComputingElement, Coupling, ctp_homogeneous
+from repro.controllability.index import assess
+from repro.diffusion.policy import ExportControlPolicy, threshold_at
+from repro.machines.catalog import COMMERCIAL_SYSTEMS, find_machine
+from repro.reporting.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and shell completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC export-control policy analysis "
+                    "(Goodman/Wolcott/Burkhart 1995, reproduced)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_review = sub.add_parser("review", help="run the annual review")
+    p_review.add_argument("--year", type=float, default=1995.5)
+    p_review.add_argument(
+        "--policy", choices=[p.name.lower() for p in ThresholdPolicy],
+        default="control_what_can_be_controlled",
+    )
+
+    sub.add_parser("headline", help="paper-vs-reproduction headline table")
+
+    p_rate = sub.add_parser("rate", help="rate a configuration in Mtops")
+    p_rate.add_argument("--clock-mhz", type=float, required=True)
+    p_rate.add_argument("--word-bits", type=float, default=64.0)
+    p_rate.add_argument("--fp-per-cycle", type=float, default=1.0)
+    p_rate.add_argument("--int-per-cycle", type=float, default=1.0)
+    p_rate.add_argument("--concurrent", action="store_true",
+                        help="fixed and floating units issue concurrently")
+    p_rate.add_argument("--processors", type=int, default=1)
+    p_rate.add_argument(
+        "--coupling", choices=[c.name.lower() for c in Coupling],
+        default="shared",
+    )
+    p_rate.add_argument("--year", type=float, default=1995.5,
+                        help="compare against the threshold in force")
+
+    p_machine = sub.add_parser("machine", help="catalog lookup + assessment")
+    p_machine.add_argument("key", nargs="?", default=None,
+                           help='"Vendor Model"; omit to list the catalog')
+    p_machine.add_argument("--worksheet", action="store_true",
+                           help="show the CTP derivation step by step")
+
+    p_license = sub.add_parser("license", help="one license decision")
+    p_license.add_argument("key", help='machine, e.g. "Cray C916"')
+    p_license.add_argument("destination", help="e.g. India")
+    p_license.add_argument("--threshold", type=float, default=None,
+                           help="Mtops (default: in force at --year)")
+    p_license.add_argument("--year", type=float, default=1995.5)
+
+    p_sens = sub.add_parser("sensitivity", help="robustness of the findings")
+    p_sens.add_argument("--year", type=float, default=1995.5)
+    p_sens.add_argument("--samples", type=int, default=200)
+    p_sens.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a workload across the architecture spectrum"
+    )
+    p_sim.add_argument("workload", nargs="?", default=None,
+                       help="suite workload name; omit to list")
+    p_sim.add_argument("--nodes", type=int, default=16)
+
+    p_acq = sub.add_parser(
+        "acquire", help="covert-acquisition premium for a capability level"
+    )
+    p_acq.add_argument("target_mtops", type=float)
+    p_acq.add_argument("--year", type=float, default=1995.5)
+    p_acq.add_argument("--attempts", type=int, default=1_000)
+
+    p_report = sub.add_parser(
+        "report", help="generate the full markdown review document"
+    )
+    p_report.add_argument("--year", type=float, default=1995.5)
+    p_report.add_argument("--output", type=str, default=None,
+                          help="write to a file instead of stdout")
+
+    return parser
+
+
+def _cmd_review(args: argparse.Namespace) -> str:
+    review = run_annual_review(args.year,
+                               ThresholdPolicy[args.policy.upper()])
+    bounds = review.bounds
+    lines = [f"Annual review, {args.year}"]
+    for report in (review.premises.premise1, review.premises.premise2,
+                   review.premises.premise3):
+        verdict = "HOLDS" if report.holds else "FAILS"
+        lines.append(f"  premise {report.number}: {verdict}")
+    lines.append(render_table(
+        ["quantity", "Mtops"],
+        [
+            ["lower bound (uncontrollable)", bounds.uncontrollable_mtops],
+            ["lower bound (foreign)", bounds.foreign_mtops],
+            ["upper bound (application)", bounds.upper_application_mtops
+             or float("nan")],
+            ["upper bound (max available)", bounds.upper_theoretical_mtops],
+            ["threshold in force", review.threshold_in_force],
+            ["recommended threshold", review.recommendation.threshold_mtops],
+        ],
+    ))
+    lines.append(f"threshold in force is "
+                 f"{'STALE' if review.threshold_is_stale else 'current'}")
+    return "\n".join(lines)
+
+
+def _cmd_headline(_args: argparse.Namespace) -> str:
+    hs = headline_summary()
+    return render_table(
+        ["quantity", "paper", "reproduced"],
+        [
+            ["lower bound mid-1995", "4,000-5,000",
+             round(hs.lower_bound_mid_1995)],
+            ["lower bound late 96/97", "~7,500",
+             round(hs.lower_bound_late_1996_97)],
+            ["lower bound end of decade", ">16,000",
+             round(hs.lower_bound_end_of_decade)],
+            ["RDT&E cluster", "~7,000", round(hs.rdte_cluster_start or 0)],
+            ["military-ops cluster", "~10,000",
+             round(hs.milops_cluster_start or 0)],
+            ["apps below bound (1995)", "majority",
+             f"{hs.fraction_apps_below_lower_1995:.0%}"],
+        ],
+        title="Headline findings",
+    )
+
+
+def _cmd_rate(args: argparse.Namespace) -> str:
+    element = ComputingElement(
+        name="cli", clock_mhz=args.clock_mhz, word_bits=args.word_bits,
+        fp_ops_per_cycle=args.fp_per_cycle,
+        int_ops_per_cycle=args.int_per_cycle,
+        concurrent_int_fp=args.concurrent,
+    )
+    rating = ctp_homogeneous(element, args.processors,
+                             Coupling[args.coupling.upper()])
+    threshold = threshold_at(args.year)
+    verdict = "supercomputer" if rating >= threshold else "below definition"
+    return (f"CTP = {rating:,.1f} Mtops "
+            f"({args.processors} x {args.clock_mhz:g} MHz, "
+            f"{args.coupling})\n"
+            f"vs {threshold:,.0f}-Mtops definition in force "
+            f"{args.year}: {verdict}")
+
+
+def _cmd_machine(args: argparse.Namespace) -> str:
+    if args.key is None:
+        rows = [[m.key, f"{m.year:.1f}", round(m.ctp_mtops, 1)]
+                for m in sorted(COMMERCIAL_SYSTEMS,
+                                key=lambda m: (m.year, m.key))]
+        return render_table(["machine", "introduced", "CTP (Mtops)"], rows,
+                            title="Commercial catalog")
+    machine = find_machine(args.key)
+    if args.worksheet:
+        from repro.ctp.worksheet import machine_worksheet
+
+        return machine_worksheet(args.key)
+    a = assess(machine)
+    rows = [
+        ["introduced", f"{machine.year:.1f}"],
+        ["architecture", machine.architecture.value],
+        ["processors", machine.n_processors],
+        ["CTP (Mtops)", round(machine.ctp_mtops, 1)],
+        ["max-config CTP", round(machine.max_configuration().ctp_mtops, 1)],
+        ["controllability index", round(a.index, 3)],
+        ["classification", a.classification.value],
+    ]
+    return render_table(["field", "value"], rows, title=machine.key)
+
+
+def _cmd_license(args: argparse.Namespace) -> str:
+    threshold = args.threshold or threshold_at(args.year)
+    policy = ExportControlPolicy(threshold)
+    d = policy.license_decision(find_machine(args.key), args.destination)
+    return render_table(
+        ["field", "value"],
+        [
+            ["rated Mtops", round(d.rating_mtops, 1)],
+            ["threshold", round(threshold, 1)],
+            ["tier", d.tier.value],
+            ["license required", "yes" if d.requires_license else "no"],
+            ["safeguards", "yes" if d.safeguards_required else "no"],
+            ["outcome", "approved" if d.approved else "DENIED"],
+        ],
+        title=f"{args.key} -> {args.destination}",
+    )
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> str:
+    bs = bound_sensitivity(args.year, args.samples, args.seed)
+    stability = classification_stability(args.samples, args.seed)
+    lines = [
+        f"Lower bound at {args.year} over {args.samples} weightings:",
+        f"  median {bs.median:,.0f} Mtops; "
+        f"90% interval [{bs.quantile(0.05):,.0f}, {bs.quantile(0.95):,.0f}]",
+        f"  fraction in the paper's 4,000-5,000 band: "
+        f"{bs.fraction_in_band(4000, 5000):.0%}",
+        "",
+        render_table(
+            ["machine", "default verdict", "agreement"],
+            [[r.machine_key, r.default_classification.value,
+              f"{r.agreement:.0%}" + (" (borderline)" if r.is_borderline
+                                      else "")]
+             for r in stability],
+            title="Table 4 verdict stability",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    from repro.simulate.cluster_study import compare_architectures
+    from repro.simulate.workloads import WORKLOAD_SUITE
+
+    if args.workload is None:
+        return render_table(
+            ["workload", "pattern", "steps", "Mops/step"],
+            [[w.name, w.pattern.value, w.steps,
+              round(w.granularity_mops_per_step, 1)]
+             for w in WORKLOAD_SUITE],
+            title="Workload suite",
+        )
+    comp = compare_architectures(args.workload, args.nodes)
+    rows = []
+    for r in comp.ranked():
+        rows.append([
+            r.machine.name,
+            "-" if not r.feasible else round(r.time_s, 1),
+            f"{r.efficiency:.0%}",
+            r.infeasible_reason or "",
+        ])
+    table = render_table(
+        ["machine", "time (s)", "efficiency", "note"], rows,
+        title=f"{args.workload} on {args.nodes}-element machines",
+    )
+    penalty = comp.cluster_penalty()
+    footer = ("no ad hoc cluster can run this workload"
+              if penalty == float("inf")
+              else f"SMP / ad-hoc-cluster efficiency ratio: {penalty:.1f}x")
+    return table + "\n" + footer
+
+
+def _cmd_acquire(args: argparse.Namespace) -> str:
+    premium = acquisition_premium(args.target_mtops, args.year)
+    if not premium.feasible:
+        return (f"no cataloged system reaches {args.target_mtops:,.0f} "
+                f"Mtops at {args.year}")
+    stats = simulate_acquisitions(args.target_mtops, args.year,
+                                  n_attempts=args.attempts)
+    return render_table(
+        ["field", "value"],
+        [
+            ["easiest adequate system", premium.machine.key],
+            ["severity", round(premium.controllability, 3)],
+            ["expected delay (years)", round(premium.expected_delay_years, 2)],
+            ["cost multiple", round(premium.cost_multiplier, 2)],
+            ["detection probability",
+             f"{premium.detection_probability:.0%}"],
+            ["Monte-Carlo success rate", f"{stats.success_rate:.0%}"],
+            ["Monte-Carlo mean delay (years)",
+             round(stats.mean_delay_years, 2)],
+        ],
+        title=f"Acquiring {args.target_mtops:,.0f} Mtops at {args.year}",
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.reporting.report import generate_review_report
+
+    document = generate_review_report(args.year)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(document)
+        return f"wrote {args.output} ({len(document.splitlines())} lines)"
+    return document
+
+
+_COMMANDS = {
+    "review": _cmd_review,
+    "headline": _cmd_headline,
+    "rate": _cmd_rate,
+    "machine": _cmd_machine,
+    "license": _cmd_license,
+    "sensitivity": _cmd_sensitivity,
+    "simulate": _cmd_simulate,
+    "acquire": _cmd_acquire,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    return 0

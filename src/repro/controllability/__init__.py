@@ -1,0 +1,62 @@
+"""Controllability model and the uncontrollability frontier (Chapter 3).
+
+Chapter 3 argues that controllability is "a continuous function, not a
+binary condition" driven by six product qualities: physical size, age
+(product cycle / secondary markets), scalability, number of units in the
+field, distribution channels, and entry-level cost.  This package scores
+those factors (``factors``), combines them into a continuous index with a
+three-way classification (``index``, Table 4), and derives the
+time-dependent lower bound of controllability (``frontier``) — the paper's
+4,000-5,000 Mtops (mid-1995) rising to ~7,500 by late 1996/97 and past
+16,000 before the end of the decade.
+"""
+
+from repro.controllability.factors import (
+    FactorScores,
+    age_score,
+    channel_score,
+    price_score,
+    scalability_score,
+    size_score,
+    units_score,
+)
+from repro.controllability.index import (
+    Classification,
+    ControllabilityAssessment,
+    ControllabilityWeights,
+    DEFAULT_WEIGHTS,
+    assess,
+    classification_table,
+)
+from repro.controllability.frontier import (
+    UNCONTROLLABILITY_LAG_YEARS,
+    FrontierPoint,
+    uncontrollable_population,
+    lower_bound_uncontrollable,
+    frontier_series,
+    frontier_trend,
+    projected_frontier_mtops,
+)
+
+__all__ = [
+    "FactorScores",
+    "size_score",
+    "units_score",
+    "channel_score",
+    "price_score",
+    "scalability_score",
+    "age_score",
+    "Classification",
+    "ControllabilityAssessment",
+    "ControllabilityWeights",
+    "DEFAULT_WEIGHTS",
+    "assess",
+    "classification_table",
+    "UNCONTROLLABILITY_LAG_YEARS",
+    "FrontierPoint",
+    "uncontrollable_population",
+    "lower_bound_uncontrollable",
+    "frontier_series",
+    "frontier_trend",
+    "projected_frontier_mtops",
+]

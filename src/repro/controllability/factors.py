@@ -1,0 +1,172 @@
+"""Individual controllability factor scores.
+
+Each factor maps a product attribute onto [0, 1], where 1 means the
+attribute makes the product easy to track, monitor, and regulate, and 0
+means it defeats tracking as a practical matter.  Anchor values come from
+Chapter 3's discussion:
+
+* "It is easy to know the location of a dozen units.  It is virtually
+  impossible to know the location of tens of thousands" — the units score
+  interpolates in log space between 12 and 20,000 installations.
+* "approximately half a million dollars represents a crucial marketing
+  threshold"; systems in the $100-200K range enjoy still larger markets —
+  the price score rises from 0.1 at $100K to 1.0 at $1M.
+* Machine-room systems need "liquid cooling systems, special-purpose power
+  supplies" — the size score steps with footprint class.
+* Field upgrades "without the involvement of a trained vendor
+  representative" undercut the vendor's eyes and ears — the scalability
+  score falls with the headroom between entry and maximum configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_non_negative
+from repro.machines.spec import DistributionChannel, MachineSpec, SizeClass
+
+__all__ = [
+    "size_score",
+    "units_score",
+    "channel_score",
+    "price_score",
+    "scalability_score",
+    "age_score",
+    "FactorScores",
+]
+
+_SIZE_SCORES = {
+    SizeClass.ROOM: 1.0,
+    SizeClass.RACK: 0.6,
+    SizeClass.DESKSIDE: 0.3,
+    SizeClass.DESKTOP: 0.1,
+}
+
+_CHANNEL_SCORES = {
+    DistributionChannel.DIRECT: 1.0,
+    DistributionChannel.MIXED: 0.6,
+    DistributionChannel.THIRD_PARTY: 0.2,
+}
+
+_UNITS_EASY = 12.0        # "a dozen units"
+_UNITS_IMPOSSIBLE = 20_000.0  # "tens of thousands"
+
+_PRICE_FLOOR_USD = 100_000.0
+_PRICE_CEILING_USD = 1_000_000.0
+
+#: Entry configuration assumed for field-upgradable families when scoring
+#: scalability headroom (note 47's entry-level systems are 2-processor).
+_ENTRY_PROCESSORS = 2
+
+
+def size_score(size: SizeClass) -> float:
+    """Physical-footprint score."""
+    return _SIZE_SCORES[size]
+
+
+def channel_score(channel: DistributionChannel) -> float:
+    """Distribution-channel score."""
+    return _CHANNEL_SCORES[channel]
+
+
+def units_score(units_installed: float | None) -> float:
+    """Installed-base score (log interpolation between the anchors).
+
+    ``None`` (unknown installed base) scores a neutral 0.5.
+    """
+    if units_installed is None:
+        return 0.5
+    u = check_non_negative(units_installed, "units_installed")
+    if u <= _UNITS_EASY:
+        return 1.0
+    span = np.log10(_UNITS_IMPOSSIBLE / _UNITS_EASY)
+    return float(np.clip(1.0 - np.log10(u / _UNITS_EASY) / span, 0.0, 1.0))
+
+
+def price_score(entry_price_usd: float | None) -> float:
+    """Entry-price score.
+
+    Rises from 0.1 at the $100K marketing threshold to 1.0 at $1M; cheaper
+    products decay toward a small floor.  ``None`` scores neutral 0.5.
+    """
+    if entry_price_usd is None:
+        return 0.5
+    p = check_non_negative(entry_price_usd, "entry_price_usd")
+    if p >= _PRICE_CEILING_USD:
+        return 1.0
+    if p >= _PRICE_FLOOR_USD:
+        span = np.log10(_PRICE_CEILING_USD / _PRICE_FLOOR_USD)
+        return float(0.1 + 0.9 * np.log10(p / _PRICE_FLOOR_USD) / span)
+    return float(max(0.02, 0.1 * p / _PRICE_FLOOR_USD))
+
+
+def scalability_score(machine: MachineSpec) -> float:
+    """Field-upgrade headroom score.
+
+    A family that cannot be upgraded without the vendor scores 1.0.  For
+    field-upgradable families the score falls by half a point per decade of
+    CTP headroom between the entry configuration and the family ceiling.
+    """
+    if not machine.field_upgradable:
+        return 1.0
+    if machine.element is None:
+        return 0.5
+    ceiling = machine.max_configuration().ctp_mtops
+    entry_n = min(_ENTRY_PROCESSORS, machine.n_processors)
+    entry = machine.at_processors(entry_n).ctp_mtops
+    ratio = max(ceiling / entry, 1.0)
+    return float(np.clip(1.0 - 0.5 * np.log10(ratio), 0.05, 1.0))
+
+
+def age_score(machine: MachineSpec, year: float) -> float:
+    """Product-age score at an assessment date.
+
+    Within the product cycle the vendor still tracks units closely (1.0);
+    the score then declines linearly to a 0.1 floor two years past the end
+    of the cycle, when secondary markets are extensive and units are
+    "resold ... without attracting much attention".  Not part of the
+    composite product index (Table 4 is age-independent); the frontier uses
+    the two-year lag rule directly.
+    """
+    age = year - machine.year
+    if age < 0:
+        raise ValueError(
+            f"{machine.model}: assessment year {year} precedes introduction"
+        )
+    cycle = machine.product_cycle_years
+    if age <= cycle:
+        return 1.0
+    return float(np.clip(1.0 - 0.9 * (age - cycle) / 2.0, 0.1, 1.0))
+
+
+@dataclass(frozen=True)
+class FactorScores:
+    """The five product-attribute scores of one machine."""
+
+    size: float
+    units: float
+    channel: float
+    price: float
+    scalability: float
+
+    @classmethod
+    def of(cls, machine: MachineSpec) -> "FactorScores":
+        """Score a catalog machine."""
+        return cls(
+            size=size_score(machine.size_class),
+            units=units_score(machine.units_installed),
+            channel=channel_score(machine.channel),
+            price=price_score(machine.entry_price_usd),
+            scalability=scalability_score(machine),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "size": self.size,
+            "units": self.units,
+            "channel": self.channel,
+            "price": self.price,
+            "scalability": self.scalability,
+        }

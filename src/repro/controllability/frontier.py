@@ -1,0 +1,146 @@
+"""The uncontrollability frontier: the lower bound of Chapter 3.
+
+Two rules turn per-product assessments into a time series:
+
+1. **Classification** — only products whose composite index falls below the
+   uncontrollable threshold join the frontier population (volume SMPs and
+   workstations; never vendor-direct machine-room systems).
+2. **The two-year lag** — "such systems become uncontrollable as they reach
+   the end of their product cycle, approximately two years after they are
+   first shipped" — so a product introduced at year *t* joins the
+   population at *t + 2*.
+
+Products are rated at their *maximum* configuration because field
+upgradability makes the entry configuration meaningless for control
+purposes.  Beyond catalog coverage the frontier is projected along the SMP
+top-of-line trend, shifted right by the same lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_year
+from repro.controllability.index import (
+    Classification,
+    ControllabilityWeights,
+    DEFAULT_WEIGHTS,
+    assess,
+)
+from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines.spec import MachineSpec
+from repro.trends.curves import ExponentialTrend, fit_exponential
+from repro.trends.smp import smp_trend
+
+__all__ = [
+    "UNCONTROLLABILITY_LAG_YEARS",
+    "FrontierPoint",
+    "uncontrollable_population",
+    "lower_bound_uncontrollable",
+    "frontier_series",
+    "frontier_trend",
+    "projected_frontier_mtops",
+]
+
+#: "...approximately two years after they are first shipped" (Chapter 3).
+UNCONTROLLABILITY_LAG_YEARS = 2.0
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """The frontier value at one date, with its defining machine."""
+
+    year: float
+    mtops: float
+    machine: MachineSpec | None
+
+
+def uncontrollable_population(
+    year: float,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+    include_marginal: bool = False,
+) -> list[MachineSpec]:
+    """Catalog machines that are uncontrollable at ``year``.
+
+    A machine qualifies when its composite index classifies it
+    UNCONTROLLABLE (optionally MARGINAL) and it has been on the market for
+    at least ``lag_years``.
+    """
+    check_year(year, "year")
+    allowed = {Classification.UNCONTROLLABLE}
+    if include_marginal:
+        allowed.add(Classification.MARGINAL)
+    population = []
+    for m in COMMERCIAL_SYSTEMS:
+        if m.year + lag_years > year:
+            continue
+        if assess(m, weights).classification in allowed:
+            population.append(m)
+    return sorted(population, key=lambda m: (m.year, m.key))
+
+
+def lower_bound_uncontrollable(
+    year: float,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> FrontierPoint:
+    """Performance of the most powerful uncontrollable system at ``year``.
+
+    Each qualifying product is rated at its maximum configuration.  Years
+    before any product qualifies get a zero frontier (everything was
+    controllable in, say, 1980).
+    """
+    best_mtops = 0.0
+    best_machine: MachineSpec | None = None
+    for m in uncontrollable_population(year, weights, lag_years):
+        rating = m.max_configuration().ctp_mtops
+        if rating > best_mtops:
+            best_mtops = rating
+            best_machine = m
+    return FrontierPoint(year=year, mtops=best_mtops, machine=best_machine)
+
+
+def frontier_series(
+    years: Sequence[float] | np.ndarray,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> np.ndarray:
+    """Frontier values on a year grid (vectorized over the grid)."""
+    return np.array(
+        [lower_bound_uncontrollable(float(y), weights, lag_years).mtops
+         for y in np.asarray(years, dtype=float)]
+    )
+
+
+def frontier_trend(
+    fit_from: float = 1992.0,
+    fit_through: float = 1999.9,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> ExponentialTrend:
+    """Exponential fit of the frontier over its catalog-supported span."""
+    years = np.arange(fit_from, fit_through, 0.25)
+    values = frontier_series(years, weights, lag_years)
+    mask = values > 0
+    if mask.sum() < 2:
+        raise ValueError("frontier has fewer than two positive samples to fit")
+    return fit_exponential(years[mask], values[mask])
+
+
+def projected_frontier_mtops(
+    year: float,
+    fit_through: float = 1995.5,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> float:
+    """Frontier projected beyond catalog coverage.
+
+    Uses the SMP top-of-line trend fitted through ``fit_through`` (what the
+    study's authors could see), shifted right by the uncontrollability lag.
+    Within catalog coverage prefer :func:`lower_bound_uncontrollable`.
+    """
+    check_year(year, "year")
+    return float(smp_trend(fit_through).shifted(lag_years).value(year))

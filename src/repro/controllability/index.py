@@ -1,0 +1,132 @@
+"""Composite controllability index and Table 4 classifications.
+
+The index is a weighted average of the five product-attribute scores.
+Classification thresholds are calibrated so the reconstruction reproduces
+Chapter 3's verdicts: Cray vector machines and the big MPPs classify
+CONTROLLABLE; the Cray CS6400 and the SGI Challenge/PowerChallenge series —
+"the most powerful uncontrollable systems available in mid-1995" — classify
+UNCONTROLLABLE, along with volume workstations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util import check_fraction
+from repro.controllability.factors import FactorScores
+from repro.machines.spec import MachineSpec
+
+__all__ = [
+    "Classification",
+    "ControllabilityWeights",
+    "DEFAULT_WEIGHTS",
+    "ControllabilityAssessment",
+    "assess",
+    "classification_table",
+]
+
+
+class Classification(enum.Enum):
+    """Three-way controllability verdict."""
+
+    CONTROLLABLE = "controllable"
+    MARGINAL = "marginal"
+    UNCONTROLLABLE = "uncontrollable"
+
+
+@dataclass(frozen=True)
+class ControllabilityWeights:
+    """Relative weight of each factor in the composite index.
+
+    Weights must sum to 1.  The installed base carries the most weight —
+    "at some point it becomes economically infeasible for companies to
+    monitor and verify this information" — followed equally by footprint,
+    channel structure, and upgrade headroom.
+    """
+
+    size: float = 0.20
+    units: float = 0.25
+    channel: float = 0.20
+    price: float = 0.15
+    scalability: float = 0.20
+    #: Index below which a product is UNCONTROLLABLE.
+    uncontrollable_below: float = 0.50
+    #: Index at or above which a product is CONTROLLABLE.
+    controllable_at: float = 0.70
+
+    def __post_init__(self) -> None:
+        total = self.size + self.units + self.channel + self.price + self.scalability
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"factor weights must sum to 1, got {total}")
+        check_fraction(self.uncontrollable_below, "uncontrollable_below")
+        check_fraction(self.controllable_at, "controllable_at")
+        if self.uncontrollable_below >= self.controllable_at:
+            raise ValueError("uncontrollable_below must be < controllable_at")
+
+
+DEFAULT_WEIGHTS = ControllabilityWeights()
+
+
+@dataclass(frozen=True)
+class ControllabilityAssessment:
+    """Result of assessing one machine."""
+
+    machine: MachineSpec
+    scores: FactorScores
+    index: float
+    classification: Classification
+
+    @property
+    def is_uncontrollable(self) -> bool:
+        return self.classification is Classification.UNCONTROLLABLE
+
+
+def assess(
+    machine: MachineSpec,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+) -> ControllabilityAssessment:
+    """Score, combine, and classify one machine."""
+    scores = FactorScores.of(machine)
+    index = (
+        weights.size * scores.size
+        + weights.units * scores.units
+        + weights.channel * scores.channel
+        + weights.price * scores.price
+        + weights.scalability * scores.scalability
+    )
+    if index < weights.uncontrollable_below:
+        cls = Classification.UNCONTROLLABLE
+    elif index < weights.controllable_at:
+        cls = Classification.MARGINAL
+    else:
+        cls = Classification.CONTROLLABLE
+    return ControllabilityAssessment(
+        machine=machine, scores=scores, index=float(index), classification=cls
+    )
+
+
+#: The systems Chapter 3's Table 4 discusses, by catalog key.
+TABLE4_SYSTEMS: tuple[str, ...] = (
+    "Cray C916",
+    "Cray T3D (512)",
+    "Intel Paragon XP/S (150)",
+    "Thinking Machines CM-5 (128)",
+    "IBM SP2 (16)",
+    "Convex Exemplar SPP1000 (16)",
+    "Cray CS6400 (64)",
+    "SGI Challenge XL (36)",
+    "SGI PowerChallenge (4)",
+    "DEC AlphaServer 8400 (12)",
+    "Sun SPARCstation 10",
+)
+
+
+def classification_table(
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+) -> list[ControllabilityAssessment]:
+    """Assess the Table 4 population (most → least controllable)."""
+    from repro.machines.catalog import find_machine
+
+    rows = [assess(find_machine(key), weights) for key in TABLE4_SYSTEMS]
+    return sorted(rows, key=lambda a: -a.index)

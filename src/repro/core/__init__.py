@@ -1,0 +1,72 @@
+"""The paper's analytical framework (Chapters 2 and 5).
+
+The three basic premises as executable tests (``premises``), application
+stalactites and their computing-range envelopes (``stalactite``), the
+lower/upper bound derivation and valid-threshold-range test
+(``framework``), the snapshot threshold-selection analysis with its three
+policies (``threshold``), the premise-failure scenario projections
+(``scenarios``), and the annual-review procedure the recommendations call
+for (``review``).
+"""
+
+from repro.core.stalactite import (
+    Stalactite,
+    ComputingRange,
+    f22_stalactite,
+)
+from repro.core.premises import (
+    PremiseReport,
+    PremisesAssessment,
+    evaluate_premises,
+)
+from repro.core.framework import (
+    ThresholdBounds,
+    derive_bounds,
+    lower_bound_mtops,
+    application_clusters,
+    headline_summary,
+)
+from repro.core.threshold import (
+    ThresholdPolicy,
+    SelectedThreshold,
+    Snapshot,
+    snapshot,
+    select_threshold,
+)
+from repro.core.scenarios import (
+    ScenarioOutcome,
+    premise1_failure_year,
+    premise3_gap_series,
+    erosion_report,
+)
+from repro.core.review import (
+    AnnualReview,
+    run_annual_review,
+    review_series,
+)
+
+__all__ = [
+    "Stalactite",
+    "ComputingRange",
+    "f22_stalactite",
+    "PremiseReport",
+    "PremisesAssessment",
+    "evaluate_premises",
+    "ThresholdBounds",
+    "derive_bounds",
+    "lower_bound_mtops",
+    "application_clusters",
+    "headline_summary",
+    "ThresholdPolicy",
+    "SelectedThreshold",
+    "Snapshot",
+    "snapshot",
+    "select_threshold",
+    "ScenarioOutcome",
+    "premise1_failure_year",
+    "premise3_gap_series",
+    "erosion_report",
+    "AnnualReview",
+    "run_annual_review",
+    "review_series",
+]

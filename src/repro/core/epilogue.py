@@ -1,0 +1,140 @@
+"""Epilogue: the framework against what policy actually did after 1995.
+
+The study fed the 1995 interagency review; this module carries the
+*subsequent* history of the U.S. control thresholds (reconstructed from
+the public record of EAR revisions, ``approx`` where exact effective dates
+blur) and compares it with what the framework recommends year by year.
+
+Two validation questions:
+
+* **Direction and magnitude** — the January 1996 reform set tier-3 limits
+  of roughly 2,000 Mtops (civil end users) and 7,000 Mtops (military end
+  users).  The framework's mid-1995 recommendations (4,100-5,100 Mtops
+  depending on policy) sit inside that pair — the study and the reform
+  read the same technology base.
+* **Cadence** — the paper recommended reviews "no less frequently than
+  every twelve months".  The actual revision record shows multi-year gaps
+  followed by catch-up jumps; :func:`staleness_series` measures the lag
+  (in years of frontier growth) each actual threshold accumulated before
+  its successor landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro._util import check_year
+from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.core.threshold import ThresholdPolicy, select_threshold
+
+__all__ = [
+    "EPILOGUE_THRESHOLDS",
+    "actual_threshold_at",
+    "RecommendationComparison",
+    "compare_with_history",
+    "staleness_series",
+]
+
+
+@dataclass(frozen=True)
+class EpilogueThreshold:
+    """One post-study control-threshold regime (tier-3 military ceiling)."""
+
+    start_year: float
+    civil_mtops: float
+    military_mtops: float
+    label: str
+
+
+#: Post-1995 thresholds, reconstructed from the public record of EAR
+#: revisions (approximate effective dates; tier-3 = the Russia/PRC/India
+#: group the study analyzed).
+EPILOGUE_THRESHOLDS: tuple[EpilogueThreshold, ...] = (
+    EpilogueThreshold(1994.1, 1_500.0, 1_500.0,
+                      "single 1,500-Mtops definition (study period)"),
+    EpilogueThreshold(1996.1, 2_000.0, 7_000.0,
+                      "Jan 1996 reform: tiered civil/military limits"),
+    EpilogueThreshold(1999.6, 6_500.0, 12_300.0,
+                      "1999 revision (tier-3 uplift)"),
+    EpilogueThreshold(2000.6, 12_500.0, 28_000.0,
+                      "2000 revision"),
+    EpilogueThreshold(2001.9, 85_000.0, 85_000.0,
+                      "2001-02 collapse of the distinction"),
+)
+
+
+def actual_threshold_at(year: float, military: bool = True) -> float:
+    """The tier-3 threshold actually in force at ``year``."""
+    check_year(year, "year")
+    current = None
+    for era in EPILOGUE_THRESHOLDS:
+        if era.start_year <= year:
+            current = era
+    if current is None:
+        raise ValueError(
+            f"epilogue record starts at {EPILOGUE_THRESHOLDS[0].start_year}"
+        )
+    return current.military_mtops if military else current.civil_mtops
+
+
+@dataclass(frozen=True)
+class RecommendationComparison:
+    """Framework recommendation vs the actual regime at one date."""
+
+    year: float
+    recommended_mtops: float
+    actual_civil_mtops: float
+    actual_military_mtops: float
+    frontier_mtops: float
+
+    @property
+    def recommendation_within_actual_pair(self) -> bool:
+        """True when the recommendation falls between the civil and
+        military limits actually adopted."""
+        return (self.actual_civil_mtops
+                <= self.recommended_mtops
+                <= self.actual_military_mtops)
+
+    @property
+    def actual_military_stale(self) -> bool:
+        """True when even the military limit sits below the frontier."""
+        return self.actual_military_mtops < self.frontier_mtops
+
+
+def compare_with_history(
+    years: Sequence[float],
+    policy: ThresholdPolicy = ThresholdPolicy.ECONOMIC,
+) -> list[RecommendationComparison]:
+    """Run the framework at each date and line it up with the record."""
+    out = []
+    for year in years:
+        year = float(year)
+        recommendation = select_threshold(year, policy)
+        out.append(RecommendationComparison(
+            year=year,
+            recommended_mtops=recommendation.threshold_mtops,
+            actual_civil_mtops=actual_threshold_at(year, military=False),
+            actual_military_mtops=actual_threshold_at(year, military=True),
+            frontier_mtops=lower_bound_uncontrollable(year).mtops,
+        ))
+    return out
+
+
+def staleness_series(
+    years: Sequence[float],
+) -> list[tuple[float, float]]:
+    """Per year: the factor by which the frontier exceeds the actual
+    military threshold (1.0 = exactly current; >1 = stale).
+
+    The paper's complaint — "reviews tend to be put off by the government
+    until a great deal of contentious pressure builds up" — shows up as a
+    sawtooth: the factor climbs between revisions and snaps back at each.
+    """
+    out = []
+    for year in years:
+        year = float(year)
+        frontier = lower_bound_uncontrollable(year).mtops
+        actual = actual_threshold_at(year, military=True)
+        out.append((year, frontier / actual if actual > 0 else float("inf")))
+    return out

@@ -1,0 +1,201 @@
+"""Bound derivation and the valid-threshold-range test (Chapters 2, 5).
+
+The framework's arithmetic:
+
+* **lower bound** = max(most powerful uncontrollable Western system,
+  most powerful system available in a country of concern) — "if the
+  threshold is set below the level of controllability, then export control
+  policy will try to control the uncontrollable";
+* **theoretical upper bound** = the most powerful system available
+  (line D);
+* **application-driven upper bound** = the smallest application minimum
+  lying above the lower bound — "set the threshold just below the minimum
+  of all the minimum requirements";
+* a **valid range exists** iff lower < upper with enough daylight to draw
+  a line with confidence.
+
+``headline_summary`` packages the numbers the executive summary reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_year
+from repro.apps.catalog import APPLICATIONS
+from repro.apps.requirements import ApplicationRequirement
+from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.machines.catalog import max_available_mtops
+from repro.trends.foreign import foreign_envelope_mtops
+
+__all__ = [
+    "ThresholdBounds",
+    "lower_bound_mtops",
+    "derive_bounds",
+    "application_clusters",
+    "headline_summary",
+]
+
+#: Minimum multiplicative daylight between bounds for a confident line
+#: ("if A and D lie close together, there is no meaningful range").
+MIN_RANGE_FACTOR = 1.5
+
+
+def lower_bound_mtops(year: float) -> float:
+    """max(uncontrollability frontier, foreign indigenous envelope)."""
+    check_year(year, "year")
+    return max(
+        lower_bound_uncontrollable(year).mtops,
+        foreign_envelope_mtops(year),
+    )
+
+
+@dataclass(frozen=True)
+class ThresholdBounds:
+    """The derived range of valid thresholds at one date."""
+
+    year: float
+    uncontrollable_mtops: float
+    foreign_mtops: float
+    max_available_mtops: float
+    #: Applications whose drifted minimum sits above the lower bound
+    #: (still protectable), ascending by requirement.
+    protectable_applications: tuple[ApplicationRequirement, ...]
+
+    @property
+    def lower_mtops(self) -> float:
+        return max(self.uncontrollable_mtops, self.foreign_mtops)
+
+    @property
+    def upper_theoretical_mtops(self) -> float:
+        return self.max_available_mtops
+
+    @property
+    def upper_application_mtops(self) -> float | None:
+        """Smallest protectable application minimum (None when none left —
+        the premise-one failure state)."""
+        if not self.protectable_applications:
+            return None
+        return self.protectable_applications[0].min_at(self.year)
+
+    @property
+    def valid_range_exists(self) -> bool:
+        """True when a threshold can be drawn with confidence."""
+        return (
+            self.lower_mtops > 0
+            and self.upper_theoretical_mtops >= self.lower_mtops * MIN_RANGE_FACTOR
+            and self.upper_application_mtops is not None
+        )
+
+
+def derive_bounds(year: float) -> ThresholdBounds:
+    """Derive the bounds at one date."""
+    check_year(year, "year")
+    lower = lower_bound_mtops(year)
+    protectable = sorted(
+        (a for a in APPLICATIONS
+         if a.year_first <= year and a.min_at(year) > lower),
+        key=lambda a: a.min_at(year),
+    )
+    return ThresholdBounds(
+        year=year,
+        uncontrollable_mtops=lower_bound_uncontrollable(year).mtops,
+        foreign_mtops=foreign_envelope_mtops(year),
+        max_available_mtops=max_available_mtops(year),
+        protectable_applications=tuple(protectable),
+    )
+
+
+def application_clusters(
+    year: float = 1995.5,
+    gap_factor: float = 1.35,
+    missions: tuple | None = None,
+) -> list[tuple[float, list[ApplicationRequirement]]]:
+    """Group protectable applications into requirement clusters.
+
+    Applications whose minimums sit within ``gap_factor`` of each other
+    (multiplicatively) share a cluster; each cluster is reported at its
+    smallest member — matching the executive summary's "a group of
+    research and development applications starting roughly at the level of
+    7,000 Mtops, and a group of military operations applications at 10,000
+    Mtops" (those are per-mission-category groups; pass ``missions`` to
+    reproduce them).
+    """
+    if gap_factor <= 1.0:
+        raise ValueError("gap_factor must exceed 1")
+    bounds = derive_bounds(year)
+    apps = list(bounds.protectable_applications)
+    if missions is not None:
+        allowed = set(missions)
+        apps = [a for a in apps if a.mission in allowed]
+    if not apps:
+        return []
+    clusters: list[tuple[float, list[ApplicationRequirement]]] = []
+    current: list[ApplicationRequirement] = [apps[0]]
+    for app in apps[1:]:
+        if app.min_at(year) <= current[-1].min_at(year) * gap_factor:
+            current.append(app)
+        else:
+            clusters.append((current[0].min_at(year), current))
+            current = [app]
+    clusters.append((current[0].min_at(year), current))
+    return clusters
+
+
+@dataclass(frozen=True)
+class HeadlineSummary:
+    """The executive summary's numbers, computed."""
+
+    lower_bound_mid_1995: float
+    lower_bound_late_1996_97: float
+    lower_bound_end_of_decade: float
+    rdte_cluster_start: float | None
+    milops_cluster_start: float | None
+    fraction_apps_below_lower_1995: float
+
+
+def _largest_cluster_start(
+    year: float, missions: tuple
+) -> float | None:
+    """Start of the most populous cluster in a mission-category group."""
+    clusters = application_clusters(year, missions=missions)
+    if not clusters:
+        return None
+    start, _members = max(clusters, key=lambda c: (len(c[1]), -c[0]))
+    return start
+
+
+def headline_summary() -> HeadlineSummary:
+    """Compute the paper's headline findings.
+
+    Paper values: lower bound 4,000-5,000 Mtops (mid-1995) rising to
+    ~7,500 by late 1996/97 (the uncontrollability trend) and past 16,000
+    before 2000; an RDT&E application cluster starting roughly at 7,000
+    Mtops and a military-operations cluster at 10,000 Mtops; the majority
+    of applications already below the lower bound.
+    """
+    from repro.apps.taxonomy import MissionArea
+
+    lb95 = lower_bound_mtops(1995.5)
+    # "late 1996 or 1997": the uncontrollability frontier at the turn of
+    # that window (the paper's projection predates the PRC's Galaxy-III,
+    # which briefly lifts the combined bound above the frontier in 1997).
+    lb97 = lower_bound_uncontrollable(1996.9).mtops
+    lb99 = lower_bound_mtops(1999.9)
+    rdte = _largest_cluster_start(
+        1995.5, (MissionArea.NUCLEAR, MissionArea.CRYPTOLOGY, MissionArea.ACW)
+    )
+    milops = _largest_cluster_start(1995.5, (MissionArea.MILITARY_OPERATIONS,))
+    mins = np.array([a.min_at(1995.5) for a in APPLICATIONS
+                     if a.year_first <= 1995.5])
+    frac_below = float(np.mean(mins < lb95))
+    return HeadlineSummary(
+        lower_bound_mid_1995=lb95,
+        lower_bound_late_1996_97=lb97,
+        lower_bound_end_of_decade=lb99,
+        rdte_cluster_start=rdte,
+        milops_cluster_start=milops,
+        fraction_apps_below_lower_1995=frac_below,
+    )

@@ -1,0 +1,133 @@
+"""The three basic premises as executable tests (Chapter 2).
+
+1. There are problems of great national-security importance that require
+   HPC — operationally: applications of concern whose minimum requirement
+   exceeds the lower bound of controllability.
+2. There are countries of concern with the wherewithal to pursue them —
+   operationally: countries of concern with active indigenous HPC programs
+   and application programs whose non-computational gates are not total.
+3. There are features of HPC that permit effective control —
+   operationally: a meaningful range exists between the lower bound and
+   the most powerful system available.
+
+``evaluate_premises`` returns the evidence behind each verdict, because the
+paper's whole point is that the policy should rest on a "factual,
+objective, and repeatable process".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_year
+from repro.apps.requirements import ApplicationRequirement
+from repro.core.framework import MIN_RANGE_FACTOR, ThresholdBounds, derive_bounds
+from repro.machines.foreign import FOREIGN_SYSTEMS, ForeignCountry, max_indigenous_mtops
+
+__all__ = ["PremiseReport", "PremisesAssessment", "evaluate_premises"]
+
+
+@dataclass(frozen=True)
+class PremiseReport:
+    """Verdict and evidence for one premise."""
+
+    number: int
+    statement: str
+    holds: bool
+    evidence: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PremisesAssessment:
+    """All three premises at one date."""
+
+    year: float
+    bounds: ThresholdBounds
+    premise1: PremiseReport
+    premise2: PremiseReport
+    premise3: PremiseReport
+
+    @property
+    def all_hold(self) -> bool:
+        return self.premise1.holds and self.premise2.holds and self.premise3.holds
+
+    @property
+    def policy_justified(self) -> bool:
+        """'If the first two premises do not hold, there is no
+        justification for the policy; without the third, no effective
+        implementation is possible.'"""
+        return self.all_hold
+
+
+def _premise1(bounds: ThresholdBounds) -> PremiseReport:
+    apps = bounds.protectable_applications
+    evidence = tuple(
+        f"{a.name}: minimum {a.min_at(bounds.year):,.0f} Mtops "
+        f"> lower bound {bounds.lower_mtops:,.0f}"
+        for a in apps[:8]
+    )
+    return PremiseReport(
+        number=1,
+        statement="Problems of national-security importance require HPC "
+                  "beyond uncontrollable levels",
+        holds=len(apps) > 0,
+        evidence=evidence if apps else
+        ("no application minimum exceeds the lower bound of controllability",),
+    )
+
+
+def _premise2(year: float) -> PremiseReport:
+    active = []
+    for country in ForeignCountry:
+        capability = max_indigenous_mtops(country, year)
+        n_systems = sum(
+            1 for m in FOREIGN_SYSTEMS
+            if m.country == country.value and m.year <= year
+        )
+        if n_systems > 0:
+            active.append(
+                f"{country.value}: {n_systems} indigenous systems, best "
+                f"{capability:,.0f} Mtops"
+            )
+    return PremiseReport(
+        number=2,
+        statement="Countries of concern have the scientific and military "
+                  "wherewithal to pursue these applications",
+        holds=len(active) > 0,
+        evidence=tuple(active) or ("no country of concern has an HPC program",),
+    )
+
+
+def _premise3(bounds: ThresholdBounds) -> PremiseReport:
+    gap = (
+        bounds.upper_theoretical_mtops / bounds.lower_mtops
+        if bounds.lower_mtops > 0
+        else float("inf")
+    )
+    holds = bounds.lower_mtops > 0 and gap >= MIN_RANGE_FACTOR
+    return PremiseReport(
+        number=3,
+        statement="Features of HPC systems permit effective control "
+                  "(a meaningful controllable range exists)",
+        holds=holds,
+        evidence=(
+            f"lower bound {bounds.lower_mtops:,.0f} Mtops "
+            f"(uncontrollable {bounds.uncontrollable_mtops:,.0f}, "
+            f"foreign {bounds.foreign_mtops:,.0f})",
+            f"most powerful available {bounds.upper_theoretical_mtops:,.0f} "
+            f"Mtops (gap factor {gap:,.1f}x)",
+        ),
+    )
+
+
+def evaluate_premises(year: float = 1995.5) -> PremisesAssessment:
+    """Test all three premises at a date."""
+    check_year(year, "year")
+    bounds = derive_bounds(year)
+    return PremisesAssessment(
+        year=year,
+        bounds=bounds,
+        premise1=_premise1(bounds),
+        premise2=_premise2(year),
+        premise3=_premise3(bounds),
+    )

@@ -1,0 +1,75 @@
+"""The annual review procedure (Chapter 5 recommendations).
+
+"Perform annual reviews of the export control regime, applying a
+methodology that is open, repeatable, and based on reliable data."  An
+:class:`AnnualReview` runs the whole pipeline for one date: premises,
+bounds, cluster structure, a recommended threshold under a chosen policy,
+and the comparison against the threshold actually in force — including the
+staleness diagnosis (the 195-Mtops threshold lingering years below the
+frontier is the historical cautionary tale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro._util import check_year
+from repro.core.framework import ThresholdBounds, application_clusters, derive_bounds
+from repro.core.premises import PremisesAssessment, evaluate_premises
+from repro.core.threshold import SelectedThreshold, ThresholdPolicy, select_threshold
+from repro.diffusion.policy import threshold_at
+
+__all__ = ["AnnualReview", "run_annual_review", "review_series"]
+
+
+@dataclass(frozen=True)
+class AnnualReview:
+    """The complete output of one review cycle."""
+
+    year: float
+    premises: PremisesAssessment
+    bounds: ThresholdBounds
+    clusters: tuple[tuple[float, int], ...]
+    recommendation: SelectedThreshold
+    threshold_in_force: float
+
+    @property
+    def threshold_is_stale(self) -> bool:
+        """True when the threshold in force sits below the lower bound —
+        the regime is "trying to control the uncontrollable"."""
+        return self.threshold_in_force < self.bounds.lower_mtops
+
+    @property
+    def recommended_change_factor(self) -> float:
+        """Recommended threshold over the one in force."""
+        return self.recommendation.threshold_mtops / self.threshold_in_force
+
+
+def run_annual_review(
+    year: float = 1995.5,
+    policy: ThresholdPolicy = ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED,
+) -> AnnualReview:
+    """Run the full review pipeline for one date."""
+    check_year(year, "year")
+    bounds = derive_bounds(year)
+    clusters = tuple(
+        (start, len(members)) for start, members in application_clusters(year)
+    )
+    return AnnualReview(
+        year=year,
+        premises=evaluate_premises(year),
+        bounds=bounds,
+        clusters=clusters,
+        recommendation=select_threshold(year, policy),
+        threshold_in_force=threshold_at(year),
+    )
+
+
+def review_series(
+    years: Sequence[float],
+    policy: ThresholdPolicy = ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED,
+) -> list[AnnualReview]:
+    """Run the review for each year — the recommended cadence is at most
+    twelve months between iterations."""
+    return [run_annual_review(float(y), policy) for y in years]

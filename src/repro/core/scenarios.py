@@ -1,0 +1,197 @@
+"""Premise-failure scenarios and the erosion conjecture (Chapters 2, 6).
+
+Chapter 2 closes with the ways the regime could collapse; Chapter 6
+conjectures that "the efficacy of the current control regime will weaken
+significantly over the longer term".  These projections make the
+conjecture concrete:
+
+* **Premise 1 failure** — the year the rising lower bound overtakes every
+  *current* application minimum (no new stalactites assumed): after this,
+  nothing the regime protects requires controllable hardware.
+* **Premise 3 failure** — the gap between the most powerful available
+  system (line D) and the lower bound (line A) compresses until "there is
+  no meaningful range of controllability".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_year
+from repro.apps.catalog import APPLICATIONS
+from repro.controllability.frontier import projected_frontier_mtops
+from repro.core.framework import MIN_RANGE_FACTOR, derive_bounds, lower_bound_mtops
+
+__all__ = [
+    "ScenarioOutcome",
+    "premise1_failure_year",
+    "premise1_with_renewal",
+    "premise3_gap_series",
+    "erosion_report",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Projected failure year for one premise (None = no failure within
+    the horizon)."""
+
+    premise: int
+    failure_year: float | None
+    description: str
+
+
+def _lower_bound_projected(year: float, catalog_through: float = 1999.9) -> float:
+    """Catalog-driven lower bound within coverage; trend projection after."""
+    if year <= catalog_through:
+        return lower_bound_mtops(year)
+    return max(
+        lower_bound_mtops(catalog_through),
+        projected_frontier_mtops(year),
+    )
+
+
+def premise1_failure_year(
+    start: float = 1995.5,
+    horizon: float = 2015.0,
+    step: float = 0.25,
+    exclude_memory_bound: bool = False,
+) -> float | None:
+    """First year the lower bound exceeds every current application minimum.
+
+    ``exclude_memory_bound=True`` drops the applications whose real gate is
+    closely-coupled memory rather than operation rate — the paper's point
+    that CTP stops being the binding measure for exactly those.
+    """
+    check_year(start, "start")
+    check_year(horizon, "horizon")
+    apps = [
+        a for a in APPLICATIONS
+        if not (exclude_memory_bound and a.memory_bound)
+    ]
+    years = np.arange(start, horizon + 1e-9, step)
+    for year in years:
+        live_mins = [a.min_at(year) for a in apps if a.year_first <= year]
+        if not live_mins:
+            continue
+        if _lower_bound_projected(float(year)) > max(live_mins):
+            return float(year)
+    return None
+
+
+def premise1_with_renewal(
+    new_app_interval_years: float = 1.0,
+    frontier_multiple: float = 2.0,
+    start: float = 1995.5,
+    horizon: float = 2015.0,
+    step: float = 0.25,
+) -> ScenarioOutcome:
+    """Premise 1 when new stalactites keep emerging (Chapter 2's caveat).
+
+    The failure scenario "might take place if new applications with very
+    high minimum computational requirements do not emerge".  Here they do:
+    every ``new_app_interval_years`` a new application appears whose
+    minimum is ``frontier_multiple`` times the then-current lower bound
+    (problem sizes grow with the machines — note 27's other direction).
+    Each new stalactite then drifts downward like any other.
+
+    Whether the justification renews depends on the race between the
+    frontier's growth and the birth cadence: a new 2x-frontier stalactite
+    stays above the rising bound for only ~15 months, so annual births
+    sustain premise 1 indefinitely while biennial births leave uncovered
+    windows.  The erosion conjecture is really a conjecture about
+    *application demand*, not about hardware.
+    """
+    check_year(start, "start")
+    check_year(horizon, "horizon")
+    if new_app_interval_years <= 0:
+        raise ValueError("new_app_interval_years must be positive")
+    if frontier_multiple <= 0:
+        raise ValueError("frontier_multiple must be positive")
+    from repro.apps.requirements import DRIFT_RATE_PER_YEAR
+
+    synthetic: list[tuple[float, float]] = []  # (year_first, min at birth)
+    next_birth = start
+    failure = None
+    year = start
+    while year <= horizon:
+        bound = _lower_bound_projected(float(year))
+        if year >= next_birth:
+            synthetic.append((float(year), frontier_multiple * bound))
+            next_birth += new_app_interval_years
+        live = [a.min_at(year) for a in APPLICATIONS if a.year_first <= year]
+        live += [
+            born_min * max((1.0 - DRIFT_RATE_PER_YEAR) ** (year - born), 0.3)
+            for born, born_min in synthetic
+        ]
+        if live and bound > max(live):
+            failure = float(year)
+            break
+        year += step
+    return ScenarioOutcome(
+        premise=1,
+        failure_year=failure,
+        description=(
+            f"new applications every {new_app_interval_years:g} years at "
+            f"{frontier_multiple:g}x the frontier"
+        ),
+    )
+
+
+def premise3_gap_series(
+    years: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Gap factor line D / line A over a year grid.
+
+    A value near 1 means the building-block world has arrived: "the most
+    powerful systems" are just big stacks of uncontrollable parts.
+    """
+    out = np.empty(len(years))
+    for i, year in enumerate(np.asarray(years, dtype=float)):
+        bounds = derive_bounds(float(year))
+        lower = bounds.lower_mtops
+        out[i] = np.inf if lower == 0 else bounds.upper_theoretical_mtops / lower
+    return out
+
+
+@dataclass(frozen=True)
+class ErosionReport:
+    """The Chapter 6 longer-term picture, computed."""
+
+    premise1: ScenarioOutcome
+    premise1_without_memory_bound: ScenarioOutcome
+    gap_1995: float
+    gap_1999: float
+
+    @property
+    def weakens_over_time(self) -> bool:
+        """The erosion conjecture: the controllable range narrows and/or
+        premise 1 eventually fails."""
+        gap_narrows = self.gap_1999 < self.gap_1995
+        return gap_narrows or self.premise1.failure_year is not None
+
+
+def erosion_report(horizon: float = 2015.0) -> ErosionReport:
+    """Compute the erosion picture out to ``horizon``."""
+    y1 = premise1_failure_year(horizon=horizon)
+    y1m = premise1_failure_year(horizon=horizon, exclude_memory_bound=True)
+    gaps = premise3_gap_series([1995.5, 1999.5])
+    return ErosionReport(
+        premise1=ScenarioOutcome(
+            premise=1,
+            failure_year=y1,
+            description="lower bound overtakes every current application "
+                        "minimum (no new stalactites assumed)",
+        ),
+        premise1_without_memory_bound=ScenarioOutcome(
+            premise=1,
+            failure_year=y1m,
+            description="as above, ignoring applications whose true gate "
+                        "is closely-coupled memory (which CTP mis-measures)",
+        ),
+        gap_1995=float(gaps[0]),
+        gap_1999=float(gaps[1]),
+    )

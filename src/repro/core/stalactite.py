@@ -1,0 +1,102 @@
+"""Application stalactites and their computing-range envelopes (Figures 1-2).
+
+A stalactite hangs from the year an application was first performed down to
+its minimum computational requirement.  Around it sit three curves:
+
+* the minimum requirement, drifting slowly downward (software improves);
+* the system actually used, which rises with the maximum available
+  ("the first time the application is successfully performed, the actual
+  system may coincide with the lower bound or the maximum (usually the
+  latter)");
+* the maximum available, the most powerful system on the market.
+
+Figure 1 draws this picture for the F-22 design; Figure 2 overlays
+stalactites with the uncontrollability and foreign-availability technology
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_year
+from repro.apps.catalog import find_application
+from repro.apps.requirements import ApplicationRequirement
+from repro.machines.catalog import max_available_mtops
+
+__all__ = ["ComputingRange", "Stalactite", "f22_stalactite"]
+
+
+@dataclass(frozen=True)
+class ComputingRange:
+    """The Figure 1 envelope at one date."""
+
+    year: float
+    minimum_mtops: float
+    actual_mtops: float
+    maximum_available_mtops: float
+
+    def __post_init__(self) -> None:
+        if not (
+            self.minimum_mtops
+            <= self.actual_mtops * (1 + 1e-9)
+            and self.actual_mtops
+            <= self.maximum_available_mtops * (1 + 1e-9)
+        ):
+            raise ValueError(
+                "range must satisfy minimum <= actual <= maximum "
+                f"(got {self.minimum_mtops}, {self.actual_mtops}, "
+                f"{self.maximum_available_mtops})"
+            )
+
+
+@dataclass(frozen=True)
+class Stalactite:
+    """One application's computing range over time."""
+
+    application: ApplicationRequirement
+
+    def minimum_at(self, year: float) -> float:
+        """Drifted minimum requirement."""
+        return self.application.min_at(year)
+
+    def actual_at(self, year: float) -> float:
+        """System actually used at ``year``.
+
+        Before first performance there is no actual system (ValueError).
+        At first performance it is the cataloged actual machine; it then
+        rises proportionally with the maximum available (programs upgrade
+        as budgets allow) without ever falling below the original system.
+        """
+        check_year(year, "year")
+        app = self.application
+        if year < app.year_first:
+            raise ValueError(
+                f"{app.name} was first performed in {app.year_first}; no "
+                f"actual system exists at {year}"
+            )
+        base = app.actual_mtops if app.actual_mtops is not None else app.min_mtops
+        growth = max_available_mtops(year) / max_available_mtops(app.year_first)
+        actual = base * max(growth, 1.0)
+        return float(min(actual, max_available_mtops(year)))
+
+    def range_at(self, year: float) -> ComputingRange:
+        """The full envelope at one date."""
+        return ComputingRange(
+            year=year,
+            minimum_mtops=min(self.minimum_at(year), self.actual_at(year)),
+            actual_mtops=self.actual_at(year),
+            maximum_available_mtops=max_available_mtops(year),
+        )
+
+    def series(self, years: Sequence[float]) -> list[ComputingRange]:
+        """Envelope over a year grid (Figure 1's bands)."""
+        return [self.range_at(float(y)) for y in np.asarray(years, dtype=float)]
+
+
+def f22_stalactite() -> Stalactite:
+    """The Figure 1 subject."""
+    return Stalactite(find_application("F-22 design"))

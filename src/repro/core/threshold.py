@@ -1,0 +1,194 @@
+"""Snapshot threshold analysis and selection policies (Figures 3 and 11).
+
+A :class:`Snapshot` overlays the two distributions of Figure 3 — installed
+systems and application minimum requirements — with lines A (lower bound of
+controllability) and D (most powerful system available).  Three selection
+policies from Chapter 2:
+
+* ``CONTROL_WHAT_CAN_BE_CONTROLLED`` — the threshold sits at line A:
+  "that which can be controlled should be controlled";
+* ``APPLICATION_DRIVEN`` — "set the threshold just below the minimum of
+  all the minimum requirements" that lie above A;
+* ``ECONOMIC`` — climb above A while the market decontrolled per
+  application given up stays favorable (line B, not line C: "thresholds
+  just above a hump in the applications distribution should be avoided").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_year
+from repro.apps.catalog import APPLICATIONS
+from repro.apps.requirements import ApplicationRequirement
+from repro.core.framework import ThresholdBounds, derive_bounds
+from repro.market.installed import installed_distribution, installed_units_above
+
+__all__ = [
+    "ThresholdPolicy",
+    "Snapshot",
+    "SelectedThreshold",
+    "snapshot",
+    "select_threshold",
+]
+
+
+class ThresholdPolicy(enum.Enum):
+    """Chapter 2's three threshold-selection perspectives."""
+
+    CONTROL_WHAT_CAN_BE_CONTROLLED = "control what can be controlled"
+    APPLICATION_DRIVEN = "application-driven"
+    ECONOMIC = "economic balance"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The Figure 11 overlay at one date."""
+
+    year: float
+    bounds: ThresholdBounds
+    bin_edges: np.ndarray
+    installed_counts: np.ndarray
+    application_counts: np.ndarray
+
+    @property
+    def line_a_mtops(self) -> float:
+        """Lower bound of controllability."""
+        return self.bounds.lower_mtops
+
+    @property
+    def line_d_mtops(self) -> float:
+        """Most powerful system available."""
+        return self.bounds.upper_theoretical_mtops
+
+    def bin_centers(self) -> np.ndarray:
+        return np.sqrt(self.bin_edges[:-1] * self.bin_edges[1:])
+
+
+def snapshot(year: float = 1995.5) -> Snapshot:
+    """Build the Figure 11 snapshot: both distributions plus lines A/D."""
+    check_year(year, "year")
+    bounds = derive_bounds(year)
+    edges, installed = installed_distribution(year)
+    mins = np.array(
+        [a.min_at(year) for a in APPLICATIONS if a.year_first <= year]
+    )
+    app_counts = np.histogram(mins, bins=edges)[0]
+    return Snapshot(
+        year=year,
+        bounds=bounds,
+        bin_edges=edges,
+        installed_counts=installed,
+        application_counts=app_counts,
+    )
+
+
+@dataclass(frozen=True)
+class SelectedThreshold:
+    """A recommended threshold with its consequences."""
+
+    year: float
+    policy: ThresholdPolicy
+    threshold_mtops: float
+    #: Applications decontrolled by this choice (minimums between the
+    #: lower bound and the threshold) — the security price paid.
+    applications_given_up: tuple[ApplicationRequirement, ...]
+    #: Installed units decontrolled relative to a threshold at line A —
+    #: the economic benefit bought.
+    units_decontrolled: float
+    rationale: str
+
+
+def _apps_between(year: float, low: float, high: float) -> tuple[ApplicationRequirement, ...]:
+    return tuple(
+        a for a in APPLICATIONS
+        if a.year_first <= year and low < a.min_at(year) <= high
+    )
+
+
+def select_threshold(
+    year: float = 1995.5,
+    policy: ThresholdPolicy = ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED,
+    margin: float = 0.95,
+) -> SelectedThreshold:
+    """Apply one selection policy to the snapshot at ``year``.
+
+    ``margin`` places application-driven thresholds just *below* the
+    requirement they protect.
+    """
+    if not 0.0 < margin <= 1.0:
+        raise ValueError("margin must be in (0, 1]")
+    bounds = derive_bounds(year)
+    line_a = bounds.lower_mtops
+
+    if policy is ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED:
+        threshold = line_a
+        rationale = (
+            "Threshold at the lower bound of controllability: everything "
+            "that can be controlled, is."
+        )
+    elif policy is ThresholdPolicy.APPLICATION_DRIVEN:
+        upper = bounds.upper_application_mtops
+        if upper is None:
+            threshold = line_a
+            rationale = (
+                "No application minimum lies above the lower bound; "
+                "fall back to the controllability line."
+            )
+        else:
+            threshold = upper * margin
+            rationale = (
+                f"Just below the smallest protectable requirement "
+                f"({upper:,.0f} Mtops): all applications that can be "
+                f"protected, are."
+            )
+    elif policy is ThresholdPolicy.ECONOMIC:
+        # Climb from line A step by step; each step to the next
+        # application level is taken only while the *marginal* market
+        # decontrolled buys at least `min_units_per_app` installations per
+        # application given up at that step (the B-not-C rule: stop below
+        # a hump in the applications distribution).
+        min_units_per_app = 100.0
+        candidates = sorted(
+            {a.min_at(year) for a in bounds.protectable_applications}
+        )
+        threshold = line_a
+        accepted_level = line_a
+        given_up = 0
+        for level in candidates:
+            marginal_units = installed_units_above(
+                accepted_level, year
+            ) - installed_units_above(level, year)
+            # Passing `level` gives up every application between the last
+            # accepted level and this one, inclusive of this one.
+            marginal_apps = len(_apps_between(year, accepted_level, level))
+            if marginal_units >= min_units_per_app * max(marginal_apps, 1):
+                accepted_level = level
+                # The threshold sits just above the level given up.
+                threshold = level * 1.02
+                given_up += marginal_apps
+            else:
+                break
+        rationale = (
+            f"Climbed while each step decontrolled >= "
+            f"{min_units_per_app:.0f} units per application given up; "
+            f"stopped before the applications hump ({given_up} given up)."
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown policy {policy!r}")
+
+    threshold = float(max(threshold, line_a))
+    return SelectedThreshold(
+        year=year,
+        policy=policy,
+        threshold_mtops=threshold,
+        applications_given_up=_apps_between(year, line_a, threshold),
+        units_decontrolled=float(
+            installed_units_above(line_a, year)
+            - installed_units_above(threshold, year)
+        ) if threshold > line_a else 0.0,
+        rationale=rationale,
+    )

@@ -1,0 +1,41 @@
+"""Cryptologic substrate: a real DES implementation and keysearch driver.
+
+Chapter 4 retires cryptology as a threshold justification because "a brute
+force attack is tailor-made for parallel processors".  Rather than assert
+that, this package implements the Data Encryption Standard itself
+(``des``: vectorized over keys with numpy, verified against the classical
+known-answer tests) and a brute-force keysearch driver (``keysearch``)
+that partitions a keyspace exactly the way the paper describes — "each
+processor ... can be set to work on only a portion of the keyspace without
+reference to the activities of the other processors".
+
+The driver also grounds the cost model in
+:mod:`repro.simulate.applications`: the word-level operation count per key
+trial is derived from the cipher's actual structure rather than assumed.
+"""
+
+from repro.crypto.des import (
+    des_decrypt_block,
+    des_encrypt_block,
+    encrypt_blocks,
+    key_schedule_bits,
+)
+from repro.crypto.keysearch import (
+    KeysearchResult,
+    WORD_OPS_PER_KEY,
+    brute_force,
+    keyspace_partition,
+    ops_per_key_breakdown,
+)
+
+__all__ = [
+    "des_encrypt_block",
+    "des_decrypt_block",
+    "encrypt_blocks",
+    "key_schedule_bits",
+    "KeysearchResult",
+    "WORD_OPS_PER_KEY",
+    "brute_force",
+    "keyspace_partition",
+    "ops_per_key_breakdown",
+]

@@ -1,0 +1,207 @@
+"""The Data Encryption Standard (FIPS 46), vectorized over keys.
+
+Blocks and keys are represented as boolean bit arrays (MSB first), so every
+DES permutation is a single numpy fancy-indexing gather and the whole
+cipher vectorizes cleanly over an axis of candidate keys — which is exactly
+the shape a brute-force keysearch needs (one plaintext, many keys).
+
+Correctness is pinned by the classical known-answer tests (see
+``tests/test_crypto_des.py``): the Stinson/FIPS exercise vector
+``DES(0x0123456789ABCDEF, key=0x133457799BBCDFF1) = 0x85E813540F0AB405``
+and the all-zeros / all-ones vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "key_schedule_bits",
+    "encrypt_blocks",
+    "des_encrypt_block",
+    "des_decrypt_block",
+]
+
+# --------------------------------------------------------------------------
+# FIPS 46 tables (1-based bit positions, MSB = bit 1).
+
+_IP = [58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+       62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+       57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+       61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7]
+
+_FP = [40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+       38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+       36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+       34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25]
+
+_E = [32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9,
+      8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+      16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+      24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1]
+
+_P = [16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10,
+      2, 8, 24, 14, 32, 27, 3, 9, 19, 13, 30, 6, 22, 11, 4, 25]
+
+_PC1 = [57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18,
+        10, 2, 59, 51, 43, 35, 27, 19, 11, 3, 60, 52, 44, 36,
+        63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22,
+        14, 6, 61, 53, 45, 37, 29, 21, 13, 5, 28, 20, 12, 4]
+
+_PC2 = [14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10,
+        23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2,
+        41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+        44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32]
+
+_SHIFTS = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1]
+
+_SBOXES = np.array([
+    # S1
+    [[14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+     [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+     [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+     [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13]],
+    # S2
+    [[15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+     [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+     [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+     [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9]],
+    # S3
+    [[10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+     [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+     [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+     [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12]],
+    # S4
+    [[7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+     [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+     [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+     [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14]],
+    # S5
+    [[2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+     [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+     [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+     [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3]],
+    # S6
+    [[12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+     [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+     [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+     [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13]],
+    # S7
+    [[4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+     [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+     [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+     [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12]],
+    # S8
+    [[13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+     [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+     [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+     [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11]],
+], dtype=np.uint8)
+
+# Pre-converted 0-based gather indices.
+_IP_IDX = np.array(_IP) - 1
+_FP_IDX = np.array(_FP) - 1
+_E_IDX = np.array(_E) - 1
+_P_IDX = np.array(_P) - 1
+_PC1_IDX = np.array(_PC1) - 1
+_PC2_IDX = np.array(_PC2) - 1
+
+#: Powers of two used to turn 6-bit S-box inputs into row/column indices.
+_ROW_W = np.array([2, 1], dtype=np.uint8)
+_COL_W = np.array([8, 4, 2, 1], dtype=np.uint8)
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Integer -> MSB-first boolean bit array of length ``width``."""
+    if value < 0 or value >= 1 << width:
+        raise ValueError(f"value does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=bool)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """MSB-first boolean bit array -> integer."""
+    out = 0
+    for b in np.asarray(bits, dtype=bool).ravel():
+        out = (out << 1) | int(b)
+    return out
+
+
+def key_schedule_bits(key_bits: np.ndarray) -> np.ndarray:
+    """Sixteen 48-bit round keys from 64-bit keys.
+
+    ``key_bits`` has shape ``(..., 64)``; the result ``(..., 16, 48)``.
+    Parity bits (every 8th) are ignored, per the standard.
+    """
+    key_bits = np.asarray(key_bits, dtype=bool)
+    if key_bits.shape[-1] != 64:
+        raise ValueError("keys must be 64 bits wide")
+    cd = key_bits[..., _PC1_IDX]                       # (..., 56)
+    c, d = cd[..., :28], cd[..., 28:]
+    rounds = []
+    for shift in _SHIFTS:
+        c = np.concatenate([c[..., shift:], c[..., :shift]], axis=-1)
+        d = np.concatenate([d[..., shift:], d[..., :shift]], axis=-1)
+        rounds.append(np.concatenate([c, d], axis=-1)[..., _PC2_IDX])
+    return np.stack(rounds, axis=-2)                   # (..., 16, 48)
+
+
+def _feistel(right: np.ndarray, round_key: np.ndarray) -> np.ndarray:
+    """The f-function: expand, key-mix, S-boxes, permute.
+
+    ``right``: (..., 32); ``round_key``: (..., 48).
+    """
+    x = right[..., _E_IDX] ^ round_key                 # (..., 48)
+    x6 = x.reshape(*x.shape[:-1], 8, 6)
+    rows = (x6[..., [0, 5]].astype(np.uint8) * _ROW_W).sum(axis=-1)
+    cols = (x6[..., 1:5].astype(np.uint8) * _COL_W).sum(axis=-1)
+    sbox_idx = np.arange(8)
+    nibbles = _SBOXES[sbox_idx, rows, cols]            # (..., 8) values 0-15
+    out_bits = (
+        (nibbles[..., None] >> np.array([3, 2, 1, 0])) & 1
+    ).astype(bool)                                     # (..., 8, 4)
+    flat = out_bits.reshape(*out_bits.shape[:-2], 32)
+    return flat[..., _P_IDX]
+
+
+def encrypt_blocks(
+    plain_bits: np.ndarray,
+    key_bits: np.ndarray,
+    decrypt: bool = False,
+) -> np.ndarray:
+    """DES over broadcast-compatible bit arrays.
+
+    ``plain_bits``: (..., 64); ``key_bits``: (..., 64).  The leading shapes
+    broadcast, so one plaintext against ``(n, 64)`` keys yields ``(n, 64)``
+    ciphertexts — the keysearch shape.
+    """
+    plain_bits = np.asarray(plain_bits, dtype=bool)
+    if plain_bits.shape[-1] != 64:
+        raise ValueError("blocks must be 64 bits wide")
+    round_keys = key_schedule_bits(key_bits)
+    if decrypt:
+        round_keys = round_keys[..., ::-1, :]
+    state = plain_bits[..., _IP_IDX]
+    left, right = state[..., :32], state[..., 32:]
+    for r in range(16):
+        # xor broadcasting carries the key batch shape through the rounds.
+        left, right = right, left ^ _feistel(right, round_keys[..., r, :])
+    left = np.broadcast_to(left, right.shape)
+    # Final swap then inverse initial permutation.
+    preoutput = np.concatenate([right, left], axis=-1)
+    return preoutput[..., _FP_IDX]
+
+
+def des_encrypt_block(plaintext: int, key: int) -> int:
+    """Encrypt one 64-bit block under one 64-bit key (integers)."""
+    out = encrypt_blocks(int_to_bits(plaintext, 64), int_to_bits(key, 64))
+    return bits_to_int(out)
+
+
+def des_decrypt_block(ciphertext: int, key: int) -> int:
+    """Decrypt one 64-bit block under one 64-bit key (integers)."""
+    out = encrypt_blocks(int_to_bits(ciphertext, 64), int_to_bits(key, 64),
+                         decrypt=True)
+    return bits_to_int(out)

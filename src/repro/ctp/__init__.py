@@ -1,0 +1,74 @@
+"""Composite Theoretical Performance (CTP) metric, measured in Mtops.
+
+This package reconstructs the export-control performance metric adopted by
+CoCom in June 1990 and published in the U.S. Federal Register on February 6,
+1992 (57 FR 4553).  The paper under reproduction uses CTP ratings as its
+universal performance scale; every machine, application requirement, and
+control threshold in the study is expressed in Mtops.
+
+The reconstruction implements the documented elements of the formula:
+
+* a per-computing-element *effective calculating rate* derived from
+  instruction issue rates (``repro.ctp.rates``),
+* the word-length adjustment ``L = 1/3 + WL/96`` (``repro.ctp.elements``),
+* diminishing aggregation credit for additional processors, with the
+  documented 0.75 coefficient for shared-memory (SMP) configurations and a
+  calibrated, interconnect-discounted schedule for distributed-memory and
+  clustered configurations (``repro.ctp.aggregate``).
+
+Where the full regulatory text is unavailable, coefficients are calibrated
+against the CTP ratings quoted in the paper (e.g. Cray C916 = 21,125 Mtops,
+Cray T3D = 10,056 Mtops, Intel Paragon 150-node = 4,864 Mtops) which the
+machine catalog carries as ground truth.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.ctp.elements import (
+    ComputingElement,
+    word_length_factor,
+)
+from repro.ctp.rates import (
+    effective_rate,
+    rate_from_timings,
+    theoretical_performance,
+)
+from repro.ctp.aggregate import (
+    Coupling,
+    CTPParameters,
+    DEFAULT_PARAMETERS,
+    aggregation_credits,
+    aggregate,
+    aggregate_homogeneous,
+)
+from repro.ctp.worksheet import (
+    machine_worksheet,
+    rating_worksheet,
+)
+from repro.ctp.metric import (
+    ctp,
+    ctp_homogeneous,
+    mflops_to_mtops,
+    mips_to_mtops,
+    mtops_to_mflops,
+)
+
+__all__ = [
+    "ComputingElement",
+    "word_length_factor",
+    "effective_rate",
+    "rate_from_timings",
+    "theoretical_performance",
+    "Coupling",
+    "CTPParameters",
+    "DEFAULT_PARAMETERS",
+    "aggregation_credits",
+    "aggregate",
+    "aggregate_homogeneous",
+    "machine_worksheet",
+    "rating_worksheet",
+    "ctp",
+    "ctp_homogeneous",
+    "mflops_to_mtops",
+    "mips_to_mtops",
+    "mtops_to_mflops",
+]

@@ -1,0 +1,179 @@
+"""Aggregation of multiple computing elements into one CTP rating.
+
+The CTP of a multiprocessor is a discounted sum of per-element theoretical
+performances::
+
+    CTP = TP_1 + C_2 * TP_2 + ... + C_n * TP_n
+
+with elements ordered from most to least powerful.  The credit schedule
+``C_i`` depends on how tightly the elements are coupled:
+
+* **Shared memory (SMP)** — the documented coefficient: ``C_i = 0.75`` for
+  every additional element.  A 16-processor SMP therefore rates
+  ``TP * (1 + 15 * 0.75) = 12.25 * TP``; with the paper's quoted Cray C916
+  rating of 21,125 Mtops this implies ~1,724 Mtops per C90 processor.
+* **Distributed memory (MPP)** — a calibrated declining schedule
+  ``C_i = 0.75 / (i - 1)**gamma`` with ``gamma = 0.5`` by default.  The
+  square-root decline reproduces the relative ratings the paper quotes for
+  Intel iPSC/860 (128 nodes, 3,485 Mtops) and Paragon (150 nodes, 4,864
+  Mtops) to within a few percent once the 40 vs 50 MHz node clocks are
+  accounted for.
+* **Cluster** — the distributed schedule further discounted by an
+  interconnect factor ``beta`` in (0, 1] reflecting LAN-class bandwidth and
+  latency.  (The regulations of the era gave no approved way to compute a
+  cluster CTP — paper, Chapter 3 note 55 — so this is an explicit extension,
+  conservative relative to the CSTAC 75%-efficiency proposal the paper
+  criticizes.)
+
+All coefficients live in :class:`CTPParameters` so ablation benchmarks can
+sweep them (see DESIGN.md, "Design choices worth ablating").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import check_fraction, check_non_negative, check_positive
+
+__all__ = [
+    "Coupling",
+    "CTPParameters",
+    "DEFAULT_PARAMETERS",
+    "aggregation_credits",
+    "aggregate",
+    "aggregate_homogeneous",
+]
+
+
+class Coupling(enum.Enum):
+    """How a machine's computing elements are coupled."""
+
+    #: Single computing element (uniprocessor); no aggregation discount.
+    SINGLE = "single"
+    #: Tightly coupled, shared main memory (symmetric multiprocessor).
+    SHARED = "shared"
+    #: Distributed memory with a proprietary high-speed interconnect (MPP).
+    DISTRIBUTED = "distributed"
+    #: Workstations on commodity networks coordinated by software (PVM etc.).
+    CLUSTER = "cluster"
+
+
+@dataclass(frozen=True)
+class CTPParameters:
+    """Tunable coefficients of the aggregation rule.
+
+    Attributes
+    ----------
+    shared_credit:
+        Credit for each additional shared-memory element (documented: 0.75).
+    distributed_base:
+        Leading credit for distributed-memory elements.
+    distributed_gamma:
+        Exponent of the per-element decline ``C_i = base / (i-1)**gamma``.
+        ``gamma = 0`` recovers a flat schedule; 0.5 is the calibrated default.
+    cluster_beta:
+        Default interconnect discount applied on top of the distributed
+        schedule for commodity-network clusters.
+    """
+
+    shared_credit: float = 0.75
+    distributed_base: float = 0.75
+    distributed_gamma: float = 0.5
+    cluster_beta: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_fraction(self.shared_credit, "shared_credit")
+        check_fraction(self.distributed_base, "distributed_base")
+        check_non_negative(self.distributed_gamma, "distributed_gamma")
+        check_fraction(self.cluster_beta, "cluster_beta")
+        if self.cluster_beta == 0.0:
+            raise ValueError("cluster_beta must be positive")
+
+
+DEFAULT_PARAMETERS = CTPParameters()
+
+
+def aggregation_credits(
+    n: int,
+    coupling: Coupling,
+    params: CTPParameters = DEFAULT_PARAMETERS,
+    interconnect_beta: float | None = None,
+) -> np.ndarray:
+    """Credit vector ``[C_1 .. C_n]`` (``C_1`` is always 1).
+
+    Parameters
+    ----------
+    n:
+        Number of computing elements (>= 1).
+    coupling:
+        Coupling class of the configuration.
+    params:
+        Aggregation coefficients.
+    interconnect_beta:
+        Cluster-only override of the interconnect discount; ignored for
+        other couplings.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if coupling is Coupling.SINGLE and n > 1:
+        raise ValueError("SINGLE coupling admits exactly one element")
+
+    credits = np.ones(n)
+    if n == 1:
+        return credits
+
+    i = np.arange(2, n + 1, dtype=float)
+    if coupling is Coupling.SHARED:
+        credits[1:] = params.shared_credit
+    elif coupling is Coupling.DISTRIBUTED:
+        credits[1:] = params.distributed_base / (i - 1.0) ** params.distributed_gamma
+    elif coupling is Coupling.CLUSTER:
+        beta = params.cluster_beta if interconnect_beta is None else interconnect_beta
+        beta = check_fraction(beta, "interconnect_beta")
+        if beta == 0.0:
+            raise ValueError("interconnect_beta must be positive")
+        credits[1:] = beta * params.distributed_base / (i - 1.0) ** params.distributed_gamma
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown coupling {coupling!r}")
+    return credits
+
+
+def aggregate(
+    tps: Sequence[float],
+    coupling: Coupling,
+    params: CTPParameters = DEFAULT_PARAMETERS,
+    interconnect_beta: float | None = None,
+) -> float:
+    """CTP of a configuration given per-element theoretical performances.
+
+    Elements are sorted in descending order before credits are applied, as
+    the formula requires (``TP_1`` is the most powerful element).
+    """
+    if len(tps) == 0:
+        raise ValueError("at least one computing element is required")
+    arr = np.sort(np.asarray(tps, dtype=float))[::-1]
+    if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+        raise ValueError("all theoretical performances must be finite and positive")
+    effective = Coupling.SINGLE if len(arr) == 1 else coupling
+    credits = aggregation_credits(len(arr), effective, params, interconnect_beta)
+    return float(np.dot(credits, arr))
+
+
+def aggregate_homogeneous(
+    tp: float,
+    n: int,
+    coupling: Coupling,
+    params: CTPParameters = DEFAULT_PARAMETERS,
+    interconnect_beta: float | None = None,
+) -> float:
+    """CTP of ``n`` identical elements of theoretical performance ``tp``."""
+    tp = check_positive(tp, "tp")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    effective = Coupling.SINGLE if n == 1 else coupling
+    credits = aggregation_credits(n, effective, params, interconnect_beta)
+    return float(tp * credits.sum())

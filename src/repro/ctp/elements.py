@@ -1,0 +1,106 @@
+"""Computing elements and the CTP word-length adjustment.
+
+A *computing element* (CE) is the unit the CTP formula rates: a processor (or
+an independently schedulable arithmetic complex within one) described by its
+issue rates for fixed- and floating-point theoretical operations.
+
+The word-length adjustment is the one piece of the CTP formula that survives
+verbatim in the public record::
+
+    L = 1/3 + WL / 96
+
+so a 64-bit element scores ``L = 1.0``, a 32-bit element ``L = 2/3``, and an
+8-bit microcontroller ``L = 5/12``.  This is why Mtops and Mflops are "roughly
+equivalent" for 64-bit scientific machines (paper, Chapter 1, note 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_non_negative, check_positive
+
+__all__ = ["word_length_factor", "ComputingElement"]
+
+
+def word_length_factor(word_bits: float) -> float:
+    """CTP word-length adjustment ``L = 1/3 + WL/96``.
+
+    Parameters
+    ----------
+    word_bits:
+        Operand word length in bits.  Must be positive; values above 64 are
+        permitted (the formula keeps growing, matching the treatment of
+        extended-precision hardware).
+    """
+    word_bits = check_positive(word_bits, "word_bits")
+    return 1.0 / 3.0 + word_bits / 96.0
+
+
+@dataclass(frozen=True)
+class ComputingElement:
+    """One CTP computing element.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"i860XR"`` or ``"C90 CPU"``.
+    clock_mhz:
+        Clock frequency in MHz.
+    word_bits:
+        Operand word length in bits (drives the ``L`` adjustment).
+    fp_ops_per_cycle:
+        Peak floating-point theoretical operations issued per cycle
+        (0 for elements with no floating-point hardware).  For vector
+        processors this counts all concurrently operating pipelines
+        (e.g. 2 pipes x (add + multiply) = 4).
+    int_ops_per_cycle:
+        Peak fixed-point theoretical operations issued per cycle.
+    concurrent_int_fp:
+        True when fixed- and floating-point units issue concurrently, in
+        which case their rates add; otherwise the faster unit defines the
+        element's rate.  Vector supercomputers with independent scalar and
+        address hardware rate substantially above their Mflops peak for
+        exactly this reason (e.g. Cray Y-MP/2 = 958 Mtops vs. 666 peak
+        Mflops).
+    """
+
+    name: str
+    clock_mhz: float
+    word_bits: float = 64.0
+    fp_ops_per_cycle: float = 1.0
+    int_ops_per_cycle: float = 1.0
+    concurrent_int_fp: bool = False
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.clock_mhz, "clock_mhz")
+        check_positive(self.word_bits, "word_bits")
+        check_non_negative(self.fp_ops_per_cycle, "fp_ops_per_cycle")
+        check_non_negative(self.int_ops_per_cycle, "int_ops_per_cycle")
+        if self.fp_ops_per_cycle == 0.0 and self.int_ops_per_cycle == 0.0:
+            raise ValueError(
+                f"computing element {self.name!r} has no arithmetic capability"
+            )
+
+    @property
+    def length_factor(self) -> float:
+        """Word-length adjustment ``L`` for this element."""
+        return word_length_factor(self.word_bits)
+
+    def scaled_clock(self, clock_mhz: float) -> "ComputingElement":
+        """Return a copy of this element at a different clock frequency.
+
+        Used by trend generators to model speed-bumped variants of a
+        microprocessor family without re-specifying the microarchitecture.
+        """
+        check_positive(clock_mhz, "clock_mhz")
+        return ComputingElement(
+            name=self.name,
+            clock_mhz=clock_mhz,
+            word_bits=self.word_bits,
+            fp_ops_per_cycle=self.fp_ops_per_cycle,
+            int_ops_per_cycle=self.int_ops_per_cycle,
+            concurrent_int_fp=self.concurrent_int_fp,
+            notes=self.notes,
+        )

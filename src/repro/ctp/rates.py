@@ -1,0 +1,75 @@
+"""Effective calculating rates and per-element theoretical performance.
+
+The CTP formula first assigns each computing element an *effective
+calculating rate* ``R`` in millions of theoretical operations per second,
+then adjusts it for word length::
+
+    TP = R * L,   L = 1/3 + WL/96
+
+``R`` can be derived two ways, both provided here:
+
+* from issue rates (``effective_rate``): clock frequency times theoretical
+  operations issued per cycle — the natural description for pipelined
+  microprocessors and vector units;
+* from instruction execution times (``rate_from_timings``): the reciprocal
+  of the effective time per operation — the form used in the regulatory
+  text, convenient for non-pipelined historical machines (a 1-MIPS
+  VAX-11/780 rates ~1 Mtops x L(32) ~ 0.67; the paper quotes 0.8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro._util import check_positive
+from repro.ctp.elements import ComputingElement
+
+__all__ = ["effective_rate", "rate_from_timings", "theoretical_performance"]
+
+
+def effective_rate(element: ComputingElement) -> float:
+    """Effective calculating rate ``R`` of one element, in millions of
+    theoretical operations per second.
+
+    For elements whose fixed- and floating-point hardware issues
+    concurrently the rates add; otherwise the faster unit governs.
+    """
+    r_fp = element.clock_mhz * element.fp_ops_per_cycle
+    r_int = element.clock_mhz * element.int_ops_per_cycle
+    if element.concurrent_int_fp:
+        return r_fp + r_int
+    return max(r_fp, r_int)
+
+
+def rate_from_timings(op_times_us: Mapping[str, float], concurrent: bool = False) -> float:
+    """Effective calculating rate from per-operation execution times.
+
+    Parameters
+    ----------
+    op_times_us:
+        Mapping from operation name (e.g. ``"fp_add"``, ``"fixed_add"``) to
+        the effective execution (or pipeline issue) time in microseconds.
+    concurrent:
+        When True, the named operations execute in independent concurrent
+        units and their rates add; otherwise the fastest operation defines
+        the rate (the conservative single-issue reading).
+
+    Returns
+    -------
+    float
+        Rate in millions of theoretical operations per second.
+    """
+    if not op_times_us:
+        raise ValueError("op_times_us must name at least one operation")
+    rates = []
+    for op, t in op_times_us.items():
+        t = check_positive(t, f"execution time for {op!r}")
+        rates.append(1.0 / t)
+    if concurrent:
+        return sum(rates)
+    return max(rates)
+
+
+def theoretical_performance(element: ComputingElement) -> float:
+    """Theoretical performance ``TP = R * L`` of one element, in Mtops."""
+    return effective_rate(element) * element.length_factor

@@ -1,0 +1,73 @@
+"""Technology diffusion and the export-control policy machinery.
+
+Three models operationalize Chapter 3's diffusion arguments:
+
+* ``lag`` — the assimilation lag between a microprocessor's Western debut
+  and its appearance in Russian/Chinese/Indian systems, *derived* from the
+  machine catalog;
+* ``acquisition`` — the premium (delay, cost, detection risk) a restricted
+  buyer pays to acquire a system, as a function of the target system's
+  controllability: "the premium paid in time, effort, money, and know-how
+  by countries seeking to circumvent the controls diminishes rapidly"
+  below the frontier;
+* ``policy`` — the licensing regime itself: the five safeguard tiers of
+  the 1991/1994 rules, threshold history, and a policy-effectiveness
+  summary (what a threshold actually protects, and what burden it puts on
+  industry);
+* ``networks`` — Chapter 6's networked-systems study: cluster ratings,
+  building-block threshold crossings, and the premise-3 collapse scenario.
+"""
+
+from repro.diffusion.lag import (
+    AssimilationLag,
+    observed_lags,
+    mean_lag_years,
+)
+from repro.diffusion.acquisition import (
+    AcquisitionAttempt,
+    AcquisitionStats,
+    acquisition_premium,
+    simulate_acquisitions,
+)
+from repro.diffusion.networks import (
+    BuildingBlockScenario,
+    building_block_year,
+    cstac_ctp,
+    network_ctp,
+    premise3_collapse_year,
+)
+from repro.diffusion.policy import (
+    SafeguardTier,
+    TIER_BY_DESTINATION,
+    ThresholdEra,
+    THRESHOLD_HISTORY,
+    threshold_at,
+    ExportControlPolicy,
+    LicenseDecision,
+    PolicyEffectiveness,
+    evaluate_policy,
+)
+
+__all__ = [
+    "AssimilationLag",
+    "observed_lags",
+    "mean_lag_years",
+    "AcquisitionAttempt",
+    "AcquisitionStats",
+    "acquisition_premium",
+    "simulate_acquisitions",
+    "BuildingBlockScenario",
+    "building_block_year",
+    "cstac_ctp",
+    "network_ctp",
+    "premise3_collapse_year",
+    "SafeguardTier",
+    "TIER_BY_DESTINATION",
+    "ThresholdEra",
+    "THRESHOLD_HISTORY",
+    "threshold_at",
+    "ExportControlPolicy",
+    "LicenseDecision",
+    "PolicyEffectiveness",
+    "evaluate_policy",
+]

@@ -1,0 +1,80 @@
+"""Foreign assimilation lag, derived from the catalogs.
+
+"Some lag between advances in Western and non-Western systems, on the order
+of months or years, is likely to persist" (Chapter 3).  Rather than assume
+a number, this module *measures* it in the reconstruction: for every
+foreign system built around a Western microprocessor, the lag is the gap
+between the chip's Western introduction and the foreign system's
+introduction (e.g. the i860 shipped in 1989; Kvant fielded a 32-processor
+i860 array in 1994 — a five-year lag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.foreign import FOREIGN_SYSTEMS, ForeignCountry
+from repro.machines.microprocessors import MICROPROCESSORS
+
+__all__ = ["AssimilationLag", "observed_lags", "mean_lag_years"]
+
+
+@dataclass(frozen=True)
+class AssimilationLag:
+    """One observed (foreign system, Western chip) adoption pair."""
+
+    country: str
+    system: str
+    micro: str
+    micro_year: float
+    system_year: float
+
+    @property
+    def lag_years(self) -> float:
+        return self.system_year - self.micro_year
+
+
+def observed_lags() -> list[AssimilationLag]:
+    """All catalog-derivable adoption lags, sorted by system year.
+
+    Matching is by computing element identity: a foreign system whose
+    element is a cataloged Western microprocessor's element yields one
+    observation.
+    """
+    by_element = {}
+    for micro in MICROPROCESSORS:
+        by_element[micro.element] = micro
+    lags = []
+    for system in FOREIGN_SYSTEMS:
+        if system.element is None:
+            continue
+        micro = by_element.get(system.element)
+        if micro is None:
+            continue
+        lags.append(
+            AssimilationLag(
+                country=system.country,
+                system=system.key,
+                micro=micro.name,
+                micro_year=micro.year,
+                system_year=system.year,
+            )
+        )
+    return sorted(lags, key=lambda lag: (lag.system_year, lag.system))
+
+
+def mean_lag_years(country: ForeignCountry | None = None) -> float:
+    """Mean adoption lag, optionally for one country.
+
+    Raises ``ValueError`` when the catalog offers no observations (rather
+    than inventing a number).
+    """
+    lags = observed_lags()
+    if country is not None:
+        lags = [lag for lag in lags if lag.country == country.value]
+    if not lags:
+        name = country.value if country else "any country"
+        raise ValueError(f"no observed adoption lags for {name}")
+    return float(np.mean([lag.lag_years for lag in lags]))

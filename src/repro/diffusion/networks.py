@@ -1,0 +1,142 @@
+"""Networked computing systems and the building-block scenario (Chapter 6).
+
+The paper's longer-term recommendations single out networked systems:
+"These systems do not lend themselves to easy classification using a
+single metric like the CTP, are not easily controlled, and will continue
+to be a problematic element in export control policy formulation."  This
+module makes that study concrete:
+
+* :func:`network_ctp` — a defensible cluster rating (the library's
+  interconnect-discounted credit schedule) next to the CSTAC proposal the
+  paper criticizes (flat 75% efficiency per workstation, note 55);
+* :func:`building_block_year` — when a cluster of N commodity
+  microprocessors crosses a given threshold, using the study-time
+  microprocessor trend;
+* :func:`premise3_collapse_year` — when uncontrollable building blocks
+  close to within a factor of the most powerful integrated systems, the
+  Chapter 2 scenario under which "there is no meaningful range of
+  controllability".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive, check_year
+from repro.ctp.aggregate import Coupling, aggregate_homogeneous
+from repro.machines.catalog import max_available_mtops
+from repro.trends.moore import micro_mtops_trend
+
+__all__ = [
+    "network_ctp",
+    "cstac_ctp",
+    "building_block_year",
+    "BuildingBlockScenario",
+    "premise3_collapse_year",
+]
+
+
+def network_ctp(
+    node_mtops: float,
+    n_nodes: int,
+    interconnect_beta: float = 0.35,
+) -> float:
+    """Cluster rating under the library's declining-credit schedule."""
+    check_positive(node_mtops, "node_mtops")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    return aggregate_homogeneous(
+        node_mtops, n_nodes, Coupling.CLUSTER,
+        interconnect_beta=interconnect_beta,
+    )
+
+
+def cstac_ctp(node_mtops: float, n_nodes: int) -> float:
+    """The CSTAC recommendation's aggregate (flat 75% per workstation).
+
+    The paper calls this "overly optimistic for all but the most coarsely
+    grained and 'embarrassingly parallel' problems" (note 55); it is
+    provided for comparison, not endorsement.
+    """
+    check_positive(node_mtops, "node_mtops")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    return 0.75 * n_nodes * node_mtops
+
+
+@dataclass(frozen=True)
+class BuildingBlockScenario:
+    """When a commodity cluster crosses a control threshold."""
+
+    threshold_mtops: float
+    n_nodes: int
+    crossing_year: float
+    node_mtops_at_crossing: float
+    cstac_crossing_year: float
+
+    @property
+    def cstac_earlier_by_years(self) -> float:
+        """How much sooner the optimistic CSTAC rating crosses."""
+        return self.crossing_year - self.cstac_crossing_year
+
+
+def building_block_year(
+    threshold_mtops: float,
+    n_nodes: int = 64,
+    fit_through: float = 1995.5,
+    interconnect_beta: float = 0.35,
+) -> BuildingBlockScenario:
+    """Year an ``n_nodes`` cluster of contemporary commodity micros crosses
+    ``threshold_mtops``, under both rating rules.
+
+    Uses the microprocessor trend fitted through ``fit_through`` (what the
+    study's authors could see).
+    """
+    check_positive(threshold_mtops, "threshold_mtops")
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    trend = micro_mtops_trend(fit_through)
+    # Node Mtops needed under each rule, then invert the trend.
+    ours_per_node = threshold_mtops / network_ctp(1.0, n_nodes,
+                                                  interconnect_beta)
+    cstac_per_node = threshold_mtops / cstac_ctp(1.0, n_nodes)
+    year_ours = trend.year_reaching(ours_per_node)
+    year_cstac = trend.year_reaching(cstac_per_node)
+    return BuildingBlockScenario(
+        threshold_mtops=threshold_mtops,
+        n_nodes=n_nodes,
+        crossing_year=float(year_ours),
+        node_mtops_at_crossing=float(ours_per_node),
+        cstac_crossing_year=float(year_cstac),
+    )
+
+
+def premise3_collapse_year(
+    gap_factor: float = 2.0,
+    n_nodes: int = 256,
+    fit_through: float = 1995.5,
+    horizon: float = 2010.0,
+    interconnect_beta: float = 0.35,
+) -> float | None:
+    """First year commodity building blocks close to within ``gap_factor``
+    of the most powerful system available.
+
+    After this, the gap between "controllable supercomputer" and "stack of
+    uncontrollable parts" is too thin for a threshold: premise 3's failure
+    mode.  Returns ``None`` if it does not happen before ``horizon``
+    (under the frozen most-powerful-available assumption, which makes the
+    returned year an *early* bound).
+    """
+    if gap_factor <= 1.0:
+        raise ValueError("gap_factor must exceed 1")
+    check_year(horizon, "horizon")
+    trend = micro_mtops_trend(fit_through)
+    year = fit_through
+    while year <= horizon:
+        cluster = network_ctp(float(trend.value(year)), n_nodes,
+                              interconnect_beta)
+        best = max_available_mtops(min(year, 1999.9))
+        if cluster * gap_factor >= best:
+            return year
+        year += 0.25
+    return None

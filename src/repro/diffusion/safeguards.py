@@ -1,0 +1,146 @@
+"""Supercomputer Safeguard Plans: what conditioned exports actually entail.
+
+Note 7: safeguards are "any of various restrictions, such as 24-hour
+surveillance, reviewing the records of computer activity via special
+software audit programs, or limiting personnel access, designed to prevent
+or uncover recipient uses of an HPC unauthorized by the terms of the
+exporter's license".  Chapter 3 adds the costs: the 1986 Indian Weather
+Bureau Cray X-MP "was installed with safeguards that made it inaccessible
+to the scientific community" — pushing India to indigenous development.
+
+The model: each safeguard measure carries an annual cost (fraction of the
+system's price), a detection-probability contribution against misuse, and
+a usability penalty (fraction of the machine's utility lost to cleared-
+personnel restrictions and audit friction).  A :class:`SafeguardPlan`
+bundles measures per tier, so policy analyses can weigh protection against
+the incentive it creates to route around the controlled channel entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.diffusion.policy import SafeguardTier
+
+__all__ = [
+    "SafeguardMeasure",
+    "SafeguardPlan",
+    "plan_for_tier",
+    "indigenous_incentive",
+]
+
+
+class SafeguardMeasure(enum.Enum):
+    """Individual measures from note 7 and the 1991/1992 rules.
+
+    Values: (annual cost as a fraction of system price, contribution to
+    misuse-detection probability, usability penalty fraction).
+    """
+
+    ON_SITE_SURVEILLANCE = (0.08, 0.45, 0.15)
+    SOFTWARE_AUDIT = (0.02, 0.30, 0.10)
+    PERSONNEL_ACCESS_CONTROL = (0.03, 0.20, 0.30)
+    END_USE_CERTIFICATION = (0.01, 0.10, 0.00)
+    REMOTE_ACCESS_PROHIBITION = (0.01, 0.15, 0.20)
+
+    @property
+    def annual_cost_fraction(self) -> float:
+        return self.value[0]
+
+    @property
+    def detection_contribution(self) -> float:
+        return self.value[1]
+
+    @property
+    def usability_penalty(self) -> float:
+        return self.value[2]
+
+
+@dataclass(frozen=True)
+class SafeguardPlan:
+    """A bundle of measures attached to one export."""
+
+    measures: tuple[SafeguardMeasure, ...]
+
+    @property
+    def annual_cost_fraction(self) -> float:
+        """Total annual cost as a fraction of the system's price."""
+        return sum(m.annual_cost_fraction for m in self.measures)
+
+    @property
+    def detection_probability(self) -> float:
+        """Probability that misuse is detected (independent measures)."""
+        miss = 1.0
+        for m in self.measures:
+            miss *= 1.0 - m.detection_contribution
+        return 1.0 - miss
+
+    @property
+    def usability_fraction(self) -> float:
+        """Fraction of the machine's scientific utility that survives the
+        restrictions (multiplicative penalties)."""
+        utility = 1.0
+        for m in self.measures:
+            utility *= 1.0 - m.usability_penalty
+        return utility
+
+    def annual_cost_usd(self, system_price_usd: float) -> float:
+        check_positive(system_price_usd, "system_price_usd")
+        return self.annual_cost_fraction * system_price_usd
+
+
+#: Measures required at each safeguard tier (note 15's escalation).
+_TIER_MEASURES: dict[SafeguardTier, tuple[SafeguardMeasure, ...]] = {
+    SafeguardTier.SUPPLIER: (),
+    SafeguardTier.MAJOR_ALLY: (SafeguardMeasure.END_USE_CERTIFICATION,),
+    SafeguardTier.SAFEGUARDS_PLAN: (
+        SafeguardMeasure.END_USE_CERTIFICATION,
+        SafeguardMeasure.SOFTWARE_AUDIT,
+        SafeguardMeasure.PERSONNEL_ACCESS_CONTROL,
+    ),
+    SafeguardTier.GOVERNMENT_CERTIFICATION: (
+        SafeguardMeasure.END_USE_CERTIFICATION,
+        SafeguardMeasure.SOFTWARE_AUDIT,
+        SafeguardMeasure.PERSONNEL_ACCESS_CONTROL,
+        SafeguardMeasure.REMOTE_ACCESS_PROHIBITION,
+        SafeguardMeasure.ON_SITE_SURVEILLANCE,
+    ),
+    SafeguardTier.RESTRICTED: (
+        SafeguardMeasure.END_USE_CERTIFICATION,
+        SafeguardMeasure.SOFTWARE_AUDIT,
+        SafeguardMeasure.PERSONNEL_ACCESS_CONTROL,
+        SafeguardMeasure.REMOTE_ACCESS_PROHIBITION,
+        SafeguardMeasure.ON_SITE_SURVEILLANCE,
+    ),
+}
+
+
+def plan_for_tier(tier: SafeguardTier) -> SafeguardPlan:
+    """The safeguard plan a destination tier requires."""
+    return SafeguardPlan(measures=_TIER_MEASURES[tier])
+
+
+def indigenous_incentive(
+    tier: SafeguardTier,
+    indigenous_capability_fraction: float,
+) -> float:
+    """How attractive indigenous development looks next to a safeguarded
+    import, in [0, 1].
+
+    ``indigenous_capability_fraction`` is the domestic option's capability
+    relative to the import (e.g. a Param 8600 at ~0.1 of a safeguarded
+    X-MP).  The import's *effective* value is discounted by the plan's
+    usability penalty; the incentive is the domestic option's share of
+    the better effective choice.  The Indian X-MP episode is the model
+    case: heavy safeguards made a weaker domestic machine the rational
+    program choice.
+    """
+    if not 0.0 <= indigenous_capability_fraction <= 1.0:
+        raise ValueError("capability fraction must lie in [0, 1]")
+    effective_import = plan_for_tier(tier).usability_fraction
+    total = effective_import + indigenous_capability_fraction
+    if total == 0.0:
+        return 0.0
+    return indigenous_capability_fraction / total

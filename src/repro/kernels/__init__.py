@@ -1,0 +1,82 @@
+"""Runnable computational kernels behind the workload models.
+
+The simulator's workloads (:mod:`repro.simulate.workloads`) describe jobs
+abstractly — total operations, steps, halo patterns.  This package provides
+small, *actually runnable* numpy kernels for the three workload families
+the paper's cluster analysis leans on, so those abstractions are grounded
+in executable code rather than assumption:
+
+* :mod:`~repro.kernels.shallow_water` — the fine-grained PDE family
+  ("explicit finite-difference ... for modeling shallow water" — the
+  workload Mattson found non-competitive on clusters), with exact mass
+  conservation as the correctness invariant and measurable halo traffic;
+* :mod:`~repro.kernels.raytrace` — the embarrassingly parallel family
+  (per-row independence is a *tested* property, not an assumption);
+* :mod:`~repro.kernels.solvers` — the "very important, common, and hard to
+  parallelize" sparse linear-algebra family (Jacobi and conjugate
+  gradients on the 2-D Poisson operator);
+* :mod:`~repro.kernels.fft` — a from-scratch radix-2 FFT for the signal-
+  and image-processing family, whose transpose step is the all-to-all
+  pattern;
+* :mod:`~repro.kernels.calibrate` — a measurement harness that times the
+  kernels and derives their computation/communication granularity, the
+  quantity the paper's Table 5 argument turns on.
+"""
+
+from repro.kernels.shallow_water import (
+    ShallowWaterState,
+    initial_gaussian,
+    step,
+    run,
+    total_mass,
+    total_energy,
+    halo_bytes_per_step,
+    flops_per_step,
+)
+from repro.kernels.raytrace import (
+    Sphere,
+    demo_scene,
+    render,
+    render_rows,
+)
+from repro.kernels.fft import (
+    fft_rows,
+    fft2d,
+    ifft2d,
+    fft2d_flops,
+    alltoall_bytes_per_process,
+)
+from repro.kernels.solvers import (
+    poisson_matrix,
+    jacobi_poisson,
+    conjugate_gradient,
+)
+from repro.kernels.calibrate import (
+    KernelCalibration,
+    calibrate_kernels,
+)
+
+__all__ = [
+    "ShallowWaterState",
+    "initial_gaussian",
+    "step",
+    "run",
+    "total_mass",
+    "total_energy",
+    "halo_bytes_per_step",
+    "flops_per_step",
+    "Sphere",
+    "demo_scene",
+    "render",
+    "render_rows",
+    "fft_rows",
+    "fft2d",
+    "ifft2d",
+    "fft2d_flops",
+    "alltoall_bytes_per_process",
+    "poisson_matrix",
+    "jacobi_poisson",
+    "conjugate_gradient",
+    "KernelCalibration",
+    "calibrate_kernels",
+]

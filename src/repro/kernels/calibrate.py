@@ -1,0 +1,125 @@
+"""Kernel measurement harness: achieved rates and granularity.
+
+Times each kernel on the host, derives the achieved Mflops and — for the
+halo-exchange kernel — the computation/communication *granularity* (flops
+computed per byte that a domain decomposition would move).  Granularity is
+the quantity Chapter 3's cluster argument turns on: "the more the
+interconnect is a bottleneck, the more coarsely grained an application
+must be to run effectively".
+
+Measurements follow the optimization-guide discipline: time a realistic
+problem size, repeat, take the best (least-noise) run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.fft import alltoall_bytes_per_process, fft2d, fft2d_flops
+from repro.kernels.raytrace import demo_scene, render
+from repro.kernels.shallow_water import (
+    flops_per_step,
+    halo_bytes_per_step,
+    initial_gaussian,
+    run,
+)
+from repro.kernels.solvers import conjugate_gradient, poisson_matrix
+
+__all__ = ["KernelCalibration", "calibrate_kernels"]
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Measured characteristics of one kernel on this host."""
+
+    name: str
+    problem: str
+    elapsed_s: float
+    flops: float
+    #: Bytes a 16-way domain decomposition would exchange over the run
+    #: (0 for embarrassingly parallel kernels).
+    comm_bytes_p16: float
+
+    @property
+    def mflops(self) -> float:
+        return self.flops / self.elapsed_s / 1e6
+
+    @property
+    def granularity_flops_per_byte(self) -> float:
+        """Computation per communicated byte (inf when no communication)."""
+        if self.comm_bytes_p16 == 0.0:
+            return float("inf")
+        return self.flops / self.comm_bytes_p16
+
+
+def _best_time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate_kernels(
+    sw_n: int = 128,
+    sw_steps: int = 50,
+    rt_size: int = 128,
+    cg_n: int = 48,
+    repeats: int = 3,
+) -> list[KernelCalibration]:
+    """Measure the three kernel families; deterministic workloads, wall
+    clock the only nondeterminism."""
+    if min(sw_n, sw_steps, rt_size, cg_n, repeats) < 1:
+        raise ValueError("all sizes must be >= 1")
+    results = []
+
+    state = initial_gaussian(sw_n)
+    elapsed = _best_time(lambda: run(state, sw_steps), repeats)
+    results.append(KernelCalibration(
+        name="shallow water",
+        problem=f"{sw_n}x{sw_n}, {sw_steps} steps",
+        elapsed_s=elapsed,
+        flops=flops_per_step(sw_n) * sw_steps,
+        comm_bytes_p16=halo_bytes_per_step(sw_n, 16) * sw_steps,
+    ))
+
+    scene = demo_scene()
+    elapsed = _best_time(lambda: render(scene, rt_size, rt_size), repeats)
+    # ~40 flops per pixel per sphere (intersection + shading).
+    results.append(KernelCalibration(
+        name="ray tracing",
+        problem=f"{rt_size}x{rt_size}, {len(scene)} spheres",
+        elapsed_s=elapsed,
+        flops=40.0 * rt_size * rt_size * len(scene),
+        comm_bytes_p16=0.0,
+    ))
+
+    field = np.arange(float(128 * 128)).reshape(128, 128)
+    elapsed = _best_time(lambda: fft2d(field), repeats)
+    results.append(KernelCalibration(
+        name="2-D FFT",
+        problem="128x128 complex transform",
+        elapsed_s=elapsed,
+        flops=fft2d_flops(128),
+        comm_bytes_p16=alltoall_bytes_per_process(128, 16) * 16,
+    ))
+
+    a = poisson_matrix(cg_n)
+    b = np.ones(cg_n * cg_n)
+    _, iters = conjugate_gradient(a, b, tol=1e-8)
+    elapsed = _best_time(lambda: conjugate_gradient(a, b, tol=1e-8), repeats)
+    # Per iteration: one SpMV (2 * nnz) plus ~10 vector ops of length n^2.
+    flops = iters * (2.0 * a.nnz + 10.0 * cg_n * cg_n)
+    # Two global reductions per iteration: 16 partial sums of 8 bytes.
+    results.append(KernelCalibration(
+        name="sparse CG",
+        problem=f"Poisson {cg_n}x{cg_n}, {iters} iterations",
+        elapsed_s=elapsed,
+        flops=flops,
+        comm_bytes_p16=iters * 2.0 * 16 * 8.0,
+    ))
+    return results

@@ -1,0 +1,106 @@
+"""Radix-2 FFT, written out rather than imported — the SIP kernel.
+
+Signal and image processing is one of the paper's fourteen computational
+disciplines and the engine of the surveillance applications (SIRST, ATR,
+TOPSAR).  Its parallel form is the transpose method: row FFTs, an
+all-to-all transpose, column FFTs — the communication pattern the
+ALL_TO_ALL workload class models, and the one whose ``p - 1`` messages per
+process per step make commodity-LAN clusters hopeless.
+
+The transform itself is an iterative Cooley-Tukey radix-2 FFT vectorized
+over rows (per the optimizing guide: the loop over butterfly *stages* is
+log2(n) long; everything inside is whole-array numpy).  Correctness is
+pinned against ``numpy.fft`` and by Parseval's theorem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fft_rows", "fft2d", "ifft2d", "alltoall_bytes_per_process",
+           "fft2d_flops"]
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses ``log2(n)``-bit indices."""
+    bits = int(np.log2(n))
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=int)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def fft_rows(signal: np.ndarray) -> np.ndarray:
+    """Radix-2 decimation-in-time FFT along the last axis.
+
+    ``signal`` is real or complex with a power-of-two last dimension; the
+    transform is applied to every row at once.
+    """
+    x = np.asarray(signal, dtype=complex)
+    n = x.shape[-1]
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"last dimension must be a power of two, got {n}")
+    if n == 1:
+        return x.copy()
+    x = x[..., _bit_reverse_permutation(n)].copy()
+    half = 1
+    while half < n:
+        # Twiddles for this stage; butterflies across all rows at once.
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / (2 * half))
+        blocks = x.reshape(*x.shape[:-1], n // (2 * half), 2 * half)
+        # `even` must be a copy: the first assignment below would
+        # otherwise corrupt the operand of the second.
+        even = blocks[..., :half].copy()
+        odd = blocks[..., half:] * twiddle
+        blocks[..., :half] = even + odd
+        blocks[..., half:] = even - odd
+        half *= 2
+    return x
+
+
+def fft2d(field: np.ndarray) -> np.ndarray:
+    """2-D FFT by the transpose method: row FFTs, transpose, row FFTs.
+
+    This is literally the parallel algorithm: between the two passes every
+    process would exchange data with every other (the all-to-all).
+    """
+    field = np.asarray(field)
+    if field.ndim != 2:
+        raise ValueError("field must be 2-D")
+    step1 = fft_rows(field)
+    return fft_rows(step1.T).T
+
+
+def ifft2d(spectrum: np.ndarray) -> np.ndarray:
+    """Inverse 2-D FFT via conjugation."""
+    spectrum = np.asarray(spectrum, dtype=complex)
+    n_total = spectrum.shape[0] * spectrum.shape[1]
+    return np.conj(fft2d(np.conj(spectrum))) / n_total
+
+
+def fft2d_flops(n: int) -> float:
+    """Floating-point operations for an ``n x n`` 2-D FFT.
+
+    Two passes of n row-FFTs at 5 n log2(n) flops each (the standard
+    radix-2 count).
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError("n must be a power of two")
+    return 2.0 * n * 5.0 * n * np.log2(max(n, 2))
+
+
+def alltoall_bytes_per_process(n: int, p: int, word_bytes: int = 16) -> float:
+    """Bytes each process ships in the transpose step.
+
+    Row-decomposed ``n x n`` complex field over ``p`` processes: each owns
+    ``n/p`` rows and must send ``(p-1)/p`` of them away, in ``p - 1``
+    messages.  This is what the ALL_TO_ALL workload volume approximates.
+    """
+    if n < 1 or p < 1:
+        raise ValueError("n and p must be >= 1")
+    if p == 1:
+        return 0.0
+    owned = n * n / p
+    return float(owned * (p - 1) / p * word_bytes)

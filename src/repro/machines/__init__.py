@@ -1,0 +1,61 @@
+"""Historical machine catalog (reconstructed data substrate).
+
+The paper's analysis runs over the population of real systems of the era:
+U.S./Japanese commercial machines (workstations, SMP servers, MPPs, vector
+supercomputers) and the indigenous systems of Russia, the PRC, and India
+(Tables 1-3).  The original study drew on vendor data and field research;
+we reconstruct the catalog from the CTP ratings, configurations, prices,
+and installed-base figures quoted in the paper text, filling gaps with
+documented era-appropriate approximations (``approx=True``).
+
+Every entry carries enough structure for the downstream models: a CTP
+rating (paper-quoted where available, else computed from the machine's
+computing elements), introduction year, architecture class, price band,
+installed-base estimate, and distribution-channel class.
+"""
+
+from repro.machines.spec import (
+    Architecture,
+    DistributionChannel,
+    SizeClass,
+    MachineSpec,
+)
+from repro.machines.microprocessors import (
+    Microprocessor,
+    MICROPROCESSORS,
+    microprocessors_by_year,
+    sixty_four_bit_micros,
+)
+from repro.machines.catalog import (
+    COMMERCIAL_SYSTEMS,
+    commercial_by_architecture,
+    commercial_by_year,
+    find_machine,
+    max_available_mtops,
+)
+from repro.machines.foreign import (
+    FOREIGN_SYSTEMS,
+    ForeignCountry,
+    foreign_by_country,
+    max_indigenous_mtops,
+)
+
+__all__ = [
+    "Architecture",
+    "DistributionChannel",
+    "SizeClass",
+    "MachineSpec",
+    "Microprocessor",
+    "MICROPROCESSORS",
+    "microprocessors_by_year",
+    "sixty_four_bit_micros",
+    "COMMERCIAL_SYSTEMS",
+    "commercial_by_architecture",
+    "commercial_by_year",
+    "find_machine",
+    "max_available_mtops",
+    "FOREIGN_SYSTEMS",
+    "ForeignCountry",
+    "foreign_by_country",
+    "max_indigenous_mtops",
+]

@@ -1,0 +1,96 @@
+"""Product-line configurations of a machine family.
+
+Chapter 3's scalability discussion is about *families*, not single boxes:
+"an entry-level version (below current control thresholds and easily
+upgradable to maximum configuration) may be obtained for a few hundred
+thousand dollars".  This module expands a catalog entry into its sellable
+configurations — entry size up to the family maximum by doublings — with
+interpolated prices, so threshold analyses can see exactly which
+configurations of a family fall on each side of a control line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.machines.spec import MachineSpec
+
+__all__ = ["Configuration", "family_configurations", "split_by_threshold"]
+
+#: Entry configurations are two processors (note 47's entry-level systems).
+_ENTRY_PROCESSORS = 2
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One sellable configuration of a family."""
+
+    family: MachineSpec
+    n_processors: int
+    ctp_mtops: float
+    price_usd: float | None
+
+    @property
+    def label(self) -> str:
+        return f"{self.family.vendor} {self.family.model} @ {self.n_processors}p"
+
+
+def _interpolated_price(machine: MachineSpec, n: int,
+                        entry_n: int, max_n: int) -> float | None:
+    """Linear price interpolation between entry and maximum configuration."""
+    if machine.entry_price_usd is None:
+        return None
+    if machine.max_price_usd is None or max_n == entry_n:
+        return machine.entry_price_usd
+    fraction = (n - entry_n) / (max_n - entry_n)
+    return machine.entry_price_usd + fraction * (
+        machine.max_price_usd - machine.entry_price_usd
+    )
+
+
+def family_configurations(machine: MachineSpec) -> list[Configuration]:
+    """The family's configurations: entry size doubling up to the maximum.
+
+    Requires element data (quoted-only entries cannot be rescaled).  The
+    family maximum is always included even when it is not a doubling.
+    """
+    if machine.element is None:
+        raise ValueError(f"{machine.key}: needs element data to enumerate "
+                         f"configurations")
+    max_n = machine.max_processors or machine.n_processors
+    entry_n = min(_ENTRY_PROCESSORS, max_n)
+    sizes = []
+    n = entry_n
+    while n < max_n:
+        sizes.append(n)
+        n *= 2
+    sizes.append(max_n)
+    out = []
+    for size in sizes:
+        spec = machine.at_processors(size)
+        out.append(Configuration(
+            family=machine,
+            n_processors=size,
+            ctp_mtops=spec.ctp_mtops,
+            price_usd=_interpolated_price(machine, size, entry_n, max_n),
+        ))
+    return out
+
+
+def split_by_threshold(
+    machine: MachineSpec,
+    threshold_mtops: float,
+) -> tuple[list[Configuration], list[Configuration]]:
+    """Partition a family's configurations into (below, at-or-above) a
+    control threshold.
+
+    The Chapter 3 loophole in one call: when the *below* list is non-empty
+    and the *above* list is reachable by field upgrade, the threshold is
+    enforceable only on paper.
+    """
+    check_positive(threshold_mtops, "threshold_mtops")
+    configurations = family_configurations(machine)
+    below = [c for c in configurations if c.ctp_mtops < threshold_mtops]
+    above = [c for c in configurations if c.ctp_mtops >= threshold_mtops]
+    return below, above

@@ -1,0 +1,179 @@
+"""Foreign indigenous HPC systems: Russia, the PRC, and India (Tables 1-3).
+
+Chapter 3's country studies show the common pattern: weak domestic
+microelectronics pushed all three countries toward parallelism, first with
+fully indigenous processors (El'brus, Galaxy) and then with Western
+commodity chips (transputers, i860s) as those became available.  Where the
+paper quotes a figure it is carried verbatim; remaining ratings are computed
+from the chip catalog (a 32-node Kvant i860 array rates what 32 i860s rate)
+or reconstructed from standard histories (``approx=True``).
+
+Design-study machines that never passed state testing (e.g. El'brus-3) are
+excluded: the foreign-availability curve tracks systems a weapons program
+could actually use, matching the paper's "most powerful systems ... in use"
+definition.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro._util import check_year
+from repro.machines.microprocessors import find_micro
+from repro.machines.spec import (
+    Architecture,
+    DistributionChannel,
+    MachineSpec,
+    SizeClass,
+)
+
+__all__ = [
+    "ForeignCountry",
+    "FOREIGN_SYSTEMS",
+    "foreign_by_country",
+    "max_indigenous_mtops",
+]
+
+
+class ForeignCountry(enum.Enum):
+    """Countries of national security concern studied in Chapter 3."""
+
+    RUSSIA = "Russia"
+    PRC = "PRC"
+    INDIA = "India"
+
+
+def _f(**kw) -> MachineSpec:
+    kw.setdefault("channel", DistributionChannel.DIRECT)
+    kw.setdefault("size_class", SizeClass.ROOM)
+    return MachineSpec(**kw)
+
+
+FOREIGN_SYSTEMS: tuple[MachineSpec, ...] = (
+    # ----------------------------- Russia (Table 1) -----------------------
+    _f(vendor="ITMVT", model="BESM-6", country="Russia", year=1968.0,
+       architecture=Architecture.UNIPROCESSOR, quoted_ctp_mtops=0.8,
+       approx=True, notes="1-MIPS, 48-bit; the Soviet scientific workhorse."),
+    _f(vendor="NIIUVM", model="PS-2000", country="Russia", year=1981.0,
+       architecture=Architecture.MPP, n_processors=64, quoted_ctp_mtops=1.5,
+       approx=True,
+       notes="SIMD array for geophysics; the Soviet parallel workhorse."),
+    _f(vendor="Ryad consortium", model="ES-1066", country="Russia",
+       year=1987.0, architecture=Architecture.UNIPROCESSOR,
+       quoted_ctp_mtops=5.0, approx=True,
+       notes="IBM/370-compatible mainframe; the general-purpose baseline."),
+    _f(vendor="ITMVT", model="El'brus-1", country="Russia", year=1980.0,
+       architecture=Architecture.SMP, n_processors=10, quoted_ctp_mtops=12.0,
+       approx=True),
+    _f(vendor="ITMVT", model="El'brus-2", country="Russia", year=1985.5,
+       architecture=Architecture.SMP, n_processors=10, quoted_ctp_mtops=125.0,
+       quoted_peak_mflops=94.0, approx=True,
+       notes="94-Mflops 10-processor system; the most powerful in series "
+             "production (paper, Ch. 3)."),
+    _f(vendor="ITMVT", model="MKP (2)", country="Russia", year=1990.5,
+       architecture=Architecture.SMP, n_processors=2, quoted_ctp_mtops=1_500.0,
+       approx=True,
+       notes="Macro-pipeline processor; paper text garbled ('N..2 Gflops'), "
+             "taken as 1-2 Gflops peak. Four units built, production ended."),
+    _f(vendor="Russian Transputer Society members", model="T800 array (32)",
+       country="Russia", year=1991.5, architecture=Architecture.MPP,
+       n_processors=32, element=find_micro("T800").element, approx=True,
+       notes="Typical 7-32-processor transputer configurations (Ch. 3)."),
+    _f(vendor="Kvant", model="i860 array (32)", country="Russia", year=1994.0,
+       architecture=Architecture.MPP, n_processors=32,
+       element=find_micro("i860XR").element, max_processors=512, approx=True,
+       notes="Transputer-i860 hybrid nodes; architecture 'scalable to 512'."),
+    _f(vendor="Kvant", model="i860 array (64)", country="Russia", year=1995.4,
+       architecture=Architecture.MPP, n_processors=64,
+       element=find_micro("i860XR").element, max_processors=512, approx=True,
+       notes="The reported 64-processor upgrade of the Kvant configuration."),
+    # ----------------------------- PRC (Table 2) --------------------------
+    _f(vendor="NDST Changsha", model="Galaxy-I (YH-1)", country="PRC",
+       year=1983.8, architecture=Architecture.VECTOR, quoted_ctp_mtops=100.0,
+       approx=True, notes="Cray-1 analog; 100 MIPS, passed state testing 1983."),
+    _f(vendor="NDST Changsha", model="Galaxy-II (YH-2)", country="PRC",
+       year=1992.8, architecture=Architecture.VECTOR, n_processors=4,
+       quoted_ctp_mtops=600.0, quoted_peak_mflops=400.0, approx=True,
+       notes="Four tightly-coupled vector-pipelined processors."),
+    _f(vendor="Tsinghua", model="THUDS T800 array (32)", country="PRC",
+       year=1990.5, architecture=Architecture.MPP, n_processors=32,
+       element=find_micro("T800").element, approx=True),
+    _f(vendor="Beijing Polytechnic", model="BJ-01 T800 array (16)",
+       country="PRC", year=1992.3, architecture=Architecture.MPP,
+       n_processors=16, element=find_micro("T800").element, approx=True),
+    _f(vendor="NCIC", model="Dawning-1", country="PRC", year=1993.9,
+       architecture=Architecture.SMP, n_processors=4, quoted_ctp_mtops=430.0,
+       approx=True, notes="640-MIPS SMP."),
+    _f(vendor="NCIC", model="Dawning 1000 (32)", country="PRC", year=1995.4,
+       architecture=Architecture.MPP, n_processors=32,
+       element=find_micro("i860XP").element, approx=True,
+       notes="i860-based MPP, 2.5 Gflops peak class."),
+    _f(vendor="Quinghua", model="SmC (16xT9000)", country="PRC", year=1995.2,
+       architecture=Architecture.MPP, n_processors=16,
+       element=find_micro("T9000").element, approx=True,
+       notes="The counterexample to the usual adoption lag (Ch. 3)."),
+    _f(vendor="NDST Changsha", model="Galaxy-III", country="PRC", year=1997.0,
+       architecture=Architecture.MPP, n_processors=64, quoted_ctp_mtops=10_000.0,
+       approx=True,
+       notes="Under development at study time; shared-memory + MPP hybrid, "
+             "~13 Gflops class. Included for projection years only."),
+    # ----------------------------- India (Table 3) ------------------------
+    _f(vendor="C-MMACS", model="MH1", country="India", year=1986.5,
+       architecture=Architecture.SMP, n_processors=4, quoted_ctp_mtops=0.1,
+       approx=True, notes="First Indian multiprocessor: 4 x 8086/8087."),
+    _f(vendor="NAL", model="Flosolver Mk1", country="India", year=1986.8,
+       architecture=Architecture.MPP, n_processors=4, quoted_ctp_mtops=0.5,
+       approx=True, notes="India's first parallel CFD machine."),
+    _f(vendor="NAL", model="Flosolver Mk3", country="India", year=1991.3,
+       architecture=Architecture.MPP, n_processors=4,
+       element=find_micro("i860XR").element, approx=True,
+       notes="CFD machine of the National Aerospace Laboratories."),
+    _f(vendor="CDAC", model="Param 8000 (64)", country="India", year=1991.6,
+       architecture=Architecture.MPP, n_processors=64,
+       element=find_micro("T800").element, max_processors=256, approx=True,
+       notes="All-transputer first Param."),
+    _f(vendor="CDAC", model="Param 8600 (16)", country="India", year=1992.3,
+       architecture=Architecture.MPP, n_processors=16,
+       element=find_micro("i860XR").element, max_processors=64,
+       quoted_peak_mflops=1_500.0, approx=True,
+       notes="i860+T800 nodes; 'first supercomputer developed in a "
+             "third-world country' (Ch. 3). >30 Params exported."),
+    _f(vendor="BARC", model="Anupam (8)", country="India", year=1993.6,
+       architecture=Architecture.MPP, n_processors=8,
+       element=find_micro("i860XR").element, approx=True,
+       notes="Bhabha Atomic Research Centre i860 array."),
+    _f(vendor="CDAC", model="Param 9000 (32)", country="India", year=1994.9,
+       architecture=Architecture.MPP, n_processors=32, quoted_ctp_mtops=1_600.0,
+       approx=True,
+       notes="Open, processor-independent architecture (SPARC first)."),
+    _f(vendor="DRDO", model="Pace-Plus", country="India", year=1995.3,
+       architecture=Architecture.MPP, n_processors=16, quoted_ctp_mtops=500.0,
+       approx=True),
+)
+
+
+def foreign_by_country(
+    country: ForeignCountry, through: float | None = None
+) -> list[MachineSpec]:
+    """Systems of one country sorted by year, optionally truncated."""
+    specs = sorted(
+        (m for m in FOREIGN_SYSTEMS if m.country == country.value),
+        key=lambda m: (m.year, m.key),
+    )
+    if through is not None:
+        specs = [m for m in specs if m.year <= through]
+    return specs
+
+
+def max_indigenous_mtops(country: ForeignCountry, year: float) -> float:
+    """Performance of the most powerful domestic system available in
+    ``country`` at ``year`` (0.0 before the first system).
+
+    This is one of the two components of the lower bound for a valid
+    control threshold: "the performance of the most powerful systems ...
+    in use in countries of national security concern" (Chapter 2).
+    """
+    check_year(year, "year")
+    ratings = [m.ctp_mtops for m in FOREIGN_SYSTEMS
+               if m.country == country.value and m.year <= year]
+    return max(ratings, default=0.0)

@@ -1,0 +1,247 @@
+"""Microprocessor catalog (Figure 5: "Advances in 64-bit Microprocessors").
+
+The paper's central technology observation is that commodity microprocessors
+— developed for the workstation market — became the building blocks of
+essentially all parallel systems, Western and non-Western alike.  This
+module reconstructs the era's catalog.  Clock rates, issue widths, and
+introduction years are standard public record; per-chip Mtops ratings are
+computed from the CTP reconstruction and land within the era's published
+export-control ratings (e.g. ~533 Mtops for a 200 MHz Pentium Pro against
+the widely reported 541).
+
+Figure 5 plots the 64-bit subset (``sixty_four_bit_micros``); the wider
+catalog (transputers, x86, DSPs) feeds the foreign-systems tables and the
+cluster models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_year
+from repro.ctp.elements import ComputingElement
+from repro.ctp.rates import theoretical_performance
+
+__all__ = [
+    "Microprocessor",
+    "MICROPROCESSORS",
+    "microprocessors_by_year",
+    "sixty_four_bit_micros",
+    "find_micro",
+]
+
+
+@dataclass(frozen=True)
+class Microprocessor:
+    """A commodity microprocessor as a rateable computing element."""
+
+    name: str
+    vendor: str
+    year: float
+    element: ComputingElement
+    peak_mflops: float | None = None
+    approx: bool = False
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_year(self.year, f"{self.name}: year")
+
+    @property
+    def mtops(self) -> float:
+        """Theoretical performance of one chip, in Mtops."""
+        return theoretical_performance(self.element)
+
+    @property
+    def word_bits(self) -> float:
+        return self.element.word_bits
+
+
+def _ce(
+    name: str,
+    clock: float,
+    word: float,
+    fp: float,
+    integer: float,
+    concurrent: bool = True,
+) -> ComputingElement:
+    return ComputingElement(
+        name=name,
+        clock_mhz=clock,
+        word_bits=word,
+        fp_ops_per_cycle=fp,
+        int_ops_per_cycle=integer,
+        concurrent_int_fp=concurrent,
+    )
+
+
+MICROPROCESSORS: tuple[Microprocessor, ...] = (
+    # --- transputers (the foreign-systems workhorse of Tables 1-3) -------
+    Microprocessor(
+        "T800", "INMOS", 1987.0, _ce("T800", 25.0, 32.0, 0.06, 0.4, False),
+        peak_mflops=1.5, approx=True,
+        notes="Built-in links made it the easiest multiprocessor brick.",
+    ),
+    Microprocessor(
+        "T9000", "INMOS", 1994.0, _ce("T9000", 20.0, 32.0, 0.5, 1.5, True),
+        peak_mflops=10.0, approx=True,
+        notes="Late and slow; used in the Quinghua SmC project.",
+    ),
+    # --- i860: the earliest widely available 64-bit micro -----------------
+    Microprocessor(
+        "i860XR", "Intel", 1989.0, _ce("i860XR", 40.0, 64.0, 2.0, 3.0, True),
+        peak_mflops=80.0,
+        notes=(
+            "Dual-operation FP plus concurrent 64-bit integer/graphics unit; "
+            "node of iPSC/860 and many foreign systems."
+        ),
+    ),
+    Microprocessor(
+        "i860XP", "Intel", 1991.0, _ce("i860XP", 50.0, 64.0, 2.0, 3.0, True),
+        peak_mflops=100.0,
+        notes="Paragon node; Intel never shipped a true successor.",
+    ),
+    # --- Alpha: the clock-rate leader -------------------------------------
+    Microprocessor(
+        "Alpha 21064-150", "DEC", 1992.2, _ce("21064", 150.0, 64.0, 1.0, 1.0, True),
+        peak_mflops=150.0, notes="Cray T3D node.",
+    ),
+    Microprocessor(
+        "Alpha 21066-166", "DEC", 1993.8, _ce("21066", 166.0, 64.0, 1.0, 1.0, True),
+        peak_mflops=166.0, approx=True,
+        notes="Budget Alpha with an integrated (slow) memory controller.",
+    ),
+    Microprocessor(
+        "Alpha 21064A-275", "DEC", 1994.0, _ce("21064A", 275.0, 64.0, 1.0, 1.0, True),
+        peak_mflops=275.0,
+    ),
+    Microprocessor(
+        "Alpha 21164-300", "DEC", 1995.2, _ce("21164", 300.0, 64.0, 2.0, 2.0, True),
+        peak_mflops=600.0, notes="Quad-issue; 1995 single-chip performance leader.",
+    ),
+    # --- MIPS --------------------------------------------------------------
+    Microprocessor(
+        "R4000-100", "MIPS/SGI", 1991.8, _ce("R4000", 100.0, 64.0, 1.0, 1.0, False),
+        peak_mflops=33.0, approx=True,
+        notes="The first 64-bit MIPS part.",
+    ),
+    Microprocessor(
+        "R4400-150", "MIPS/SGI", 1993.0, _ce("R4400", 150.0, 64.0, 1.0, 1.0, False),
+        peak_mflops=50.0, notes="Challenge / Onyx node.",
+    ),
+    Microprocessor(
+        "R8000-75", "MIPS/SGI", 1994.5, _ce("R8000", 75.0, 64.0, 4.0, 2.0, True),
+        peak_mflops=300.0, notes="PowerChallenge node; dual fused multiply-add.",
+    ),
+    Microprocessor(
+        "R10000-200", "MIPS/SGI", 1996.0, _ce("R10000", 200.0, 64.0, 2.0, 2.0, True),
+        peak_mflops=400.0, notes="Forthcoming at study time (Chapter 3).",
+    ),
+    # --- POWER / PowerPC ---------------------------------------------------
+    Microprocessor(
+        "POWER2-66", "IBM", 1993.7, _ce("POWER2", 66.5, 64.0, 4.0, 2.0, True),
+        peak_mflops=266.0, notes="SP2 thin/wide node engine.",
+    ),
+    Microprocessor(
+        "PowerPC 601-80", "IBM/Motorola", 1993.3, _ce("PPC601", 80.0, 64.0, 1.0, 1.0, True),
+        peak_mflops=80.0,
+    ),
+    Microprocessor(
+        "PowerPC 604-133", "IBM/Motorola", 1995.3, _ce("PPC604", 133.0, 64.0, 1.0, 2.0, True),
+        peak_mflops=133.0,
+    ),
+    # --- SPARC -------------------------------------------------------------
+    Microprocessor(
+        "SuperSPARC-40", "Sun/TI", 1992.4, _ce("SuperSPARC", 40.0, 32.0, 1.0, 1.2, True),
+        peak_mflops=40.0, notes="SPARCstation 10 / SPARCcenter / CS6400 node.",
+    ),
+    Microprocessor(
+        "SuperSPARC-60", "Sun/TI", 1993.8, _ce("SuperSPARC+", 60.0, 32.0, 1.0, 1.2, True),
+        peak_mflops=60.0, approx=True,
+    ),
+    Microprocessor(
+        "microSPARC-50", "Sun/TI", 1992.9, _ce("microSPARC", 50.0, 32.0, 0.5, 1.0, False),
+        peak_mflops=10.0, approx=True,
+        notes="The volume desktop part below the SuperSPARC line.",
+    ),
+    Microprocessor(
+        "UltraSPARC-167", "Sun", 1995.7, _ce("UltraSPARC", 167.0, 64.0, 2.0, 2.0, True),
+        peak_mflops=334.0,
+    ),
+    # --- HP PA-RISC ---------------------------------------------------------
+    Microprocessor(
+        "PA-7100-99", "HP", 1992.6, _ce("PA-7100", 99.0, 64.0, 2.0, 1.0, True),
+        peak_mflops=198.0, notes="Convex Exemplar SPP1000 node.",
+    ),
+    Microprocessor(
+        "PA-7100LC-80", "HP", 1994.0, _ce("PA-7100LC", 80.0, 64.0, 2.0, 1.0, True),
+        peak_mflops=160.0, approx=True,
+        notes="Low-cost PA-RISC; the multimedia-instruction pioneer.",
+    ),
+    Microprocessor(
+        "PA-7200-120", "HP", 1995.0, _ce("PA-7200", 120.0, 64.0, 2.0, 2.0, True),
+        peak_mflops=240.0,
+    ),
+    Microprocessor(
+        "PA-8000-180", "HP", 1996.3, _ce("PA-8000", 180.0, 64.0, 2.0, 2.0, True),
+        peak_mflops=720.0,
+    ),
+    # --- x86 ----------------------------------------------------------------
+    Microprocessor(
+        "486DX2-66", "Intel", 1992.6, _ce("486DX2", 66.0, 32.0, 0.33, 1.0, False),
+        peak_mflops=22.0, approx=True,
+    ),
+    Microprocessor(
+        "Pentium-66", "Intel", 1993.3, _ce("Pentium", 66.0, 32.0, 1.0, 2.0, True),
+        peak_mflops=66.0, notes="Unisys OPUS node.",
+    ),
+    Microprocessor(
+        "Pentium-133", "Intel", 1995.4, _ce("Pentium-133", 133.0, 32.0, 1.0, 2.0, True),
+        peak_mflops=133.0, approx=True,
+    ),
+    Microprocessor(
+        "Pentium Pro-200", "Intel", 1995.9, _ce("P6", 200.0, 32.0, 1.0, 3.0, True),
+        peak_mflops=200.0,
+        notes="~533 Mtops computed; era export rating widely reported as 541.",
+    ),
+    # --- early RISC / DSP (foreign-systems building blocks) -----------------
+    Microprocessor(
+        "MC88100-20", "Motorola", 1989.0, _ce("88100", 20.0, 32.0, 1.0, 1.0, True),
+        peak_mflops=20.0, notes="Chapter 3's 1989 clock-rate baseline.",
+    ),
+    Microprocessor(
+        "TMS320C40-50", "Texas Instruments", 1991.5, _ce("C40", 50.0, 32.0, 1.0, 1.0, False),
+        peak_mflops=50.0, approx=True,
+        notes="DSP popular in Russian and Chinese signal-processing arrays.",
+    ),
+    Microprocessor(
+        "i8086+8087", "Intel", 1980.0, _ce("8086", 8.0, 16.0, 0.01, 0.1, False),
+        peak_mflops=0.05, approx=True, notes="India's MH1 node (1986).",
+    ),
+)
+
+
+_BY_NAME = {m.name: m for m in MICROPROCESSORS}
+assert len(_BY_NAME) == len(MICROPROCESSORS), "duplicate microprocessor names"
+
+
+def find_micro(name: str) -> Microprocessor:
+    """Look up a microprocessor by exact name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown microprocessor {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def microprocessors_by_year(through: float | None = None) -> list[Microprocessor]:
+    """Catalog sorted by introduction year, optionally truncated."""
+    micros = sorted(MICROPROCESSORS, key=lambda m: (m.year, m.name))
+    if through is not None:
+        micros = [m for m in micros if m.year <= through]
+    return micros
+
+
+def sixty_four_bit_micros(through: float | None = None) -> list[Microprocessor]:
+    """The Figure 5 population: 64-bit microprocessors by year."""
+    return [m for m in microprocessors_by_year(through) if m.word_bits >= 64.0]

@@ -1,0 +1,207 @@
+"""Machine specification dataclasses.
+
+A :class:`MachineSpec` is one rateable configuration: a machine model at a
+specific processor count.  Specs carry the fields every downstream model
+consumes:
+
+* the CTP pipeline (``element``, ``n_processors``, ``architecture``) — used
+  to *compute* a rating with :mod:`repro.ctp`;
+* ``quoted_ctp_mtops`` — the rating the paper itself quotes, which is
+  treated as ground truth when present (``ctp_mtops`` prefers it);
+* the controllability inputs of Chapter 3 (units installed, entry price,
+  distribution channel, size class, field upgradability, product cycle).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro._util import check_positive, check_year
+from repro.ctp.aggregate import Coupling, CTPParameters, DEFAULT_PARAMETERS
+from repro.ctp.elements import ComputingElement
+from repro.ctp.metric import ctp_homogeneous
+
+__all__ = ["Architecture", "DistributionChannel", "SizeClass", "MachineSpec"]
+
+
+class Architecture(enum.Enum):
+    """Architecture classes used throughout the paper (Table 5 spectrum)."""
+
+    UNIPROCESSOR = "uniprocessor"
+    VECTOR = "vector-pipelined"
+    SMP = "shared-memory multiprocessor"
+    MPP = "massively parallel (distributed memory)"
+    DEDICATED_CLUSTER = "dedicated cluster"
+    AD_HOC_CLUSTER = "ad hoc cluster"
+
+    @property
+    def coupling(self) -> Coupling:
+        """CTP aggregation coupling class for this architecture."""
+        if self in (Architecture.UNIPROCESSOR,):
+            return Coupling.SINGLE
+        if self in (Architecture.VECTOR, Architecture.SMP):
+            return Coupling.SHARED
+        if self is Architecture.MPP:
+            return Coupling.DISTRIBUTED
+        return Coupling.CLUSTER
+
+    @property
+    def tightness_rank(self) -> int:
+        """Position in the paper's tightly->loosely coupled spectrum.
+
+        Lower is more tightly coupled.  Vector and SMP tie conceptually but
+        the paper lists vector machines first (Table 5).
+        """
+        order = {
+            Architecture.VECTOR: 0,
+            Architecture.UNIPROCESSOR: 1,
+            Architecture.SMP: 2,
+            Architecture.MPP: 3,
+            Architecture.DEDICATED_CLUSTER: 4,
+            Architecture.AD_HOC_CLUSTER: 5,
+        }
+        return order[self]
+
+
+class DistributionChannel(enum.Enum):
+    """How a product reaches customers (a controllability factor)."""
+
+    #: Vendor-direct sales with installation involvement (Cray, Convex...).
+    DIRECT = "direct"
+    #: Mostly direct with some resellers; vendor keeps good oversight.
+    MIXED = "mixed"
+    #: VARs / OEMs / systems integrators / dealership networks (DEC, SGI...).
+    THIRD_PARTY = "third-party"
+
+
+class SizeClass(enum.Enum):
+    """Physical footprint (a controllability factor)."""
+
+    DESKTOP = "desktop"
+    DESKSIDE = "deskside"
+    RACK = "rack"
+    #: Machine-room installation: special power, cooling, raised floor.
+    ROOM = "room"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One rateable machine configuration.
+
+    Attributes
+    ----------
+    vendor, model:
+        Identification; ``model`` includes the configuration when a family
+        was sold at many sizes (e.g. ``"Paragon XP/S-150"``).
+    country:
+        Country of origin (ISO-ish short name, e.g. ``"USA"``).
+    year:
+        Decimal year of first shipment of this configuration.
+    architecture:
+        Architecture class (drives CTP coupling and Table 5 placement).
+    n_processors:
+        Number of computing elements in this configuration.
+    element:
+        The per-processor computing element, when known; optional because
+        several historical entries are only known by their quoted rating.
+    quoted_ctp_mtops:
+        CTP rating quoted in the paper text (ground truth when present).
+    quoted_peak_mflops:
+        Peak Mflops figure quoted in the paper or standard references.
+    entry_price_usd / max_price_usd:
+        Price band of the product family, 1995 dollars.
+    units_installed:
+        Estimated installed base (chassis) circa mid-1995.
+    channel:
+        Distribution-channel class.
+    size_class:
+        Physical footprint class.
+    field_upgradable:
+        True when users can raise the configuration to the family maximum
+        without vendor involvement (the SMP scalability loophole).
+    max_processors:
+        Largest configuration of the family.
+    product_cycle_years:
+        Time to the successor model at comparable price.
+    approx:
+        True when numbers are era-appropriate reconstructions rather than
+        paper-quoted values.
+    """
+
+    vendor: str
+    model: str
+    country: str
+    year: float
+    architecture: Architecture
+    n_processors: int = 1
+    element: ComputingElement | None = None
+    quoted_ctp_mtops: float | None = None
+    quoted_peak_mflops: float | None = None
+    entry_price_usd: float | None = None
+    max_price_usd: float | None = None
+    units_installed: int | None = None
+    channel: DistributionChannel = DistributionChannel.DIRECT
+    size_class: SizeClass = SizeClass.ROOM
+    field_upgradable: bool = False
+    max_processors: int | None = None
+    product_cycle_years: float = 2.0
+    approx: bool = False
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_year(self.year, "year")
+        if self.n_processors < 1:
+            raise ValueError(f"{self.model}: n_processors must be >= 1")
+        if self.element is None and self.quoted_ctp_mtops is None:
+            raise ValueError(
+                f"{self.model}: needs an element or a quoted CTP to be rateable"
+            )
+        if self.quoted_ctp_mtops is not None:
+            check_positive(self.quoted_ctp_mtops, f"{self.model}: quoted_ctp_mtops")
+        if self.max_processors is not None and self.max_processors < self.n_processors:
+            raise ValueError(f"{self.model}: max_processors < n_processors")
+        check_positive(self.product_cycle_years, f"{self.model}: product_cycle_years")
+
+    @property
+    def key(self) -> str:
+        """Stable lookup key, ``"vendor model"``."""
+        return f"{self.vendor} {self.model}"
+
+    def computed_ctp_mtops(self, params: CTPParameters = DEFAULT_PARAMETERS) -> float | None:
+        """CTP computed from the machine's elements, or None if unknown."""
+        if self.element is None:
+            return None
+        return ctp_homogeneous(
+            self.element, self.n_processors, self.architecture.coupling, params
+        )
+
+    @property
+    def ctp_mtops(self) -> float:
+        """Authoritative rating: paper-quoted when available, else computed."""
+        if self.quoted_ctp_mtops is not None:
+            return self.quoted_ctp_mtops
+        computed = self.computed_ctp_mtops()
+        assert computed is not None  # guaranteed by __post_init__
+        return computed
+
+    def at_processors(self, n: int) -> "MachineSpec":
+        """This family scaled to ``n`` processors (computed rating only).
+
+        The quoted rating belongs to the original configuration, so it is
+        dropped; callers get the formula's value for the new size.  Used to
+        model field upgrades within a family.
+        """
+        if self.element is None:
+            raise ValueError(f"{self.model}: cannot rescale without element data")
+        if self.max_processors is not None and n > self.max_processors:
+            raise ValueError(
+                f"{self.model}: {n} exceeds family maximum {self.max_processors}"
+            )
+        return replace(self, n_processors=n, quoted_ctp_mtops=None, quoted_peak_mflops=None)
+
+    def max_configuration(self) -> "MachineSpec":
+        """The family's maximum configuration (what an upgrader can reach)."""
+        if self.max_processors is None or self.max_processors == self.n_processors:
+            return self
+        return self.at_processors(self.max_processors)

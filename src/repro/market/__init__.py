@@ -1,0 +1,41 @@
+"""Economic substrate: market segments, price-performance, installed base.
+
+Chapter 2's third threshold-selection perspective weighs "the economic gain
+to U.S. industry from setting a threshold above this level ... against the
+cost to national security".  That needs three things: segment sizes and
+growth (``segments``), the price of performance over time (``pricing``),
+and the distribution of installed systems over CTP — the "humps" of
+Figure 3 (``installed``).
+"""
+
+from repro.market.segments import (
+    MarketSegment,
+    SEGMENTS,
+    find_segment,
+    segment_revenue_busd,
+)
+from repro.market.pricing import (
+    price_performance_trend,
+    dollars_per_mtops,
+    affordable_mtops,
+)
+from repro.market.installed import (
+    installed_distribution,
+    installed_units_above,
+    market_value_between,
+    LOG_BIN_EDGES,
+)
+
+__all__ = [
+    "MarketSegment",
+    "SEGMENTS",
+    "find_segment",
+    "segment_revenue_busd",
+    "price_performance_trend",
+    "dollars_per_mtops",
+    "affordable_mtops",
+    "installed_distribution",
+    "installed_units_above",
+    "market_value_between",
+    "LOG_BIN_EDGES",
+]

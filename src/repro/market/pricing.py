@@ -1,0 +1,64 @@
+"""Price-performance trends fitted from the machine catalog.
+
+"The growing size and intense competition of the SMP market will continue
+to drive the cost of such systems (e.g., $/MIPS) down to the point where
+non-Western parallel projects become economically infeasible" (Chapter 3).
+The fit here quantifies that: dollars per Mtops across the commercial
+catalog falls by roughly a third per year through the first half of the
+1990s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, check_year
+from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.trends.curves import ExponentialTrend, fit_exponential
+
+__all__ = ["price_performance_trend", "dollars_per_mtops", "affordable_mtops"]
+
+
+def _price_points(since: float = 1988.0) -> tuple[np.ndarray, np.ndarray]:
+    """(year, $/Mtops) samples from catalog entries with a price band.
+
+    Entry price is matched against the cataloged configuration's rating —
+    a deliberate mid-band estimate, since entry configurations are smaller
+    but also cheaper per processor.
+    """
+    years, ratios = [], []
+    for m in COMMERCIAL_SYSTEMS:
+        if m.entry_price_usd is None or m.year < since:
+            continue
+        years.append(m.year)
+        ratios.append(m.entry_price_usd / m.ctp_mtops)
+    return np.asarray(years), np.asarray(ratios)
+
+
+def price_performance_trend(since: float = 1988.0) -> ExponentialTrend:
+    """Exponential fit of $/Mtops over the commercial catalog.
+
+    The slope is negative: performance gets cheaper every year.
+    """
+    years, ratios = _price_points(since)
+    if years.size < 2:
+        raise ValueError("not enough priced systems to fit a trend")
+    return fit_exponential(years, ratios)
+
+
+def dollars_per_mtops(year: float, since: float = 1988.0) -> float:
+    """Fitted market price of one Mtops at ``year``."""
+    check_year(year, "year")
+    return float(price_performance_trend(since).value(year))
+
+
+def affordable_mtops(budget_usd: float, year: float) -> float:
+    """Performance a fixed budget buys at ``year``.
+
+    This is Chapter 2's "most powerful system that can be acquired for a
+    fixed amount of money" — the budget-constrained definition of the
+    maximum, and the quantity whose growth erodes premise one (budget
+    buyers gravitate to cost-effective, uncontrollable systems).
+    """
+    check_positive(budget_usd, "budget_usd")
+    return budget_usd / dollars_per_mtops(year)

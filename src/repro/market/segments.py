@@ -1,0 +1,81 @@
+"""Market segments and growth (Chapter 3's SCS figures).
+
+Anchor figures from the paper: a $75B PC market, a $30B low/mid-range
+workstation market, a $2.5B parallel/high-end-SMP market in 1994 growing at
+"over 40% per year", with commercial parallel computing alone "expected to
+grow to $5.2 billion by 1998"; MPPs a small fraction of commercial
+installations (SMP fits 90% of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive, check_year
+
+__all__ = ["MarketSegment", "SEGMENTS", "find_segment", "segment_revenue_busd"]
+
+
+@dataclass(frozen=True)
+class MarketSegment:
+    """One industry segment with exponential revenue growth."""
+
+    name: str
+    revenue_busd_1994: float
+    growth_per_year: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive(self.revenue_busd_1994, f"{self.name}: revenue")
+        check_positive(self.growth_per_year, f"{self.name}: growth")
+
+    def revenue_busd(self, year: float) -> float:
+        """Projected revenue in billions of 1994 dollars."""
+        check_year(year, "year")
+        return self.revenue_busd_1994 * self.growth_per_year ** (year - 1994.0)
+
+
+SEGMENTS: tuple[MarketSegment, ...] = (
+    MarketSegment(
+        name="personal computers", revenue_busd_1994=75.0, growth_per_year=1.15,
+        notes="Decontrolled since 1985; the existence proof of "
+              "uncontrollability.",
+    ),
+    MarketSegment(
+        name="workstations", revenue_busd_1994=30.0, growth_per_year=1.10,
+        notes="Low- and mid-range; the microprocessor R&D engine.",
+    ),
+    MarketSegment(
+        name="parallel systems (SMP + MPP)", revenue_busd_1994=2.5,
+        growth_per_year=1.40,
+        notes="The fastest-growing segment (SCS: >40%/yr); the frontier "
+              "population lives here.",
+    ),
+    MarketSegment(
+        name="commercial MPP", revenue_busd_1994=0.5, growth_per_year=1.55,
+        notes="'SMP is more appropriate than MPP in 90% of commercial "
+              "installations' (Smaby).  $5.2B commercial parallel by 1998 "
+              "(with SMP).",
+    ),
+    MarketSegment(
+        name="vector supercomputers", revenue_busd_1994=1.2,
+        growth_per_year=0.92,
+        notes="Declining with the Cold War procurement base.",
+    ),
+)
+
+
+_BY_NAME = {s.name: s for s in SEGMENTS}
+
+
+def find_segment(name: str) -> MarketSegment:
+    """Look up a segment by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown segment {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def segment_revenue_busd(name: str, year: float) -> float:
+    """Projected revenue of one segment at ``year``."""
+    return find_segment(name).revenue_busd(year)

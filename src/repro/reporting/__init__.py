@@ -1,0 +1,8 @@
+"""Rendering helpers for benches and examples: ASCII tables and series."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.figures import render_series, render_log_chart
+from repro.reporting.report import generate_review_report
+
+__all__ = ["render_table", "render_series", "render_log_chart",
+           "generate_review_report"]

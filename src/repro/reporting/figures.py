@@ -1,0 +1,87 @@
+"""Figure emission: aligned data series and log-scale ASCII charts.
+
+Figures are reproduced as data (the series a plotting package would
+consume) plus an optional ASCII rendering, since the environment is
+headless.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_series", "render_log_chart"]
+
+
+def render_series(
+    title: str,
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "year",
+) -> str:
+    """Render one or more y-series against a common x grid as columns."""
+    x_arr = np.asarray(x, dtype=float)
+    for name, ys in series.items():
+        if len(ys) != x_arr.size:
+            raise ValueError(f"series {name!r} length {len(ys)} != x length "
+                             f"{x_arr.size}")
+    headers = [x_label] + list(series)
+    lines = [title]
+    widths = [max(len(h), 10) for h in headers]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for i, xv in enumerate(x_arr):
+        row = [f"{xv:.2f}".rjust(widths[0])]
+        for j, (name, ys) in enumerate(series.items(), start=1):
+            v = float(ys[i])
+            cell = "-" if math.isnan(v) else f"{v:,.0f}" if abs(v) >= 100 else f"{v:,.3g}"
+            row.append(cell.rjust(widths[j]))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def render_log_chart(
+    title: str,
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Minimal log-y ASCII chart: one character per series.
+
+    Intended for bench output where the eyeball check is "does this curve
+    rise and cross that line", not publication graphics.
+    """
+    if height < 3 or width < 10:
+        raise ValueError("chart too small to draw")
+    x_arr = np.asarray(x, dtype=float)
+    marks = "*o+x#@%&"
+    all_vals = np.concatenate([
+        np.asarray(v, dtype=float)[np.isfinite(v) & (np.asarray(v) > 0)]
+        for v in series.values()
+    ])
+    if all_vals.size == 0:
+        raise ValueError("no positive finite data to chart")
+    lo, hi = np.log10(all_vals.min()), np.log10(all_vals.max())
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, ys) in enumerate(series.items()):
+        mark = marks[k % len(marks)]
+        ys_arr = np.asarray(ys, dtype=float)
+        for i in range(x_arr.size):
+            v = ys_arr[i]
+            if not np.isfinite(v) or v <= 0:
+                continue
+            col = int((x_arr[i] - x_arr[0]) / max(x_arr[-1] - x_arr[0], 1e-9)
+                      * (width - 1))
+            row = int((np.log10(v) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    legend = "  ".join(
+        f"{marks[k % len(marks)]}={name}" for k, name in enumerate(series)
+    )
+    body = "\n".join("|" + "".join(r) for r in grid)
+    footer = (f"+{'-' * width}\n {x_arr[0]:.1f}{' ' * (width - 12)}{x_arr[-1]:.1f}"
+              f"\n log10 Mtops range [{lo:.1f}, {hi:.1f}]   {legend}")
+    return f"{title}\n{body}\n{footer}"

@@ -1,0 +1,129 @@
+"""Full annual-review report generation.
+
+``generate_review_report`` assembles everything a review cycle produces —
+premises, bounds, Table 4, clusters, threshold options, sensitivity, and
+the forward look — into one markdown document: the artifact the paper's
+recommended "open, repeatable" process would actually file each year.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_year
+from repro.controllability.index import classification_table
+from repro.core.framework import application_clusters, derive_bounds
+from repro.core.premises import evaluate_premises
+from repro.core.review import run_annual_review
+from repro.core.scenarios import erosion_report
+from repro.core.sensitivity import bound_sensitivity
+from repro.core.threshold import ThresholdPolicy, select_threshold
+
+__all__ = ["generate_review_report"]
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:,.0f}" if abs(v) >= 10 else f"{v:,.3g}"
+        return str(v)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def generate_review_report(
+    year: float = 1995.5,
+    sensitivity_samples: int = 100,
+) -> str:
+    """One self-contained markdown review document for ``year``."""
+    check_year(year, "year")
+    review = run_annual_review(year)
+    bounds = derive_bounds(year)
+    premises = evaluate_premises(year)
+    sensitivity = bound_sensitivity(year, n_samples=sensitivity_samples)
+    sections: list[str] = []
+
+    sections.append(
+        f"# High-performance computing export-control review, {year:.1f}\n\n"
+        f"Methodology: Goodman/Wolcott/Burkhart (1995), as implemented by "
+        f"the `repro` library."
+    )
+
+    verdicts = []
+    for report in (premises.premise1, premises.premise2, premises.premise3):
+        verdicts.append([f"Premise {report.number}",
+                         "HOLDS" if report.holds else "FAILS",
+                         report.statement])
+    sections.append("## The basic premises\n\n" + _md_table(
+        ["premise", "verdict", "statement"], verdicts))
+    sections.append(
+        f"**Policy justified:** {'yes' if premises.policy_justified else 'no'}"
+    )
+
+    sections.append("## Bounds\n\n" + _md_table(
+        ["quantity", "Mtops"],
+        [
+            ["most powerful uncontrollable system", bounds.uncontrollable_mtops],
+            ["foreign indigenous envelope", bounds.foreign_mtops],
+            ["lower bound (line A)", bounds.lower_mtops],
+            ["smallest protectable application minimum",
+             bounds.upper_application_mtops or float("nan")],
+            ["most powerful system available (line D)",
+             bounds.upper_theoretical_mtops],
+        ],
+    ))
+    sections.append(
+        f"Lower-bound robustness over {sensitivity_samples} factor "
+        f"weightings: median {sensitivity.median:,.0f} Mtops, 90% interval "
+        f"[{sensitivity.quantile(0.05):,.0f}, "
+        f"{sensitivity.quantile(0.95):,.0f}]."
+    )
+
+    sections.append("## Controllability of current systems (Table 4)\n\n"
+                    + _md_table(
+        ["system", "index", "classification"],
+        [[a.machine.key, round(a.index, 3), a.classification.value]
+         for a in classification_table()],
+    ))
+
+    cluster_rows = []
+    for start, members in application_clusters(year):
+        cluster_rows.append([
+            f"{start:,.0f}",
+            len(members),
+            "; ".join(m.name for m in members[:3])
+            + ("" if len(members) <= 3 else " ..."),
+        ])
+    sections.append("## Protectable application clusters\n\n" + _md_table(
+        ["starts at (Mtops)", "applications", "examples"], cluster_rows))
+
+    policy_rows = []
+    for policy in ThresholdPolicy:
+        choice = select_threshold(year, policy)
+        policy_rows.append([
+            policy.value, choice.threshold_mtops,
+            len(choice.applications_given_up), choice.units_decontrolled,
+        ])
+    sections.append("## Threshold options\n\n" + _md_table(
+        ["policy", "threshold (Mtops)", "apps given up",
+         "units decontrolled"], policy_rows))
+    sections.append(
+        f"Threshold in force: {review.threshold_in_force:,.0f} Mtops "
+        f"({'STALE — below the lower bound' if review.threshold_is_stale else 'current'})."
+    )
+
+    erosion = erosion_report()
+    sections.append(
+        "## Forward look\n\n"
+        f"- Premise-1 failure, no new stalactites: "
+        f"{erosion.premise1.failure_year or 'beyond horizon'}\n"
+        f"- Controllable-range gap (line D / line A): "
+        f"{erosion.gap_1995:.1f}x (1995) -> {erosion.gap_1999:.1f}x (1999)\n"
+        f"- Conclusion: the regime "
+        f"{'weakens over the longer term' if erosion.weakens_over_time else 'remains stable'}"
+        f" — review again within twelve months."
+    )
+
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:,.1f}"
+        return f"{value:,.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Numbers are right-aligned with thousands separators; everything else
+    is left-aligned.  Rows shorter than the header are padded.
+    """
+    if not headers:
+        raise ValueError("at least one header column is required")
+    cells = [[_fmt(h) for h in headers]]
+    numeric = [True] * len(headers)
+    for row in rows:
+        padded = list(row) + [""] * (len(headers) - len(row))
+        if len(padded) > len(headers):
+            raise ValueError(f"row has {len(padded)} cells, expected "
+                             f"<= {len(headers)}")
+        for i, cell in enumerate(padded):
+            if not isinstance(cell, (int, float)) or isinstance(cell, bool):
+                numeric[i] = False
+        cells.append([_fmt(c) for c in padded])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    for j, row_cells in enumerate(cells):
+        line = sep.join(
+            cell.rjust(widths[i]) if numeric[i] and j > 0 else cell.ljust(widths[i])
+            for i, cell in enumerate(row_cells)
+        )
+        lines.append(line.rstrip())
+        if j == 0:
+            lines.append(sep.join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Parallel-architecture performance simulator (the hardware substitute).
+
+The paper's cluster-versus-integrated-system claims (Table 5; Chapter 3
+notes 50-55) rest on measurements taken on real 1990s machines.  Those
+machines are long gone, so this package provides an analytic machine model
+in the LogP/BSP tradition: workloads described by operation counts,
+parallel fraction, and communication pattern; machines described by node
+rate, memory, and interconnect (bandwidth, latency, shared-medium
+contention).  The model is deliberately simple — its job is to reproduce
+the paper's *qualitative* findings:
+
+* clusters excel on embarrassingly parallel and replicated problems;
+* "reasonable speedups were often observed for clusters with up to 8-12
+  nodes, but few exhibited significant speedups for clusters of greater
+  size" (medium-grain work on LAN interconnects);
+* fine-grained applications (shallow-water/weather halo exchange, sparse
+  solvers) are not competitive on clusters versus integrated machines;
+* a tightly coupled machine is never worse than a loosely coupled one of
+  equal aggregate rating (the Table 5 ordering), so thresholds set by SMP
+  performance can safely be applied down-spectrum but not vice versa.
+"""
+
+from repro.simulate.interconnect import (
+    Interconnect,
+    ETHERNET_10,
+    FDDI,
+    ATM_155,
+    HIPPI,
+    SMP_BUS,
+    PARAGON_MESH,
+    T3D_TORUS,
+    CM5_FAT_TREE,
+    INTERCONNECTS,
+)
+from repro.simulate.workloads import (
+    CommPattern,
+    Workload,
+    WORKLOAD_SUITE,
+    find_workload,
+)
+from repro.simulate.architectures import (
+    MachineModel,
+    smp_machine,
+    mpp_machine,
+    cluster_machine,
+    hierarchical_machine,
+    vector_machine,
+)
+from repro.simulate.execution import (
+    ExecutionResult,
+    simulate_execution,
+    speedup_curve,
+    efficiency_curve,
+)
+from repro.simulate.cluster_study import (
+    ArchitectureComparison,
+    compare_architectures,
+    max_competitive_cluster_size,
+    gator_study,
+    spectrum_table,
+)
+from repro.simulate.embedded import (
+    Platform,
+    DeployabilityAssessment,
+    assess_deployability,
+    embedded_mtops_per_watt,
+    swap_limited_mtops,
+    year_deployable,
+)
+from repro.simulate.throughput import (
+    JobMix,
+    ThroughputResult,
+    throughput,
+    cost_per_job_rate,
+)
+from repro.simulate.applications import (
+    weather_required_mtops,
+    keysearch_required_mtops,
+    keysearch_time_days,
+    acoustic_campaign_days,
+    aero_design_turnaround_hours,
+)
+
+__all__ = [
+    "Interconnect",
+    "ETHERNET_10",
+    "FDDI",
+    "ATM_155",
+    "HIPPI",
+    "SMP_BUS",
+    "PARAGON_MESH",
+    "T3D_TORUS",
+    "CM5_FAT_TREE",
+    "INTERCONNECTS",
+    "CommPattern",
+    "Workload",
+    "WORKLOAD_SUITE",
+    "find_workload",
+    "MachineModel",
+    "smp_machine",
+    "mpp_machine",
+    "cluster_machine",
+    "hierarchical_machine",
+    "vector_machine",
+    "ExecutionResult",
+    "simulate_execution",
+    "speedup_curve",
+    "efficiency_curve",
+    "ArchitectureComparison",
+    "compare_architectures",
+    "max_competitive_cluster_size",
+    "gator_study",
+    "spectrum_table",
+    "Platform",
+    "DeployabilityAssessment",
+    "assess_deployability",
+    "embedded_mtops_per_watt",
+    "swap_limited_mtops",
+    "year_deployable",
+    "JobMix",
+    "ThroughputResult",
+    "throughput",
+    "cost_per_job_rate",
+    "weather_required_mtops",
+    "keysearch_required_mtops",
+    "keysearch_time_days",
+    "acoustic_campaign_days",
+    "aero_design_turnaround_hours",
+]

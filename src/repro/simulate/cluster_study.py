@@ -1,0 +1,213 @@
+"""Cluster-versus-integrated-system studies (Table 5; Chapter 3 notes 50-55).
+
+Three experiments:
+
+* :func:`compare_architectures` — one workload across the architecture
+  spectrum at equal node count, checking the Table 5 ordering (a machine
+  with a more tightly coupled architecture is preferred to a loosely
+  coupled system of comparable power);
+* :func:`max_competitive_cluster_size` — the largest cluster that still
+  delivers a target parallel efficiency, reproducing Mattson's "reasonable
+  speedups ... for clusters with up to 8-12 nodes, but few exhibited
+  significant speedups for clusters of greater size";
+* :func:`gator_study` — the Berkeley NOW result (note 50): a 256-node
+  workstation cluster beats both a 16-processor C90 and a 256-node Paragon
+  on the coarse-grained GATOR chemical-tracer model, *but only when*
+  equipped with an ATM interconnect and low-overhead messaging; the same
+  cluster on Ethernet/PVM loses badly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.spec import Architecture
+from repro.simulate.architectures import (
+    MachineModel,
+    cluster_machine,
+    mpp_machine,
+    smp_machine,
+    vector_machine,
+)
+from repro.simulate.execution import ExecutionResult, simulate_execution
+from repro.simulate.interconnect import ATM_155, ETHERNET_10, Interconnect, SMP_BUS
+from repro.simulate.workloads import CommPattern, Workload, find_workload
+
+__all__ = [
+    "ArchitectureComparison",
+    "compare_architectures",
+    "max_competitive_cluster_size",
+    "gator_study",
+    "spectrum_table",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureComparison:
+    """Results of one workload across the architecture spectrum."""
+
+    workload: Workload
+    results: tuple[ExecutionResult, ...]
+
+    def ranked(self) -> list[ExecutionResult]:
+        """Results from fastest to slowest (infeasible last)."""
+        return sorted(self.results, key=lambda r: r.time_s)
+
+    def efficiency_by_architecture(self) -> dict[Architecture, float]:
+        return {r.machine.architecture: r.efficiency for r in self.results}
+
+    def spectrum_ordering_holds(self, tolerance: float = 0.05) -> bool:
+        """True when efficiency is non-increasing along the SMP ->
+        dedicated-cluster -> ad-hoc-cluster chain (within ``tolerance``).
+
+        This is the ordering the paper's threshold argument needs: a
+        threshold set by SMP performance can be applied down-spectrum.
+        The vector machine is excluded from the chain because its
+        *efficiency* is Amdahl-biased (its nodes are so fast that the
+        serial remainder looms large even as it posts the best absolute
+        time), and the MPP because its per-node memory feasibility
+        differs; both still appear in ``results`` and ``ranked()``.
+        """
+        chain = (
+            Architecture.SMP,
+            Architecture.DEDICATED_CLUSTER,
+            Architecture.AD_HOC_CLUSTER,
+        )
+        eff = self.efficiency_by_architecture()
+        values = [eff[a] for a in chain if a in eff]
+        return all(
+            later <= earlier + tolerance
+            for earlier, later in zip(values, values[1:])
+        )
+
+    def cluster_penalty(self) -> float:
+        """Efficiency ratio SMP / ad-hoc cluster (inf when the cluster
+        cannot run the workload at all).  Large for fine-grained work,
+        near 1 for embarrassingly parallel work."""
+        eff = self.efficiency_by_architecture()
+        smp = eff[Architecture.SMP]
+        adhoc = eff[Architecture.AD_HOC_CLUSTER]
+        if adhoc == 0.0:
+            return float("inf")
+        return smp / adhoc
+
+
+def compare_architectures(
+    workload: Workload | str,
+    n_nodes: int = 16,
+) -> ArchitectureComparison:
+    """Run one workload on vector, SMP, MPP, dedicated- and ad hoc-cluster
+    machines of ``n_nodes`` each."""
+    if isinstance(workload, str):
+        workload = find_workload(workload)
+    machines = (
+        vector_machine(n_nodes),
+        smp_machine(n_nodes),
+        mpp_machine(n_nodes),
+        cluster_machine(n_nodes, network=ATM_155, dedicated=True),
+        cluster_machine(n_nodes, network=ETHERNET_10),
+    )
+    return ArchitectureComparison(
+        workload=workload,
+        results=tuple(simulate_execution(workload, m) for m in machines),
+    )
+
+
+def max_competitive_cluster_size(
+    workload: Workload | str,
+    network: Interconnect = ETHERNET_10,
+    efficiency_floor: float = 0.5,
+    max_nodes: int = 256,
+    dedicated: bool = False,
+) -> int:
+    """Largest cluster size whose parallel efficiency (delivered over
+    aggregate sustained rate) stays at or above ``efficiency_floor``
+    (0 when even two nodes fall below it or cannot hold the problem)."""
+    if isinstance(workload, str):
+        workload = find_workload(workload)
+    if not 0 < efficiency_floor <= 1:
+        raise ValueError("efficiency_floor must be in (0, 1]")
+    best = 0
+    n = 2
+    while n <= max_nodes:
+        r = simulate_execution(
+            workload, cluster_machine(n, network=network, dedicated=dedicated)
+        )
+        if r.feasible and r.efficiency >= efficiency_floor:
+            best = n
+        n *= 2
+    return best
+
+
+#: The GATOR run needed the model's most parallel code and specially tuned
+#: machines (note 50): chemistry vectorizes poorly on the C90, and the NOW
+#: cluster ran active-message-class software, not PVM.
+_GATOR = Workload(
+    name="GATOR chemical tracer (NOW study)",
+    total_mops=4.0e6, data_mb=1_000.0, steps=200,
+    pattern=CommPattern.HALO_2D, parallel_fraction=0.999,
+    notes="Chapter 3 note 50.",
+)
+
+
+def gator_study() -> dict[str, ExecutionResult]:
+    """Reproduce the NOW comparison: C90/16 vs Paragon/256 vs 256-node
+    cluster with ATM (wins) vs the same cluster on Ethernet (loses)."""
+    c90 = MachineModel(
+        name="Cray C90 (16)", architecture=Architecture.VECTOR, n_nodes=16,
+        node_mops_per_s=1_725.0 * 0.35,  # chemistry vectorizes poorly
+        node_memory_mb=2_048.0, interconnect=SMP_BUS, shared_memory=True,
+    )
+    paragon = mpp_machine(256)
+    now_atm = MachineModel(
+        name="NOW cluster (256, ATM)",
+        architecture=Architecture.DEDICATED_CLUSTER, n_nodes=256,
+        node_mops_per_s=266.0 * 0.25,  # active messages, parallel file system
+        node_memory_mb=128.0, interconnect=ATM_155,
+    )
+    now_ethernet = MachineModel(
+        name="NOW cluster (256, Ethernet/PVM)",
+        architecture=Architecture.AD_HOC_CLUSTER, n_nodes=256,
+        node_mops_per_s=266.0 * 0.25,
+        node_memory_mb=128.0, interconnect=ETHERNET_10,
+    )
+    return {
+        m.name: simulate_execution(_GATOR, m)
+        for m in (c90, paragon, now_atm, now_ethernet)
+    }
+
+
+@dataclass(frozen=True)
+class SpectrumRow:
+    """One row of the Table 5 architecture spectrum."""
+
+    architecture: Architecture
+    example: str
+    coarse_efficiency: float
+    fine_efficiency: float
+
+
+def spectrum_table(n_nodes: int = 16) -> list[SpectrumRow]:
+    """Table 5 with measured columns: efficiency on a coarse-grained and a
+    fine-grained workload per architecture class."""
+    examples = {
+        Architecture.VECTOR: "Cray C916",
+        Architecture.SMP: "SGI PowerChallenge",
+        Architecture.MPP: "Intel Paragon",
+        Architecture.DEDICATED_CLUSTER: "rack of workstations + ATM",
+        Architecture.AD_HOC_CLUSTER: "office LAN + PVM",
+    }
+    coarse = compare_architectures("molecular dynamics", n_nodes)
+    fine = compare_architectures("shallow-water model", n_nodes)
+    coarse_eff = coarse.efficiency_by_architecture()
+    fine_eff = fine.efficiency_by_architecture()
+    rows = [
+        SpectrumRow(
+            architecture=arch,
+            example=examples[arch],
+            coarse_efficiency=coarse_eff[arch],
+            fine_efficiency=fine_eff[arch],
+        )
+        for arch in sorted(coarse_eff, key=lambda a: a.tightness_rank)
+    ]
+    return rows

@@ -1,0 +1,125 @@
+"""Embedded/deployable computing under size, weight, and power limits.
+
+Chapter 4, repeatedly: deployed military systems are "subject to size,
+weight, and power consumption constraints that preclude the use of
+clustered or networked systems", and direct operational support is growing
+because advances "greatly increased computer performance while
+simultaneously reducing the size, weight, and power requirements".
+
+The model: deployable computing capability is power-limited, with a
+system-level Mtops-per-watt efficiency that doubles on the commodity
+silicon cadence.  Calibration anchors (mid-1995):
+
+* the Mercury RACE array — "about 7,400 Mtops" in a shipboard rack of a
+  couple of kilowatts;
+* the F-22 avionics suite — ~9,000 Mtops from a pair of computers inside
+  a fighter's avionics power budget (famously at the edge of feasible);
+* the deployed NAASW sensor suite — ~500 Mtops, *not* yet man-packable in
+  1995.
+
+All three land correctly at 1.0 Mtops/W (system level) in 1992 doubling
+every two years.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive, check_year
+from repro.apps.requirements import ApplicationRequirement
+
+__all__ = [
+    "Platform",
+    "embedded_mtops_per_watt",
+    "swap_limited_mtops",
+    "year_deployable",
+    "DeployabilityAssessment",
+    "assess_deployability",
+]
+
+#: System-level (processor + memory + I/O + MIL-spec packaging + cooling)
+#: efficiency anchor: 1 Mtops per watt in 1992.
+_EFFICIENCY_ANCHOR_YEAR = 1992.0
+_EFFICIENCY_ANCHOR_MTOPS_PER_W = 1.0
+#: Commodity-silicon cadence.
+_DOUBLING_YEARS = 2.0
+
+
+class Platform(enum.Enum):
+    """Deployable platforms and their processing power budgets (watts)."""
+
+    MAN_PACK = 50.0
+    GROUND_VEHICLE = 400.0
+    AIRBORNE_POD = 1_000.0
+    FIGHTER_AVIONICS_BAY = 2_500.0
+    THEATER_VAN = 5_000.0
+    SHIPBOARD = 10_000.0
+
+    @property
+    def power_budget_w(self) -> float:
+        return self.value
+
+
+def embedded_mtops_per_watt(year: float) -> float:
+    """System-level deployable efficiency at ``year``."""
+    check_year(year, "year")
+    exponent = (year - _EFFICIENCY_ANCHOR_YEAR) / _DOUBLING_YEARS
+    return _EFFICIENCY_ANCHOR_MTOPS_PER_W * 2.0**exponent
+
+
+def swap_limited_mtops(year: float, power_budget_w: float) -> float:
+    """Deployable capability inside a power budget at ``year``."""
+    check_positive(power_budget_w, "power_budget_w")
+    return power_budget_w * embedded_mtops_per_watt(year)
+
+
+def year_deployable(required_mtops: float, power_budget_w: float) -> float:
+    """First year ``required_mtops`` fits in ``power_budget_w``."""
+    check_positive(required_mtops, "required_mtops")
+    check_positive(power_budget_w, "power_budget_w")
+    ratio = required_mtops / (power_budget_w * _EFFICIENCY_ANCHOR_MTOPS_PER_W)
+    return _EFFICIENCY_ANCHOR_YEAR + _DOUBLING_YEARS * float(np.log2(ratio))
+
+
+@dataclass(frozen=True)
+class DeployabilityAssessment:
+    """Can an application's deployed form fit a platform at a date?"""
+
+    application: ApplicationRequirement
+    platform: Platform
+    year: float
+    required_mtops: float
+    available_mtops: float
+
+    @property
+    def deployable(self) -> bool:
+        return self.available_mtops >= self.required_mtops
+
+    @property
+    def first_deployable_year(self) -> float:
+        return year_deployable(self.required_mtops,
+                               self.platform.power_budget_w)
+
+
+def assess_deployability(
+    application: ApplicationRequirement,
+    platform: Platform,
+    year: float = 1995.5,
+) -> DeployabilityAssessment:
+    """Assess one (application, platform, year) combination.
+
+    Uses the application's *undrifted* minimum: deployed systems carry the
+    full real-time requirement (there is no "run it longer" escape on a
+    missile-warning processor).
+    """
+    check_year(year, "year")
+    return DeployabilityAssessment(
+        application=application,
+        platform=platform,
+        year=year,
+        required_mtops=application.min_mtops,
+        available_mtops=swap_limited_mtops(year, platform.power_budget_w),
+    )

@@ -1,0 +1,195 @@
+"""Execution-time model: compute + communication + serial sections.
+
+The model is BSP-flavored.  Per run:
+
+* serial time — the Amdahl remainder on one node;
+* parallel compute time — parallel work divided across nodes;
+* communication time — per step, every node moves its pattern-determined
+  volume; on shared media (Ethernet, FDDI, the SMP bus) the aggregate
+  volume serializes over the one channel, on switched fabrics nodes
+  overlap.
+
+Shared-memory machines "communicate" halo traffic over the memory bus at
+bus bandwidth — physically what cache-coherent data sharing costs — so an
+SMP pays far less than a LAN cluster for the same logical pattern, which is
+precisely the paper's Table 5 ordering.
+
+Memory feasibility is part of the result: a workload with a closely-coupled
+memory floor does not *run* on machines whose (per-node or pooled) memory
+cannot hold it, no matter the rating — the paper's turbulent-flow example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.simulate.architectures import MachineModel
+from repro.simulate.workloads import Workload
+
+__all__ = [
+    "ExecutionResult",
+    "simulate_execution",
+    "speedup_curve",
+    "efficiency_curve",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated run."""
+
+    workload: Workload
+    machine: MachineModel
+    feasible: bool
+    infeasible_reason: str | None
+    serial_time_s: float
+    compute_time_s: float
+    comm_time_s: float
+
+    @property
+    def time_s(self) -> float:
+        """Wall-clock time (inf when infeasible)."""
+        if not self.feasible:
+            return float("inf")
+        return self.serial_time_s + self.compute_time_s + self.comm_time_s
+
+    @property
+    def delivered_mops_per_s(self) -> float:
+        """Useful work rate actually achieved."""
+        t = self.time_s
+        return 0.0 if not np.isfinite(t) else self.workload.total_mops / t
+
+    @property
+    def efficiency(self) -> float:
+        """Delivered rate over aggregate sustained rate, in [0, 1]."""
+        if not self.feasible:
+            return 0.0
+        return min(1.0, self.delivered_mops_per_s / self.machine.aggregate_mops_per_s)
+
+
+def _memory_check(workload: Workload, machine: MachineModel) -> str | None:
+    """None when the workload fits, else the reason it does not."""
+    if machine.shared_memory:
+        pool = machine.total_memory_mb
+    else:
+        # A hierarchical machine's closely-coupled pool is one hypernode.
+        pool = machine.node_memory_mb * machine.hypernode_size
+    if workload.min_memory_mb > pool:
+        return (
+            f"needs {workload.min_memory_mb:.0f} MB closely coupled; "
+            f"{'pool' if machine.shared_memory else 'hypernode'} has "
+            f"{pool:.0f} MB"
+        )
+    per_node = workload.data_mb / machine.n_nodes
+    if per_node > machine.node_memory_mb:
+        return (
+            f"working set {per_node:.0f} MB/node exceeds "
+            f"{machine.node_memory_mb:.0f} MB"
+        )
+    return None
+
+
+def _hierarchical_step_time(workload: Workload, machine: MachineModel) -> float:
+    """Per-step communication on an Exemplar-style hierarchical machine.
+
+    Processes within one hypernode exchange halos over the shared-memory
+    bus; only the traffic that crosses a hypernode boundary rides the
+    distributed fabric.  The inter-hypernode volume is what the pattern
+    would generate if the domain were decomposed at hypernode granularity
+    — the standard surface-to-volume accounting.
+    """
+    from repro.simulate.interconnect import SMP_BUS
+
+    p = machine.n_nodes
+    n_hyper = p // machine.hypernode_size
+    pattern = workload.pattern
+    total_volume = p * pattern.volume_per_node_mb(workload.data_mb, p)
+    if n_hyper > 1:
+        inter_per_hypernode = pattern.volume_per_node_mb(
+            workload.data_mb, n_hyper
+        )
+        inter_messages = pattern.messages_per_node(n_hyper)
+    else:
+        inter_per_hypernode = 0.0
+        inter_messages = 0.0
+    intra_total = max(total_volume - n_hyper * inter_per_hypernode, 0.0)
+    # Intra-hypernode traffic serializes over each hypernode's bus;
+    # hypernodes operate in parallel.
+    intra_time = (intra_total / n_hyper) / SMP_BUS.bandwidth_mbps
+    fabric = machine.interconnect
+    inter_time = inter_per_hypernode / fabric.bandwidth_mbps \
+        + inter_messages * fabric.latency_us * 1e-6
+    return intra_time + inter_time
+
+
+def simulate_execution(workload: Workload, machine: MachineModel) -> ExecutionResult:
+    """Simulate one run of ``workload`` on ``machine``."""
+    reason = _memory_check(workload, machine)
+    if reason is not None:
+        return ExecutionResult(
+            workload=workload, machine=machine, feasible=False,
+            infeasible_reason=reason,
+            serial_time_s=0.0, compute_time_s=0.0, comm_time_s=0.0,
+        )
+
+    p = machine.n_nodes
+    f = workload.parallel_fraction
+    rate = machine.node_mops_per_s
+    serial = workload.total_mops * (1.0 - f) / rate
+    compute = workload.total_mops * f / (rate * p)
+
+    if p == 1:
+        comm = 0.0
+    elif machine.hypernode_size > 1:
+        comm = workload.steps * _hierarchical_step_time(workload, machine)
+    else:
+        volume = workload.pattern.volume_per_node_mb(workload.data_mb, p)
+        messages = workload.pattern.messages_per_node(p)
+        net = machine.interconnect
+        if net.shared_medium:
+            # All nodes' traffic serializes over the one channel.
+            per_step = (p * volume) / net.bandwidth_mbps \
+                + messages * net.latency_us * 1e-6
+        else:
+            per_step = volume / net.bandwidth_mbps \
+                + messages * net.latency_us * 1e-6
+        comm = workload.steps * per_step
+
+    return ExecutionResult(
+        workload=workload, machine=machine, feasible=True,
+        infeasible_reason=None,
+        serial_time_s=serial, compute_time_s=compute, comm_time_s=comm,
+    )
+
+
+def speedup_curve(
+    workload: Workload,
+    machine: MachineModel,
+    node_counts: Sequence[int],
+) -> np.ndarray:
+    """Speedup versus the same machine at one node, per node count.
+
+    Infeasible points yield 0 speedup.
+    """
+    base = simulate_execution(workload, machine.with_nodes(1))
+    if not base.feasible:
+        return np.zeros(len(node_counts))
+    t1 = base.time_s
+    out = np.empty(len(node_counts))
+    for i, n in enumerate(node_counts):
+        r = simulate_execution(workload, machine.with_nodes(int(n)))
+        out[i] = t1 / r.time_s if r.feasible else 0.0
+    return out
+
+
+def efficiency_curve(
+    workload: Workload,
+    machine: MachineModel,
+    node_counts: Sequence[int],
+) -> np.ndarray:
+    """Parallel efficiency (speedup / n) per node count."""
+    s = speedup_curve(workload, machine, node_counts)
+    return s / np.asarray(node_counts, dtype=float)

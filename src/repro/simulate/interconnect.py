@@ -1,0 +1,112 @@
+"""Interconnect models: commodity LANs to proprietary MPP fabrics.
+
+"Clustered workstations are usually connected by networks with bandwidth
+and latency that are 1-2 orders of magnitude inferior to the interconnects
+used in more tightly coupled systems" (Chapter 3).  The catalog spans that
+range.  Parameters are delivered (not marketing) figures for the era,
+including protocol-stack latency for the LAN entries.
+
+``shared_medium`` marks networks where all stations contend for one
+channel (Ethernet segments, FDDI rings): aggregate traffic serializes.
+Switched fabrics scale bandwidth with node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+
+__all__ = [
+    "Interconnect",
+    "ETHERNET_10",
+    "FDDI",
+    "ATM_155",
+    "HIPPI",
+    "SMP_BUS",
+    "PARAGON_MESH",
+    "T3D_TORUS",
+    "CM5_FAT_TREE",
+    "INTERCONNECTS",
+]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point communication substrate.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    bandwidth_mbps:
+        Delivered per-link bandwidth in megabytes per second.
+    latency_us:
+        Per-message latency (including software overhead) in microseconds.
+    shared_medium:
+        True when every node contends for one channel.
+    controllable_component:
+        True when the interconnect itself is an export-controllable product
+        (proprietary MPP fabrics); commodity LANs are not — which is why "a
+        collection of computers is only as controllable as its most
+        controllable component" dooms cluster control.
+    """
+
+    name: str
+    bandwidth_mbps: float
+    latency_us: float
+    shared_medium: bool = False
+    controllable_component: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_mbps, f"{self.name}: bandwidth_mbps")
+        check_positive(self.latency_us, f"{self.name}: latency_us")
+
+    def transfer_time_s(self, megabytes: float, messages: float = 1.0) -> float:
+        """Time to move ``megabytes`` in ``messages`` messages over one link."""
+        if megabytes < 0 or messages < 0:
+            raise ValueError("volume and message count must be non-negative")
+        return megabytes / self.bandwidth_mbps + messages * self.latency_us * 1e-6
+
+    def effective_bandwidth_mbps(self, concurrent_nodes: int) -> float:
+        """Per-node bandwidth with ``concurrent_nodes`` communicating.
+
+        On a shared medium the channel divides; on a switched fabric each
+        node keeps its link.
+        """
+        if concurrent_nodes < 1:
+            raise ValueError("concurrent_nodes must be >= 1")
+        if self.shared_medium:
+            return self.bandwidth_mbps / concurrent_nodes
+        return self.bandwidth_mbps
+
+
+#: 10 Mbit/s Ethernet with a 1990s TCP/IP stack.
+ETHERNET_10 = Interconnect("10 Mb/s Ethernet", bandwidth_mbps=1.0,
+                           latency_us=1_000.0, shared_medium=True)
+#: 100 Mbit/s FDDI ring.
+FDDI = Interconnect("FDDI", bandwidth_mbps=10.0, latency_us=500.0,
+                    shared_medium=True)
+#: OC-3 ATM, switched.
+ATM_155 = Interconnect("ATM (155 Mb/s)", bandwidth_mbps=15.0, latency_us=150.0)
+#: HiPPI, switched, 800 Mbit/s.
+HIPPI = Interconnect("HiPPI", bandwidth_mbps=90.0, latency_us=100.0)
+#: SMP shared memory bus (e.g. POWERpath-2-class): huge bandwidth, tiny
+#: latency, but one medium shared by all processors.
+SMP_BUS = Interconnect("shared-memory bus", bandwidth_mbps=1_200.0,
+                       latency_us=1.0, shared_medium=True,
+                       controllable_component=True)
+#: Intel Paragon 2-D mesh.
+PARAGON_MESH = Interconnect("Paragon mesh", bandwidth_mbps=175.0,
+                            latency_us=40.0, controllable_component=True)
+#: Cray T3D 3-D torus.
+T3D_TORUS = Interconnect("T3D torus", bandwidth_mbps=300.0, latency_us=3.0,
+                         controllable_component=True)
+#: Thinking Machines CM-5 fat tree.
+CM5_FAT_TREE = Interconnect("CM-5 fat tree", bandwidth_mbps=20.0,
+                            latency_us=10.0, controllable_component=True)
+
+INTERCONNECTS: tuple[Interconnect, ...] = (
+    ETHERNET_10, FDDI, ATM_155, HIPPI, SMP_BUS, PARAGON_MESH, T3D_TORUS,
+    CM5_FAT_TREE,
+)

@@ -1,0 +1,94 @@
+"""Job-mix throughput: the *other* way clusters replace supercomputers.
+
+Note 52: the rationale for a supercomputer was often "not just improved
+performance on individual applications, but the time and cost savings
+possible when an organization has many applications to execute"; the low
+cost per Mflops of workstations made clusters attractive "for such
+high-volume computing environments".  Chapter 3: "Clusters have been used
+with excellent results primarily when used to improve system through-put."
+
+The model: a mix of *independent* jobs (no inter-job communication — this
+is throughput, not speedup).  Each job runs on one node (clusters) or one
+processor-share (shared machines), so granularity is irrelevant and the
+cluster's weakness disappears; what matters is aggregate sustained rate,
+memory per slot, and dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.simulate.architectures import MachineModel
+
+__all__ = ["JobMix", "ThroughputResult", "throughput", "cost_per_job_rate"]
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """A stream of identical independent jobs."""
+
+    name: str
+    job_mops: float
+    job_memory_mb: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.job_mops, f"{self.name}: job_mops")
+        check_positive(self.job_memory_mb, f"{self.name}: job_memory_mb")
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Sustained job throughput of one machine on one mix."""
+
+    mix: JobMix
+    machine: MachineModel
+    runnable: bool
+    jobs_per_day: float
+
+    @property
+    def reason(self) -> str | None:
+        if self.runnable:
+            return None
+        return (f"job needs {self.mix.job_memory_mb:.0f} MB; a "
+                f"{'processor share' if self.machine.shared_memory else 'node'}"
+                f" cannot hold it")
+
+
+def throughput(mix: JobMix, machine: MachineModel) -> ThroughputResult:
+    """Jobs per day the machine sustains on the mix.
+
+    Jobs are scheduled one per node (distributed machines) or packed into
+    the shared pool (shared-memory machines, limited by memory slots).
+    No communication, no Amdahl term: this is the workload class where
+    "completely independent processes are farmed out ... in a manner that
+    balances the load".
+    """
+    if machine.shared_memory:
+        memory_slots = int(machine.total_memory_mb // mix.job_memory_mb)
+        slots = min(machine.n_nodes, memory_slots)
+    else:
+        fits = machine.node_memory_mb >= mix.job_memory_mb
+        slots = machine.n_nodes if fits else 0
+    if slots < 1:
+        return ThroughputResult(mix=mix, machine=machine, runnable=False,
+                                jobs_per_day=0.0)
+    seconds_per_job = mix.job_mops / machine.node_mops_per_s
+    per_day = slots * 86_400.0 / seconds_per_job
+    return ThroughputResult(mix=mix, machine=machine, runnable=True,
+                            jobs_per_day=per_day)
+
+
+def cost_per_job_rate(
+    result: ThroughputResult,
+    machine_price_usd: float,
+) -> float:
+    """Dollars per (job/day) of sustained throughput.
+
+    The note 52 economics: divide the purchase price by the delivered
+    throughput.  Infinite when the machine cannot run the mix.
+    """
+    check_positive(machine_price_usd, "machine_price_usd")
+    if not result.runnable or result.jobs_per_day == 0.0:
+        return float("inf")
+    return machine_price_usd / result.jobs_per_day

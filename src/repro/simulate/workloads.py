@@ -1,0 +1,203 @@
+"""Workload models: operation counts, granularity, communication patterns.
+
+The paper's vocabulary (Chapter 3): *granularity* is "the amount of
+computation relative to the amount of movement of data between processors";
+clusters win when granularity is coarse and lose when it is fine.  A
+:class:`Workload` captures exactly the quantities that argument needs:
+total work, serial fraction, working-set size, step count, and a
+communication pattern giving per-step traffic as a function of the process
+count.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro._util import check_fraction, check_positive
+
+__all__ = ["CommPattern", "Workload", "WORKLOAD_SUITE", "find_workload"]
+
+
+class CommPattern(enum.Enum):
+    """Per-step communication structure of a data-parallel workload."""
+
+    #: No inter-process communication (ray tracing per frame, keysearch).
+    EMBARRASSING = "embarrassingly parallel"
+    #: Scatter inputs / gather outputs once per step; no exchange within.
+    REPLICATED = "replicated problem"
+    #: 2-D domain decomposition: each process trades strip boundaries,
+    #: volume per process ~ sqrt(data / p).
+    HALO_2D = "2-D halo exchange"
+    #: 3-D decomposition: faces ~ (data / p) ** (2/3).
+    HALO_3D = "3-D halo exchange"
+    #: Transpose/FFT-style: each process sends ~ data / p, in p messages.
+    ALL_TO_ALL = "all-to-all"
+    #: Sparse/irregular: many small messages; latency-dominated.
+    IRREGULAR = "irregular (latency-bound)"
+
+    def volume_per_node_mb(self, data_mb: float, p: int) -> float:
+        """Megabytes each process communicates per step."""
+        check_positive(data_mb, "data_mb")
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        if p == 1:
+            return 0.0
+        if self is CommPattern.EMBARRASSING:
+            return 0.0
+        if self is CommPattern.REPLICATED:
+            # Inputs are distributed once; per step only parameters and
+            # results move (a small fraction of the local share).
+            return 0.01 * data_mb / p
+        if self is CommPattern.HALO_2D:
+            # Boundary of a sqrt(data/p)-sided square patch, 4 neighbours.
+            return 4.0 * math.sqrt(data_mb / p) * 1e-2
+        if self is CommPattern.HALO_3D:
+            return 6.0 * (data_mb / p) ** (2.0 / 3.0) * 1e-2
+        if self is CommPattern.ALL_TO_ALL:
+            return data_mb / p
+        if self is CommPattern.IRREGULAR:
+            # Sparse exchanges are latency-bound: many tiny messages.
+            return 0.005 * data_mb / p
+        raise AssertionError("unreachable")
+
+    def messages_per_node(self, p: int) -> float:
+        """Messages each process sends per step."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        if p == 1 or self is CommPattern.EMBARRASSING:
+            return 0.0
+        if self is CommPattern.REPLICATED:
+            return 2.0
+        if self in (CommPattern.HALO_2D,):
+            return 4.0
+        if self is CommPattern.HALO_3D:
+            return 6.0
+        if self is CommPattern.ALL_TO_ALL:
+            return float(p - 1)
+        if self is CommPattern.IRREGULAR:
+            return 50.0
+        raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete, machine-independent description of one job.
+
+    Attributes
+    ----------
+    total_mops:
+        Total useful work, in millions of theoretical operations.
+    data_mb:
+        Working-set size in megabytes (drives halo volumes and per-node
+        memory feasibility).
+    steps:
+        Number of communication phases (time steps, solver iterations).
+        More steps at constant total work means finer granularity.
+    pattern:
+        Communication structure.
+    parallel_fraction:
+        Amdahl fraction of the work that parallelizes.
+    min_memory_mb:
+        Memory that must be *closely coupled* on a single node regardless
+        of decomposition (0 for cleanly decomposable problems).  This is
+        how the paper's memory-bound applications (turbulent-flow CSM)
+        defeat cluster conversion.
+    """
+
+    name: str
+    total_mops: float
+    data_mb: float
+    steps: int
+    pattern: CommPattern
+    parallel_fraction: float = 0.99
+    min_memory_mb: float = 0.0
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.total_mops, f"{self.name}: total_mops")
+        check_positive(self.data_mb, f"{self.name}: data_mb")
+        if self.steps < 1:
+            raise ValueError(f"{self.name}: steps must be >= 1")
+        check_fraction(self.parallel_fraction, f"{self.name}: parallel_fraction")
+        if self.min_memory_mb < 0:
+            raise ValueError(f"{self.name}: min_memory_mb must be >= 0")
+
+    @property
+    def granularity_mops_per_step(self) -> float:
+        """Computation per communication phase — the paper's granularity."""
+        return self.total_mops / self.steps
+
+
+#: Workloads mirroring the studies cited in Chapter 3 notes 50-54
+#: (Mattson's cluster data and the Berkeley NOW GATOR run).
+WORKLOAD_SUITE: tuple[Workload, ...] = (
+    Workload(
+        name="ray tracing", total_mops=2.0e6, data_mb=50.0, steps=16,
+        pattern=CommPattern.EMBARRASSING, parallel_fraction=0.999,
+        notes="Clusters 'worked well' (note 53).",
+    ),
+    Workload(
+        name="keysearch", total_mops=5.0e6, data_mb=1.0, steps=1,
+        pattern=CommPattern.EMBARRASSING, parallel_fraction=1.0,
+        notes="'A brute force attack is tailor-made for parallel processors'.",
+    ),
+    Workload(
+        name="molecular dynamics", total_mops=1.0e6, data_mb=200.0, steps=500,
+        pattern=CommPattern.REPLICATED, parallel_fraction=0.995,
+        notes="Coarse-grain replicated forces; cluster-friendly (note 53).",
+    ),
+    Workload(
+        name="seismic processing", total_mops=3.0e6, data_mb=2_000.0, steps=40,
+        pattern=CommPattern.REPLICATED, parallel_fraction=0.99,
+        notes="Shot gathers process independently.",
+    ),
+    Workload(
+        name="chemical tracer (GATOR)", total_mops=4.0e6, data_mb=1_000.0,
+        steps=200, pattern=CommPattern.HALO_2D, parallel_fraction=0.998,
+        notes="The NOW study's highly parallel LA-basin model (note 50).",
+    ),
+    Workload(
+        name="shallow-water model", total_mops=8.0e5, data_mb=800.0,
+        steps=5_000, pattern=CommPattern.HALO_2D, parallel_fraction=0.995,
+        notes="Fine-grain explicit PDE stepping; 'not competitive' on "
+              "clusters (note 53).",
+    ),
+    Workload(
+        name="weather prediction", total_mops=2.0e6, data_mb=1_500.0,
+        steps=8_000, pattern=CommPattern.HALO_3D, parallel_fraction=0.99,
+        notes="Halo exchange every short time step plus serial physics.",
+    ),
+    Workload(
+        name="2-D FFT signal processing", total_mops=1.5e6, data_mb=512.0,
+        steps=300, pattern=CommPattern.ALL_TO_ALL, parallel_fraction=0.99,
+        notes="Transpose-method spectral processing (SIP family); each "
+              "step every process talks to every other.",
+    ),
+    Workload(
+        name="sparse linear solver", total_mops=4.0e5, data_mb=600.0,
+        steps=12_000, pattern=CommPattern.IRREGULAR, parallel_fraction=0.97,
+        notes="'A very important, common, and hard to parallelize problem'.",
+    ),
+    Workload(
+        name="turbulent-flow CSM", total_mops=6.0e6, data_mb=1_024.0,
+        steps=4_000, pattern=CommPattern.HALO_3D, parallel_fraction=0.95,
+        min_memory_mb=1_024.0,
+        notes="Needs >= 128M 64-bit words closely coupled - infeasible on "
+              "cluster nodes regardless of speed.",
+    ),
+)
+
+
+_BY_NAME = {w.name: w for w in WORKLOAD_SUITE}
+
+
+def find_workload(name: str) -> Workload:
+    """Look up a suite workload by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,56 @@
+"""Time-series substrate: exponential technology curves and their fits.
+
+The framework of Chapter 2 is built from rising exponential curves (the
+uncontrollability frontier, foreign indigenous capability, the most powerful
+system available) crossed with static-per-application minimum requirements.
+This package provides the curve machinery plus the concrete trend data
+behind Figures 4-7, 12, and 13.
+"""
+
+from repro.trends.curves import (
+    ExponentialTrend,
+    TrendPoint,
+    fit_exponential,
+    running_max_series,
+)
+from repro.trends.moore import (
+    micro_mtops_trend,
+    projected_micro_mtops,
+)
+from repro.trends.smp import (
+    smp_systems,
+    smp_max_config_points,
+    smp_vendor_lines,
+    smp_trend,
+)
+from repro.trends.foreign import (
+    foreign_points,
+    foreign_trend,
+    foreign_envelope_mtops,
+)
+from repro.trends.top500 import (
+    Top500Entry,
+    Top500List,
+    generate_top500,
+    rank_trend,
+)
+
+__all__ = [
+    "ExponentialTrend",
+    "TrendPoint",
+    "fit_exponential",
+    "running_max_series",
+    "micro_mtops_trend",
+    "projected_micro_mtops",
+    "smp_systems",
+    "smp_max_config_points",
+    "smp_vendor_lines",
+    "smp_trend",
+    "foreign_points",
+    "foreign_trend",
+    "foreign_envelope_mtops",
+    "Top500Entry",
+    "Top500List",
+    "generate_top500",
+    "rank_trend",
+]

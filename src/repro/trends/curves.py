@@ -1,0 +1,183 @@
+"""Exponential trend fitting and projection.
+
+Performance trends in the study are exponential ("performance ... has grown
+by two orders of magnitude in the three years since their introduction"),
+so fits are least-squares in log space and projections are straight lines
+on a log axis.  All fitting is vectorized numpy; no iterative optimization
+is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import check_positive, check_year
+
+__all__ = [
+    "TrendPoint",
+    "ExponentialTrend",
+    "fit_exponential",
+    "loo_prediction_errors",
+    "running_max_series",
+]
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One observation on a technology curve."""
+
+    year: float
+    mtops: float
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_year(self.year, "year")
+        check_positive(self.mtops, "mtops")
+
+
+@dataclass(frozen=True)
+class ExponentialTrend:
+    """``mtops(year) = 10 ** (intercept + slope * (year - base_year))``.
+
+    ``slope`` is in decades per year; ``base_year`` anchors the intercept so
+    the parameters stay numerically tame.
+    """
+
+    base_year: float
+    intercept: float
+    slope: float
+    n_points: int = 0
+    residual_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_year(self.base_year, "base_year")
+        if not np.isfinite(self.intercept) or not np.isfinite(self.slope):
+            raise ValueError("trend parameters must be finite")
+
+    def value(self, year: float | np.ndarray) -> float | np.ndarray:
+        """Trend value (Mtops) at ``year`` (scalar or array)."""
+        year = np.asarray(year, dtype=float)
+        out = 10.0 ** (self.intercept + self.slope * (year - self.base_year))
+        return float(out) if out.ndim == 0 else out
+
+    @property
+    def doubling_time_years(self) -> float:
+        """Time for the trend to double (infinite for a flat trend)."""
+        if self.slope <= 0:
+            return float("inf")
+        return np.log10(2.0) / self.slope
+
+    @property
+    def growth_per_year(self) -> float:
+        """Multiplicative growth factor per year."""
+        return float(10.0 ** self.slope)
+
+    def year_reaching(self, mtops: float) -> float:
+        """Year at which the trend reaches ``mtops``.
+
+        Raises ``ValueError`` for a non-increasing trend, which never
+        reaches a level above its current value.
+        """
+        mtops = check_positive(mtops, "mtops")
+        if self.slope <= 0:
+            raise ValueError("non-increasing trend never reaches a higher level")
+        return self.base_year + (np.log10(mtops) - self.intercept) / self.slope
+
+    def shifted(self, years: float) -> "ExponentialTrend":
+        """The same trend delayed by ``years`` (used for the two-year
+        uncontrollability lag and foreign assimilation lags)."""
+        return ExponentialTrend(
+            base_year=self.base_year,
+            intercept=self.intercept - self.slope * years,
+            slope=self.slope,
+            n_points=self.n_points,
+            residual_std=self.residual_std,
+        )
+
+
+def fit_exponential(
+    years: Sequence[float] | np.ndarray,
+    mtops: Sequence[float] | np.ndarray,
+    base_year: float | None = None,
+) -> ExponentialTrend:
+    """Least-squares exponential fit through (year, Mtops) observations.
+
+    At least two distinct years are required.  The fit is ordinary least
+    squares on ``log10(mtops)``; ``residual_std`` records the scatter in
+    decades, which downstream consumers use as an uncertainty band.
+    """
+    y = np.asarray(years, dtype=float)
+    v = np.asarray(mtops, dtype=float)
+    if y.shape != v.shape or y.ndim != 1:
+        raise ValueError("years and mtops must be 1-D arrays of equal length")
+    if y.size < 2 or np.unique(y).size < 2:
+        raise ValueError("need observations at >= 2 distinct years to fit a trend")
+    if np.any(v <= 0) or not np.all(np.isfinite(v)):
+        raise ValueError("all mtops values must be finite and positive")
+    base = float(np.min(y)) if base_year is None else float(base_year)
+    check_year(base, "base_year")
+    x = y - base
+    logv = np.log10(v)
+    slope, intercept = np.polyfit(x, logv, 1)
+    resid = logv - (intercept + slope * x)
+    return ExponentialTrend(
+        base_year=base,
+        intercept=float(intercept),
+        slope=float(slope),
+        n_points=int(y.size),
+        residual_std=float(np.std(resid)),
+    )
+
+
+def loo_prediction_errors(
+    years: Sequence[float] | np.ndarray,
+    mtops: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Leave-one-out prediction errors of the exponential fit, in decades.
+
+    For each observation, fit the trend on the remaining points and report
+    ``log10(actual / predicted)``.  The spread of these errors is the
+    honest uncertainty of a projection — what an annual review should
+    quote alongside the trend line.  Requires at least four observations
+    at three distinct years.
+    """
+    y = np.asarray(years, dtype=float)
+    v = np.asarray(mtops, dtype=float)
+    if y.size < 4 or np.unique(y).size < 3:
+        raise ValueError("need >= 4 observations at >= 3 distinct years")
+    errors = np.empty(y.size)
+    for i in range(y.size):
+        mask = np.arange(y.size) != i
+        if np.unique(y[mask]).size < 2:
+            raise ValueError("removing one point degenerates the fit")
+        trend = fit_exponential(y[mask], v[mask])
+        errors[i] = np.log10(v[i] / trend.value(y[i]))
+    return errors
+
+
+def running_max_series(
+    points: Iterable[TrendPoint],
+    years: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Step series of "the most powerful to date" evaluated on a year grid.
+
+    This is how the paper's Figure 4 country curves behave: each new system
+    raises the plateau; nothing lowers it.  Years before the first point get
+    ``nan`` (no capability yet).
+    """
+    pts = sorted(points, key=lambda p: p.year)
+    grid = np.asarray(years, dtype=float)
+    out = np.full(grid.shape, np.nan)
+    if not pts:
+        return out
+    p_years = np.array([p.year for p in pts])
+    p_vals = np.array([p.mtops for p in pts])
+    # Running max of catalog values in year order.
+    p_best = np.maximum.accumulate(p_vals)
+    idx = np.searchsorted(p_years, grid, side="right") - 1
+    mask = idx >= 0
+    out[mask] = p_best[idx[mask]]
+    return out

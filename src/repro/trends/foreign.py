@@ -1,0 +1,56 @@
+"""Foreign indigenous capability trends (Figure 4).
+
+Figure 4 plots "trends in the most powerful domestic systems" of Russia,
+the PRC, and India against the control threshold.  Each country's curve is
+the running maximum of its catalog (Tables 1-3); the envelope across
+countries is one of the two components of the framework's lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_year
+from repro.machines.foreign import ForeignCountry, foreign_by_country, max_indigenous_mtops
+from repro.trends.curves import ExponentialTrend, TrendPoint, fit_exponential
+
+__all__ = ["foreign_points", "foreign_trend", "foreign_envelope_mtops"]
+
+
+def foreign_points(
+    country: ForeignCountry, through: float | None = None
+) -> list[TrendPoint]:
+    """(year, CTP) observations for one country's indigenous systems."""
+    return [
+        TrendPoint(m.year, m.ctp_mtops, label=m.key)
+        for m in foreign_by_country(country, through)
+    ]
+
+
+def foreign_trend(
+    country: ForeignCountry,
+    through: float | None = None,
+    since: float = 1980.0,
+) -> ExponentialTrend:
+    """Exponential fit of one country's indigenous capability.
+
+    ``since`` drops antique anchors (e.g. the 1968 BESM-6) that would
+    otherwise dominate the fit with pre-microprocessor growth rates.
+    """
+    pts = [p for p in foreign_points(country, through) if p.year >= since]
+    if len(pts) < 2:
+        raise ValueError(f"not enough {country.value} systems in range to fit")
+    return fit_exponential([p.year for p in pts], [p.mtops for p in pts])
+
+
+def foreign_envelope_mtops(year: float) -> float:
+    """The most powerful system available in *any* country of concern.
+
+    This is the "availability of computing systems from domestic or other
+    non-Western sources" term of the lower bound (Chapter 2).  Returns 0.0
+    before any country has a system.
+    """
+    check_year(year, "year")
+    return float(
+        np.max([max_indigenous_mtops(c, year) for c in ForeignCountry])
+    )

@@ -1,0 +1,51 @@
+"""Microprocessor performance trend (Figure 5).
+
+"Microprocessor performance has increased exponentially during the 1990s"
+(Chapter 3).  The trend here is fitted over the 64-bit catalog — the
+population Figure 5 plots — and is the engine behind every projection the
+frontier models make: SMP top-of-line growth is micro growth times the
+(slowly growing) processor-count envelope.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_year
+from repro.machines.microprocessors import sixty_four_bit_micros
+from repro.trends.curves import ExponentialTrend, TrendPoint, fit_exponential
+
+__all__ = ["micro_points", "micro_mtops_trend", "projected_micro_mtops"]
+
+
+def micro_points(through: float | None = None) -> list[TrendPoint]:
+    """(year, Mtops) observations for 64-bit microprocessors."""
+    return [
+        TrendPoint(m.year, m.mtops, label=m.name)
+        for m in sixty_four_bit_micros(through)
+    ]
+
+
+def micro_mtops_trend(
+    through: float | None = None, since: float = 1991.5
+) -> ExponentialTrend:
+    """Exponential fit of single-chip Mtops over the 64-bit catalog.
+
+    ``since`` defaults to 1991.5, dropping the i860 generation from the
+    *fit* (it appears in the Figure 5 point cloud but had no successor and
+    its VLIW+graphics-unit rating is ahead of its line's trend).  Over
+    1992-1996 the fit doubles roughly every two years, the commodity-
+    silicon pace that Chapter 3 rides.
+    """
+    pts = [p for p in micro_points(through) if p.year >= since]
+    if len(pts) < 2:
+        raise ValueError("not enough microprocessors in range to fit a trend")
+    return fit_exponential([p.year for p in pts], [p.mtops for p in pts])
+
+
+def projected_micro_mtops(year: float, fit_through: float = 1995.5) -> float:
+    """Single-chip Mtops projected to ``year`` from the study-time fit.
+
+    ``fit_through`` defaults to mid-1995 so projections only use data the
+    study's authors could have seen.
+    """
+    check_year(year, "year")
+    return float(micro_mtops_trend(fit_through).value(year))

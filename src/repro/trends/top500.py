@@ -1,0 +1,166 @@
+"""Synthetic Top500-style installation lists (Figures 12-13).
+
+The study used the Top500 Supercomputer Sites listings to characterize how
+installed high-end computing is distributed.  The real 1993-1995 lists are
+not redistributable data here, so this module generates synthetic lists
+calibrated to the era's public anchor points:
+
+* the #1 system: ~14,000 Mtops-class in mid-1993 (1024-node CM-5) rising to
+  ~100,000 Mtops-class by mid-1995 (6768-node Paragon XP/S 140) — both of
+  which are actual catalog entries;
+* the #500 system: a few hundred Mtops in 1993, about trebling by 1995;
+* architecture shares: vector-pipelined machines losing ground to MPPs and
+  (by mid-decade) large SMP servers, the structural change Chapter 6 leans
+  on.
+
+A power law in rank between the calibrated endpoints reproduces the
+heavy-tailed shape of the real lists; per-entry lognormal jitter gives the
+lists realistic texture without changing the calibration (the endpoints are
+pinned after jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_year
+from repro.machines.spec import Architecture
+from repro.trends.curves import ExponentialTrend
+
+__all__ = ["Top500Entry", "Top500List", "generate_top500", "rank_trend"]
+
+#: Calibrated endpoint trends (decimal year base 1993.5).
+_P1_TREND = ExponentialTrend(base_year=1993.5, intercept=np.log10(14_500.0),
+                             slope=np.log10(2.7))
+_P500_TREND = ExponentialTrend(base_year=1993.5, intercept=np.log10(400.0),
+                               slope=np.log10(1.75))
+
+#: Architecture share anchors (year -> (vector, mpp, smp)); linearly
+#: interpolated and renormalized between anchors.
+_ARCH_ANCHORS: tuple[tuple[float, tuple[float, float, float]], ...] = (
+    (1993.0, (0.65, 0.33, 0.02)),
+    (1995.0, (0.40, 0.48, 0.12)),
+    (1997.0, (0.22, 0.50, 0.28)),
+    (2000.0, (0.08, 0.52, 0.40)),
+)
+
+_COUNTRY_WEIGHTS = {"USA": 0.55, "Japan": 0.22, "Europe": 0.18, "other": 0.05}
+
+
+@dataclass(frozen=True)
+class Top500Entry:
+    """One installation on a synthetic list."""
+
+    rank: int
+    mtops: float
+    architecture: Architecture
+    country: str
+
+
+@dataclass(frozen=True)
+class Top500List:
+    """A synthetic list for one publication date."""
+
+    year: float
+    entries: tuple[Top500Entry, ...]
+
+    def mtops(self) -> np.ndarray:
+        """Performance by rank (descending)."""
+        return np.array([e.mtops for e in self.entries])
+
+    def share_by_architecture(self) -> dict[Architecture, float]:
+        """Fraction of entries in each architecture class."""
+        n = len(self.entries)
+        shares: dict[Architecture, float] = {}
+        for e in self.entries:
+            shares[e.architecture] = shares.get(e.architecture, 0.0) + 1.0 / n
+        return shares
+
+    def histogram(self, bin_edges_mtops: np.ndarray) -> np.ndarray:
+        """Counts of entries in performance bins (Figure 12 rows)."""
+        return np.histogram(self.mtops(), bins=np.asarray(bin_edges_mtops))[0]
+
+    def fraction_below(self, mtops: float) -> float:
+        """Fraction of the list below a performance level — the Figure 13
+        statistic showing the controllability bound eating the list."""
+        perf = self.mtops()
+        return float(np.mean(perf < mtops))
+
+
+def _arch_weights(year: float) -> np.ndarray:
+    years = np.array([a[0] for a in _ARCH_ANCHORS])
+    table = np.array([a[1] for a in _ARCH_ANCHORS])
+    w = np.array(
+        [np.interp(year, years, table[:, k]) for k in range(table.shape[1])]
+    )
+    return w / w.sum()
+
+
+def rank_trend(rank: int, year: float | np.ndarray) -> float | np.ndarray:
+    """Deterministic performance of a given list rank over time.
+
+    ``rank_trend(1, y)`` and ``rank_trend(500, y)`` are the calibrated
+    endpoints; intermediate ranks follow the interpolating power law.
+    """
+    if not 1 <= rank <= 500:
+        raise ValueError(f"rank must be in [1, 500], got {rank}")
+    year_arr = np.asarray(year, dtype=float)
+    p1 = _P1_TREND.value(year_arr)
+    p500 = _P500_TREND.value(year_arr)
+    alpha = np.log(p1 / p500) / np.log(500.0)
+    out = p1 * float(rank) ** (-alpha)
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def generate_top500(year: float, seed: int = 0, n: int = 500) -> Top500List:
+    """Generate a synthetic list for a publication year.
+
+    Deterministic for a given ``(year, seed, n)``.  Jitter perturbs the
+    interior of the list only; the calibrated #1 and #n entries are exact.
+    """
+    check_year(year, "year")
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, int(round(year * 100)), n])
+    )
+    ranks = np.arange(1, n + 1, dtype=float)
+    p1 = float(_P1_TREND.value(year))
+    pn = float(_P500_TREND.value(year)) * (500.0 / n) ** 0.0  # calibrated at n=500
+    alpha = np.log(p1 / pn) / np.log(float(n))
+    base = p1 * ranks ** (-alpha)
+    jitter = 10.0 ** rng.normal(0.0, 0.06, size=n)
+    jitter[0] = jitter[-1] = 1.0
+    # Clip into the calibrated envelope before sorting so that pinning the
+    # endpoints cannot break the descending order.
+    perf = np.sort(np.clip(base * jitter, pn, p1))[::-1]
+    perf[0], perf[-1] = p1, pn
+
+    arch_pool = np.array([Architecture.VECTOR, Architecture.MPP, Architecture.SMP])
+    arch_w = _arch_weights(year)
+    # Top of the list leans MPP/vector; SMPs cluster in the tail.  Sampling
+    # probability is modulated by rank percentile.
+    pct = ranks / n
+    w_matrix = np.empty((n, 3))
+    w_matrix[:, 0] = arch_w[0] * (1.2 - 0.4 * pct)        # vector
+    w_matrix[:, 1] = arch_w[1] * (1.4 - 0.8 * pct)        # mpp
+    w_matrix[:, 2] = arch_w[2] * (0.2 + 1.6 * pct)        # smp
+    w_matrix /= w_matrix.sum(axis=1, keepdims=True)
+    arch_idx = np.array([rng.choice(3, p=w_matrix[i]) for i in range(n)])
+
+    countries = list(_COUNTRY_WEIGHTS)
+    cw = np.array(list(_COUNTRY_WEIGHTS.values()))
+    country_idx = rng.choice(len(countries), size=n, p=cw / cw.sum())
+
+    entries = tuple(
+        Top500Entry(
+            rank=i + 1,
+            mtops=float(perf[i]),
+            architecture=arch_pool[arch_idx[i]],
+            country=countries[country_idx[i]],
+        )
+        for i in range(n)
+    )
+    return Top500List(year=year, entries=entries)

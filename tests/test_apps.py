@@ -1,0 +1,205 @@
+"""Tests for the applications taxonomy, requirements, and catalog."""
+
+import pytest
+
+from repro.apps.catalog import (
+    APPLICATIONS,
+    applications_by_mission,
+    find_application,
+    min_requirements_mtops,
+)
+from repro.apps.requirements import (
+    ApplicationRequirement,
+    DRIFT_FLOOR_FRACTION,
+    drifted_min_mtops,
+)
+from repro.apps.taxonomy import (
+    ACW_FUNCTIONAL_AREAS,
+    CTA,
+    CF,
+    MILOPS_FUNCTIONAL_AREAS,
+    MissionArea,
+    Parallelizability,
+    TimingClass,
+)
+
+
+class TestTaxonomy:
+    def test_table6_has_nine_ctas_plus_cryptology(self):
+        assert len(CTA) == 10  # nine CTAs + cryptology as the 14th area
+
+    def test_table7_has_four_cfs(self):
+        assert len(CF) == 4
+
+    def test_acw_has_four_functional_areas(self):
+        # Table 8's four ACW mission areas.
+        assert len(ACW_FUNCTIONAL_AREAS) == 4
+        for area in ACW_FUNCTIONAL_AREAS:
+            assert area.mission is MissionArea.ACW
+            assert len(area.functions) >= 4
+
+    def test_milops_areas(self):
+        assert len(MILOPS_FUNCTIONAL_AREAS) >= 3
+        for area in MILOPS_FUNCTIONAL_AREAS:
+            assert area.mission is MissionArea.MILITARY_OPERATIONS
+
+    def test_functions_have_ctas(self):
+        for area in ACW_FUNCTIONAL_AREAS + MILOPS_FUNCTIONAL_AREAS:
+            for fn in area.functions:
+                assert fn.ctas
+
+    def test_cfd_csm_most_frequent_in_acw(self):
+        # "CFD ... is one of the most frequently encountered families of
+        # applications in weapons design".
+        ctas = [c for area in ACW_FUNCTIONAL_AREAS
+                for fn in area.functions for c in fn.ctas]
+        assert ctas.count(CTA.CFD) + ctas.count(CTA.CSM) >= 8
+
+
+class TestRequirementRecord:
+    def _app(self, **kw):
+        defaults = dict(
+            name="t", mission=MissionArea.ACW, functional_area="x",
+            ctas=(CTA.CFD,), min_mtops=1_000.0, year_first=1994.0,
+        )
+        defaults.update(kw)
+        return ApplicationRequirement(**defaults)
+
+    def test_basic(self):
+        app = self._app()
+        assert app.timing is TimingClass.OPERATIONAL
+        assert app.parallelizable is Parallelizability.LIMITED
+
+    def test_rejects_actual_below_min(self):
+        with pytest.raises(ValueError, match="below"):
+            self._app(actual_mtops=500.0)
+
+    def test_actual_equal_min_allowed(self):
+        assert self._app(actual_mtops=1_000.0).actual_mtops == 1_000.0
+
+    def test_rejects_empty_ctas(self):
+        with pytest.raises(ValueError):
+            self._app(ctas=())
+
+    def test_rejects_nonpositive_min(self):
+        with pytest.raises(ValueError):
+            self._app(min_mtops=0.0)
+
+
+class TestDrift:
+    def _app(self):
+        return ApplicationRequirement(
+            name="t", mission=MissionArea.ACW, functional_area="x",
+            ctas=(CTA.CFD,), min_mtops=1_000.0, year_first=1990.0,
+        )
+
+    def test_no_drift_before_first_performance(self):
+        assert drifted_min_mtops(self._app(), 1985.0) == 1_000.0
+
+    def test_monotone_non_increasing(self):
+        app = self._app()
+        values = [drifted_min_mtops(app, y) for y in (1990.0, 1992.0, 1995.0, 2005.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rate_applies(self):
+        app = self._app()
+        assert drifted_min_mtops(app, 1991.0, rate=0.1) == pytest.approx(900.0)
+
+    def test_floor_binds(self):
+        app = self._app()
+        assert drifted_min_mtops(app, 2040.0) == pytest.approx(
+            1_000.0 * DRIFT_FLOOR_FRACTION
+        )
+
+    def test_zero_rate_constant(self):
+        app = self._app()
+        assert drifted_min_mtops(app, 2000.0, rate=0.0) == 1_000.0
+
+    def test_rejects_zero_floor(self):
+        with pytest.raises(ValueError, match="floor"):
+            drifted_min_mtops(self._app(), 1995.0, floor=0.0)
+
+    def test_min_at_method_matches(self):
+        app = self._app()
+        assert app.min_at(1995.0) == drifted_min_mtops(app, 1995.0)
+
+
+class TestApplicationCatalog:
+    def test_size(self):
+        assert len(APPLICATIONS) >= 30
+
+    def test_unique_names(self):
+        names = [a.name for a in APPLICATIONS]
+        assert len(set(names)) == len(names)
+
+    def test_all_missions_covered(self):
+        for mission in MissionArea:
+            assert applications_by_mission(mission), mission
+
+    def test_find_application(self):
+        assert find_application("F-22 design").actual_mtops == 958.0
+
+    def test_find_unknown(self):
+        with pytest.raises(KeyError):
+            find_application("F-23 design")
+
+    # --- quoted paper figures carried exactly ---------------------------
+    @pytest.mark.parametrize("name,min_mtops", [
+        ("F-117A design", 0.8),
+        ("B-2 / Advanced Technology Bomber design", 189.0),
+        ("JAST candidate aircraft design", 3_485.0),
+        ("Shallow-water turbulent-flow noise modeling", 21_125.0),
+        ("Shallow-water bottom-contour acoustic modeling", 8_000.0),
+        ("ATR template development", 24_000.0),
+        ("Acoustic sensor R&D and ocean modeling", 20_000.0),
+        ("Tactical weather prediction (45 km)", 10_000.0),
+        ("SIRST development (ASCM defense algorithms)", 7_400.0),
+        ("F-22 avionics suite", 9_000.0),
+        ("Robust nuclear weapons simulation", 1_400.0),
+        ("Routine 10-day / 5-km forecasting", 100_000.0),
+    ])
+    def test_quoted_minimums(self, name, min_mtops):
+        app = find_application(name)
+        assert app.min_mtops == min_mtops
+        assert app.quoted
+
+    def test_f117_actual_is_ibm_3090(self):
+        app = find_application("F-117A design")
+        assert app.actual_system == "IBM 3090/250"
+        assert app.actual_mtops == 189.0
+
+    def test_actual_systems_exist_in_catalog(self):
+        from repro.machines.catalog import find_machine
+
+        for app in APPLICATIONS:
+            if app.actual_system is not None:
+                machine = find_machine(app.actual_system)  # must not raise
+                assert machine.ctp_mtops > 0
+
+    def test_memory_bound_flagged(self):
+        assert find_application(
+            "Shallow-water turbulent-flow noise modeling").memory_bound
+        assert not find_application("F-117A design").memory_bound
+
+    def test_crypto_parallelizable(self):
+        # Key judgment: "cryptologic applications can be readily adapted
+        # for parallel processing".
+        for app in applications_by_mission(MissionArea.CRYPTOLOGY):
+            assert app.parallelizable is Parallelizability.EASY
+
+    def test_weather_not_parallelizable(self):
+        # "Some problems, such as tactical weather prediction, do not
+        # parallelize well."
+        assert find_application(
+            "Tactical weather prediction (45 km)"
+        ).parallelizable is Parallelizability.NO
+
+    def test_min_requirements_sorted(self):
+        mins = min_requirements_mtops()
+        assert mins == sorted(mins)
+        assert len(mins) == len(APPLICATIONS)
+
+    def test_min_requirements_drifted(self):
+        raw = min_requirements_mtops()
+        drifted = min_requirements_mtops(2000.0)
+        assert sum(drifted) < sum(raw)

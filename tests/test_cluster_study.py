@@ -1,0 +1,110 @@
+"""Tests for the cluster-vs-integrated studies (Table 5, notes 50-55)."""
+
+import pytest
+
+from repro.machines.spec import Architecture
+from repro.simulate.cluster_study import (
+    compare_architectures,
+    gator_study,
+    max_competitive_cluster_size,
+    spectrum_table,
+)
+from repro.simulate.interconnect import ATM_155, FDDI
+from repro.simulate.workloads import WORKLOAD_SUITE
+
+
+class TestSpectrumOrdering:
+    @pytest.mark.parametrize("workload", [w.name for w in WORKLOAD_SUITE])
+    def test_ordering_holds_for_entire_suite(self, workload):
+        """The Table 5 chain (SMP >= dedicated >= ad hoc cluster) holds for
+        every suite workload."""
+        assert compare_architectures(workload).spectrum_ordering_holds()
+
+    def test_penalty_small_for_embarrassing(self):
+        assert compare_architectures("keysearch").cluster_penalty() < 1.3
+
+    def test_penalty_large_for_fine_grain(self):
+        assert compare_architectures("shallow-water model").cluster_penalty() > 5.0
+
+    def test_penalty_infinite_for_memory_bound(self):
+        assert compare_architectures("turbulent-flow CSM").cluster_penalty() \
+            == float("inf")
+
+    def test_ranked_fastest_first(self):
+        ranked = compare_architectures("molecular dynamics").ranked()
+        times = [r.time_s for r in ranked]
+        assert times == sorted(times)
+
+    def test_vector_fastest_absolute_on_fine_grain(self):
+        # The C916 posts the best absolute time on fine-grained work even
+        # though its parallel *efficiency* is Amdahl-penalized.
+        ranked = compare_architectures("shallow-water model").ranked()
+        assert ranked[0].machine.architecture is Architecture.VECTOR
+
+
+class TestMaxCompetitiveSize:
+    def test_mattson_8_to_16_ethernet(self):
+        """'Reasonable speedups were often observed for clusters with up to
+        8-12 nodes, but few exhibited significant speedups for clusters of
+        greater size' — medium-grain work on a 10-Mb/s LAN."""
+        n = max_competitive_cluster_size("molecular dynamics")
+        assert 8 <= n <= 32
+
+    def test_fine_grain_not_competitive_on_ethernet(self):
+        assert max_competitive_cluster_size("shallow-water model") <= 2
+        assert max_competitive_cluster_size("weather prediction") <= 2
+        assert max_competitive_cluster_size("sparse linear solver") <= 2
+
+    def test_embarrassing_scales_everywhere(self):
+        assert max_competitive_cluster_size("ray tracing") == 256
+        assert max_competitive_cluster_size("keysearch") == 256
+
+    def test_better_network_extends_reach(self):
+        eth = max_competitive_cluster_size("chemical tracer (GATOR)")
+        fddi = max_competitive_cluster_size("chemical tracer (GATOR)", FDDI)
+        atm = max_competitive_cluster_size(
+            "chemical tracer (GATOR)", ATM_155, dedicated=True
+        )
+        assert eth <= fddi <= atm
+
+    def test_memory_bound_zero(self):
+        assert max_competitive_cluster_size("turbulent-flow CSM") == 0
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            max_competitive_cluster_size("ray tracing", efficiency_floor=0.0)
+
+
+class TestGatorStudy:
+    def test_now_result_reproduced(self):
+        """Note 50: the 256-node cluster beats both the C90 and the Paragon
+        — but only with the ATM interconnect and low-overhead messaging."""
+        results = gator_study()
+        atm = results["NOW cluster (256, ATM)"]
+        c90 = results["Cray C90 (16)"]
+        paragon = results["MPP (256 nodes)"]
+        ethernet = results["NOW cluster (256, Ethernet/PVM)"]
+        assert atm.time_s < c90.time_s
+        assert atm.time_s < paragon.time_s
+        assert ethernet.time_s > c90.time_s
+
+    def test_all_feasible(self):
+        assert all(r.feasible for r in gator_study().values())
+
+
+class TestSpectrumTable:
+    def test_five_rows_in_order(self):
+        rows = spectrum_table()
+        archs = [r.architecture for r in rows]
+        assert archs == sorted(archs, key=lambda a: a.tightness_rank)
+        assert len(rows) == 5
+
+    def test_ad_hoc_cluster_collapses_on_fine_grain(self):
+        rows = {r.architecture: r for r in spectrum_table()}
+        adhoc = rows[Architecture.AD_HOC_CLUSTER]
+        assert adhoc.fine_efficiency < 0.2
+        assert adhoc.coarse_efficiency > 0.3
+
+    def test_tight_architectures_fine_grain_capable(self):
+        rows = {r.architecture: r for r in spectrum_table()}
+        assert rows[Architecture.SMP].fine_efficiency > 0.6

@@ -1,0 +1,106 @@
+"""Tests for family configurations and the premise-1 renewal scenario."""
+
+import pytest
+
+from repro.core.scenarios import premise1_failure_year, premise1_with_renewal
+from repro.machines.catalog import find_machine
+from repro.machines.configurations import (
+    Configuration,
+    family_configurations,
+    split_by_threshold,
+)
+
+
+class TestFamilyConfigurations:
+    def test_powerchallenge_line(self):
+        configs = family_configurations(find_machine("SGI PowerChallenge (4)"))
+        sizes = [c.n_processors for c in configs]
+        assert sizes == [2, 4, 8, 16, 18]
+
+    def test_ratings_monotone(self):
+        configs = family_configurations(find_machine("Cray CS6400 (64)"))
+        ratings = [c.ctp_mtops for c in configs]
+        assert ratings == sorted(ratings)
+
+    def test_prices_monotone_and_anchored(self):
+        machine = find_machine("SGI PowerChallenge (4)")
+        configs = family_configurations(machine)
+        prices = [c.price_usd for c in configs]
+        assert prices == sorted(prices)
+        assert prices[0] == machine.entry_price_usd
+        assert prices[-1] == machine.max_price_usd
+
+    def test_single_config_family(self):
+        # A uniprocessor with no max_processors has exactly one config.
+        configs = family_configurations(find_machine("DEC 3000/500"))
+        assert len(configs) == 1
+        assert configs[0].n_processors == 1
+
+    def test_quoted_only_entry_rejected(self):
+        with pytest.raises(ValueError, match="element data"):
+            family_configurations(find_machine("Mercury RACE array"))
+
+    def test_labels(self):
+        config = family_configurations(find_machine("SGI PowerChallenge (4)"))[0]
+        assert isinstance(config, Configuration)
+        assert "@ 2p" in config.label
+
+
+class TestSplitByThreshold:
+    def test_loophole_family(self):
+        """The enforcement problem in one call: PowerChallenge sells
+        configurations on both sides of the 1,500-Mtops definition, and
+        the above side is a field upgrade away."""
+        machine = find_machine("SGI PowerChallenge (4)")
+        below, above = split_by_threshold(machine, 1_500.0)
+        assert below and above
+        assert machine.field_upgradable
+
+    def test_extreme_thresholds(self):
+        machine = find_machine("SGI PowerChallenge (4)")
+        below, above = split_by_threshold(machine, 1e9)
+        assert not above and len(below) == 5
+        below, above = split_by_threshold(machine, 0.001)
+        assert not below and len(above) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_by_threshold(find_machine("SGI PowerChallenge (4)"), 0.0)
+
+
+class TestRenewalScenario:
+    def test_annual_renewal_sustains_premise1(self):
+        """Chapter 2: premise-1 failure happens 'if new applications with
+        very high minimum computational requirements do not emerge'.
+        With annual 2x-frontier births, it never does."""
+        outcome = premise1_with_renewal(1.0, 2.0)
+        assert outcome.failure_year is None
+
+    def test_biennial_renewal_leaves_windows(self):
+        # The frontier grows faster than biennial 2x births can cover.
+        outcome = premise1_with_renewal(2.0, 2.0)
+        assert outcome.failure_year is not None
+
+    def test_weak_renewal_equivalent_to_none(self):
+        weak = premise1_with_renewal(4.0, 1.05)
+        assert weak.failure_year == pytest.approx(
+            premise1_failure_year(), abs=1.0
+        )
+
+    def test_bigger_multiple_never_earlier(self):
+        small = premise1_with_renewal(2.0, 1.5)
+        big = premise1_with_renewal(2.0, 4.0)
+        if big.failure_year is not None:
+            assert small.failure_year is not None
+            assert big.failure_year >= small.failure_year
+
+    def test_description_carries_parameters(self):
+        outcome = premise1_with_renewal(1.5, 2.5)
+        assert "1.5" in outcome.description
+        assert "2.5" in outcome.description
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            premise1_with_renewal(0.0, 2.0)
+        with pytest.raises(ValueError):
+            premise1_with_renewal(1.0, 0.0)

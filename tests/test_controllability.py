@@ -1,0 +1,144 @@
+"""Tests for factor scores, the composite index, and Table 4 verdicts."""
+
+import pytest
+
+from repro.controllability.factors import (
+    FactorScores,
+    age_score,
+    channel_score,
+    price_score,
+    scalability_score,
+    size_score,
+    units_score,
+)
+from repro.controllability.index import (
+    Classification,
+    ControllabilityWeights,
+    assess,
+    classification_table,
+)
+from repro.machines.catalog import find_machine
+from repro.machines.spec import DistributionChannel, SizeClass
+
+
+class TestFactorScores:
+    def test_size_ordering(self):
+        assert (size_score(SizeClass.ROOM) > size_score(SizeClass.RACK)
+                > size_score(SizeClass.DESKSIDE) > size_score(SizeClass.DESKTOP))
+
+    def test_channel_ordering(self):
+        assert (channel_score(DistributionChannel.DIRECT)
+                > channel_score(DistributionChannel.MIXED)
+                > channel_score(DistributionChannel.THIRD_PARTY))
+
+    def test_units_anchors(self):
+        assert units_score(12) == 1.0
+        assert units_score(5) == 1.0
+        assert units_score(20_000) == 0.0
+        assert units_score(1_000_000) == 0.0
+        assert 0.0 < units_score(500) < 1.0
+
+    def test_units_monotone(self):
+        assert units_score(100) > units_score(1_000) > units_score(10_000)
+
+    def test_units_unknown_neutral(self):
+        assert units_score(None) == 0.5
+
+    def test_price_anchors(self):
+        assert price_score(1_000_000) == 1.0
+        assert price_score(30_000_000) == 1.0
+        assert price_score(100_000) == pytest.approx(0.1)
+        assert price_score(None) == 0.5
+
+    def test_price_monotone(self):
+        assert (price_score(5_000) < price_score(100_000)
+                < price_score(500_000) < price_score(1_000_000))
+
+    def test_scalability_non_upgradable_full(self):
+        assert scalability_score(find_machine("Cray C916")) == 1.0
+
+    def test_scalability_penalizes_headroom(self):
+        challenge = find_machine("SGI Challenge XL (36)")
+        assert scalability_score(challenge) < 0.6
+
+    def test_age_within_cycle(self):
+        c916 = find_machine("Cray C916")
+        assert age_score(c916, c916.year + 1.0) == 1.0
+
+    def test_age_declines_then_floors(self):
+        c916 = find_machine("Cray C916")
+        late = age_score(c916, c916.year + 3.0)
+        very_late = age_score(c916, c916.year + 10.0)
+        assert 0.1 <= very_late < late < 1.0
+        assert very_late == pytest.approx(0.1)
+
+    def test_age_before_introduction_raises(self):
+        c916 = find_machine("Cray C916")
+        with pytest.raises(ValueError):
+            age_score(c916, c916.year - 1.0)
+
+    def test_factor_scores_of(self):
+        scores = FactorScores.of(find_machine("Cray C916"))
+        assert set(scores.as_dict()) == {
+            "size", "units", "channel", "price", "scalability"
+        }
+        assert all(0.0 <= v <= 1.0 for v in scores.as_dict().values())
+
+
+class TestWeights:
+    def test_defaults_sum_to_one(self):
+        ControllabilityWeights()  # does not raise
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            ControllabilityWeights(size=0.5)
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            ControllabilityWeights(uncontrollable_below=0.8, controllable_at=0.7)
+
+
+class TestAssessments:
+    """Chapter 3's qualitative verdicts, reproduced."""
+
+    @pytest.mark.parametrize("key", [
+        "Cray C916",
+        "Cray T3D (512)",
+        "Intel Paragon XP/S (150)",
+        "Thinking Machines CM-5 (128)",
+    ])
+    def test_big_iron_controllable(self, key):
+        assert assess(find_machine(key)).classification is Classification.CONTROLLABLE
+
+    @pytest.mark.parametrize("key", [
+        "Cray CS6400 (64)",
+        "SGI Challenge XL (36)",
+        "SGI PowerChallenge (4)",
+        "Sun SPARCstation 10",
+        "DEC AlphaServer 8400 (12)",
+    ])
+    def test_volume_smps_uncontrollable(self, key):
+        # "systems like the Cray CS6400 and Silicon Graphics Challenge
+        # series represent the most powerful uncontrollable systems
+        # available in mid-1995".
+        assert assess(find_machine(key)).classification is Classification.UNCONTROLLABLE
+
+    def test_index_bounded(self):
+        for row in classification_table():
+            assert 0.0 <= row.index <= 1.0
+
+    def test_table_sorted_descending(self):
+        rows = classification_table()
+        indices = [r.index for r in rows]
+        assert indices == sorted(indices, reverse=True)
+
+    def test_is_uncontrollable_property(self):
+        row = assess(find_machine("Sun SPARCstation 10"))
+        assert row.is_uncontrollable
+
+    def test_custom_weights_shift_verdict(self):
+        # With lax thresholds, even the SS10 counts as controllable.
+        lax = ControllabilityWeights(uncontrollable_below=0.01,
+                                     controllable_at=0.02)
+        row = assess(find_machine("Sun SPARCstation 10"), lax)
+        assert row.classification is Classification.CONTROLLABLE

@@ -1,0 +1,143 @@
+"""Tests for bounds, premises, and the headline reproduction."""
+
+import pytest
+
+from repro.apps.taxonomy import MissionArea
+from repro.core.framework import (
+    application_clusters,
+    derive_bounds,
+    headline_summary,
+    lower_bound_mtops,
+)
+from repro.core.premises import evaluate_premises
+
+
+class TestBounds:
+    def test_lower_bound_components(self):
+        b = derive_bounds(1995.5)
+        assert b.lower_mtops == max(b.uncontrollable_mtops, b.foreign_mtops)
+
+    def test_mid_1995_lower_bound(self):
+        """Paper headline: 4,000-5,000 Mtops in mid-1995."""
+        assert 4_000.0 <= lower_bound_mtops(1995.5) <= 5_000.0
+
+    def test_uncontrollable_dominates_foreign_in_1995(self):
+        # "Performance of 'uncontrollable' U.S. systems has increased
+        # dramatically, eclipsing most, if not all, non-Western HPC
+        # projects."
+        b = derive_bounds(1995.5)
+        assert b.uncontrollable_mtops > b.foreign_mtops
+
+    def test_protectable_sorted_ascending(self):
+        b = derive_bounds(1995.5)
+        mins = [a.min_at(1995.5) for a in b.protectable_applications]
+        assert mins == sorted(mins)
+        assert all(m > b.lower_mtops for m in mins)
+
+    def test_upper_application_bound(self):
+        b = derive_bounds(1995.5)
+        assert b.upper_application_mtops == pytest.approx(
+            min(a.min_at(1995.5) for a in b.protectable_applications)
+        )
+
+    def test_valid_range_exists_1995(self):
+        assert derive_bounds(1995.5).valid_range_exists
+
+    def test_future_applications_excluded(self):
+        # The 1996 5-km forecasting stalactite must not appear in a 1995
+        # bounds derivation.
+        b = derive_bounds(1995.5)
+        names = {a.name for a in b.protectable_applications}
+        assert "Routine 10-day / 5-km forecasting" not in names
+
+
+class TestClusters:
+    def test_clusters_sorted_and_disjoint(self):
+        clusters = application_clusters(1995.5)
+        starts = [s for s, _ in clusters]
+        assert starts == sorted(starts)
+        total = sum(len(members) for _, members in clusters)
+        assert total == len(derive_bounds(1995.5).protectable_applications)
+
+    def test_mission_filter(self):
+        milops = application_clusters(
+            1995.5, missions=(MissionArea.MILITARY_OPERATIONS,)
+        )
+        for _, members in milops:
+            assert all(m.mission is MissionArea.MILITARY_OPERATIONS
+                       for m in members)
+
+    def test_gap_factor_validation(self):
+        with pytest.raises(ValueError):
+            application_clusters(1995.5, gap_factor=1.0)
+
+    def test_wide_gap_merges_everything(self):
+        clusters = application_clusters(1995.5, gap_factor=100.0)
+        assert len(clusters) == 1
+
+
+class TestHeadline:
+    """The executive summary's findings, as tolerance-band assertions.
+    Exact paper values: 4,000-5,000 (mid-95); ~7,500 (late 96/97);
+    >16,000 (by 2000); clusters at ~7,000 (RDT&E) and ~10,000 (milops)."""
+
+    def test_mid_1995(self):
+        hs = headline_summary()
+        assert 4_000.0 <= hs.lower_bound_mid_1995 <= 5_000.0
+
+    def test_late_1996_97(self):
+        hs = headline_summary()
+        assert 5_500.0 <= hs.lower_bound_late_1996_97 <= 9_000.0
+
+    def test_end_of_decade(self):
+        assert headline_summary().lower_bound_end_of_decade > 16_000.0
+
+    def test_rdte_cluster_near_7000(self):
+        hs = headline_summary()
+        assert hs.rdte_cluster_start is not None
+        assert 6_000.0 <= hs.rdte_cluster_start <= 9_000.0
+
+    def test_milops_cluster(self):
+        # Paper: 10,000; the reconstruction's cluster starts at the SIRST
+        # deployment minimum (7,400 quoted) after drift — see
+        # EXPERIMENTS.md for the documented deviation.
+        hs = headline_summary()
+        assert hs.milops_cluster_start is not None
+        assert 6_500.0 <= hs.milops_cluster_start <= 13_000.0
+
+    def test_majority_below_lower_bound(self):
+        # "the majority of national security applications of HPC are
+        # already possible ... at uncontrollable levels".
+        assert headline_summary().fraction_apps_below_lower_1995 >= 0.5
+
+
+class TestPremises:
+    def test_all_hold_in_1995(self):
+        """The paper's key finding: 'the basic premises ... continue to be
+        viable, at least in the short term'."""
+        assessment = evaluate_premises(1995.5)
+        assert assessment.premise1.holds
+        assert assessment.premise2.holds
+        assert assessment.premise3.holds
+        assert assessment.all_hold
+        assert assessment.policy_justified
+
+    def test_premises_held_during_cold_war(self):
+        assert evaluate_premises(1988.0).all_hold
+
+    def test_evidence_nonempty(self):
+        assessment = evaluate_premises(1995.5)
+        for report in (assessment.premise1, assessment.premise2,
+                       assessment.premise3):
+            assert report.evidence
+
+    def test_premise2_cites_all_active_countries(self):
+        text = " ".join(evaluate_premises(1995.5).premise2.evidence)
+        for name in ("Russia", "PRC", "India"):
+            assert name in text
+
+    def test_pre_catalog_years_rejected(self):
+        # Before the machine catalog begins there is no market to reason
+        # about; the framework refuses rather than inventing a baseline.
+        with pytest.raises(ValueError):
+            evaluate_premises(1950.0)

@@ -1,0 +1,157 @@
+"""Tests for snapshot analysis, threshold policies, scenarios, reviews."""
+
+import numpy as np
+import pytest
+
+from repro.core.review import run_annual_review, review_series
+from repro.core.scenarios import (
+    erosion_report,
+    premise1_failure_year,
+    premise3_gap_series,
+)
+from repro.core.stalactite import ComputingRange, f22_stalactite
+from repro.core.threshold import ThresholdPolicy, select_threshold, snapshot
+
+
+class TestSnapshot:
+    def test_lines_ordered(self):
+        s = snapshot(1995.5)
+        assert s.line_a_mtops < s.line_d_mtops
+
+    def test_histograms_aligned(self):
+        s = snapshot(1995.5)
+        assert s.installed_counts.shape == s.application_counts.shape
+        assert s.bin_centers().shape == s.installed_counts.shape
+
+    def test_application_counts_complete(self):
+        s = snapshot(1995.5)
+        from repro.apps.catalog import APPLICATIONS
+
+        live = [a for a in APPLICATIONS if a.year_first <= 1995.5]
+        assert s.application_counts.sum() == len(live)
+
+    def test_installed_hump_below_line_a(self):
+        # The installations hump sits below the controllability line —
+        # the Figure 3 geometry that makes a threshold worth drawing.
+        s = snapshot(1995.5)
+        centers = s.bin_centers()
+        peak_center = centers[np.argmax(s.installed_counts)]
+        assert peak_center < s.line_a_mtops
+
+
+class TestSelectThreshold:
+    def test_control_all_at_line_a(self):
+        s = select_threshold(1995.5, ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED)
+        assert s.threshold_mtops == pytest.approx(snapshot(1995.5).line_a_mtops)
+        assert not s.applications_given_up
+
+    def test_application_driven_protects_everything(self):
+        s = select_threshold(1995.5, ThresholdPolicy.APPLICATION_DRIVEN)
+        assert not s.applications_given_up
+        # Sits above line A (decontrolling some market) but below the
+        # smallest protectable requirement.
+        b = snapshot(1995.5).bounds
+        assert snapshot(1995.5).line_a_mtops <= s.threshold_mtops
+        assert s.threshold_mtops < b.upper_application_mtops
+
+    def test_economic_gives_up_little(self):
+        s = select_threshold(1995.5, ThresholdPolicy.ECONOMIC)
+        # B-not-C: a few applications at most, never the big clusters.
+        assert len(s.applications_given_up) <= 3
+        assert s.units_decontrolled > 0
+
+    def test_all_policies_at_or_above_lower_bound(self):
+        line_a = snapshot(1995.5).line_a_mtops
+        for policy in ThresholdPolicy:
+            s = select_threshold(1995.5, policy)
+            assert s.threshold_mtops >= line_a * (1 - 1e-9)
+
+    def test_rationales_present(self):
+        for policy in ThresholdPolicy:
+            assert select_threshold(1995.5, policy).rationale
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            select_threshold(1995.5, margin=0.0)
+
+
+class TestStalactite:
+    def test_range_ordering_invariant(self):
+        st = f22_stalactite()
+        for year in (1991.0, 1993.0, 1995.5):
+            r = st.range_at(year)
+            assert r.minimum_mtops <= r.actual_mtops <= r.maximum_available_mtops
+
+    def test_actual_rises_with_market(self):
+        st = f22_stalactite()
+        assert st.actual_at(1995.5) > st.actual_at(1991.0)
+
+    def test_minimum_drifts_down(self):
+        st = f22_stalactite()
+        assert st.minimum_at(1995.5) < st.minimum_at(1991.0)
+
+    def test_before_first_performance_raises(self):
+        with pytest.raises(ValueError):
+            f22_stalactite().actual_at(1985.0)
+
+    def test_series(self):
+        ranges = f22_stalactite().series([1991.0, 1995.5])
+        assert len(ranges) == 2
+        assert all(isinstance(r, ComputingRange) for r in ranges)
+
+    def test_computing_range_validation(self):
+        with pytest.raises(ValueError):
+            ComputingRange(year=1995.0, minimum_mtops=100.0,
+                           actual_mtops=50.0, maximum_available_mtops=200.0)
+
+
+class TestScenarios:
+    def test_premise1_eventually_fails(self):
+        """Chapter 6's erosion conjecture: with no new stalactites, the
+        rising frontier overtakes every current application minimum."""
+        year = premise1_failure_year(horizon=2015.0)
+        assert year is not None
+        assert 1998.0 < year <= 2015.0
+
+    def test_memory_bound_exclusion_accelerates(self):
+        with_mem = premise1_failure_year(horizon=2015.0)
+        without = premise1_failure_year(horizon=2015.0,
+                                        exclude_memory_bound=True)
+        assert without <= with_mem
+
+    def test_gap_series_shrinks(self):
+        gaps = premise3_gap_series([1995.5, 1999.5])
+        assert gaps[1] < gaps[0]
+
+    def test_erosion_report(self):
+        report = erosion_report()
+        assert report.weakens_over_time
+        assert report.gap_1999 < report.gap_1995
+
+
+class TestAnnualReview:
+    def test_1995_review(self):
+        r = run_annual_review(1995.5)
+        assert r.premises.all_hold
+        assert r.threshold_in_force == 1_500.0
+        assert r.threshold_is_stale  # 1,500 sits below the ~4,100 frontier
+        assert r.recommended_change_factor > 2.0
+
+    def test_1992_review_already_stale(self):
+        # The fresh 195-Mtops threshold of 1991 was already below the
+        # foreign envelope (Russia's MKP) and barely above the SS10's
+        # family ceiling: the regime was on the edge from day one.
+        r = run_annual_review(1992.6)
+        assert r.threshold_in_force == 195.0
+        assert r.bounds.foreign_mtops >= 1_000.0
+        assert r.threshold_is_stale
+
+    def test_series_monotone_recommendations(self):
+        reviews = review_series([1994.5, 1995.5, 1996.5, 1997.5])
+        recs = [r.recommendation.threshold_mtops for r in reviews]
+        assert recs == sorted(recs)
+
+    def test_clusters_recorded(self):
+        r = run_annual_review(1995.5)
+        assert r.clusters
+        assert all(n >= 1 for _, n in r.clusters)

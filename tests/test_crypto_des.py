@@ -1,0 +1,133 @@
+"""Tests for the DES implementation: known-answer vectors, structure, and
+round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import (
+    bits_to_int,
+    des_decrypt_block,
+    des_encrypt_block,
+    encrypt_blocks,
+    int_to_bits,
+    key_schedule_bits,
+)
+
+#: Classical DES known-answer tests.
+_KAT = [
+    # (plaintext, key, ciphertext)
+    (0x0123456789ABCDEF, 0x133457799BBCDFF1, 0x85E813540F0AB405),
+    (0x0000000000000000, 0x0000000000000000, 0x8CA64DE9C1B123A7),
+    (0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x7359B2163E4EDC58),
+]
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        assert bits_to_int(int_to_bits(0xDEADBEEF, 64)) == 0xDEADBEEF
+
+    def test_msb_first(self):
+        bits = int_to_bits(0x8000000000000000, 64)
+        assert bits[0] and not bits[1:].any()
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 8)
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("plain,key,cipher", _KAT)
+    def test_encrypt(self, plain, key, cipher):
+        assert des_encrypt_block(plain, key) == cipher
+
+    @pytest.mark.parametrize("plain,key,cipher", _KAT)
+    def test_decrypt(self, plain, key, cipher):
+        assert des_decrypt_block(cipher, key) == plain
+
+
+class TestKeySchedule:
+    def test_shape(self):
+        rk = key_schedule_bits(int_to_bits(0x133457799BBCDFF1, 64))
+        assert rk.shape == (16, 48)
+
+    def test_first_round_key_classic(self):
+        # The canonical worked example: K1 for key 0x133457799BBCDFF1 is
+        # 0b000110_110000_001011_101111_111111_000111_000001_110010.
+        rk = key_schedule_bits(int_to_bits(0x133457799BBCDFF1, 64))
+        k1 = bits_to_int(rk[0])
+        assert k1 == 0b000110110000001011101111111111000111000001110010
+
+    def test_parity_bits_ignored(self):
+        # Flipping a parity bit (bit 8, LSB of the first byte) must not
+        # change the schedule.
+        a = key_schedule_bits(int_to_bits(0x0123456789ABCDEF, 64))
+        b = key_schedule_bits(int_to_bits(0x0023456789ABCDEF, 64))
+        assert np.array_equal(a, b)
+
+    def test_batched(self):
+        keys = np.stack([int_to_bits(0, 64), int_to_bits(2**64 - 1, 64)])
+        rk = key_schedule_bits(keys)
+        assert rk.shape == (2, 16, 48)
+        assert not rk[0].any()
+        assert rk[1].all()
+
+
+class TestVectorization:
+    def test_many_keys_one_plaintext(self):
+        plain, key, cipher = _KAT[0]
+        keys = np.stack([int_to_bits(key, 64), int_to_bits(0, 64),
+                         int_to_bits(key ^ 0x10, 64)])
+        out = encrypt_blocks(int_to_bits(plain, 64), keys)
+        assert out.shape == (3, 64)
+        assert bits_to_int(out[0]) == cipher
+        assert bits_to_int(out[1]) != cipher
+
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        plain = int(rng.integers(0, 2**63))
+        keys = [int(rng.integers(0, 2**63)) for _ in range(4)]
+        batch = encrypt_blocks(
+            int_to_bits(plain, 64),
+            np.stack([int_to_bits(k, 64) for k in keys]),
+        )
+        for i, k in enumerate(keys):
+            assert bits_to_int(batch[i]) == des_encrypt_block(plain, k)
+
+    def test_block_width_check(self):
+        with pytest.raises(ValueError):
+            encrypt_blocks(np.zeros(32, dtype=bool), int_to_bits(0, 64))
+        with pytest.raises(ValueError):
+            key_schedule_bits(np.zeros(32, dtype=bool))
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1),
+       st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(plain, key):
+    """decrypt(encrypt(p, k), k) == p for arbitrary 64-bit inputs."""
+    assert des_decrypt_block(des_encrypt_block(plain, key), key) == plain
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1),
+       st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=10, deadline=None)
+def test_complementation_property(plain, key):
+    """DES's complementation property: E_k(p) complement equals
+    E_{~k}(~p) — a strong structural check on the implementation."""
+    mask = 2**64 - 1
+    lhs = des_encrypt_block(plain, key) ^ mask
+    rhs = des_encrypt_block(plain ^ mask, key ^ mask)
+    assert lhs == rhs
+
+
+def test_avalanche():
+    """Flipping one plaintext bit flips roughly half the ciphertext bits."""
+    plain, key, _ = _KAT[0]
+    base = des_encrypt_block(plain, key)
+    flipped = des_encrypt_block(plain ^ 1, key)
+    distance = bin(base ^ flipped).count("1")
+    assert 16 <= distance <= 48

@@ -1,0 +1,109 @@
+"""Tests for the brute-force keysearch driver."""
+
+import pytest
+
+from repro.crypto.des import des_encrypt_block
+from repro.crypto.keysearch import (
+    WORD_OPS_PER_KEY,
+    brute_force,
+    keyspace_partition,
+    ops_per_key_breakdown,
+)
+
+_PLAIN = 0x1122334455667788
+
+
+class TestBruteForce:
+    def test_finds_planted_key(self):
+        key = 0x2B31
+        cipher = des_encrypt_block(_PLAIN, key)
+        result = brute_force(_PLAIN, cipher, search_bits=14)
+        assert result.succeeded
+        assert des_encrypt_block(_PLAIN, result.found_key) == cipher
+        assert result.keys_tried <= 2**14
+
+    def test_key_outside_space_not_found(self):
+        # Vary only low 8 bits but plant the key at bit 20.
+        key = 1 << 20
+        cipher = des_encrypt_block(_PLAIN, key)
+        result = brute_force(_PLAIN, cipher, search_bits=8)
+        assert not result.succeeded
+        assert result.keys_tried == 256
+
+    def test_base_key_offsets_search(self):
+        base = 0xAB00000000000000
+        key = base | 0x5E
+        cipher = des_encrypt_block(_PLAIN, key)
+        result = brute_force(_PLAIN, cipher, base_key=base, search_bits=8)
+        assert result.succeeded
+        assert result.found_key == key
+
+    def test_early_exit(self):
+        # Key 0 is in the first batch: only one batch should run.
+        cipher = des_encrypt_block(_PLAIN, 0)
+        result = brute_force(_PLAIN, cipher, search_bits=12, batch_size=512)
+        assert result.batches == 1
+
+    def test_batch_size_independence(self):
+        key = 0x0313
+        cipher = des_encrypt_block(_PLAIN, key)
+        a = brute_force(_PLAIN, cipher, search_bits=11, batch_size=64)
+        b = brute_force(_PLAIN, cipher, search_bits=11, batch_size=2048)
+        assert a.found_key == b.found_key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brute_force(_PLAIN, 0, search_bits=0)
+        with pytest.raises(ValueError):
+            brute_force(_PLAIN, 0, search_bits=8, batch_size=0)
+
+
+class TestPartition:
+    def test_covers_exactly(self):
+        ranges = keyspace_partition(10, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1024
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0  # contiguous, no overlap, no gap
+
+    def test_balanced(self):
+        ranges = keyspace_partition(10, 7)
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_processors_than_keys(self):
+        ranges = keyspace_partition(2, 16)
+        assert len(ranges) == 4  # empty ranges dropped
+        assert sum(stop - start for start, stop in ranges) == 4
+
+    def test_single_processor(self):
+        assert keyspace_partition(8, 1) == [(0, 256)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            keyspace_partition(0, 4)
+        with pytest.raises(ValueError):
+            keyspace_partition(8, 0)
+
+
+class TestOpsAccounting:
+    def test_breakdown_consistent(self):
+        b = ops_per_key_breakdown()
+        per_round = sum(v for k, v in b.items() if k.startswith("round/"))
+        assert per_round == b["per_round_total"]
+        assert b["total"] == (16 * b["per_round_total"] + b["key_schedule"]
+                              + b["ip_fp"] + b["compare"])
+
+    def test_constant_matches_breakdown(self):
+        assert WORD_OPS_PER_KEY == ops_per_key_breakdown()["total"]
+
+    def test_order_of_magnitude(self):
+        # A word-level DES trial is hundreds, not tens or tens of
+        # thousands, of theoretical operations.
+        assert 300.0 <= WORD_OPS_PER_KEY <= 2_000.0
+
+    def test_cost_model_uses_it(self):
+        from repro.simulate.applications import keysearch_required_mtops
+
+        expected = (2.0**39 * WORD_OPS_PER_KEY) / (24 * 3600.0) / 1e6
+        assert keysearch_required_mtops(40, 24.0) == pytest.approx(expected)

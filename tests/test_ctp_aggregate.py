@@ -1,0 +1,119 @@
+"""Unit tests for CTP aggregation rules."""
+
+import numpy as np
+import pytest
+
+from repro.ctp.aggregate import (
+    Coupling,
+    CTPParameters,
+    DEFAULT_PARAMETERS,
+    aggregate,
+    aggregate_homogeneous,
+    aggregation_credits,
+)
+
+
+class TestCredits:
+    def test_first_element_full_credit(self):
+        for coupling in (Coupling.SHARED, Coupling.DISTRIBUTED, Coupling.CLUSTER):
+            assert aggregation_credits(4, coupling)[0] == 1.0
+
+    def test_shared_documented_075(self):
+        credits = aggregation_credits(16, Coupling.SHARED)
+        assert np.allclose(credits[1:], 0.75)
+
+    def test_distributed_declines(self):
+        credits = aggregation_credits(8, Coupling.DISTRIBUTED)
+        assert np.all(np.diff(credits[1:]) < 0)
+        assert credits[1] == pytest.approx(0.75)
+
+    def test_distributed_sqrt_schedule(self):
+        # C_i = 0.75 / sqrt(i - 1): the fifth element gets 0.75 / 2.
+        credits = aggregation_credits(5, Coupling.DISTRIBUTED)
+        assert credits[4] == pytest.approx(0.75 / np.sqrt(4))
+
+    def test_cluster_below_distributed(self):
+        d = aggregation_credits(8, Coupling.DISTRIBUTED)
+        c = aggregation_credits(8, Coupling.CLUSTER)
+        assert np.all(c[1:] < d[1:])
+
+    def test_cluster_beta_override(self):
+        c = aggregation_credits(4, Coupling.CLUSTER, interconnect_beta=1.0)
+        d = aggregation_credits(4, Coupling.DISTRIBUTED)
+        assert np.allclose(c, d)
+
+    def test_single_coupling_rejects_multi(self):
+        with pytest.raises(ValueError):
+            aggregation_credits(2, Coupling.SINGLE)
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            aggregation_credits(0, Coupling.SHARED)
+
+    def test_rejects_zero_beta(self):
+        with pytest.raises(ValueError):
+            aggregation_credits(4, Coupling.CLUSTER, interconnect_beta=0.0)
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        assert DEFAULT_PARAMETERS.shared_credit == 0.75
+
+    def test_rejects_bad_shared_credit(self):
+        with pytest.raises(ValueError):
+            CTPParameters(shared_credit=1.5)
+
+    def test_rejects_zero_cluster_beta(self):
+        with pytest.raises(ValueError):
+            CTPParameters(cluster_beta=0.0)
+
+    def test_flat_distributed_schedule(self):
+        params = CTPParameters(distributed_gamma=0.0)
+        credits = aggregation_credits(8, Coupling.DISTRIBUTED, params)
+        assert np.allclose(credits[1:], 0.75)
+
+
+class TestAggregate:
+    def test_single_element_identity(self):
+        assert aggregate([500.0], Coupling.SHARED) == pytest.approx(500.0)
+
+    def test_smp_16_formula(self):
+        # 16-way SMP: TP * (1 + 15 * 0.75) = 12.25 TP.
+        assert aggregate_homogeneous(100.0, 16, Coupling.SHARED) \
+            == pytest.approx(1225.0)
+
+    def test_c916_anchor(self):
+        # Paper: Cray C916 = 21,125 Mtops at 16 processors.
+        tp = 21125.0 / 12.25
+        assert aggregate_homogeneous(tp, 16, Coupling.SHARED) \
+            == pytest.approx(21125.0)
+
+    def test_descending_sort_applied(self):
+        # Largest element must receive the full credit.
+        up = aggregate([100.0, 400.0], Coupling.SHARED)
+        down = aggregate([400.0, 100.0], Coupling.SHARED)
+        assert up == down == pytest.approx(400.0 + 0.75 * 100.0)
+
+    def test_heterogeneous_order_invariance(self):
+        tps = [10.0, 300.0, 50.0, 120.0]
+        a = aggregate(tps, Coupling.DISTRIBUTED)
+        b = aggregate(sorted(tps), Coupling.DISTRIBUTED)
+        assert a == pytest.approx(b)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate([], Coupling.SHARED)
+
+    def test_rejects_nonpositive_tp(self):
+        with pytest.raises(ValueError):
+            aggregate([100.0, 0.0], Coupling.SHARED)
+
+    def test_homogeneous_one_node_ignores_coupling(self):
+        assert aggregate_homogeneous(50.0, 1, Coupling.CLUSTER) \
+            == pytest.approx(50.0)
+
+    def test_cluster_aggregation_modest(self):
+        # A 16-workstation cluster gets far less credit than an SMP.
+        smp = aggregate_homogeneous(100.0, 16, Coupling.SHARED)
+        cluster = aggregate_homogeneous(100.0, 16, Coupling.CLUSTER)
+        assert cluster < 0.4 * smp

@@ -1,0 +1,74 @@
+"""Unit tests for the CTP word-length factor and computing elements."""
+
+import pytest
+
+from repro.ctp.elements import ComputingElement, word_length_factor
+
+
+class TestWordLengthFactor:
+    def test_64_bit_is_unity(self):
+        assert word_length_factor(64) == pytest.approx(1.0)
+
+    def test_32_bit(self):
+        assert word_length_factor(32) == pytest.approx(2.0 / 3.0)
+
+    def test_16_bit(self):
+        assert word_length_factor(16) == pytest.approx(0.5)
+
+    def test_8_bit(self):
+        assert word_length_factor(8) == pytest.approx(5.0 / 12.0)
+
+    def test_128_bit_extends(self):
+        assert word_length_factor(128) == pytest.approx(1.0 / 3.0 + 128 / 96)
+
+    def test_monotone(self):
+        assert word_length_factor(48) < word_length_factor(64)
+
+    @pytest.mark.parametrize("bad", [0.0, -8.0])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            word_length_factor(bad)
+
+
+class TestComputingElement:
+    def test_basic_construction(self):
+        ce = ComputingElement("x", clock_mhz=100.0)
+        assert ce.length_factor == pytest.approx(1.0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            ComputingElement("x", clock_mhz=0.0)
+
+    def test_rejects_no_arithmetic(self):
+        with pytest.raises(ValueError, match="no arithmetic"):
+            ComputingElement("x", clock_mhz=50.0, fp_ops_per_cycle=0.0,
+                             int_ops_per_cycle=0.0)
+
+    def test_integer_only_element_allowed(self):
+        ce = ComputingElement("int-only", clock_mhz=50.0, fp_ops_per_cycle=0.0,
+                              int_ops_per_cycle=1.0)
+        assert ce.fp_ops_per_cycle == 0.0
+
+    def test_scaled_clock_preserves_microarchitecture(self):
+        ce = ComputingElement("a", clock_mhz=150.0, word_bits=64.0,
+                              fp_ops_per_cycle=2.0, int_ops_per_cycle=2.0,
+                              concurrent_int_fp=True)
+        faster = ce.scaled_clock(300.0)
+        assert faster.clock_mhz == 300.0
+        assert faster.fp_ops_per_cycle == ce.fp_ops_per_cycle
+        assert faster.concurrent_int_fp is ce.concurrent_int_fp
+
+    def test_scaled_clock_rejects_nonpositive(self):
+        ce = ComputingElement("a", clock_mhz=150.0)
+        with pytest.raises(ValueError):
+            ce.scaled_clock(0.0)
+
+    def test_frozen(self):
+        ce = ComputingElement("a", clock_mhz=10.0)
+        with pytest.raises(AttributeError):
+            ce.clock_mhz = 20.0
+
+    def test_notes_not_compared(self):
+        a = ComputingElement("a", clock_mhz=10.0, notes="one")
+        b = ComputingElement("a", clock_mhz=10.0, notes="two")
+        assert a == b

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the CTP metric.
+
+These pin the invariants the export-control use of the metric depends on:
+ratings are positive, monotone in every capability dimension, and
+aggregation order-independent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctp import (
+    ComputingElement,
+    Coupling,
+    aggregate,
+    aggregate_homogeneous,
+    ctp_homogeneous,
+    word_length_factor,
+)
+
+clocks = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+words = st.floats(min_value=4.0, max_value=128.0)
+opses = st.floats(min_value=0.1, max_value=16.0)
+tps = st.floats(min_value=0.1, max_value=1e5)
+counts = st.integers(min_value=1, max_value=512)
+couplings = st.sampled_from(
+    [Coupling.SHARED, Coupling.DISTRIBUTED, Coupling.CLUSTER]
+)
+
+
+def _ce(clock, word, fp, integer, concurrent):
+    return ComputingElement("h", clock_mhz=clock, word_bits=word,
+                            fp_ops_per_cycle=fp, int_ops_per_cycle=integer,
+                            concurrent_int_fp=concurrent)
+
+
+@given(words, words)
+def test_word_length_factor_monotone(w1, w2):
+    # Weak monotonicity always; strict once the gap is beyond float noise
+    # in the w/96 term.
+    if w1 < w2:
+        assert word_length_factor(w1) <= word_length_factor(w2)
+        if w2 - w1 > 1e-9:
+            assert word_length_factor(w1) < word_length_factor(w2)
+    elif w1 > w2:
+        assert word_length_factor(w1) >= word_length_factor(w2)
+
+
+@given(clocks, words, opses, opses, st.booleans(), counts, couplings)
+@settings(max_examples=150)
+def test_ctp_positive(clock, word, fp, integer, concurrent, n, coupling):
+    value = ctp_homogeneous(_ce(clock, word, fp, integer, concurrent), n, coupling)
+    assert value > 0
+    assert np.isfinite(value)
+
+
+@given(clocks, words, opses, opses, st.booleans(), counts, couplings)
+@settings(max_examples=100)
+def test_adding_processor_never_decreases_ctp(clock, word, fp, integer,
+                                              concurrent, n, coupling):
+    ce = _ce(clock, word, fp, integer, concurrent)
+    v_n = ctp_homogeneous(ce, n, coupling)
+    v_n1 = ctp_homogeneous(ce, n + 1, coupling)
+    assert v_n1 > v_n
+
+
+@given(clocks, words, opses, opses, st.booleans(), counts, couplings)
+@settings(max_examples=100)
+def test_faster_clock_never_decreases_ctp(clock, word, fp, integer,
+                                          concurrent, n, coupling):
+    ce = _ce(clock, word, fp, integer, concurrent)
+    faster = ce.scaled_clock(clock * 2.0)
+    assert ctp_homogeneous(faster, n, coupling) > ctp_homogeneous(ce, n, coupling)
+
+
+@given(st.lists(tps, min_size=1, max_size=32), couplings)
+@settings(max_examples=100)
+def test_aggregate_permutation_invariant(values, coupling):
+    rng = np.random.default_rng(0)
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    a = aggregate(values, coupling)
+    b = aggregate(shuffled, coupling)
+    assert a == b or abs(a - b) < 1e-9 * max(a, b)
+
+
+@given(st.lists(tps, min_size=1, max_size=32), couplings)
+@settings(max_examples=100)
+def test_aggregate_bounds(values, coupling):
+    """CTP is at least the largest element and at most the plain sum."""
+    total = aggregate(values, coupling)
+    assert total >= max(values) * (1 - 1e-12)
+    assert total <= sum(values) * (1 + 1e-12)
+
+
+@given(tps, counts)
+@settings(max_examples=100)
+def test_shared_dominates_distributed_dominates_cluster(tp, n):
+    shared = aggregate_homogeneous(tp, n, Coupling.SHARED)
+    dist = aggregate_homogeneous(tp, n, Coupling.DISTRIBUTED)
+    cluster = aggregate_homogeneous(tp, n, Coupling.CLUSTER)
+    assert shared >= dist - 1e-9
+    assert dist >= cluster - 1e-9
+
+
+@given(tps, counts, couplings)
+@settings(max_examples=100)
+def test_homogeneous_matches_explicit_list(tp, n, coupling):
+    a = aggregate_homogeneous(tp, n, coupling)
+    b = aggregate([tp] * n, coupling)
+    assert a == b or abs(a - b) < 1e-9 * a

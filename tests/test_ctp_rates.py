@@ -1,0 +1,74 @@
+"""Unit tests for effective rates and theoretical performance."""
+
+import pytest
+
+from repro.ctp.elements import ComputingElement
+from repro.ctp.rates import effective_rate, rate_from_timings, theoretical_performance
+
+
+def _ce(clock=100.0, word=64.0, fp=1.0, integer=1.0, concurrent=False):
+    return ComputingElement("t", clock_mhz=clock, word_bits=word,
+                            fp_ops_per_cycle=fp, int_ops_per_cycle=integer,
+                            concurrent_int_fp=concurrent)
+
+
+class TestEffectiveRate:
+    def test_max_of_units_when_not_concurrent(self):
+        assert effective_rate(_ce(fp=2.0, integer=1.0)) == pytest.approx(200.0)
+        assert effective_rate(_ce(fp=0.5, integer=1.0)) == pytest.approx(100.0)
+
+    def test_sum_when_concurrent(self):
+        assert effective_rate(_ce(fp=2.0, integer=1.0, concurrent=True)) \
+            == pytest.approx(300.0)
+
+    def test_scales_with_clock(self):
+        slow = effective_rate(_ce(clock=50.0))
+        fast = effective_rate(_ce(clock=100.0))
+        assert fast == pytest.approx(2.0 * slow)
+
+    def test_fp_less_element_uses_integer_rate(self):
+        assert effective_rate(_ce(fp=0.0, integer=2.0)) == pytest.approx(200.0)
+
+
+class TestRateFromTimings:
+    def test_single_op(self):
+        # 1 us per op -> 1 Mops.
+        assert rate_from_timings({"fp_add": 1.0}) == pytest.approx(1.0)
+
+    def test_fastest_governs(self):
+        assert rate_from_timings({"a": 1.0, "b": 0.5}) == pytest.approx(2.0)
+
+    def test_concurrent_sums(self):
+        assert rate_from_timings({"a": 1.0, "b": 0.5}, concurrent=True) \
+            == pytest.approx(3.0)
+
+    def test_vax_780_anchor(self):
+        # ~1 MIPS machine: 1 us per instruction.
+        rate = rate_from_timings({"fixed": 0.83})
+        assert rate == pytest.approx(1.2, rel=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rate_from_timings({})
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            rate_from_timings({"a": 0.0})
+
+
+class TestTheoreticalPerformance:
+    def test_64_bit_equals_rate(self):
+        ce = _ce(word=64.0)
+        assert theoretical_performance(ce) == pytest.approx(effective_rate(ce))
+
+    def test_32_bit_discounted(self):
+        ce64 = _ce(word=64.0)
+        ce32 = _ce(word=32.0)
+        assert theoretical_performance(ce32) == pytest.approx(
+            theoretical_performance(ce64) * 2.0 / 3.0
+        )
+
+    def test_alpha_21064_anchor(self):
+        # 150 MHz, 1 fp + 1 int concurrent, 64-bit -> 300 Mtops.
+        ce = _ce(clock=150.0, fp=1.0, integer=1.0, concurrent=True)
+        assert theoretical_performance(ce) == pytest.approx(300.0)

@@ -1,0 +1,176 @@
+"""Tests for assimilation lags, acquisition premiums, and the policy model."""
+
+import pytest
+
+from repro.diffusion.acquisition import acquisition_premium, simulate_acquisitions
+from repro.diffusion.lag import mean_lag_years, observed_lags
+from repro.diffusion.policy import (
+    ExportControlPolicy,
+    SafeguardTier,
+    THRESHOLD_HISTORY,
+    evaluate_policy,
+    threshold_at,
+)
+from repro.machines.catalog import find_machine
+from repro.machines.foreign import ForeignCountry
+
+
+class TestLags:
+    def test_lags_observed(self):
+        lags = observed_lags()
+        assert len(lags) >= 8
+
+    def test_all_lags_positive(self):
+        # Foreign systems never beat the chip to market.
+        for lag in observed_lags():
+            assert lag.lag_years > 0
+
+    def test_mean_lag_years_order(self):
+        # "They are likely to lag behind U.S. practice by at least several
+        # months, but probably by years for the more advanced systems."
+        assert 2.0 <= mean_lag_years() <= 6.0
+
+    def test_per_country(self):
+        assert mean_lag_years(ForeignCountry.RUSSIA) > 0
+
+    def test_kvant_i860_five_years(self):
+        kvant = [l for l in observed_lags() if l.system.startswith("Kvant")][0]
+        assert kvant.lag_years == pytest.approx(5.0, abs=0.1)
+
+
+class TestAcquisition:
+    def test_below_frontier_cheap(self):
+        a = acquisition_premium(1_000.0, 1995.5)
+        assert a.feasible
+        assert a.expected_delay_years < 1.5
+        assert a.detection_probability < 0.35
+
+    def test_high_end_expensive(self):
+        low = acquisition_premium(3_000.0, 1995.5)
+        high = acquisition_premium(50_000.0, 1995.5)
+        assert high.controllability > low.controllability
+        assert high.expected_delay_years > low.expected_delay_years
+        assert high.detection_probability > low.detection_probability
+
+    def test_infeasible_target(self):
+        a = acquisition_premium(1e7, 1995.5)
+        assert not a.feasible
+        assert a.expected_delay_years == float("inf")
+
+    def test_field_upgrade_loophole_used(self):
+        # ~5,000 Mtops is reachable via an uncontrollable SMP's maximum
+        # configuration, so the premium stays low.
+        a = acquisition_premium(5_000.0, 1995.5)
+        assert a.machine.field_upgradable
+        assert a.controllability < 0.5
+
+    def test_safeguards_flag(self):
+        with_sg = acquisition_premium(50_000.0, 1995.5, safeguards_in_force=True)
+        without = acquisition_premium(50_000.0, 1995.5, safeguards_in_force=False)
+        assert without.expected_delay_years < with_sg.expected_delay_years
+
+    def test_monte_carlo_deterministic(self):
+        a = simulate_acquisitions(10_000.0, 1995.5, seed=5)
+        b = simulate_acquisitions(10_000.0, 1995.5, seed=5)
+        assert a == b
+
+    def test_monte_carlo_low_end_always_succeeds(self):
+        s = simulate_acquisitions(500.0, 1995.5)
+        assert s.success_rate > 0.99
+        assert s.mean_delay_years < 1.0
+
+    def test_monte_carlo_infeasible(self):
+        s = simulate_acquisitions(1e7, 1995.5)
+        assert s.success_rate == 0.0
+
+    def test_monte_carlo_validation(self):
+        with pytest.raises(ValueError):
+            simulate_acquisitions(1_000.0, 1995.5, n_attempts=0)
+
+
+class TestThresholdHistory:
+    def test_eras_ordered(self):
+        years = [e.start_year for e in THRESHOLD_HISTORY]
+        assert years == sorted(years)
+
+    def test_1994_era(self):
+        assert threshold_at(1995.5) == 1_500.0
+
+    def test_1992_era(self):
+        assert threshold_at(1992.5) == 195.0
+
+    def test_before_history_raises(self):
+        with pytest.raises(ValueError):
+            threshold_at(1980.0)
+
+
+class TestPolicy:
+    def test_supplier_exempt(self):
+        policy = ExportControlPolicy(1_500.0)
+        d = policy.license_decision(find_machine("Cray C916"), "Japan")
+        assert not d.requires_license
+
+    def test_restricted_denied(self):
+        policy = ExportControlPolicy(1_500.0)
+        d = policy.license_decision(find_machine("Cray C916"), "Iran")
+        assert d.requires_license
+        assert not d.approved
+
+    def test_certification_tier_approved_with_safeguards(self):
+        policy = ExportControlPolicy(1_500.0)
+        d = policy.license_decision(find_machine("Cray C916"), "India")
+        assert d.requires_license
+        assert d.approved
+        assert d.safeguards_required
+
+    def test_below_threshold_uncovered(self):
+        policy = ExportControlPolicy(1_500.0)
+        d = policy.license_decision(find_machine("Sun SPARCstation 4/300"), "India")
+        assert not d.requires_license
+        assert d.approved
+
+    def test_field_upgradable_rated_at_max(self):
+        # The SS10's single-processor rating is 53.3 but its family
+        # ceiling exceeds a 150-Mtops threshold.
+        policy = ExportControlPolicy(150.0)
+        d = policy.license_decision(find_machine("Sun SPARCstation 10"), "India")
+        assert d.rating_mtops > 150.0
+        assert d.requires_license
+
+    def test_unknown_destination_conservative(self):
+        policy = ExportControlPolicy(1_500.0)
+        assert policy.tier_for("Atlantis") is SafeguardTier.GOVERNMENT_CERTIFICATION
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ExportControlPolicy(0.0)
+
+
+class TestPolicyEffectiveness:
+    def test_1500_threshold_not_credible_in_1995(self):
+        # The in-force 1,500-Mtops definition sits far below the frontier.
+        pe = evaluate_policy(1_500.0, 1995.5)
+        assert not pe.credible
+        assert pe.burden_units > 0
+        assert pe.illusory_applications
+
+    def test_frontier_threshold_credible(self):
+        pe = evaluate_policy(4_100.0, 1995.5)
+        assert pe.credible
+        assert pe.burden_units == 0.0
+
+    def test_protected_applications_above_both(self):
+        pe = evaluate_policy(4_100.0, 1995.5)
+        for app in pe.protected_applications:
+            assert app.min_at(1995.5) >= 4_100.0
+            assert app.min_at(1995.5) >= pe.frontier_mtops
+
+    def test_enforcement_gap_lists_uncontrollable_systems(self):
+        pe = evaluate_policy(1_500.0, 1995.5)
+        names = {m.key for m in pe.uncontrollable_covered_systems}
+        assert "SGI Challenge XL (36)" in names
+
+    def test_high_threshold_protects_fewer(self):
+        low = evaluate_policy(4_100.0, 1995.5)
+        high = evaluate_policy(25_000.0, 1995.5)
+        assert len(high.protected_applications) < len(low.protected_applications)

@@ -1,0 +1,99 @@
+"""Tests for the embedded size/weight/power model."""
+
+import pytest
+
+from repro.apps.catalog import find_application
+from repro.simulate.embedded import (
+    Platform,
+    assess_deployability,
+    embedded_mtops_per_watt,
+    swap_limited_mtops,
+    year_deployable,
+)
+
+
+class TestEfficiencyTrend:
+    def test_anchor(self):
+        assert embedded_mtops_per_watt(1992.0) == pytest.approx(1.0)
+
+    def test_doubles_every_two_years(self):
+        assert embedded_mtops_per_watt(1994.0) == pytest.approx(2.0)
+        assert embedded_mtops_per_watt(1998.0) == pytest.approx(8.0)
+
+    def test_swap_limited_scales_with_power(self):
+        assert swap_limited_mtops(1995.5, 2_000.0) == pytest.approx(
+            2.0 * swap_limited_mtops(1995.5, 1_000.0)
+        )
+
+    def test_year_deployable_inverts(self):
+        year = year_deployable(5_000.0, 1_000.0)
+        assert swap_limited_mtops(year, 1_000.0) == pytest.approx(5_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            swap_limited_mtops(1995.5, 0.0)
+        with pytest.raises(ValueError):
+            year_deployable(0.0, 100.0)
+
+
+class TestCalibrationAnchors:
+    def test_mercury_shipboard_feasible_1995(self):
+        # The ~7,400-Mtops Mercury fits a shipboard budget in 1995.
+        assert swap_limited_mtops(1995.5, Platform.SHIPBOARD.power_budget_w) \
+            > 7_400.0
+
+    def test_f22_avionics_at_the_edge(self):
+        # ~9,000 Mtops in a fighter bay: marginal in 1995, comfortable by
+        # 1997 — the avionics program's famous squeeze.
+        a95 = swap_limited_mtops(1995.5,
+                                 Platform.FIGHTER_AVIONICS_BAY.power_budget_w)
+        a97 = swap_limited_mtops(1997.5,
+                                 Platform.FIGHTER_AVIONICS_BAY.power_budget_w)
+        assert 0.7 * 9_000.0 <= a95 <= 1.3 * 9_000.0
+        assert a97 > 9_000.0
+
+    def test_naasw_man_pack_not_yet(self):
+        # The ~500-Mtops deployed NAASW suite is not man-packable in 1995;
+        # it becomes so near the end of the decade.
+        assert swap_limited_mtops(1995.5, Platform.MAN_PACK.power_budget_w) \
+            < 500.0
+        year = year_deployable(500.0, Platform.MAN_PACK.power_budget_w)
+        assert 1997.0 <= year <= 2001.0
+
+
+class TestDeployabilityAssessment:
+    def test_sirst_shipboard(self):
+        app = find_application("SIRST development (ASCM defense algorithms)")
+        a = assess_deployability(app, Platform.SHIPBOARD, 1995.5)
+        assert a.deployable  # the Mercury-class deployment is just feasible
+
+    def test_visible_light_not_deployable_1995(self):
+        # The 24,000-Mtops visible-light processor fits a shipboard rack
+        # but not the "smaller, lighter form" the paper says deployment
+        # needs — an airborne pod waits until ~2001.
+        app = find_application("Visible-light sensor processing")
+        pod = assess_deployability(app, Platform.AIRBORNE_POD, 1995.5)
+        assert not pod.deployable
+        assert pod.first_deployable_year > 1999.0
+
+    def test_avionics_platform_ordering(self):
+        app = find_application("F-22 avionics suite")
+        ship = assess_deployability(app, Platform.SHIPBOARD, 1995.5)
+        pack = assess_deployability(app, Platform.MAN_PACK, 1995.5)
+        assert ship.available_mtops > pack.available_mtops
+        assert not pack.deployable
+
+    def test_first_deployable_consistent(self):
+        app = find_application("F-22 avionics suite")
+        a = assess_deployability(app, Platform.FIGHTER_AVIONICS_BAY, 1995.5)
+        later = assess_deployability(app, Platform.FIGHTER_AVIONICS_BAY,
+                                     a.first_deployable_year + 0.1)
+        assert later.deployable
+
+    def test_platform_budgets_ordered(self):
+        budgets = [p.power_budget_w for p in (
+            Platform.MAN_PACK, Platform.GROUND_VEHICLE,
+            Platform.AIRBORNE_POD, Platform.FIGHTER_AVIONICS_BAY,
+            Platform.THEATER_VAN, Platform.SHIPBOARD,
+        )]
+        assert budgets == sorted(budgets)

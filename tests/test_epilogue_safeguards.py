@@ -1,0 +1,150 @@
+"""Tests for the post-1995 epilogue validation and the safeguards model."""
+
+import pytest
+
+from repro._util import year_range
+from repro.core.epilogue import (
+    EPILOGUE_THRESHOLDS,
+    actual_threshold_at,
+    compare_with_history,
+    staleness_series,
+)
+from repro.core.threshold import ThresholdPolicy
+from repro.diffusion.policy import SafeguardTier
+from repro.diffusion.safeguards import (
+    SafeguardMeasure,
+    SafeguardPlan,
+    indigenous_incentive,
+    plan_for_tier,
+)
+
+
+class TestEpilogueRecord:
+    def test_eras_ordered(self):
+        starts = [e.start_year for e in EPILOGUE_THRESHOLDS]
+        assert starts == sorted(starts)
+
+    def test_military_at_least_civil(self):
+        for era in EPILOGUE_THRESHOLDS:
+            assert era.military_mtops >= era.civil_mtops
+
+    def test_lookup(self):
+        assert actual_threshold_at(1995.5) == 1_500.0
+        assert actual_threshold_at(1997.0, military=True) == 7_000.0
+        assert actual_threshold_at(1997.0, military=False) == 2_000.0
+
+    def test_before_record_raises(self):
+        with pytest.raises(ValueError):
+            actual_threshold_at(1990.0)
+
+    def test_thresholds_rise(self):
+        values = [e.military_mtops for e in EPILOGUE_THRESHOLDS]
+        assert values == sorted(values)
+
+
+class TestValidationAgainstHistory:
+    def test_1996_reform_brackets_recommendation(self):
+        """The framework's post-reform recommendation falls inside the
+        [civil, military] pair the January 1996 rules actually adopted —
+        the study and the reform read the same technology base."""
+        (comp,) = compare_with_history([1996.5])
+        assert comp.recommendation_within_actual_pair
+
+    def test_study_period_threshold_stale(self):
+        (comp,) = compare_with_history([1995.5])
+        assert comp.actual_military_stale
+
+    def test_gaps_reopen(self):
+        # By 1998 the 1996 limits are stale again: the cadence problem.
+        (comp,) = compare_with_history([1998.0])
+        assert comp.actual_military_stale
+
+    def test_policy_choice_respected(self):
+        a = compare_with_history([1996.5], ThresholdPolicy.ECONOMIC)
+        b = compare_with_history(
+            [1996.5], ThresholdPolicy.CONTROL_WHAT_CAN_BE_CONTROLLED
+        )
+        assert a[0].recommended_mtops >= b[0].recommended_mtops
+
+
+class TestStaleness:
+    def test_sawtooth(self):
+        """Staleness climbs between revisions and snaps back at each."""
+        series = dict(staleness_series(year_range(1995.0, 1999.9, 0.1)))
+        # Fresh after the 1996 reform...
+        assert series[1996.5] < 1.0
+        # ...stale before the 1999 revision...
+        assert series[1999.5] > 3.0
+        # ...snaps down when it lands.
+        assert series[1999.9] < series[1999.5]
+
+    def test_values_positive(self):
+        for _, factor in staleness_series([1995.0, 1997.0, 1999.0]):
+            assert factor > 0
+
+
+class TestSafeguardPlans:
+    def test_supplier_plan_empty(self):
+        plan = plan_for_tier(SafeguardTier.SUPPLIER)
+        assert plan.annual_cost_fraction == 0.0
+        assert plan.detection_probability == 0.0
+        assert plan.usability_fraction == 1.0
+
+    def test_tier_escalation(self):
+        """Cost and detection rise monotonically down the tier ladder;
+        usability falls."""
+        ladder = (SafeguardTier.SUPPLIER, SafeguardTier.MAJOR_ALLY,
+                  SafeguardTier.SAFEGUARDS_PLAN,
+                  SafeguardTier.GOVERNMENT_CERTIFICATION)
+        plans = [plan_for_tier(t) for t in ladder]
+        costs = [p.annual_cost_fraction for p in plans]
+        detections = [p.detection_probability for p in plans]
+        usability = [p.usability_fraction for p in plans]
+        assert costs == sorted(costs)
+        assert detections == sorted(detections)
+        assert usability == sorted(usability, reverse=True)
+
+    def test_full_plan_detects_most_misuse(self):
+        plan = plan_for_tier(SafeguardTier.GOVERNMENT_CERTIFICATION)
+        assert plan.detection_probability > 0.75
+
+    def test_full_plan_costs_real_money(self):
+        plan = plan_for_tier(SafeguardTier.GOVERNMENT_CERTIFICATION)
+        # ~15% of a $10M machine per year.
+        assert plan.annual_cost_usd(10_000_000.0) > 1_000_000.0
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            plan_for_tier(SafeguardTier.RESTRICTED).annual_cost_usd(0.0)
+
+    def test_measure_tuple_structure(self):
+        for m in SafeguardMeasure:
+            assert 0.0 <= m.annual_cost_fraction <= 0.2
+            assert 0.0 <= m.detection_contribution <= 1.0
+            assert 0.0 <= m.usability_penalty <= 0.5
+
+    def test_custom_plan(self):
+        plan = SafeguardPlan(measures=(SafeguardMeasure.SOFTWARE_AUDIT,))
+        assert plan.detection_probability == pytest.approx(0.30)
+
+
+class TestIndigenousIncentive:
+    def test_indian_xmp_episode(self):
+        """A weak Param-class machine (say 10% of a safeguarded X-MP)
+        against the heaviest safeguard tier: the domestic option captures
+        a non-trivial share of the effective choice — the dynamic that
+        'disenchanted' India into indigenous development."""
+        incentive = indigenous_incentive(
+            SafeguardTier.GOVERNMENT_CERTIFICATION, 0.10
+        )
+        unsafeguarded = indigenous_incentive(SafeguardTier.SUPPLIER, 0.10)
+        assert incentive > 1.5 * unsafeguarded
+
+    def test_monotone_in_capability(self):
+        tier = SafeguardTier.GOVERNMENT_CERTIFICATION
+        assert indigenous_incentive(tier, 0.5) > indigenous_incentive(tier, 0.1)
+
+    def test_bounds(self):
+        assert indigenous_incentive(SafeguardTier.SUPPLIER, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            indigenous_incentive(SafeguardTier.SUPPLIER, 1.5)

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline content.
+
+Run as subprocesses so the examples are exercised exactly as a user would
+run them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (script, substring that must appear in its stdout).
+_EXPECTATIONS = {
+    "quickstart.py": "Recommended thresholds",
+    "threshold_review_1990s.py": "Annual reviews, 1992-1999",
+    "cluster_vs_supercomputer.py": "Largest competitive cluster",
+    "covert_acquisition.py": "Assimilation lags",
+    "rate_a_machine.py": "Rating machines under the CTP metric",
+    "keysearch_demo.py": "recovered key",
+    "kernel_granularity.py": "mass drift",
+    "policy_epilogue.py": "Staleness sawtooth",
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+def test_every_example_covered():
+    scripts = {p.name for p in _EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(_EXPECTATIONS), (
+        "examples and expectations out of sync"
+    )
+
+
+@pytest.mark.parametrize("script,needle", sorted(_EXPECTATIONS.items()))
+def test_example_runs(script, needle):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

@@ -1,0 +1,86 @@
+"""Tests for the Table 16 foreign-capability assessment."""
+
+import pytest
+
+from repro.apps.foreign_capability import (
+    TABLE16_APPLICATIONS,
+    assess_foreign_capability,
+    foreign_capability_table,
+)
+from repro.machines.foreign import ForeignCountry
+
+
+class TestAssessment:
+    def test_low_end_application_enabled_everywhere(self):
+        for country in ForeignCountry:
+            a = assess_foreign_capability("F-117A design", country)
+            assert a.computing_available
+            assert a.enabled  # no other gates on the F-117A row
+
+    def test_crypto_enabled_by_aggregation(self):
+        a = assess_foreign_capability(
+            "Brute-force keysearch (24-hour break)", ForeignCountry.INDIA
+        )
+        assert a.computing_available
+
+    def test_submarine_csm_blocked_in_1995(self):
+        # "little chance that a country of national security concern could
+        # replicate this program with computers not subject to export
+        # controls".
+        for country in ForeignCountry:
+            a = assess_foreign_capability(
+                "Submarine acoustic-signature CSM", country, 1995.5
+            )
+            assert not a.computing_available
+            assert not a.enabled
+
+    def test_f22_computing_available_but_gated(self):
+        # The F-22's computing is below the frontier, but materials and
+        # propulsion gates keep the threat from being enabled.
+        a = assess_foreign_capability("F-22 design", ForeignCountry.PRC, 1995.5)
+        assert a.computing_available
+        assert a.other_gates
+        assert not a.enabled
+
+    def test_computing_source_label(self):
+        a = assess_foreign_capability("F-117A design", ForeignCountry.RUSSIA)
+        assert a.computing_source in ("indigenous", "uncontrollable Western")
+        blocked = assess_foreign_capability(
+            "ATR template development", ForeignCountry.RUSSIA, 1995.5
+        )
+        assert blocked.computing_source is None
+
+    def test_frontier_erosion_enables_over_time(self):
+        early = assess_foreign_capability(
+            "Tactical weather prediction (45 km)", ForeignCountry.PRC, 1995.5
+        )
+        late = assess_foreign_capability(
+            "Tactical weather prediction (45 km)", ForeignCountry.PRC, 1999.5
+        )
+        assert not early.computing_available
+        assert late.computing_available
+
+    def test_best_available_is_max(self):
+        a = assess_foreign_capability("F-22 design", ForeignCountry.INDIA)
+        assert a.best_available_mtops == max(
+            a.indigenous_mtops, a.uncontrollable_mtops
+        )
+
+
+class TestTable:
+    def test_full_grid(self):
+        table = foreign_capability_table(1995.5)
+        assert len(table) == len(TABLE16_APPLICATIONS) * len(ForeignCountry)
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            foreign_capability_table(applications=("no such app",))
+
+    def test_majority_possible_at_uncontrollable_levels(self):
+        # The executive summary's conjecture: "the majority of national
+        # security applications of HPC are already possible (at least from
+        # the standpoint of the necessary computing) at uncontrollable
+        # levels".
+        table = foreign_capability_table(1995.5)
+        available = sum(1 for a in table if a.computing_available)
+        assert available / len(table) > 0.5

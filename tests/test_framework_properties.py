@@ -1,0 +1,135 @@
+"""Property-based tests for the framework's cross-module invariants.
+
+These run the full pipeline at hypothesis-chosen dates and parameters and
+assert the structural properties every chapter of the analysis relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.catalog import APPLICATIONS
+from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.core.framework import derive_bounds
+from repro.core.threshold import ThresholdPolicy, select_threshold, snapshot
+from repro.diffusion.acquisition import acquisition_premium
+from repro.diffusion.policy import evaluate_policy
+from repro.market.installed import installed_units_above
+
+years = st.floats(min_value=1990.0, max_value=1999.9)
+thresholds = st.floats(min_value=10.0, max_value=100_000.0)
+policies = st.sampled_from(list(ThresholdPolicy))
+
+
+@given(years)
+@settings(max_examples=30, deadline=None)
+def test_bounds_invariants(year):
+    b = derive_bounds(year)
+    assert b.lower_mtops == max(b.uncontrollable_mtops, b.foreign_mtops)
+    assert b.upper_theoretical_mtops >= b.lower_mtops
+    mins = [a.min_at(year) for a in b.protectable_applications]
+    assert mins == sorted(mins)
+    assert all(m > b.lower_mtops for m in mins)
+    if b.upper_application_mtops is not None:
+        assert b.upper_application_mtops > b.lower_mtops
+
+
+@given(years, years)
+@settings(max_examples=30, deadline=None)
+def test_frontier_monotone_in_time(y1, y2):
+    f1 = lower_bound_uncontrollable(min(y1, y2)).mtops
+    f2 = lower_bound_uncontrollable(max(y1, y2)).mtops
+    assert f1 <= f2
+
+
+@given(years)
+@settings(max_examples=20, deadline=None)
+def test_snapshot_geometry(year):
+    s = snapshot(year)
+    assert s.line_a_mtops <= s.line_d_mtops
+    assert s.installed_counts.min() >= 0
+    assert int(s.application_counts.sum()) == sum(
+        1 for a in APPLICATIONS if a.year_first <= year
+    )
+
+
+@given(years, policies)
+@settings(max_examples=25, deadline=None)
+def test_selected_threshold_at_or_above_line_a(year, policy):
+    choice = select_threshold(year, policy)
+    line_a = derive_bounds(year).lower_mtops
+    assert choice.threshold_mtops >= line_a * (1 - 1e-9)
+    # Everything reported as given up really lies within (A, threshold].
+    for app in choice.applications_given_up:
+        assert line_a < app.min_at(year) <= choice.threshold_mtops * (1 + 1e-9)
+
+
+@given(years, thresholds, thresholds)
+@settings(max_examples=25, deadline=None)
+def test_installed_units_monotone_in_threshold(year, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert installed_units_above(lo, year) >= installed_units_above(hi, year)
+
+
+@given(st.floats(min_value=1994.0, max_value=1999.0),
+       st.floats(min_value=100.0, max_value=50_000.0),
+       st.floats(min_value=100.0, max_value=50_000.0))
+@settings(max_examples=25, deadline=None)
+def test_acquisition_severity_monotone_in_target(year, m1, m2):
+    lo, hi = sorted((m1, m2))
+    easy = acquisition_premium(lo, year)
+    hard = acquisition_premium(hi, year)
+    # A higher target can only shrink the candidate set, so the best
+    # available severity cannot fall.
+    assert hard.controllability >= easy.controllability - 1e-12
+
+
+@given(years, thresholds)
+@settings(max_examples=25, deadline=None)
+def test_policy_effectiveness_partition(year, threshold):
+    pe = evaluate_policy(threshold, year)
+    protected = {a.name for a in pe.protected_applications}
+    illusory = {a.name for a in pe.illusory_applications}
+    assert not protected & illusory
+    for app in pe.protected_applications:
+        assert app.min_at(year) >= threshold
+        assert app.min_at(year) >= pe.frontier_mtops
+    if pe.credible:
+        assert pe.burden_units == 0.0
+        assert not pe.illusory_applications
+
+
+@given(st.floats(min_value=1945.0, max_value=2040.0),
+       st.sampled_from([a.name for a in APPLICATIONS]))
+@settings(max_examples=40, deadline=None)
+def test_drift_bounds(year, name):
+    from repro.apps.catalog import find_application
+    from repro.apps.requirements import DRIFT_FLOOR_FRACTION
+
+    app = find_application(name)
+    value = app.min_at(year)
+    assert app.min_mtops * DRIFT_FLOOR_FRACTION - 1e-12 <= value
+    assert value <= app.min_mtops + 1e-12
+
+
+@given(years)
+@settings(max_examples=15, deadline=None)
+def test_review_consistency(year):
+    from repro.core.review import run_annual_review
+
+    review = run_annual_review(year)
+    assert review.recommendation.threshold_mtops >= review.bounds.lower_mtops
+    # Stale means exactly: in-force threshold below the lower bound.
+    assert review.threshold_is_stale == (
+        review.threshold_in_force < review.bounds.lower_mtops
+    )
+
+
+def test_properties_file_has_coverage():
+    """Meta-check: this file exercises the intended breadth."""
+    import sys
+
+    module = sys.modules[__name__]
+    property_tests = [n for n in dir(module) if n.startswith("test_")]
+    assert len(property_tests) >= 9

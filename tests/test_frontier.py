@@ -1,0 +1,102 @@
+"""Tests for the uncontrollability frontier — the paper's lower bound."""
+
+import numpy as np
+import pytest
+
+from repro.controllability.frontier import (
+    UNCONTROLLABILITY_LAG_YEARS,
+    frontier_series,
+    frontier_trend,
+    lower_bound_uncontrollable,
+    projected_frontier_mtops,
+    uncontrollable_population,
+)
+
+
+class TestPopulation:
+    def test_lag_enforced(self):
+        for m in uncontrollable_population(1995.5):
+            assert m.year + UNCONTROLLABILITY_LAG_YEARS <= 1995.5
+
+    def test_population_grows_over_time(self):
+        assert len(uncontrollable_population(1997.0)) >= len(
+            uncontrollable_population(1994.0)
+        )
+
+    def test_marginal_widens_population(self):
+        strict = uncontrollable_population(1995.5)
+        wide = uncontrollable_population(1995.5, include_marginal=True)
+        assert len(wide) >= len(strict)
+
+    def test_no_vector_machines(self):
+        from repro.machines.spec import Architecture
+
+        for m in uncontrollable_population(1999.0):
+            assert m.architecture is not Architecture.VECTOR
+
+
+class TestLowerBound:
+    def test_headline_mid_1995(self):
+        """Paper: lower bound of 4,000-5,000 Mtops in mid-1995."""
+        fp = lower_bound_uncontrollable(1995.5)
+        assert 4_000.0 <= fp.mtops <= 5_000.0
+
+    def test_headline_machine_identity(self):
+        # The frontier is set by the Challenge/CS6400-class SMPs.
+        fp = lower_bound_uncontrollable(1995.9)
+        assert fp.machine is not None
+        assert fp.machine.vendor in ("SGI", "Cray")
+
+    def test_headline_late_1996_97(self):
+        """Paper: 'likely to rise to approximately 7,500 Mtops by late
+        1996 or 1997' — the reconstruction straddles that level across
+        the window."""
+        before = lower_bound_uncontrollable(1996.9).mtops
+        after = lower_bound_uncontrollable(1997.5).mtops
+        assert before <= 7_500.0 <= after
+        assert before >= 5_000.0
+
+    def test_headline_end_of_decade(self):
+        """Paper: 'exceed 16,000 Mtops before the end of the decade'."""
+        assert lower_bound_uncontrollable(1999.5).mtops > 16_000.0
+
+    def test_zero_in_prehistory(self):
+        fp = lower_bound_uncontrollable(1975.0)
+        assert fp.mtops == 0.0
+        assert fp.machine is None
+
+    def test_rated_at_max_configuration(self):
+        fp = lower_bound_uncontrollable(1995.5)
+        assert fp.mtops == pytest.approx(
+            fp.machine.max_configuration().ctp_mtops
+        )
+
+    def test_longer_lag_delays_frontier(self):
+        fast = lower_bound_uncontrollable(1995.5, lag_years=1.0).mtops
+        slow = lower_bound_uncontrollable(1995.5, lag_years=3.0).mtops
+        assert slow <= fast
+
+
+class TestSeriesAndTrend:
+    def test_series_monotone_nondecreasing(self):
+        years = np.arange(1990.0, 2000.0, 0.5)
+        series = frontier_series(years)
+        assert np.all(np.diff(series) >= 0)
+
+    def test_series_matches_pointwise(self):
+        years = [1994.0, 1996.0]
+        series = frontier_series(years)
+        assert series[0] == lower_bound_uncontrollable(1994.0).mtops
+        assert series[1] == lower_bound_uncontrollable(1996.0).mtops
+
+    def test_trend_fits_and_rises(self):
+        t = frontier_trend()
+        assert t.growth_per_year > 1.0
+
+    def test_projection_beyond_catalog(self):
+        assert projected_frontier_mtops(2001.0) > projected_frontier_mtops(1998.0)
+
+    def test_projection_respects_lag(self):
+        lagged = projected_frontier_mtops(1998.0, lag_years=2.0)
+        immediate = projected_frontier_mtops(1998.0, lag_years=0.0)
+        assert lagged < immediate

@@ -1,0 +1,98 @@
+"""Tests for the hierarchical (Exemplar-style) machine model."""
+
+import pytest
+
+from repro.simulate.architectures import (
+    cluster_machine,
+    hierarchical_machine,
+    mpp_machine,
+    smp_machine,
+)
+from repro.simulate.execution import simulate_execution
+from repro.simulate.interconnect import ETHERNET_10
+from repro.simulate.workloads import find_workload
+
+
+class TestConstruction:
+    def test_factory(self):
+        m = hierarchical_machine(8, 8)
+        assert m.n_nodes == 64
+        assert m.hypernode_size == 8
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            hierarchical_machine(0, 8)
+        with pytest.raises(ValueError):
+            hierarchical_machine(8, 0)
+
+    def test_with_nodes_respects_hypernode(self):
+        m = hierarchical_machine(8, 8)
+        assert m.with_nodes(32).n_nodes == 32
+        with pytest.raises(ValueError):
+            m.with_nodes(20)  # not a multiple of the 8-way hypernode
+
+    def test_flat_machines_have_unit_hypernode(self):
+        assert smp_machine(16).hypernode_size == 1
+        assert mpp_machine(64).hypernode_size == 1
+
+
+class TestMemoryPooling:
+    def test_hypernode_pool_holds_memory_floor(self):
+        """The Chapter 3 promise of hierarchical systems: shared-memory
+        subsystems big enough for closely-coupled working sets, grouped in
+        a distributed fashion."""
+        w = find_workload("turbulent-flow CSM")  # needs 1 GB coupled
+        hier = hierarchical_machine(8, 8, node_memory_mb=256.0)
+        flat = mpp_machine(64, node_memory_mb=256.0)
+        assert simulate_execution(w, hier).feasible
+        assert not simulate_execution(w, flat).feasible
+
+    def test_small_hypernode_still_fails(self):
+        w = find_workload("turbulent-flow CSM")
+        hier = hierarchical_machine(16, 4, node_memory_mb=64.0)
+        result = simulate_execution(w, hier)
+        assert not result.feasible
+        assert "hypernode" in result.infeasible_reason
+
+
+class TestCommunication:
+    def test_beats_equal_cluster_on_fine_grain(self):
+        """Intra-hypernode traffic over the bus buys the hierarchical
+        machine a clear edge over a LAN cluster of the same nodes."""
+        w = find_workload("shallow-water model")
+        hier = hierarchical_machine(8, 8, node_memory_mb=64.0)
+        lan = cluster_machine(64, peak_node_mops=300.0,
+                              node_memory_mb=64.0, network=ETHERNET_10)
+        assert simulate_execution(w, hier).efficiency \
+            > 5 * simulate_execution(w, lan).efficiency
+
+    def test_single_hypernode_is_pure_bus(self):
+        # One hypernode: no fabric traffic at all.
+        w = find_workload("shallow-water model")
+        hier = hierarchical_machine(1, 16, node_memory_mb=64.0)
+        flat_smp = smp_machine(16, peak_node_mops=300.0 * 0.18 / 0.20,
+                               node_memory_mb=64.0)
+        r_hier = simulate_execution(w, hier)
+        r_smp = simulate_execution(w, flat_smp)
+        assert r_hier.feasible
+        # Same order of communication cost as the flat SMP.
+        assert r_hier.comm_time_s == pytest.approx(r_smp.comm_time_s,
+                                                   rel=0.5)
+
+    def test_comm_same_order_as_flat_mpp(self):
+        # The hierarchical machine keeps intra-hypernode traffic on the
+        # bus but funnels each hypernode's boundary through one fabric
+        # port, so its communication cost lands in the flat MPP's order
+        # of magnitude (the MPP gives every process its own port) —
+        # nowhere near the LAN cluster's collapse.
+        w = find_workload("weather prediction")
+        hier = hierarchical_machine(8, 8, node_memory_mb=256.0)
+        flat = mpp_machine(64, peak_node_mops=300.0, node_memory_mb=256.0)
+        r_hier = simulate_execution(w, hier)
+        r_flat = simulate_execution(w, flat)
+        assert r_hier.feasible and r_flat.feasible
+        assert r_hier.comm_time_s <= r_flat.comm_time_s * 10.0
+        lan = cluster_machine(64, peak_node_mops=300.0,
+                              node_memory_mb=256.0, network=ETHERNET_10)
+        r_lan = simulate_execution(w, lan)
+        assert r_hier.comm_time_s < 0.2 * r_lan.comm_time_s

@@ -1,0 +1,148 @@
+"""Tests for the synthetic HPCMO database (Figures 8-10 population)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpcmo import (
+    HpcmoDatabase,
+    HpcmoProject,
+    generate_hpcmo,
+    migration_summary,
+)
+from repro.apps.taxonomy import CF, CTA, Parallelizability
+
+
+@pytest.fixture(scope="module")
+def db() -> HpcmoDatabase:
+    return generate_hpcmo(seed=0)
+
+
+class TestGeneration:
+    def test_project_count(self, db):
+        # "About 700 different DoD HPC applications were reviewed."
+        assert len(db.projects) == 700
+
+    def test_deterministic(self, db):
+        again = generate_hpcmo(seed=0)
+        assert np.allclose(db.current_mtops(), again.current_mtops())
+
+    def test_seed_sensitivity(self, db):
+        other = generate_hpcmo(seed=1)
+        assert not np.allclose(db.current_mtops(), other.current_mtops())
+
+    def test_kind_split(self, db):
+        st = db.of_kind("S&T")
+        dte = db.of_kind("DT&E")
+        assert len(st) + len(dte) == 700
+        assert len(st) == 420  # 0.6 split
+
+    def test_custom_split(self):
+        small = generate_hpcmo(seed=0, n_projects=100, st_fraction=0.5)
+        assert len(small.of_kind("S&T")) == 50
+
+    def test_disciplines_match_kind(self, db):
+        for p in db.projects:
+            if p.kind == "S&T":
+                assert isinstance(p.discipline, CTA)
+            else:
+                assert isinstance(p.discipline, CF)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            generate_hpcmo(n_projects=0)
+        with pytest.raises(ValueError):
+            generate_hpcmo(st_fraction=1.5)
+
+
+class TestRecordInvariants:
+    def test_min_le_current_le_projected(self, db):
+        assert np.all(db.min_mtops() <= db.current_mtops())
+        assert np.all(db.current_mtops() <= db.projected_mtops() * (1 + 1e-9))
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            HpcmoProject(project_id=1, kind="S&T", discipline=CTA.CFD,
+                         service="Navy", current_mtops=100.0,
+                         projected_mtops=50.0, min_mtops=10.0,
+                         parallelizable=Parallelizability.EASY)
+        with pytest.raises(ValueError):
+            HpcmoProject(project_id=1, kind="weird", discipline=CTA.CFD,
+                         service="Navy", current_mtops=100.0,
+                         projected_mtops=150.0, min_mtops=10.0,
+                         parallelizable=Parallelizability.EASY)
+
+
+class TestMarginals:
+    """The distributional claims of Chapter 4, as calibration tests."""
+
+    def test_most_below_current_threshold(self, db):
+        # "many are lower than current export control thresholds" (1,500).
+        assert db.fraction_below(1_500.0, "min") > 0.75
+
+    def test_two_thirds_below_controllability(self, db):
+        # "More than two-thirds of the applications ... can be carried out
+        # using computers below the threshold of controllability."
+        assert db.fraction_below(4_100.0, "min") > 2.0 / 3.0
+
+    def test_seven_to_eight_k_band(self, db):
+        # "Of those remaining, about five percent require ... 7,000-8,000."
+        mins = db.min_mtops()
+        remaining = mins[mins >= 4_100.0]
+        frac = np.mean((remaining >= 7_000.0) & (remaining < 8_000.0))
+        assert 0.02 <= frac <= 0.20
+
+    def test_ten_k_and_above_small_but_present(self, db):
+        # "A smaller but still significant number ... at least 10,000."
+        frac = 1.0 - db.fraction_below(10_000.0, "min")
+        assert 0.001 <= frac <= 0.05
+
+    def test_projected_shifts_right(self, db):
+        # Figure 9: projected 1996 DT&E requirements exceed current usage.
+        assert np.median(db.projected_mtops("DT&E")) > np.median(
+            db.current_mtops("DT&E")
+        )
+
+    def test_histogram_totals(self, db):
+        edges = 10.0 ** np.arange(-1.0, 6.01, 0.5)
+        counts = db.histogram(db.current_mtops(), edges)
+        assert counts.sum() == 700
+
+    def test_parallelizable_mix(self, db):
+        # "A large segment ... is migrating to small computers through
+        # parallelizing", but a hard core does not parallelize.
+        kinds = [p.parallelizable for p in db.projects]
+        assert kinds.count(Parallelizability.EASY) > 200
+        assert kinds.count(Parallelizability.NO) > 80
+
+    def test_fraction_below_which_argument(self, db):
+        assert db.fraction_below(1e9, "current") == 1.0
+        with pytest.raises(KeyError):
+            db.fraction_below(100.0, "bogus")
+
+
+class TestMigrationSummary:
+    def test_partition_complete(self, db):
+        m = migration_summary(db)
+        assert (m.convertible_now + m.convertible_with_cost + m.stranded
+                == m.total_projects)
+
+    def test_large_segment_migrating(self, db):
+        # "A large segment of DoD high-performance computing is migrating
+        # to small computers."
+        assert migration_summary(db).migrating_fraction > 0.6
+
+    def test_hard_core_stranded(self, db):
+        assert migration_summary(db).stranded > 50
+
+    def test_escapees_subset(self, db):
+        m = migration_summary(db)
+        assert 0 < m.escapees_above_threshold < m.convertible_now
+
+    def test_higher_threshold_fewer_escapees(self, db):
+        low = migration_summary(db, threshold_mtops=500.0)
+        high = migration_summary(db, threshold_mtops=10_000.0)
+        assert high.escapees_above_threshold <= low.escapees_above_threshold
+
+    def test_validation(self, db):
+        with pytest.raises(ValueError):
+            migration_summary(db, threshold_mtops=0.0)

@@ -1,0 +1,139 @@
+"""Integration tests: the paper's headline sentences as executable checks.
+
+Each test quotes the claim it verifies.  These exercise the whole pipeline
+(catalogs -> controllability -> frontier -> applications -> framework), so
+a regression anywhere upstream shows up here.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.foreign_capability import foreign_capability_table
+from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.core.framework import derive_bounds, headline_summary
+from repro.core.scenarios import erosion_report
+from repro.diffusion.policy import evaluate_policy, threshold_at
+from repro.simulate.cluster_study import compare_architectures
+from repro.trends.top500 import generate_top500
+
+
+class TestExecutiveSummary:
+    def test_lower_bound_sequence(self):
+        """'Our analysis produces a lower bound (mid-1995) of 4,000-5,000
+        Mtops -- which is likely to rise to approximately 7,500 Mtops by
+        late 1996 or 1997 and exceed 16,000 Mtops before the end of the
+        decade.'"""
+        hs = headline_summary()
+        assert 4_000.0 <= hs.lower_bound_mid_1995 <= 5_000.0
+        # ~7,500 within the late-96/97 window (reconstruction: the bound
+        # crosses 7,500 between 1996.9 and 1997.5).
+        assert lower_bound_uncontrollable(1996.9).mtops <= 7_500.0
+        assert lower_bound_uncontrollable(1997.5).mtops >= 7_500.0
+        assert hs.lower_bound_end_of_decade > 16_000.0
+
+    def test_application_groups(self):
+        """'There seems to be a group of research and development
+        applications starting roughly at the level of 7,000 Mtops, and a
+        group of military operations applications at 10,000 Mtops.'"""
+        hs = headline_summary()
+        assert hs.rdte_cluster_start == pytest.approx(7_000.0, rel=0.25)
+        assert hs.milops_cluster_start == pytest.approx(10_000.0, rel=0.35)
+
+    def test_premises_viable_short_term(self):
+        """'The basic premises underlying the export control regime
+        continue to be viable, at least in the short term.'"""
+        assert repro.evaluate_premises(1995.5).all_hold
+
+    def test_efficacy_weakens_long_term(self):
+        """'Preliminary analysis suggests that the efficacy of the current
+        control regime will weaken significantly over the longer term.'"""
+        report = erosion_report()
+        assert report.weakens_over_time
+        assert report.premise1.failure_year is not None
+
+    def test_majority_already_uncontrollable(self):
+        """'The majority of national security applications of HPC are
+        already possible (at least from the standpoint of the necessary
+        computing) at uncontrollable levels, or will be so before the end
+        of the decade.'"""
+        assert headline_summary().fraction_apps_below_lower_1995 >= 0.5
+        bounds_2000 = derive_bounds(1999.9)
+        from repro.apps.catalog import APPLICATIONS
+
+        mins = [a.min_at(1999.9) for a in APPLICATIONS]
+        frac = np.mean([m < bounds_2000.lower_mtops for m in mins])
+        assert frac >= 0.75
+
+
+class TestChapterClaims:
+    def test_current_threshold_obsolete(self):
+        """Chapter 5's implication: the 1,500-Mtops definition in force in
+        1995 sat far below the derived lower bound."""
+        assert threshold_at(1995.5) == 1_500.0
+        pe = evaluate_policy(1_500.0, 1995.5)
+        assert not pe.credible
+        assert pe.frontier_mtops / 1_500.0 > 2.0
+
+    def test_most_apps_below_current_threshold_band(self):
+        """Chapter 4: 'The computational requirements for most of these
+        programs fall well below the uncontrollability level; many are
+        lower than current export control thresholds.'"""
+        from repro.apps.hpcmo import generate_hpcmo
+
+        db = generate_hpcmo(seed=0)
+        assert db.fraction_below(4_100.0, "min") > 2.0 / 3.0
+        assert db.fraction_below(1_500.0, "min") > 0.5
+
+    def test_cluster_not_equal_basis(self):
+        """Chapter 3: 'clusters ... should not generally be treated on an
+        equal basis with tightly coupled systems of comparable CTP.'"""
+        comp = compare_architectures("weather prediction")
+        assert comp.cluster_penalty() > 3.0
+
+    def test_spectrum_threshold_transfer(self):
+        """'A threshold based on machines with an SMP architecture can
+        certainly be applied to distributed-memory systems and workstation
+        clusters' — SMP efficiency dominates down-spectrum on every suite
+        workload."""
+        from repro.simulate.workloads import WORKLOAD_SUITE
+
+        for w in WORKLOAD_SUITE:
+            assert compare_architectures(w.name).spectrum_ordering_holds(), w.name
+
+    def test_top500_mostly_below_frontier_by_late_decade(self):
+        """Chapter 6 (Figure 13): the lower bound of controllability climbs
+        into the Top500, swallowing most of the list."""
+        for year in (1995.5, 1999.5):
+            frontier = lower_bound_uncontrollable(year).mtops
+            lst = generate_top500(year, seed=0)
+            assert lst.fraction_below(frontier) >= 0.7
+
+    def test_foreign_capability_grid_consistency(self):
+        """Table 16 integration: every cell's verdict is consistent with
+        its own inputs."""
+        for cell in foreign_capability_table(1995.5):
+            if cell.enabled:
+                assert cell.computing_available and not cell.other_gates
+            if cell.computing_source == "indigenous":
+                assert cell.indigenous_mtops >= cell.required_mtops
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        review = repro.run_annual_review(1995.5)
+        assert 4_000.0 <= review.bounds.lower_mtops <= 5_000.0
+        assert review.premises.all_hold
+        choice = repro.select_threshold(1995.5, repro.ThresholdPolicy.ECONOMIC)
+        assert choice.threshold_mtops >= review.bounds.lower_mtops
+
+    def test_ctp_exposed(self):
+        element = repro.ComputingElement("demo", clock_mhz=100.0)
+        assert repro.ctp_homogeneous(element, 4, repro.Coupling.SHARED) > 0
+
+    def test_catalogs_exposed(self):
+        assert len(repro.COMMERCIAL_SYSTEMS) > 0
+        assert len(repro.FOREIGN_SYSTEMS) > 0

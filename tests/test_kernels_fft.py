@@ -1,0 +1,146 @@
+"""Tests for the from-scratch radix-2 FFT kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.fft import (
+    alltoall_bytes_per_process,
+    fft2d,
+    fft2d_flops,
+    fft_rows,
+    ifft2d,
+)
+from repro.simulate.cluster_study import compare_architectures, max_competitive_cluster_size
+
+
+class TestRowFft:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 128)) + 1j * rng.normal(size=(5, 128))
+        assert np.allclose(fft_rows(x), np.fft.fft(x, axis=-1))
+
+    def test_real_input(self):
+        x = np.arange(16.0)
+        assert np.allclose(fft_rows(x), np.fft.fft(x))
+
+    def test_single_point(self):
+        assert np.allclose(fft_rows(np.array([3.0])), [3.0])
+
+    def test_impulse_is_flat(self):
+        x = np.zeros(64)
+        x[0] = 1.0
+        assert np.allclose(fft_rows(x), np.ones(64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_rows(np.zeros(12))
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=6, deadline=None)
+    def test_sizes_property(self, k):
+        n = 2**k
+        rng = np.random.default_rng(k)
+        x = rng.normal(size=n)
+        assert np.allclose(fft_rows(x), np.fft.fft(x))
+
+
+class TestFft2d:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        f = rng.normal(size=(64, 64))
+        assert np.allclose(fft2d(f), np.fft.fft2(f))
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        f = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        assert np.allclose(ifft2d(fft2d(f)), f)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(4)
+        f = rng.normal(size=(32, 32))
+        spectrum = fft2d(f)
+        assert (np.abs(f) ** 2).sum() == pytest.approx(
+            (np.abs(spectrum) ** 2).sum() / f.size
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            fft2d(np.zeros(8))
+
+
+class TestCostAccounting:
+    def test_flops_superlinear(self):
+        assert fft2d_flops(256) > 4 * fft2d_flops(128)
+
+    def test_alltoall_volume(self):
+        # Each process ships (p-1)/p of its share.
+        owned_bytes = 128 * 128 / 16 * 16
+        assert alltoall_bytes_per_process(128, 16) == pytest.approx(
+            owned_bytes * 15 / 16
+        )
+
+    def test_single_process_no_comm(self):
+        assert alltoall_bytes_per_process(128, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fft2d_flops(12)
+        with pytest.raises(ValueError):
+            alltoall_bytes_per_process(0, 4)
+
+
+class TestFftProperties:
+    @given(st.floats(min_value=-5.0, max_value=5.0),
+           st.floats(min_value=-5.0, max_value=5.0),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=32)
+        y = rng.normal(size=32)
+        lhs = fft_rows(a * x + b * y)
+        rhs = a * fft_rows(x) + b * fft_rows(y)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_theorem(self, shift, seed):
+        """Circular shift in time = linear phase in frequency."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=32)
+        shifted = np.roll(x, shift)
+        k = np.arange(32)
+        phase = np.exp(-2j * np.pi * k * shift / 32)
+        assert np.allclose(fft_rows(shifted), fft_rows(x) * phase,
+                           atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_parseval_property(self, seed):
+        rng = np.random.default_rng(seed)
+        f = rng.normal(size=(16, 16))
+        s = fft2d(f)
+        assert (np.abs(f) ** 2).sum() == pytest.approx(
+            (np.abs(s) ** 2).sum() / f.size
+        )
+
+
+class TestFftWorkload:
+    """The simulator-side consequences of the all-to-all pattern."""
+
+    def test_in_suite(self):
+        from repro.simulate.workloads import find_workload
+
+        w = find_workload("2-D FFT signal processing")
+        assert w.pattern.name == "ALL_TO_ALL"
+
+    def test_not_competitive_on_ethernet(self):
+        assert max_competitive_cluster_size("2-D FFT signal processing") <= 2
+
+    def test_spectrum_ordering_holds(self):
+        comp = compare_architectures("2-D FFT signal processing")
+        assert comp.spectrum_ordering_holds()
+        assert comp.cluster_penalty() > 5.0

@@ -1,0 +1,114 @@
+"""Tests for the shallow-water kernel: conservation, stability, scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.shallow_water import (
+    GRAVITY,
+    MEAN_DEPTH,
+    ShallowWaterState,
+    flops_per_step,
+    halo_bytes_per_step,
+    initial_gaussian,
+    run,
+    step,
+    total_energy,
+    total_mass,
+)
+
+
+class TestSetup:
+    def test_initial_state_at_rest(self):
+        s = initial_gaussian(32)
+        assert not s.u.any()
+        assert not s.v.any()
+        assert s.h.max() > 0
+
+    def test_default_dt_cfl_stable(self):
+        s = initial_gaussian(32)
+        assert np.sqrt(GRAVITY * MEAN_DEPTH) * s.dt < s.dx
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            initial_gaussian(2)
+
+    def test_rejects_unstable_dt(self):
+        with pytest.raises(ValueError, match="unstable"):
+            initial_gaussian(32, dx=1.0, dt=1.0)
+
+    def test_rejects_shape_mismatch(self):
+        h = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            ShallowWaterState(h=h, u=np.zeros((8, 4)), v=h.copy(),
+                              dx=1.0, dt=0.01)
+
+    def test_rejects_non_square(self):
+        f = np.zeros((8, 4))
+        with pytest.raises(ValueError):
+            ShallowWaterState(h=f, u=f.copy(), v=f.copy(), dx=1.0, dt=0.01)
+
+
+class TestConservation:
+    def test_mass_conserved_to_machine_precision(self):
+        s = initial_gaussian(48)
+        m0 = total_mass(s)
+        m1 = total_mass(run(s, 300))
+        assert m1 == pytest.approx(m0, abs=1e-10)
+
+    def test_energy_bounded(self):
+        s = initial_gaussian(48)
+        e0 = total_energy(s)
+        e1 = total_energy(run(s, 300))
+        assert 0.8 * e0 <= e1 <= 1.2 * e0
+
+    def test_wave_actually_propagates(self):
+        s = initial_gaussian(48)
+        later = run(s, 100)
+        # The bump radiates: velocities become nonzero, the peak drops.
+        assert later.u.std() > 0
+        assert later.h.max() < s.h.max()
+
+    def test_zero_state_is_fixed_point(self):
+        zeros = np.zeros((16, 16))
+        s = ShallowWaterState(h=zeros, u=zeros.copy(), v=zeros.copy(),
+                              dx=1.0, dt=0.01)
+        s2 = step(s)
+        assert not s2.h.any() and not s2.u.any()
+
+    @given(st.integers(min_value=8, max_value=40),
+           st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=15, deadline=None)
+    def test_mass_conservation_property(self, n, amplitude):
+        s = initial_gaussian(n, amplitude=amplitude)
+        assert total_mass(run(s, 25)) == pytest.approx(total_mass(s),
+                                                       abs=1e-9)
+
+
+class TestCostModel:
+    def test_flops_quadratic(self):
+        assert flops_per_step(64) == 4 * flops_per_step(32)
+
+    def test_halo_scaling(self):
+        # Per-process halo shrinks like 1/sqrt(p) — the HALO_2D law.
+        b4 = halo_bytes_per_step(128, 4)
+        b16 = halo_bytes_per_step(128, 16)
+        assert b4 / b16 == pytest.approx(2.0)
+
+    def test_halo_zero_single_process(self):
+        assert halo_bytes_per_step(128, 1) == 0.0
+
+    def test_granularity_falls_with_p(self):
+        # flops per process / bytes per process ~ n / sqrt(p): finer
+        # decomposition means finer granularity — the cluster killer.
+        n = 128
+        g = [
+            (flops_per_step(n) / p) / halo_bytes_per_step(n, p)
+            for p in (4, 16, 64)
+        ]
+        assert g[0] > g[1] > g[2]
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            run(initial_gaussian(16), -1)

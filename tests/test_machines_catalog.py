@@ -1,0 +1,111 @@
+"""Tests for the commercial machine catalog: anchor fidelity and structure."""
+
+import pytest
+
+from repro.machines.catalog import (
+    COMMERCIAL_SYSTEMS,
+    commercial_by_architecture,
+    commercial_by_year,
+    find_machine,
+    max_available_mtops,
+)
+from repro.machines.spec import Architecture
+
+
+class TestCatalogStructure:
+    def test_nontrivial_size(self):
+        assert len(COMMERCIAL_SYSTEMS) >= 40
+
+    def test_unique_keys(self):
+        keys = [m.key for m in COMMERCIAL_SYSTEMS]
+        assert len(set(keys)) == len(keys)
+
+    def test_every_entry_rateable(self):
+        for m in COMMERCIAL_SYSTEMS:
+            assert m.ctp_mtops > 0
+
+    def test_find_machine(self):
+        assert find_machine("Cray C916").quoted_ctp_mtops == 21125.0
+
+    def test_find_machine_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            find_machine("Cray C917")
+
+    def test_by_year_sorted_and_truncated(self):
+        specs = commercial_by_year(1990.0)
+        assert specs == sorted(specs, key=lambda m: (m.year, m.key))
+        assert all(m.year <= 1990.0 for m in specs)
+
+    def test_by_architecture(self):
+        smps = commercial_by_architecture(Architecture.SMP)
+        assert smps
+        assert all(m.architecture is Architecture.SMP for m in smps)
+
+    def test_covers_architecture_classes(self):
+        present = {m.architecture for m in COMMERCIAL_SYSTEMS}
+        assert Architecture.VECTOR in present
+        assert Architecture.SMP in present
+        assert Architecture.MPP in present
+        assert Architecture.UNIPROCESSOR in present
+
+
+#: Paper-quoted ratings that the CTP reconstruction must land near.
+_TIGHT_ANCHORS = [
+    ("DEC VAX-11/780", 0.8),
+    ("Cray Y-MP/2", 958.0),
+    ("Cray Cray-2/2", 1098.0),
+    ("Cray C916", 21125.0),
+    ("Cray C90/8", 10625.0),
+    ("Cray T3D (64)", 3439.0),
+    ("Cray T3D (512)", 10056.0),
+    ("Intel iPSC/860 (128)", 3485.0),
+    ("Intel Paragon XP/S (150)", 4864.0),
+    ("Thinking Machines CM-5 (128)", 5194.0),
+    ("Thinking Machines CM-5 (512)", 10457.0),
+    ("Thinking Machines CM-5 (1024)", 14410.0),
+    ("Sun SPARCstation 4/300", 20.8),
+]
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("key,quoted", _TIGHT_ANCHORS)
+    def test_quoted_value_carried(self, key, quoted):
+        assert find_machine(key).quoted_ctp_mtops == quoted
+
+    @pytest.mark.parametrize("key,quoted", _TIGHT_ANCHORS)
+    def test_formula_reproduces_quote(self, key, quoted):
+        """The CTP reconstruction lands within 10% on the tight anchors."""
+        computed = find_machine(key).computed_ctp_mtops()
+        assert computed == pytest.approx(quoted, rel=0.10)
+
+    def test_all_non_approx_quotes_within_factor(self):
+        """Every paper-quoted, non-approximate entry with element data is
+        reproduced within a factor of 1.5."""
+        for m in COMMERCIAL_SYSTEMS:
+            if m.approx or m.quoted_ctp_mtops is None:
+                continue
+            computed = m.computed_ctp_mtops()
+            if computed is None:
+                continue
+            ratio = computed / m.quoted_ctp_mtops
+            assert 1 / 1.5 < ratio < 1.5, (m.key, ratio)
+
+
+class TestMaxAvailable:
+    def test_monotone_nondecreasing(self):
+        years = [1977.0, 1985.0, 1990.0, 1993.0, 1995.5, 1998.0]
+        values = [max_available_mtops(y) for y in years]
+        assert values == sorted(values)
+
+    def test_mid_1995_exceeds_100k(self):
+        # "the current state of the art, which exceeds 100,000 Mtops".
+        assert max_available_mtops(1995.5) > 100_000.0
+
+    def test_1990_dominated_by_vector_machines(self):
+        assert max_available_mtops(1990.0) == pytest.approx(
+            find_machine("Cray Y-MP/8").ctp_mtops
+        )
+
+    def test_before_catalog_raises(self):
+        with pytest.raises(ValueError):
+            max_available_mtops(1970.0)

@@ -1,0 +1,110 @@
+"""Tests for the microprocessor catalog and foreign-systems tables."""
+
+import pytest
+
+from repro.machines.foreign import (
+    FOREIGN_SYSTEMS,
+    ForeignCountry,
+    foreign_by_country,
+    max_indigenous_mtops,
+)
+from repro.machines.microprocessors import (
+    MICROPROCESSORS,
+    find_micro,
+    microprocessors_by_year,
+    sixty_four_bit_micros,
+)
+
+
+class TestMicroprocessors:
+    def test_unique_names(self):
+        names = [m.name for m in MICROPROCESSORS]
+        assert len(set(names)) == len(names)
+
+    def test_find_micro(self):
+        assert find_micro("i860XR").year == 1989.0
+
+    def test_find_micro_unknown(self):
+        with pytest.raises(KeyError):
+            find_micro("i861")
+
+    def test_by_year_sorted(self):
+        micros = microprocessors_by_year()
+        years = [m.year for m in micros]
+        assert years == sorted(years)
+
+    def test_truncation(self):
+        assert all(m.year <= 1993.0 for m in microprocessors_by_year(1993.0))
+
+    def test_64_bit_filter(self):
+        for m in sixty_four_bit_micros():
+            assert m.word_bits >= 64.0
+
+    def test_i860_is_earliest_64_bit(self):
+        # "The i860, the earliest 64-bit microprocessor to become widely
+        # available" (Chapter 3).
+        first = sixty_four_bit_micros()[0]
+        assert first.name == "i860XR"
+
+    def test_mtops_positive(self):
+        for m in MICROPROCESSORS:
+            assert m.mtops > 0
+
+    def test_pentium_pro_era_rating(self):
+        # Era export rating widely reported as 541 Mtops.
+        assert find_micro("Pentium Pro-200").mtops == pytest.approx(541, rel=0.1)
+
+    def test_clock_rate_era_claim(self):
+        # "from 20 MHz for the Motorola 88000 (circa 1989) to the 200-300
+        # MHz of today's Alpha" (Chapter 3).
+        assert find_micro("MC88100-20").element.clock_mhz == 20.0
+        assert find_micro("Alpha 21164-300").element.clock_mhz == 300.0
+
+    def test_transputer_is_32_bit(self):
+        assert find_micro("T800").word_bits == 32.0
+
+
+class TestForeignSystems:
+    def test_all_three_countries_present(self):
+        for country in ForeignCountry:
+            assert foreign_by_country(country), country
+
+    def test_sorted_by_year(self):
+        for country in ForeignCountry:
+            systems = foreign_by_country(country)
+            assert [m.year for m in systems] == sorted(m.year for m in systems)
+
+    def test_truncation(self):
+        early = foreign_by_country(ForeignCountry.RUSSIA, through=1991.0)
+        assert all(m.year <= 1991.0 for m in early)
+
+    def test_elbrus2_quoted(self):
+        elbrus = [m for m in FOREIGN_SYSTEMS if m.model == "El'brus-2"][0]
+        assert elbrus.quoted_peak_mflops == 94.0
+
+    def test_max_indigenous_monotone(self):
+        for country in ForeignCountry:
+            values = [max_indigenous_mtops(country, y)
+                      for y in (1985.0, 1990.0, 1993.0, 1995.5)]
+            assert values == sorted(values)
+
+    def test_zero_before_first_system(self):
+        assert max_indigenous_mtops(ForeignCountry.INDIA, 1980.0) == 0.0
+
+    def test_india_param_era(self):
+        # After the Params, India sits in the hundreds-to-thousands range.
+        value = max_indigenous_mtops(ForeignCountry.INDIA, 1995.0)
+        assert 500.0 < value < 5_000.0
+
+    def test_western_micros_used(self):
+        # "commercially available western microprocessors are being used
+        # extensively" — at least half a dozen catalog systems build on
+        # Western chips.
+        with_elements = [m for m in FOREIGN_SYSTEMS if m.element is not None]
+        assert len(with_elements) >= 6
+
+    def test_foreign_below_us_max(self):
+        from repro.machines.catalog import max_available_mtops
+
+        for country in ForeignCountry:
+            assert max_indigenous_mtops(country, 1995.5) < max_available_mtops(1995.5)

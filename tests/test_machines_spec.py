@@ -1,0 +1,118 @@
+"""Unit tests for MachineSpec and the architecture taxonomy."""
+
+import pytest
+
+from repro.ctp.aggregate import Coupling
+from repro.ctp.elements import ComputingElement
+from repro.machines.spec import (
+    Architecture,
+    DistributionChannel,
+    MachineSpec,
+    SizeClass,
+)
+
+
+def _element():
+    return ComputingElement("node", clock_mhz=100.0, word_bits=64.0,
+                            fp_ops_per_cycle=1.0, int_ops_per_cycle=1.0,
+                            concurrent_int_fp=True)
+
+
+def _spec(**kw):
+    defaults = dict(
+        vendor="V", model="M", country="USA", year=1994.0,
+        architecture=Architecture.SMP, n_processors=4, element=_element(),
+    )
+    defaults.update(kw)
+    return MachineSpec(**defaults)
+
+
+class TestArchitecture:
+    def test_couplings(self):
+        assert Architecture.UNIPROCESSOR.coupling is Coupling.SINGLE
+        assert Architecture.VECTOR.coupling is Coupling.SHARED
+        assert Architecture.SMP.coupling is Coupling.SHARED
+        assert Architecture.MPP.coupling is Coupling.DISTRIBUTED
+        assert Architecture.DEDICATED_CLUSTER.coupling is Coupling.CLUSTER
+        assert Architecture.AD_HOC_CLUSTER.coupling is Coupling.CLUSTER
+
+    def test_tightness_ranks_unique_and_ordered(self):
+        ranks = [a.tightness_rank for a in Architecture]
+        assert len(set(ranks)) == len(ranks)
+        assert Architecture.VECTOR.tightness_rank < Architecture.SMP.tightness_rank
+        assert (Architecture.SMP.tightness_rank
+                < Architecture.AD_HOC_CLUSTER.tightness_rank)
+
+
+class TestMachineSpec:
+    def test_computed_ctp(self):
+        spec = _spec()
+        # 4-way SMP of 200-Mtops elements: 200 * (1 + 3*0.75).
+        assert spec.computed_ctp_mtops() == pytest.approx(650.0)
+        assert spec.ctp_mtops == pytest.approx(650.0)
+
+    def test_quoted_overrides_computed(self):
+        spec = _spec(quoted_ctp_mtops=999.0)
+        assert spec.ctp_mtops == 999.0
+        assert spec.computed_ctp_mtops() == pytest.approx(650.0)
+
+    def test_quoted_only_entry_allowed(self):
+        spec = _spec(element=None, quoted_ctp_mtops=500.0)
+        assert spec.computed_ctp_mtops() is None
+        assert spec.ctp_mtops == 500.0
+
+    def test_rejects_unrateable(self):
+        with pytest.raises(ValueError, match="rateable"):
+            _spec(element=None, quoted_ctp_mtops=None)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            _spec(n_processors=0)
+
+    def test_rejects_max_below_current(self):
+        with pytest.raises(ValueError):
+            _spec(n_processors=8, max_processors=4)
+
+    def test_at_processors_drops_quote(self):
+        spec = _spec(quoted_ctp_mtops=999.0, max_processors=16)
+        scaled = spec.at_processors(8)
+        assert scaled.quoted_ctp_mtops is None
+        assert scaled.ctp_mtops == pytest.approx(200.0 * (1 + 7 * 0.75))
+
+    def test_at_processors_respects_family_max(self):
+        spec = _spec(max_processors=8)
+        with pytest.raises(ValueError, match="family maximum"):
+            spec.at_processors(16)
+
+    def test_at_processors_requires_element(self):
+        spec = _spec(element=None, quoted_ctp_mtops=500.0)
+        with pytest.raises(ValueError):
+            spec.at_processors(8)
+
+    def test_max_configuration(self):
+        spec = _spec(max_processors=16)
+        top = spec.max_configuration()
+        assert top.n_processors == 16
+        assert top.ctp_mtops > spec.ctp_mtops
+
+    def test_max_configuration_identity_when_at_max(self):
+        spec = _spec(max_processors=4)
+        assert spec.max_configuration() is spec
+
+    def test_max_configuration_identity_when_unknown(self):
+        spec = _spec(max_processors=None)
+        assert spec.max_configuration() is spec
+
+    def test_key(self):
+        assert _spec().key == "V M"
+
+    def test_year_validation(self):
+        with pytest.raises(ValueError):
+            _spec(year=123.0)
+
+    def test_defaults(self):
+        spec = _spec()
+        assert spec.channel is DistributionChannel.DIRECT
+        assert spec.size_class is SizeClass.ROOM
+        assert spec.field_upgradable is False
+        assert spec.product_cycle_years == 2.0

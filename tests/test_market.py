@@ -1,0 +1,117 @@
+"""Tests for market segments, price-performance, and the installed base."""
+
+import numpy as np
+import pytest
+
+from repro.market.installed import (
+    LOG_BIN_EDGES,
+    installed_distribution,
+    installed_units_above,
+    market_value_between,
+)
+from repro.market.pricing import (
+    affordable_mtops,
+    dollars_per_mtops,
+    price_performance_trend,
+)
+from repro.market.segments import SEGMENTS, find_segment, segment_revenue_busd
+
+
+class TestSegments:
+    def test_paper_1994_anchors(self):
+        assert find_segment("personal computers").revenue_busd(1994.0) == 75.0
+        assert find_segment("workstations").revenue_busd(1994.0) == 30.0
+        assert find_segment("parallel systems (SMP + MPP)").revenue_busd(1994.0) == 2.5
+
+    def test_parallel_fastest_growing(self):
+        parallel = find_segment("parallel systems (SMP + MPP)")
+        assert parallel.growth_per_year >= 1.4
+        assert all(
+            parallel.growth_per_year >= s.growth_per_year
+            for s in SEGMENTS if s.name not in ("parallel systems (SMP + MPP)",
+                                                "commercial MPP")
+        )
+
+    def test_commercial_parallel_5b_by_1998(self):
+        # "expected to grow to $5.2 billion by 1998" — the SMP+MPP segment
+        # more than doubles by then.
+        assert segment_revenue_busd("parallel systems (SMP + MPP)", 1998.0) > 5.0
+
+    def test_vector_declines(self):
+        v = find_segment("vector supercomputers")
+        assert v.revenue_busd(1998.0) < v.revenue_busd(1994.0)
+
+    def test_unknown_segment(self):
+        with pytest.raises(KeyError):
+            find_segment("quantum")
+
+
+class TestPricing:
+    def test_price_per_mtops_falls(self):
+        t = price_performance_trend()
+        assert t.growth_per_year < 1.0
+
+    def test_dollars_per_mtops_declines(self):
+        assert dollars_per_mtops(1996.0) < dollars_per_mtops(1992.0)
+
+    def test_affordable_mtops_grows(self):
+        assert affordable_mtops(1e6, 1996.0) > affordable_mtops(1e6, 1992.0)
+
+    def test_million_dollars_buys_frontier_class_by_mid90s(self):
+        # Note 47's $1.2M maximum-configuration SMPs rate in the thousands
+        # of Mtops.
+        assert affordable_mtops(1.2e6, 1995.5) > 2_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            affordable_mtops(0.0, 1995.0)
+
+
+class TestInstalledBase:
+    def test_distribution_shape(self):
+        edges, counts = installed_distribution(1995.5)
+        assert edges.shape[0] == counts.shape[0] + 1
+        assert counts.sum() > 0
+
+    def test_mass_concentrated_low(self):
+        # The humps sit at PC/workstation levels, far below the frontier.
+        edges, counts = installed_distribution(1995.5)
+        centers = np.sqrt(edges[:-1] * edges[1:])
+        below = counts[centers < 1_000.0].sum()
+        assert below / counts.sum() > 0.95
+
+    def test_units_above_monotone_in_threshold(self):
+        assert installed_units_above(1_000.0, 1995.5) >= installed_units_above(
+            10_000.0, 1995.5
+        )
+
+    def test_units_build_over_time(self):
+        assert installed_units_above(1_000.0, 1996.5) >= installed_units_above(
+            1_000.0, 1994.0
+        )
+
+    def test_retirement(self):
+        # The PC-XT (1983) is fully retired by the mid-1990s.
+        edges, counts_95 = installed_distribution(1995.5)
+        _, counts_89 = installed_distribution(1986.0)
+        centers = np.sqrt(edges[:-1] * edges[1:])
+        xt_band = (centers > 0.1) & (centers < 0.4)
+        assert counts_89[xt_band].sum() > counts_95[xt_band].sum()
+
+    def test_market_value_positive_in_smp_band(self):
+        value = market_value_between(1_000.0, 20_000.0, 1995.5)
+        assert value > 1e8  # hundreds of millions of dollars of SMPs
+
+    def test_market_value_validation(self):
+        with pytest.raises(ValueError):
+            market_value_between(10.0, 10.0, 1995.5)
+
+    def test_custom_bins(self):
+        edges = np.array([1.0, 100.0, 10_000.0, 1e6])
+        out_edges, counts = installed_distribution(1995.5, bin_edges=edges)
+        assert counts.shape == (3,)
+        assert np.array_equal(out_edges, edges)
+
+    def test_default_bins_cover_catalog(self):
+        assert LOG_BIN_EDGES[0] <= 0.1
+        assert LOG_BIN_EDGES[-1] >= 1e6

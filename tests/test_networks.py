@@ -1,0 +1,96 @@
+"""Tests for the networked-systems / building-block study (Chapter 6)."""
+
+import pytest
+
+from repro.diffusion.networks import (
+    building_block_year,
+    cstac_ctp,
+    network_ctp,
+    premise3_collapse_year,
+)
+
+
+class TestRatings:
+    def test_network_ctp_below_cstac(self):
+        # The paper calls the flat-75% CSTAC rating "overly optimistic";
+        # the conservative rule must rate any real cluster far lower.
+        ours = network_ctp(500.0, 64)
+        naive = cstac_ctp(500.0, 64)
+        assert ours < 0.25 * naive
+
+    def test_single_node_identity(self):
+        assert network_ctp(500.0, 1) == pytest.approx(500.0)
+
+    def test_better_interconnect_rates_higher(self):
+        slow = network_ctp(500.0, 64, interconnect_beta=0.1)
+        fast = network_ctp(500.0, 64, interconnect_beta=0.9)
+        assert fast > slow
+
+    def test_cstac_linear(self):
+        assert cstac_ctp(100.0, 32) == pytest.approx(2_400.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_ctp(0.0, 4)
+        with pytest.raises(ValueError):
+            network_ctp(100.0, 0)
+        with pytest.raises(ValueError):
+            cstac_ctp(100.0, 0)
+
+
+class TestBuildingBlocks:
+    def test_1500_threshold_crossed_early(self):
+        # A 64-node commodity cluster rates above the in-force 1,500-Mtops
+        # definition by the early-to-mid 1990s even under the conservative
+        # rule — the definitional problem Chapter 6 warns about.
+        s = building_block_year(1_500.0, 64)
+        assert s.crossing_year < 1995.5
+
+    def test_frontier_crossed_mid_decade(self):
+        s = building_block_year(4_100.0, 64)
+        assert 1994.0 <= s.crossing_year <= 1999.0
+
+    def test_cstac_always_earlier(self):
+        s = building_block_year(10_000.0, 64)
+        assert s.cstac_crossing_year < s.crossing_year
+        assert s.cstac_earlier_by_years > 0
+
+    def test_more_nodes_cross_sooner(self):
+        small = building_block_year(10_000.0, 16)
+        big = building_block_year(10_000.0, 256)
+        assert big.crossing_year < small.crossing_year
+
+    def test_higher_threshold_later(self):
+        low = building_block_year(2_000.0, 64)
+        high = building_block_year(20_000.0, 64)
+        assert high.crossing_year > low.crossing_year
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            building_block_year(0.0, 64)
+        with pytest.raises(ValueError):
+            building_block_year(1_000.0, 0)
+
+
+class TestCollapse:
+    def test_collapse_within_horizon(self):
+        """The premise-3 failure scenario: commodity stacks close to
+        within 2x of the best integrated machine around the turn of the
+        decade."""
+        year = premise3_collapse_year()
+        assert year is not None
+        assert 1997.0 <= year <= 2005.0
+
+    def test_wider_gap_collapses_sooner(self):
+        loose = premise3_collapse_year(gap_factor=4.0)
+        tight = premise3_collapse_year(gap_factor=1.5)
+        assert loose <= tight
+
+    def test_none_when_horizon_too_short(self):
+        assert premise3_collapse_year(gap_factor=1.01,
+                                      n_nodes=4,
+                                      horizon=1996.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            premise3_collapse_year(gap_factor=1.0)

@@ -1,0 +1,56 @@
+"""Tests for the full review-report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.report import generate_review_report
+
+
+class TestReportDocument:
+    @pytest.fixture(scope="class")
+    def doc(self) -> str:
+        return generate_review_report(1995.5, sensitivity_samples=30)
+
+    def test_all_sections_present(self, doc):
+        for heading in ("# High-performance computing export-control review",
+                        "## The basic premises", "## Bounds",
+                        "## Controllability of current systems",
+                        "## Protectable application clusters",
+                        "## Threshold options", "## Forward look"):
+            assert heading in doc
+
+    def test_premises_hold_in_1995(self, doc):
+        assert doc.count("HOLDS") == 3
+        assert "**Policy justified:** yes" in doc
+
+    def test_headline_numbers_present(self, doc):
+        assert "4,088" in doc       # the lower bound
+        assert "1,500" in doc       # the stale in-force threshold
+        assert "STALE" in doc
+
+    def test_markdown_tables_well_formed(self, doc):
+        for line in doc.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_forward_look_conclusion(self, doc):
+        assert "weakens over the longer term" in doc
+
+    def test_year_validation(self):
+        with pytest.raises(ValueError):
+            generate_review_report(5.0)
+
+
+class TestReportCli:
+    def test_stdout(self, capsys):
+        code = main(["report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "## Threshold options" in out
+
+    def test_file_output(self, capsys, tmp_path):
+        target = tmp_path / "review.md"
+        code = main(["report", "--output", str(target)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "## Bounds" in target.read_text()

@@ -1,0 +1,79 @@
+"""Tests for the ASCII table/series/chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import render_log_chart, render_series
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["name", "mtops"], [["Cray C916", 21125.0]])
+        assert "Cray C916" in out
+        assert "21,125" in out
+        lines = out.splitlines()
+        assert len(lines) == 3  # header, separator, row
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 4")
+        assert out.splitlines()[0] == "Table 4"
+
+    def test_numeric_right_aligned(self):
+        out = render_table(["n"], [[1.0], [100.0]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_short_rows_padded(self):
+        out = render_table(["a", "b"], [["x"]])
+        assert "x" in out
+
+    def test_too_long_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_nan_and_inf(self):
+        out = render_table(["v"], [[float("nan")], [float("inf")]])
+        assert "-" in out
+        assert "inf" in out
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        out = render_series("Figure", [1990.0, 1991.0],
+                            {"frontier": [100.0, 200.0]})
+        assert "Figure" in out
+        assert "frontier" in out
+        assert "1990.00" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = render_series("f", [1990.0], {"x": [float("nan")]})
+        assert out.splitlines()[-1].strip().endswith("-")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("f", [1990.0], {"x": [1.0, 2.0]})
+
+
+class TestLogChart:
+    def test_renders(self):
+        years = np.arange(1990, 2000)
+        out = render_log_chart("chart", years,
+                               {"a": 10.0 ** (years - 1988),
+                                "b": np.full(years.size, 500.0)})
+        assert "chart" in out
+        assert "*" in out and "o" in out
+        assert "log10" in out
+
+    def test_small_chart_rejected(self):
+        with pytest.raises(ValueError):
+            render_log_chart("c", [1990, 1991], {"a": [1, 2]}, height=1)
+
+    def test_no_positive_data_rejected(self):
+        with pytest.raises(ValueError):
+            render_log_chart("c", [1990.0], {"a": [np.nan]})

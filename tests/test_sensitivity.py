@@ -1,0 +1,133 @@
+"""Tests for the sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.controllability.index import Classification
+from repro.core.sensitivity import (
+    bound_sensitivity,
+    catalog_uncertainty_sensitivity,
+    classification_stability,
+    sample_weights,
+)
+
+
+class TestSampleWeights:
+    def test_valid_weights(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = sample_weights(rng)  # must not raise the sum-to-one check
+            total = w.size + w.units + w.channel + w.price + w.scalability
+            assert total == pytest.approx(1.0)
+            assert w.uncontrollable_below < w.controllable_at
+
+    def test_deterministic_per_rng_state(self):
+        a = sample_weights(np.random.default_rng(5))
+        b = sample_weights(np.random.default_rng(5))
+        assert a == b
+
+    def test_concentration_controls_spread(self):
+        rng = np.random.default_rng(1)
+        tight = [sample_weights(rng, concentration=500.0).units
+                 for _ in range(100)]
+        rng = np.random.default_rng(1)
+        loose = [sample_weights(rng, concentration=10.0).units
+                 for _ in range(100)]
+        assert np.std(tight) < np.std(loose)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_weights(rng, concentration=0.0)
+        with pytest.raises(ValueError):
+            sample_weights(rng, cut_jitter=0.2)
+
+
+class TestBoundSensitivity:
+    def test_paper_band_is_robust(self):
+        """The headline 4,000-5,000-Mtops finding survives reasonable
+        re-weightings of the controllability factors."""
+        bs = bound_sensitivity(n_samples=100)
+        assert bs.fraction_in_band(4_000.0, 5_000.0) >= 0.9
+
+    def test_deterministic(self):
+        a = bound_sensitivity(n_samples=50, seed=2)
+        b = bound_sensitivity(n_samples=50, seed=2)
+        assert np.array_equal(a.samples_mtops, b.samples_mtops)
+
+    def test_quantiles_ordered(self):
+        bs = bound_sensitivity(n_samples=50)
+        assert bs.quantile(0.05) <= bs.median <= bs.quantile(0.95)
+
+    def test_band_validation(self):
+        bs = bound_sensitivity(n_samples=10)
+        with pytest.raises(ValueError):
+            bs.fraction_in_band(5_000.0, 4_000.0)
+
+    def test_samples_validation(self):
+        with pytest.raises(ValueError):
+            bound_sensitivity(n_samples=0)
+
+
+class TestCatalogUncertainty:
+    def test_median_stays_in_band(self):
+        bs = catalog_uncertainty_sensitivity(n_samples=200)
+        assert 3_500.0 <= bs.median <= 5_500.0
+
+    def test_interval_widens_with_sigma(self):
+        tight = catalog_uncertainty_sensitivity(n_samples=200,
+                                                sigma_decades=0.05)
+        loose = catalog_uncertainty_sensitivity(n_samples=200,
+                                                sigma_decades=0.2)
+        tight_width = tight.quantile(0.95) - tight.quantile(0.05)
+        loose_width = loose.quantile(0.95) - loose.quantile(0.05)
+        assert loose_width > tight_width
+
+    def test_zero_sigma_degenerate(self):
+        bs = catalog_uncertainty_sensitivity(n_samples=20, sigma_decades=0.0)
+        assert bs.quantile(0.95) == pytest.approx(bs.quantile(0.05))
+
+    def test_prehistory_returns_zeros(self):
+        # Before the first uncontrollable product (the VAX-11/780 matures
+        # in ~1979.8) the frontier is empty.
+        bs = catalog_uncertainty_sensitivity(year=1976.0, n_samples=10)
+        assert (bs.samples_mtops == 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            catalog_uncertainty_sensitivity(sigma_decades=0.9)
+
+
+class TestClassificationStability:
+    def test_covers_table4(self):
+        from repro.controllability.index import TABLE4_SYSTEMS
+
+        rows = classification_stability(n_samples=60)
+        assert {r.machine_key for r in rows} == set(TABLE4_SYSTEMS)
+
+    def test_extremes_are_stable(self):
+        rows = {r.machine_key: r for r in classification_stability(60)}
+        assert rows["Cray C916"].agreement == 1.0
+        assert rows["Sun SPARCstation 10"].agreement == 1.0
+
+    def test_sp2_is_the_borderline_case(self):
+        # The SP2 straddles the cluster/MPP boundary in the paper (note
+        # 51); the sensitivity analysis flags exactly that ambiguity.
+        rows = {r.machine_key: r for r in classification_stability(100)}
+        assert rows["IBM SP2 (16)"].is_borderline
+        assert rows["IBM SP2 (16)"].default_classification is (
+            Classification.MARGINAL
+        )
+
+    def test_headline_verdicts_hold_broadly(self):
+        rows = classification_stability(100)
+        key_systems = ("Cray C916", "SGI Challenge XL (36)",
+                       "Cray CS6400 (64)")
+        for r in rows:
+            if r.machine_key in key_systems:
+                assert r.agreement >= 0.85, r.machine_key
+
+    def test_sorted_descending(self):
+        rows = classification_stability(40)
+        agreements = [r.agreement for r in rows]
+        assert agreements == sorted(agreements, reverse=True)

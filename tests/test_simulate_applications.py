@@ -1,0 +1,125 @@
+"""Tests for the domain cost models behind Chapter 4's quoted numbers."""
+
+import pytest
+
+from repro.simulate.applications import (
+    acoustic_campaign_days,
+    aero_design_turnaround_hours,
+    keysearch_required_mtops,
+    keysearch_time_days,
+    weather_required_mtops,
+)
+
+
+class TestWeatherModel:
+    def test_120km_global_anchor(self):
+        # Paper: "a typical global weather model with 120 km resolution can
+        # be executed on a workstation with performance in the 200 Mtops
+        # range".
+        mtops = weather_required_mtops(120.0, forecast_hours=120.0,
+                                       deadline_hours=12.0)
+        assert 100.0 <= mtops <= 600.0
+
+    def test_45km_tactical_anchor(self):
+        # Paper: "typical tactical weather models with 45 km resolution
+        # require computers rated in excess of 10,000".
+        mtops = weather_required_mtops(45.0, forecast_hours=36.0,
+                                       deadline_hours=2.0)
+        assert 6_000.0 <= mtops <= 15_000.0
+
+    def test_5km_theater_well_over_100k(self):
+        mtops = weather_required_mtops(5.0, forecast_hours=240.0,
+                                       deadline_hours=12.0, area_km2=1e7)
+        assert mtops > 100_000.0
+
+    def test_finer_resolution_costs_more(self):
+        coarse = weather_required_mtops(100.0, 48.0, 4.0)
+        fine = weather_required_mtops(50.0, 48.0, 4.0)
+        assert fine > coarse * 4.0
+
+    def test_tighter_deadline_costs_more(self):
+        slow = weather_required_mtops(45.0, 36.0, 6.0)
+        fast = weather_required_mtops(45.0, 36.0, 1.0)
+        assert fast == pytest.approx(6.0 * slow)
+
+    def test_smaller_area_costs_less(self):
+        global_run = weather_required_mtops(45.0, 36.0, 2.0)
+        theater = weather_required_mtops(45.0, 36.0, 2.0, area_km2=1e7)
+        assert theater < global_run
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weather_required_mtops(0.0, 36.0, 2.0)
+
+
+class TestKeysearch:
+    def test_export_grade_40_bit_at_frontier(self):
+        # A 40-bit key falls in 24 h to a frontier-class (~4,000 Mtops)
+        # aggregate — why crypto no longer justifies the threshold.
+        mtops = keysearch_required_mtops(40, 24.0)
+        assert 2_000.0 <= mtops <= 6_000.0
+
+    def test_des_56_out_of_reach(self):
+        mtops = keysearch_required_mtops(56, 24.0)
+        assert mtops > 1e8  # no 1995 ensemble comes close
+
+    def test_time_inverse_of_requirement(self):
+        mtops = keysearch_required_mtops(40, 24.0)
+        assert keysearch_time_days(40, mtops) == pytest.approx(1.0)
+
+    def test_each_bit_doubles(self):
+        assert keysearch_required_mtops(41) == pytest.approx(
+            2.0 * keysearch_required_mtops(40)
+        )
+
+    def test_more_power_less_time(self):
+        assert keysearch_time_days(40, 8_000.0) < keysearch_time_days(40, 4_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            keysearch_required_mtops(0)
+        with pytest.raises(ValueError):
+            keysearch_time_days(40, 0.0)
+
+
+class TestAcousticCampaign:
+    def test_c916_baseline_about_three_years(self):
+        # 15 h x 2,000 runs = 3.4 years of compute on the C916 itself.
+        days = acoustic_campaign_days(21_125.0)
+        assert days == pytest.approx(1_250.0)
+
+    def test_frontier_machine_hopeless(self):
+        # On a mid-1995 frontier machine the campaign takes >17 years —
+        # the paper's "little chance" judgment.
+        assert acoustic_campaign_days(4_100.0) > 17.0 * 365.0
+
+    def test_scales_inversely(self):
+        assert acoustic_campaign_days(10_000.0) == pytest.approx(
+            2.0 * acoustic_campaign_days(20_000.0)
+        )
+
+    def test_runs_scale(self):
+        assert acoustic_campaign_days(21_125.0, runs=1_000) == pytest.approx(625.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acoustic_campaign_days(0.0)
+        with pytest.raises(ValueError):
+            acoustic_campaign_days(1_000.0, runs=0)
+
+
+class TestAeroTurnaround:
+    def test_f22_overnight_on_ymp(self):
+        # One case is an overnight (~10 h) run on the 958-Mtops Y-MP/2.
+        hours = aero_design_turnaround_hours(958.0)
+        assert 8.0 <= hours <= 12.0
+
+    def test_slower_machine_stretches_program(self):
+        # On the 189-Mtops 3090 the same case takes days, not overnight —
+        # "effective computational support could be provided by lesser
+        # machines, although the project would take significantly longer".
+        assert aero_design_turnaround_hours(189.0) > 2.0 * 24.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aero_design_turnaround_hours(0.0)

@@ -1,0 +1,158 @@
+"""Tests for interconnects, workloads, and machine models."""
+
+import pytest
+
+from repro.machines.spec import Architecture
+from repro.simulate.architectures import (
+    SUSTAINED_FRACTION,
+    cluster_machine,
+    mpp_machine,
+    smp_machine,
+    vector_machine,
+)
+from repro.simulate.interconnect import (
+    ATM_155,
+    ETHERNET_10,
+    FDDI,
+    HIPPI,
+    INTERCONNECTS,
+    PARAGON_MESH,
+    SMP_BUS,
+    T3D_TORUS,
+    Interconnect,
+)
+from repro.simulate.workloads import CommPattern, Workload, WORKLOAD_SUITE, find_workload
+
+
+class TestInterconnect:
+    def test_transfer_time_components(self):
+        net = Interconnect("t", bandwidth_mbps=10.0, latency_us=100.0)
+        # 10 MB at 10 MB/s + 2 messages at 100 us.
+        assert net.transfer_time_s(10.0, 2.0) == pytest.approx(1.0 + 2e-4)
+
+    def test_transfer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ETHERNET_10.transfer_time_s(-1.0)
+
+    def test_shared_medium_divides(self):
+        assert ETHERNET_10.effective_bandwidth_mbps(10) == pytest.approx(
+            ETHERNET_10.bandwidth_mbps / 10
+        )
+
+    def test_switched_fabric_scales(self):
+        assert T3D_TORUS.effective_bandwidth_mbps(100) == T3D_TORUS.bandwidth_mbps
+
+    def test_lan_vs_mpp_one_to_two_orders(self):
+        # "bandwidth and latency that are 1-2 orders of magnitude inferior
+        # to the interconnects used in more tightly coupled systems".
+        assert PARAGON_MESH.bandwidth_mbps / FDDI.bandwidth_mbps >= 10.0
+        assert FDDI.latency_us / T3D_TORUS.latency_us >= 100.0
+
+    def test_commodity_lans_not_controllable(self):
+        for net in (ETHERNET_10, FDDI, ATM_155, HIPPI):
+            assert not net.controllable_component
+        for net in (SMP_BUS, PARAGON_MESH, T3D_TORUS):
+            assert net.controllable_component
+
+    def test_catalog_complete(self):
+        assert len(INTERCONNECTS) == 8
+
+
+class TestCommPatterns:
+    def test_single_node_no_comm(self):
+        for pattern in CommPattern:
+            assert pattern.volume_per_node_mb(100.0, 1) == 0.0
+            assert pattern.messages_per_node(1) == 0.0
+
+    def test_embarrassing_no_comm_at_any_p(self):
+        assert CommPattern.EMBARRASSING.volume_per_node_mb(100.0, 64) == 0.0
+
+    def test_halo_2d_scales_as_sqrt(self):
+        v4 = CommPattern.HALO_2D.volume_per_node_mb(100.0, 4)
+        v16 = CommPattern.HALO_2D.volume_per_node_mb(100.0, 16)
+        assert v4 / v16 == pytest.approx(2.0)
+
+    def test_halo_3d_scales_as_two_thirds(self):
+        v8 = CommPattern.HALO_3D.volume_per_node_mb(100.0, 8)
+        v64 = CommPattern.HALO_3D.volume_per_node_mb(100.0, 64)
+        assert v8 / v64 == pytest.approx(4.0)
+
+    def test_all_to_all_messages_grow(self):
+        assert CommPattern.ALL_TO_ALL.messages_per_node(32) == 31.0
+
+    def test_irregular_latency_bound(self):
+        assert CommPattern.IRREGULAR.messages_per_node(16) == 50.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            CommPattern.HALO_2D.volume_per_node_mb(100.0, 0)
+
+
+class TestWorkloads:
+    def test_suite_unique(self):
+        names = [w.name for w in WORKLOAD_SUITE]
+        assert len(set(names)) == len(names)
+
+    def test_find(self):
+        assert find_workload("weather prediction").pattern is CommPattern.HALO_3D
+
+    def test_find_unknown(self):
+        with pytest.raises(KeyError):
+            find_workload("bitcoin mining")
+
+    def test_granularity(self):
+        w = Workload("g", total_mops=1_000.0, data_mb=10.0, steps=100,
+                     pattern=CommPattern.HALO_2D)
+        assert w.granularity_mops_per_step == pytest.approx(10.0)
+
+    def test_turbulent_flow_memory_floor(self):
+        w = find_workload("turbulent-flow CSM")
+        # ">= 128 million 64-bit words" = 1 GB closely coupled.
+        assert w.min_memory_mb >= 1_024.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload("bad", total_mops=0.0, data_mb=1.0, steps=1,
+                     pattern=CommPattern.EMBARRASSING)
+        with pytest.raises(ValueError):
+            Workload("bad", total_mops=1.0, data_mb=1.0, steps=0,
+                     pattern=CommPattern.EMBARRASSING)
+        with pytest.raises(ValueError):
+            Workload("bad", total_mops=1.0, data_mb=1.0, steps=1,
+                     pattern=CommPattern.EMBARRASSING, parallel_fraction=1.5)
+
+
+class TestMachineFactories:
+    def test_sustained_fractions_ordered(self):
+        # Vector machines sustain the largest fraction of peak.
+        assert SUSTAINED_FRACTION[Architecture.VECTOR] > SUSTAINED_FRACTION[
+            Architecture.SMP
+        ] >= SUSTAINED_FRACTION[Architecture.AD_HOC_CLUSTER]
+
+    def test_smp_shares_memory(self):
+        m = smp_machine(8)
+        assert m.shared_memory
+        assert m.total_memory_mb == pytest.approx(8 * m.node_memory_mb)
+
+    def test_mpp_distributed(self):
+        assert not mpp_machine(64).shared_memory
+
+    def test_cluster_kinds(self):
+        assert cluster_machine(8).architecture is Architecture.AD_HOC_CLUSTER
+        assert cluster_machine(8, dedicated=True).architecture is (
+            Architecture.DEDICATED_CLUSTER
+        )
+
+    def test_vector_fastest_nodes(self):
+        assert vector_machine(1).node_mops_per_s > smp_machine(1).node_mops_per_s
+
+    def test_with_nodes(self):
+        m = mpp_machine(64).with_nodes(128)
+        assert m.n_nodes == 128
+        assert m.aggregate_mops_per_s == pytest.approx(
+            2 * mpp_machine(64).aggregate_mops_per_s
+        )
+
+    def test_with_nodes_rejects_zero(self):
+        with pytest.raises(ValueError):
+            smp_machine(4).with_nodes(0)

@@ -1,0 +1,112 @@
+"""Tests for the execution-time model and its qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.architectures import cluster_machine, smp_machine, vector_machine
+from repro.simulate.execution import (
+    efficiency_curve,
+    simulate_execution,
+    speedup_curve,
+)
+from repro.simulate.interconnect import ATM_155, ETHERNET_10
+from repro.simulate.workloads import CommPattern, Workload, find_workload
+
+
+def _workload(**kw):
+    defaults = dict(name="t", total_mops=1e5, data_mb=100.0, steps=100,
+                    pattern=CommPattern.HALO_2D, parallel_fraction=0.99)
+    defaults.update(kw)
+    return Workload(**defaults)
+
+
+class TestExecution:
+    def test_time_components_positive(self):
+        r = simulate_execution(_workload(), smp_machine(8))
+        assert r.feasible
+        assert r.serial_time_s >= 0
+        assert r.compute_time_s > 0
+        assert r.comm_time_s >= 0
+        assert r.time_s == pytest.approx(
+            r.serial_time_s + r.compute_time_s + r.comm_time_s
+        )
+
+    def test_single_node_no_comm(self):
+        r = simulate_execution(_workload(), smp_machine(1))
+        assert r.comm_time_s == 0.0
+
+    def test_delivered_rate_bounded(self):
+        r = simulate_execution(_workload(), smp_machine(8))
+        assert 0.0 < r.efficiency <= 1.0
+        assert r.delivered_mops_per_s <= r.machine.aggregate_mops_per_s * (1 + 1e-9)
+
+    def test_memory_infeasibility_per_node(self):
+        big = _workload(data_mb=10_000.0)
+        r = simulate_execution(big, cluster_machine(4))
+        assert not r.feasible
+        assert "working set" in r.infeasible_reason
+        assert r.time_s == float("inf")
+        assert r.efficiency == 0.0
+
+    def test_memory_floor_infeasible_on_cluster_feasible_on_smp(self):
+        w = find_workload("turbulent-flow CSM")
+        cluster = simulate_execution(w, cluster_machine(64))
+        smp = simulate_execution(w, vector_machine(16))
+        assert not cluster.feasible
+        assert "closely coupled" in cluster.infeasible_reason
+        assert smp.feasible
+
+    def test_shared_medium_serializes(self):
+        w = _workload(steps=1_000)
+        shared = simulate_execution(w, cluster_machine(16, network=ETHERNET_10))
+        switched = simulate_execution(
+            w, cluster_machine(16, network=ATM_155, dedicated=True)
+        )
+        assert shared.comm_time_s > switched.comm_time_s
+
+    def test_more_bandwidth_never_slower(self):
+        w = _workload(steps=2_000)
+        slow = simulate_execution(w, cluster_machine(16, network=ETHERNET_10))
+        fast = simulate_execution(
+            w, cluster_machine(16, network=ATM_155, dedicated=False)
+        )
+        # Same topology class (ad hoc); ATM has more bandwidth and less
+        # latency, so communication cannot be slower.
+        assert fast.comm_time_s <= slow.comm_time_s
+
+
+class TestCurves:
+    def test_speedup_at_one_is_one(self):
+        s = speedup_curve(_workload(), smp_machine(1), [1])
+        assert s[0] == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_p(self):
+        ns = [1, 2, 4, 8, 16, 32]
+        s = speedup_curve(_workload(), smp_machine(1), ns)
+        assert np.all(s <= np.asarray(ns) + 1e-9)
+
+    def test_amdahl_ceiling(self):
+        w = _workload(parallel_fraction=0.9, pattern=CommPattern.EMBARRASSING)
+        s = speedup_curve(w, smp_machine(1), [1024])
+        assert s[0] < 1.0 / (1.0 - 0.9) + 1e-6
+
+    def test_efficiency_decreasing_for_fine_grain(self):
+        # Big-memory nodes so the 800-MB working set fits at every size.
+        w = find_workload("shallow-water model")
+        eff = efficiency_curve(
+            w,
+            cluster_machine(1, node_memory_mb=1_024.0, network=ETHERNET_10),
+            [2, 8, 32],
+        )
+        assert eff[0] > eff[-1] > 0.0
+
+    def test_embarrassing_scales(self):
+        w = find_workload("keysearch")
+        eff = efficiency_curve(w, cluster_machine(1, network=ETHERNET_10),
+                               [2, 64, 256])
+        assert np.all(eff > 0.95)
+
+    def test_infeasible_base_returns_zeros(self):
+        w = _workload(min_memory_mb=1e6)
+        s = speedup_curve(w, cluster_machine(1), [2, 4])
+        assert np.all(s == 0.0)

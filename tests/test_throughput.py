@@ -1,0 +1,88 @@
+"""Tests for the job-mix throughput model (note 52 economics)."""
+
+import pytest
+
+from repro.simulate.architectures import cluster_machine, vector_machine
+from repro.simulate.throughput import (
+    JobMix,
+    cost_per_job_rate,
+    throughput,
+)
+
+_MIX = JobMix(name="overnight CFD cases", job_mops=1.0e6, job_memory_mb=64.0)
+
+
+class TestThroughput:
+    def test_cluster_throughput_scales_with_nodes(self):
+        small = throughput(_MIX, cluster_machine(8))
+        large = throughput(_MIX, cluster_machine(32))
+        assert large.jobs_per_day == pytest.approx(4 * small.jobs_per_day)
+
+    def test_granularity_irrelevant_for_throughput(self):
+        """Independent jobs suffer no interconnect penalty: an Ethernet
+        farm delivers the same throughput as the same nodes on ATM."""
+        from repro.simulate.interconnect import ATM_155, ETHERNET_10
+
+        lan = throughput(_MIX, cluster_machine(16, network=ETHERNET_10))
+        atm = throughput(
+            _MIX,
+            cluster_machine(16, network=ATM_155, dedicated=False),
+        )
+        assert lan.jobs_per_day == pytest.approx(atm.jobs_per_day)
+
+    def test_memory_gates_cluster(self):
+        fat_job = JobMix("big memory", job_mops=1e6, job_memory_mb=512.0)
+        result = throughput(fat_job, cluster_machine(16, node_memory_mb=128.0))
+        assert not result.runnable
+        assert result.jobs_per_day == 0.0
+        assert "cannot hold" in result.reason
+
+    def test_shared_pool_holds_fat_jobs(self):
+        fat_job = JobMix("big memory", job_mops=1e6, job_memory_mb=512.0)
+        result = throughput(fat_job, vector_machine(16))
+        assert result.runnable
+
+    def test_shared_memory_slots_limit(self):
+        # A shared machine can only co-run as many jobs as the pool holds.
+        huge = JobMix("huge", job_mops=1e6,
+                      job_memory_mb=vector_machine(16).total_memory_mb / 2)
+        result = throughput(huge, vector_machine(16))
+        assert result.runnable
+        # Two memory slots despite sixteen processors.
+        single_rate = 86_400.0 / (huge.job_mops
+                                  / vector_machine(16).node_mops_per_s)
+        assert result.jobs_per_day == pytest.approx(2 * single_rate)
+
+    def test_runnable_reason_none(self):
+        assert throughput(_MIX, cluster_machine(4)).reason is None
+
+
+class TestEconomics:
+    def test_cluster_cheaper_per_throughput(self):
+        """Note 52: workstation farms became the cheap Mflops for
+        high-volume environments.  A $500K 16-node farm beats a $30M
+        vector machine on dollars per job/day."""
+        farm = throughput(_MIX, cluster_machine(16))
+        cray = throughput(_MIX, vector_machine(16))
+        farm_cost = cost_per_job_rate(farm, 500_000.0)
+        cray_cost = cost_per_job_rate(cray, 30_000_000.0)
+        assert farm_cost < cray_cost
+
+    def test_cray_faster_absolute(self):
+        # The vector machine still posts more jobs/day at equal slot
+        # count — it loses on economics, not capability.
+        farm = throughput(_MIX, cluster_machine(16))
+        cray = throughput(_MIX, vector_machine(16))
+        assert cray.jobs_per_day > farm.jobs_per_day
+
+    def test_unrunnable_mix_infinite_cost(self):
+        fat = JobMix("fat", job_mops=1e6, job_memory_mb=1e6)
+        result = throughput(fat, cluster_machine(4))
+        assert cost_per_job_rate(result, 100_000.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobMix("bad", job_mops=0.0, job_memory_mb=1.0)
+        result = throughput(_MIX, cluster_machine(4))
+        with pytest.raises(ValueError):
+            cost_per_job_rate(result, 0.0)

@@ -1,0 +1,143 @@
+"""Tests for exponential trend fitting and projection."""
+
+import numpy as np
+import pytest
+
+from repro.trends.curves import (
+    ExponentialTrend,
+    TrendPoint,
+    fit_exponential,
+    loo_prediction_errors,
+    running_max_series,
+)
+
+
+class TestTrendPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendPoint(year=1995.0, mtops=0.0)
+        with pytest.raises(ValueError):
+            TrendPoint(year=5.0, mtops=100.0)
+
+    def test_label_not_compared(self):
+        assert TrendPoint(1995.0, 10.0, "a") == TrendPoint(1995.0, 10.0, "b")
+
+
+class TestFit:
+    def test_exact_two_point_fit(self):
+        t = fit_exponential([1990.0, 1992.0], [100.0, 400.0])
+        assert t.value(1990.0) == pytest.approx(100.0)
+        assert t.value(1992.0) == pytest.approx(400.0)
+        assert t.doubling_time_years == pytest.approx(1.0)
+
+    def test_growth_per_year(self):
+        t = fit_exponential([1990.0, 1991.0], [100.0, 200.0])
+        assert t.growth_per_year == pytest.approx(2.0)
+
+    def test_noisy_fit_recovers_slope(self):
+        rng = np.random.default_rng(42)
+        years = np.linspace(1988, 1996, 30)
+        true = ExponentialTrend(base_year=1988.0, intercept=2.0, slope=0.15)
+        values = true.value(years) * 10 ** rng.normal(0, 0.05, years.size)
+        fitted = fit_exponential(years, values)
+        assert fitted.slope == pytest.approx(0.15, abs=0.02)
+        assert fitted.residual_std < 0.1
+
+    def test_rejects_single_year(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1990.0, 1990.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1990.0, 1991.0], [1.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1990.0, 1991.0], [1.0])
+
+
+class TestTrendBehaviour:
+    def test_year_reaching_inverse_of_value(self):
+        t = fit_exponential([1990.0, 1992.0], [100.0, 400.0])
+        year = t.year_reaching(1600.0)
+        assert t.value(year) == pytest.approx(1600.0)
+        assert year == pytest.approx(1994.0)
+
+    def test_year_reaching_flat_trend_raises(self):
+        t = ExponentialTrend(base_year=1990.0, intercept=2.0, slope=0.0)
+        with pytest.raises(ValueError):
+            t.year_reaching(1e6)
+
+    def test_flat_trend_infinite_doubling(self):
+        t = ExponentialTrend(base_year=1990.0, intercept=2.0, slope=0.0)
+        assert t.doubling_time_years == float("inf")
+
+    def test_shifted_delays(self):
+        t = fit_exponential([1990.0, 1992.0], [100.0, 400.0])
+        lagged = t.shifted(2.0)
+        assert lagged.value(1994.0) == pytest.approx(t.value(1992.0))
+
+    def test_vectorized_value(self):
+        t = fit_exponential([1990.0, 1992.0], [100.0, 400.0])
+        out = t.value(np.array([1990.0, 1991.0, 1992.0]))
+        assert out.shape == (3,)
+        assert out[1] == pytest.approx(200.0)
+
+
+class TestRunningMax:
+    def test_step_behaviour(self):
+        pts = [TrendPoint(1990.0, 100.0), TrendPoint(1993.0, 50.0),
+               TrendPoint(1994.0, 400.0)]
+        grid = [1989.0, 1990.0, 1993.5, 1994.0, 1996.0]
+        out = running_max_series(pts, grid)
+        assert np.isnan(out[0])
+        assert out[1] == 100.0
+        assert out[2] == 100.0  # the weaker 1993 system does not lower it
+        assert out[3] == 400.0
+        assert out[4] == 400.0
+
+    def test_empty_points(self):
+        out = running_max_series([], [1990.0, 1991.0])
+        assert np.isnan(out).all()
+
+    def test_unsorted_input_handled(self):
+        pts = [TrendPoint(1994.0, 400.0), TrendPoint(1990.0, 100.0)]
+        out = running_max_series(pts, [1991.0])
+        assert out[0] == 100.0
+
+
+class TestLeaveOneOut:
+    def test_perfect_trend_zero_errors(self):
+        years = np.array([1990.0, 1991.0, 1992.0, 1993.0, 1994.0])
+        values = 100.0 * 2.0 ** (years - 1990.0)
+        errors = loo_prediction_errors(years, values)
+        assert np.allclose(errors, 0.0, atol=1e-9)
+
+    def test_noisy_trend_bounded_errors(self):
+        rng = np.random.default_rng(11)
+        years = np.linspace(1988.0, 1996.0, 20)
+        values = 50.0 * 1.5 ** (years - 1988.0) * 10 ** rng.normal(0, 0.08,
+                                                                   20)
+        errors = loo_prediction_errors(years, values)
+        assert errors.shape == (20,)
+        assert np.std(errors) < 0.3
+
+    def test_micro_trend_loo_band(self):
+        # The Figure 5 fit predicts a held-out chip within ~half a decade.
+        from repro.trends.moore import micro_points
+
+        pts = [p for p in micro_points(1996.5) if p.year >= 1991.5]
+        errors = loo_prediction_errors([p.year for p in pts],
+                                       [p.mtops for p in pts])
+        assert np.abs(errors).max() < 0.5
+
+    def test_outlier_shows_up(self):
+        years = np.array([1990.0, 1991.0, 1992.0, 1993.0, 1994.0])
+        values = 100.0 * 2.0 ** (years - 1990.0)
+        values[2] *= 10.0  # one wild observation
+        errors = loo_prediction_errors(years, values)
+        assert np.argmax(np.abs(errors)) == 2
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            loo_prediction_errors([1990.0, 1991.0, 1992.0], [1.0, 2.0, 4.0])

@@ -1,0 +1,147 @@
+"""Tests for the concrete trend modules: micros, SMPs, foreign, Top500."""
+
+import numpy as np
+import pytest
+
+from repro.machines.foreign import ForeignCountry
+from repro.machines.spec import Architecture
+from repro.trends.foreign import foreign_envelope_mtops, foreign_points, foreign_trend
+from repro.trends.moore import micro_mtops_trend, micro_points, projected_micro_mtops
+from repro.trends.smp import smp_max_config_points, smp_systems, smp_trend, smp_vendor_lines
+from repro.trends.top500 import Top500List, generate_top500, rank_trend
+
+
+class TestMicroTrend:
+    def test_doubling_time_commodity_pace(self):
+        # Chapter 3: exponential growth at the familiar silicon pace.
+        t = micro_mtops_trend(1996.5)
+        assert 1.0 < t.doubling_time_years < 3.0
+
+    def test_projection_through_study_date(self):
+        assert projected_micro_mtops(1997.0) > projected_micro_mtops(1995.0)
+
+    def test_points_labelled(self):
+        assert all(p.label for p in micro_points())
+
+    def test_insufficient_range_raises(self):
+        with pytest.raises(ValueError):
+            micro_mtops_trend(through=1992.0, since=1992.0)
+
+
+class TestSmpTrend:
+    def test_population_is_smp(self):
+        for m in smp_systems():
+            assert m.architecture is Architecture.SMP
+
+    def test_max_config_points_use_ceiling(self):
+        pts = {p.label: p.mtops for p in smp_max_config_points()}
+        # The SPARCstation 10's point is its 4-processor ceiling, not the
+        # single-processor config.
+        from repro.machines.catalog import find_machine
+
+        ss10 = find_machine("Sun SPARCstation 10")
+        assert pts["Sun SPARCstation 10"] == pytest.approx(
+            ss10.max_configuration().ctp_mtops
+        )
+
+    def test_two_orders_in_early_nineties(self):
+        """'Performance of SMP systems has grown by two orders of magnitude
+        in the three years since their introduction.'"""
+        pts = smp_max_config_points(1996.0)
+        early = min(p.mtops for p in pts if p.year <= 1993.0)
+        late = max(p.mtops for p in pts if p.year <= 1996.0)
+        assert late / early > 50.0
+
+    def test_vendor_lines_sorted(self):
+        lines = smp_vendor_lines()
+        assert len(lines) >= 4  # SGI, Sun, DEC, HP, Cray...
+        for pts in lines.values():
+            years = [p.year for p in pts]
+            assert years == sorted(years)
+
+    def test_trend_rises(self):
+        t = smp_trend(1996.0)
+        assert t.growth_per_year > 1.2
+
+
+class TestForeignTrend:
+    def test_points_per_country(self):
+        for c in ForeignCountry:
+            assert len(foreign_points(c)) >= 3
+
+    def test_envelope_is_max(self):
+        year = 1995.5
+        individual = [
+            max((p.mtops for p in foreign_points(c) if p.year <= year),
+                default=0.0)
+            for c in ForeignCountry
+        ]
+        assert foreign_envelope_mtops(year) == pytest.approx(max(individual))
+
+    def test_envelope_zero_before_programs(self):
+        assert foreign_envelope_mtops(1950.0) == 0.0
+
+    def test_trends_rise(self):
+        for c in ForeignCountry:
+            assert foreign_trend(c, through=1996.0).growth_per_year > 1.0
+
+
+class TestTop500:
+    def test_deterministic(self):
+        a = generate_top500(1995.5, seed=3)
+        b = generate_top500(1995.5, seed=3)
+        assert a.mtops() == pytest.approx(b.mtops())
+
+    def test_seed_changes_interior(self):
+        a = generate_top500(1995.5, seed=1)
+        b = generate_top500(1995.5, seed=2)
+        assert not np.allclose(a.mtops()[1:-1], b.mtops()[1:-1])
+
+    def test_endpoints_pinned(self):
+        lst = generate_top500(1995.5, seed=7)
+        assert lst.entries[0].mtops == pytest.approx(rank_trend(1, 1995.5))
+        assert lst.entries[-1].mtops == pytest.approx(rank_trend(500, 1995.5))
+
+    def test_descending(self):
+        perf = generate_top500(1994.0).mtops()
+        assert np.all(np.diff(perf) <= 0)
+
+    def test_rank_trend_monotone_in_rank(self):
+        assert rank_trend(1, 1995.0) > rank_trend(100, 1995.0) > rank_trend(500, 1995.0)
+
+    def test_rank_trend_monotone_in_year(self):
+        assert rank_trend(100, 1996.0) > rank_trend(100, 1993.0)
+
+    def test_rank_trend_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            rank_trend(0, 1995.0)
+        with pytest.raises(ValueError):
+            rank_trend(501, 1995.0)
+
+    def test_shares_sum_to_one(self):
+        shares = generate_top500(1995.5).share_by_architecture()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_vector_share_declines(self):
+        v93 = generate_top500(1993.5, seed=0).share_by_architecture().get(
+            Architecture.VECTOR, 0.0)
+        v99 = generate_top500(1999.5, seed=0).share_by_architecture().get(
+            Architecture.VECTOR, 0.0)
+        assert v99 < v93
+
+    def test_fraction_below_monotone(self):
+        lst = generate_top500(1995.5)
+        assert lst.fraction_below(1_000.0) <= lst.fraction_below(10_000.0)
+
+    def test_histogram_counts_everything(self):
+        lst = generate_top500(1995.5)
+        edges = 10.0 ** np.arange(1.0, 7.1, 0.5)
+        assert lst.histogram(edges).sum() == 500
+
+    def test_small_list(self):
+        lst = generate_top500(1995.5, n=10)
+        assert len(lst.entries) == 10
+
+    def test_rejects_tiny_list(self):
+        with pytest.raises(ValueError):
+            generate_top500(1995.5, n=1)

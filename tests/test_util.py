@@ -1,0 +1,131 @@
+"""Unit tests for repro._util."""
+
+import math
+
+import pytest
+
+from repro._util import (
+    as_sorted_unique,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_year,
+    geometric_interp,
+    log_midpoint,
+    weighted_mean,
+    year_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_coerces_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_bounds(self, ok):
+        assert check_fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction(bad, "f")
+
+
+class TestCheckYear:
+    def test_accepts_study_years(self):
+        assert check_year(1995.5) == 1995.5
+
+    @pytest.mark.parametrize("bad", [1900.0, 2100.0, 4088.0])
+    def test_rejects_out_of_band(self, bad):
+        # 4088.0 is the classic units bug: Mtops passed where a year goes.
+        with pytest.raises(ValueError):
+            check_year(bad)
+
+
+class TestGeometricInterp:
+    def test_midpoint_is_geometric_mean(self):
+        assert geometric_interp(0, 10, 1, 1000, 0.5) == pytest.approx(100.0)
+
+    def test_endpoints(self):
+        assert geometric_interp(1990, 10, 1995, 320, 1990) == pytest.approx(10)
+        assert geometric_interp(1990, 10, 1995, 320, 1995) == pytest.approx(320)
+
+    def test_extrapolates(self):
+        assert geometric_interp(0, 1, 1, 2, 2) == pytest.approx(4.0)
+
+    def test_degenerate_equal_x_same_y(self):
+        assert geometric_interp(1, 5, 1, 5, 1) == 5
+
+    def test_degenerate_equal_x_diff_y_raises(self):
+        with pytest.raises(ValueError):
+            geometric_interp(1, 5, 1, 6, 1)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            geometric_interp(0, 0.0, 1, 2, 0.5)
+
+
+class TestLogMidpoint:
+    def test_value(self):
+        assert log_midpoint(10, 1000) == pytest.approx(100.0)
+
+    def test_symmetry(self):
+        assert log_midpoint(3, 7) == pytest.approx(log_midpoint(7, 3))
+
+
+class TestYearRange:
+    def test_inclusive_endpoint(self):
+        years = year_range(1993.0, 1995.0, 0.5)
+        assert years[0] == 1993.0
+        assert years[-1] == pytest.approx(1995.0)
+        assert len(years) == 5
+
+    def test_single_point(self):
+        assert year_range(1995.0, 1995.0) == [1995.0]
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            year_range(1996.0, 1995.0)
+
+    def test_does_not_overshoot(self):
+        years = year_range(1993.0, 1994.0, 0.3)
+        assert all(y <= 1994.0 + 1e-9 for y in years)
+
+
+class TestSmallHelpers:
+    def test_as_sorted_unique(self):
+        assert as_sorted_unique([3.0, 1.0, 3.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_weighted_mean_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_weighted_mean_nan_free(self):
+        assert not math.isnan(weighted_mean([1.0], [0.5]))

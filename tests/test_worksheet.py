@@ -1,0 +1,73 @@
+"""Tests for the CTP rating worksheets."""
+
+import pytest
+
+from repro.cli import main
+from repro.ctp import ComputingElement, Coupling, ctp_homogeneous
+from repro.ctp.worksheet import machine_worksheet, rating_worksheet
+
+
+def _element(concurrent=True):
+    return ComputingElement("demo", clock_mhz=100.0, word_bits=32.0,
+                            fp_ops_per_cycle=2.0, int_ops_per_cycle=1.0,
+                            concurrent_int_fp=concurrent)
+
+
+class TestRatingWorksheet:
+    def test_final_line_matches_metric(self):
+        element = _element()
+        sheet = rating_worksheet(element, 8, Coupling.SHARED)
+        value = ctp_homogeneous(element, 8, Coupling.SHARED)
+        assert f"{value:,.1f} Mtops" in sheet.splitlines()[-1]
+
+    def test_steps_present(self):
+        sheet = rating_worksheet(_element(), 4, Coupling.DISTRIBUTED)
+        assert "1. rates" in sheet
+        assert "2. word length" in sheet
+        assert "3. element TP" in sheet
+        assert "4. credits" in sheet
+        assert "5. CTP" in sheet
+
+    def test_word_length_shown(self):
+        sheet = rating_worksheet(_element(), 1, Coupling.SHARED)
+        assert "1/3 + 32/96" in sheet
+        assert "0.6667" in sheet
+
+    def test_single_element_no_aggregation(self):
+        sheet = rating_worksheet(_element(), 1, Coupling.SHARED)
+        assert "no aggregation" in sheet
+
+    def test_combine_mode_reported(self):
+        assert "concurrent units" in rating_worksheet(_element(True), 2,
+                                                      Coupling.SHARED)
+        assert "single-issue" in rating_worksheet(_element(False), 2,
+                                                  Coupling.SHARED)
+
+    def test_long_credit_lists_elided(self):
+        sheet = rating_worksheet(_element(), 64, Coupling.DISTRIBUTED)
+        assert "..." in sheet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rating_worksheet(_element(), 0, Coupling.SHARED)
+
+
+class TestMachineWorksheet:
+    def test_c916_reproduces_quote(self):
+        sheet = machine_worksheet("Cray C916")
+        assert "21,137.4 Mtops" in sheet       # derived
+        assert "21,125.0 Mtops" in sheet       # paper-quoted
+
+    def test_quoted_only_fallback(self):
+        sheet = machine_worksheet("Mercury RACE array")
+        assert "paper-quoted; no element data" in sheet
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            machine_worksheet("Cray C917")
+
+    def test_cli_flag(self, capsys):
+        code = main(["machine", "Cray C916", "--worksheet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CTP rating worksheet" in out
