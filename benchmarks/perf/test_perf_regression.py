@@ -1,0 +1,50 @@
+"""Perf regression gates (``pytest -m perf benchmarks/perf``).
+
+Marked ``perf`` and excluded from the default run: wall-clock assertions
+are load-sensitive, so they gate only when invoked deliberately (CI runs
+the ``--quick`` configuration as a smoke test).  The floors are the PR's
+acceptance criteria — the two named hot paths must stay >= 5x over the
+seed scalar algorithms — with generous headroom below the measured
+speedups (hundreds to tens of thousands x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.workloads import WORKLOAD_NAMES, run_benchmarks
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def results() -> dict:
+    payload = run_benchmarks(quick=True, output=None)
+    return {w["name"]: w for w in payload["workloads"]}
+
+
+def test_all_workloads_ran(results):
+    assert set(results) == set(WORKLOAD_NAMES)
+    for w in results.values():
+        assert w["scalar"]["best_seconds"] > 0
+        assert w["batch"]["best_seconds"] > 0
+
+
+def test_bound_sensitivity_speedup_floor(results):
+    assert results["bound_sensitivity_mc"]["speedup"] >= 5.0
+
+
+def test_frontier_grid_speedup_floor(results):
+    assert results["frontier_year_grid"]["speedup"] >= 5.0
+
+
+def test_batch_rating_speedup_floor(results):
+    assert results["batch_ctp_rating"]["speedup"] >= 5.0
+
+
+def test_batch_paths_agree_with_scalar(results):
+    for name in ("batch_ctp_rating", "frontier_year_grid",
+                 "premise3_gap_scan", "keysearch_bit_expansion"):
+        assert results[name]["max_rel_err"] <= 1e-9, name
+    # The Monte-Carlo draw layouts differ; extremes agree loosely.
+    assert results["bound_sensitivity_mc"]["max_rel_err"] <= 0.2

@@ -10,7 +10,16 @@ Mtops".
 
 from __future__ import annotations
 
-from repro.apps.requirements import ApplicationRequirement
+from functools import lru_cache
+
+import numpy as np
+
+from repro._util import check_fraction
+from repro.apps.requirements import (
+    DRIFT_FLOOR_FRACTION,
+    DRIFT_RATE_PER_YEAR,
+    ApplicationRequirement,
+)
 from repro.apps.taxonomy import (
     CTA,
     MissionArea,
@@ -23,6 +32,8 @@ __all__ = [
     "find_application",
     "applications_by_mission",
     "min_requirements_mtops",
+    "requirement_arrays",
+    "drifted_min_matrix",
 ]
 
 _N = MissionArea.NUCLEAR
@@ -423,12 +434,56 @@ def find_application(name: str) -> ApplicationRequirement:
         ) from None
 
 
-def applications_by_mission(mission: MissionArea) -> list[ApplicationRequirement]:
-    """Applications of one mission area, by year first performed."""
-    return sorted(
+@lru_cache(maxsize=None)
+def _by_mission(mission: MissionArea) -> tuple[ApplicationRequirement, ...]:
+    return tuple(sorted(
         (a for a in APPLICATIONS if a.mission is mission),
         key=lambda a: (a.year_first, a.name),
-    )
+    ))
+
+
+def applications_by_mission(mission: MissionArea) -> list[ApplicationRequirement]:
+    """Applications of one mission area, by year first performed."""
+    return list(_by_mission(mission))
+
+
+@lru_cache(maxsize=None)
+def requirement_arrays(
+    apps: tuple[ApplicationRequirement, ...] = APPLICATIONS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(min_mtops, year_first)`` arrays over ``apps``, cached read-only.
+
+    The requirement bins behind every drift computation — built once per
+    distinct application tuple instead of re-walking the catalog on each
+    scenario grid point.
+    """
+    mins = np.array([a.min_mtops for a in apps])
+    firsts = np.array([a.year_first for a in apps])
+    mins.setflags(write=False)
+    firsts.setflags(write=False)
+    return mins, firsts
+
+
+def drifted_min_matrix(
+    years: np.ndarray | list[float],
+    apps: tuple[ApplicationRequirement, ...] = APPLICATIONS,
+    rate: float = DRIFT_RATE_PER_YEAR,
+    floor: float = DRIFT_FLOOR_FRACTION,
+) -> np.ndarray:
+    """Drifted minimums for every app x every year: ``(n_apps, n_years)``.
+
+    Vectorized form of :meth:`ApplicationRequirement.min_at` over a year
+    grid — the same bounded exponential decay, computed as one broadcast.
+    """
+    rate = check_fraction(rate, "rate")
+    floor = check_fraction(floor, "floor")
+    if floor == 0.0:
+        raise ValueError("floor must be positive: requirements never vanish")
+    mins, firsts = requirement_arrays(apps)
+    grid = np.asarray(years, dtype=float)
+    elapsed = np.maximum(0.0, grid[None, :] - firsts[:, None])
+    factor = np.maximum((1.0 - rate) ** elapsed, floor)
+    return mins[:, None] * factor
 
 
 def min_requirements_mtops(year: float | None = None) -> list[float]:
@@ -436,4 +491,4 @@ def min_requirements_mtops(year: float | None = None) -> list[float]:
     (the Figure 10 population)."""
     if year is None:
         return sorted(a.min_mtops for a in APPLICATIONS)
-    return sorted(a.min_at(year) for a in APPLICATIONS)
+    return sorted(drifted_min_matrix([year])[:, 0].tolist())

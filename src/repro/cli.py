@@ -12,7 +12,8 @@ Commands mirror the analyses a policy analyst would actually run:
   verdicts to the factor weights;
 * ``simulate``    — run a suite workload across the architecture spectrum;
 * ``acquire``     — covert-acquisition premium for a capability level;
-* ``report``      — the full markdown review document for a date.
+* ``report``      — the full markdown review document for a date;
+* ``bench``       — time the batch hot paths against scalar references.
 """
 
 from __future__ import annotations
@@ -105,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--year", type=float, default=1995.5)
     p_report.add_argument("--output", type=str, default=None,
                           help="write to a file instead of stdout")
+
+    p_bench = sub.add_parser(
+        "bench", help="time the batch hot paths against scalar references"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller inputs and fewer repeats (CI smoke)")
+    p_bench.add_argument("--output", type=str, default="BENCH_perf.json",
+                         help='JSON output path ("-" to skip writing)')
 
     return parser
 
@@ -307,6 +316,30 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return document
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from repro.perf.workloads import run_benchmarks
+
+    output = None if args.output == "-" else args.output
+    payload = run_benchmarks(quick=args.quick, output=output)
+    rows = [
+        [w["name"],
+         f"{w['scalar']['best_seconds'] * 1e3:,.2f}",
+         f"{w['batch']['best_seconds'] * 1e3:,.2f}",
+         f"{w['speedup']:,.1f}x",
+         f"{w['max_rel_err']:.1e}"]
+        for w in payload["workloads"]
+    ]
+    table = render_table(
+        ["workload", "scalar (ms)", "batch (ms)", "speedup", "max rel err"],
+        rows,
+        title="Batch layer vs seed scalar"
+        + (" (quick)" if args.quick else ""),
+    )
+    if output is not None:
+        table += f"\nwrote {output}"
+    return table
+
+
 _COMMANDS = {
     "review": _cmd_review,
     "headline": _cmd_headline,
@@ -317,6 +350,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "acquire": _cmd_acquire,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 

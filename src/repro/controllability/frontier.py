@@ -19,6 +19,7 @@ top-of-line trend, shifted right by the same lag.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from collections.abc import Sequence
 
 import numpy as np
@@ -30,7 +31,7 @@ from repro.controllability.index import (
     DEFAULT_WEIGHTS,
     assess,
 )
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines.catalog import COMMERCIAL_SYSTEMS, max_config_mtops
 from repro.machines.spec import MachineSpec
 from repro.trends.curves import ExponentialTrend, fit_exponential
 from repro.trends.smp import smp_trend
@@ -43,6 +44,7 @@ __all__ = [
     "frontier_series",
     "frontier_trend",
     "projected_frontier_mtops",
+    "projected_frontier_series",
 ]
 
 #: "...approximately two years after they are first shipped" (Chapter 3).
@@ -58,6 +60,61 @@ class FrontierPoint:
     machine: MachineSpec | None
 
 
+@lru_cache(maxsize=256)
+def _classified_population(
+    weights: ControllabilityWeights,
+    include_marginal: bool,
+) -> tuple[MachineSpec, ...]:
+    """Catalog machines whose composite index qualifies under ``weights``,
+    sorted by (year, key).  One assessment pass per distinct weighting —
+    the year/lag filter is applied at query time, so every year on a grid
+    shares this work."""
+    allowed = {Classification.UNCONTROLLABLE}
+    if include_marginal:
+        allowed.add(Classification.MARGINAL)
+    return tuple(
+        m
+        for m in sorted(COMMERCIAL_SYSTEMS, key=lambda m: (m.year, m.key))
+        if assess(m, weights).classification in allowed
+    )
+
+
+@dataclass(frozen=True)
+class _FrontierIndex:
+    """Precomputed frontier: qualify dates, running-max ratings, and the
+    machine that set each plateau.  A frontier query is one bisect."""
+
+    qualify_years: np.ndarray       # sorted: machine year + lag
+    running_max: np.ndarray         # running max of max-config ratings
+    leaders: tuple[MachineSpec, ...]  # machine defining the plateau
+
+
+@lru_cache(maxsize=256)
+def _frontier_index(
+    weights: ControllabilityWeights,
+    lag_years: float,
+) -> _FrontierIndex:
+    machines = _classified_population(weights, False)
+    qualify = np.array([m.year + lag_years for m in machines])
+    ratings = [max_config_mtops(m) for m in machines]
+    running = np.maximum.accumulate(np.array(ratings)) if machines else np.empty(0)
+    leaders: list[MachineSpec] = []
+    best = 0.0
+    leader: MachineSpec | None = None
+    for m, rating in zip(machines, ratings):
+        if rating > best:
+            best = rating
+            leader = m
+        leaders.append(leader)
+    qualify.setflags(write=False)
+    running.setflags(write=False)
+    return _FrontierIndex(
+        qualify_years=qualify,
+        running_max=running,
+        leaders=tuple(leaders),
+    )
+
+
 def uncontrollable_population(
     year: float,
     weights: ControllabilityWeights = DEFAULT_WEIGHTS,
@@ -71,16 +128,10 @@ def uncontrollable_population(
     at least ``lag_years``.
     """
     check_year(year, "year")
-    allowed = {Classification.UNCONTROLLABLE}
-    if include_marginal:
-        allowed.add(Classification.MARGINAL)
-    population = []
-    for m in COMMERCIAL_SYSTEMS:
-        if m.year + lag_years > year:
-            continue
-        if assess(m, weights).classification in allowed:
-            population.append(m)
-    return sorted(population, key=lambda m: (m.year, m.key))
+    return [
+        m for m in _classified_population(weights, include_marginal)
+        if m.year + lag_years <= year
+    ]
 
 
 def lower_bound_uncontrollable(
@@ -94,14 +145,16 @@ def lower_bound_uncontrollable(
     before any product qualifies get a zero frontier (everything was
     controllable in, say, 1980).
     """
-    best_mtops = 0.0
-    best_machine: MachineSpec | None = None
-    for m in uncontrollable_population(year, weights, lag_years):
-        rating = m.max_configuration().ctp_mtops
-        if rating > best_mtops:
-            best_mtops = rating
-            best_machine = m
-    return FrontierPoint(year=year, mtops=best_mtops, machine=best_machine)
+    check_year(year, "year")
+    index = _frontier_index(weights, lag_years)
+    i = int(np.searchsorted(index.qualify_years, year, side="right")) - 1
+    if i < 0:
+        return FrontierPoint(year=year, mtops=0.0, machine=None)
+    return FrontierPoint(
+        year=year,
+        mtops=float(index.running_max[i]),
+        machine=index.leaders[i],
+    )
 
 
 def frontier_series(
@@ -109,11 +162,16 @@ def frontier_series(
     weights: ControllabilityWeights = DEFAULT_WEIGHTS,
     lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
 ) -> np.ndarray:
-    """Frontier values on a year grid (vectorized over the grid)."""
-    return np.array(
-        [lower_bound_uncontrollable(float(y), weights, lag_years).mtops
-         for y in np.asarray(years, dtype=float)]
-    )
+    """Frontier values on a year grid — one bisect per grid point against
+    the cached running-max index (no per-year catalog re-assessment)."""
+    index = _frontier_index(weights, lag_years)
+    grid = np.asarray(years, dtype=float)
+    idx = np.searchsorted(index.qualify_years, grid, side="right") - 1
+    out = np.zeros(grid.shape)
+    mask = idx >= 0
+    if index.running_max.size:
+        out[mask] = index.running_max[idx[mask]]
+    return out
 
 
 def frontier_trend(
@@ -144,3 +202,17 @@ def projected_frontier_mtops(
     """
     check_year(year, "year")
     return float(smp_trend(fit_through).shifted(lag_years).value(year))
+
+
+def projected_frontier_series(
+    years: Sequence[float] | np.ndarray,
+    fit_through: float = 1995.5,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> np.ndarray:
+    """Projected frontier over a year grid: the SMP trend is fitted once
+    and evaluated on the whole grid, instead of refitting per year as
+    repeated :func:`projected_frontier_mtops` calls would."""
+    grid = np.asarray(years, dtype=float)
+    if grid.size == 0:
+        return np.zeros(grid.shape)
+    return np.asarray(smp_trend(fit_through).shifted(lag_years).value(grid))

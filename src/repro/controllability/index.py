@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro._util import check_fraction
 from repro.controllability.factors import FactorScores
@@ -23,6 +26,11 @@ __all__ = [
     "DEFAULT_WEIGHTS",
     "ControllabilityAssessment",
     "assess",
+    "cached_scores",
+    "score_matrix",
+    "index_matrix",
+    "classify_index_matrix",
+    "CLASS_BY_CODE",
     "classification_table",
 ]
 
@@ -82,12 +90,85 @@ class ControllabilityAssessment:
         return self.classification is Classification.UNCONTROLLABLE
 
 
+@lru_cache(maxsize=None)
+def cached_scores(machine: MachineSpec) -> FactorScores:
+    """Memoized factor scores of one (frozen, hashable) machine spec.
+
+    Factor scores are weight-independent, so every assessment of a catalog
+    machine — across frontier queries, Monte-Carlo draws, and year grids —
+    reuses one scoring pass.  Scoring walks the CTP pipeline (the
+    scalability factor rates the family ceiling), which is what made the
+    uncached per-query path the sensitivity analysis's bottleneck.
+    """
+    return FactorScores.of(machine)
+
+
+def score_matrix(machines: tuple[MachineSpec, ...]) -> np.ndarray:
+    """Factor-score matrix, one machine per row, columns in the composite
+    order (size, units, channel, price, scalability)."""
+    if not machines:
+        return np.empty((0, 5))
+    return np.array([
+        [s.size, s.units, s.channel, s.price, s.scalability]
+        for s in (cached_scores(m) for m in machines)
+    ])
+
+
+def index_matrix(weight_rows: np.ndarray, scores: np.ndarray) -> np.ndarray:
+    """Composite indices for N weightings x M machines in one pass.
+
+    ``weight_rows`` is ``(N, 5)`` (same column order as
+    :func:`score_matrix`); the result is ``(N, M)``.  The five products are
+    summed left-to-right, matching :func:`assess`'s scalar expression
+    bit-for-bit so batched classifications can never disagree with the
+    scalar path on a knife-edge index.
+    """
+    w = np.asarray(weight_rows, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    if w.ndim != 2 or w.shape[1] != 5 or s.ndim != 2 or s.shape[1] != 5:
+        raise ValueError("weight_rows and scores must have shape (*, 5)")
+    out = w[:, 0:1] * s[None, :, 0]
+    for k in range(1, 5):
+        out = out + w[:, k:k + 1] * s[None, :, k]
+    return out
+
+
+#: Classification per integer code used by :func:`classify_index_matrix`.
+CLASS_BY_CODE: tuple[Classification, ...] = (
+    Classification.UNCONTROLLABLE,
+    Classification.MARGINAL,
+    Classification.CONTROLLABLE,
+)
+#: Integer codes for vectorized classification comparisons.
+_CLASS_CODES = {cls: code for code, cls in enumerate(CLASS_BY_CODE)}
+
+
+def classify_index_matrix(
+    indices: np.ndarray,
+    uncontrollable_below: np.ndarray | float,
+    controllable_at: np.ndarray | float,
+) -> np.ndarray:
+    """Vectorized three-way classification of composite indices.
+
+    Returns integer codes (0 = uncontrollable, 1 = marginal,
+    2 = controllable; see ``Classification`` ordering in
+    ``_CLASS_CODES``).  Cut arrays broadcast against ``indices``, so
+    per-draw jittered cuts classify a whole ``(draws, machines)`` index
+    matrix at once.
+    """
+    idx = np.asarray(indices, dtype=float)
+    low = np.asarray(uncontrollable_below, dtype=float)
+    high = np.asarray(controllable_at, dtype=float)
+    return np.where(idx < low, np.int8(0),
+                    np.where(idx < high, np.int8(1), np.int8(2)))
+
+
 def assess(
     machine: MachineSpec,
     weights: ControllabilityWeights = DEFAULT_WEIGHTS,
 ) -> ControllabilityAssessment:
     """Score, combine, and classify one machine."""
-    scores = FactorScores.of(machine)
+    scores = cached_scores(machine)
     index = (
         weights.size * scores.size
         + weights.units * scores.units

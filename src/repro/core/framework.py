@@ -26,13 +26,17 @@ import numpy as np
 from repro._util import check_year
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.requirements import ApplicationRequirement
-from repro.controllability.frontier import lower_bound_uncontrollable
+from repro.controllability.frontier import (
+    frontier_series,
+    lower_bound_uncontrollable,
+)
 from repro.machines.catalog import max_available_mtops
-from repro.trends.foreign import foreign_envelope_mtops
+from repro.trends.foreign import foreign_envelope_mtops, foreign_envelope_series
 
 __all__ = [
     "ThresholdBounds",
     "lower_bound_mtops",
+    "lower_bound_series",
     "derive_bounds",
     "application_clusters",
     "headline_summary",
@@ -50,6 +54,17 @@ def lower_bound_mtops(year: float) -> float:
         lower_bound_uncontrollable(year).mtops,
         foreign_envelope_mtops(year),
     )
+
+
+def lower_bound_series(years: np.ndarray | list[float]) -> np.ndarray:
+    """The lower bound over a whole year grid in one pass.
+
+    Array-in/array-out companion of :func:`lower_bound_mtops`: elementwise
+    max of the cached uncontrollability-frontier index and the foreign
+    envelope — no per-year catalog rescans.
+    """
+    grid = np.asarray(years, dtype=float)
+    return np.maximum(frontier_series(grid), foreign_envelope_series(grid))
 
 
 @dataclass(frozen=True)

@@ -21,9 +21,13 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._util import check_year
-from repro.apps.catalog import APPLICATIONS
-from repro.controllability.frontier import projected_frontier_mtops
-from repro.core.framework import MIN_RANGE_FACTOR, derive_bounds, lower_bound_mtops
+from repro.apps.catalog import APPLICATIONS, drifted_min_matrix, requirement_arrays
+from repro.controllability.frontier import (
+    projected_frontier_mtops,
+    projected_frontier_series,
+)
+from repro.core.framework import lower_bound_mtops, lower_bound_series
+from repro.machines.catalog import max_available_mtops_series
 
 __all__ = [
     "ScenarioOutcome",
@@ -54,6 +58,25 @@ def _lower_bound_projected(year: float, catalog_through: float = 1999.9) -> floa
     )
 
 
+def _lower_bound_projected_series(
+    years: np.ndarray, catalog_through: float = 1999.9
+) -> np.ndarray:
+    """:func:`_lower_bound_projected` over a whole grid in one pass: the
+    catalog-backed series within coverage, a single SMP-trend fit (not one
+    per grid point) beyond it."""
+    grid = np.asarray(years, dtype=float)
+    out = np.empty(grid.shape)
+    within = grid <= catalog_through
+    out[within] = lower_bound_series(grid[within])
+    beyond = ~within
+    if beyond.any():
+        out[beyond] = np.maximum(
+            lower_bound_mtops(catalog_through),
+            projected_frontier_series(grid[beyond]),
+        )
+    return out
+
+
 def premise1_failure_year(
     start: float = 1995.5,
     horizon: float = 2015.0,
@@ -68,18 +91,21 @@ def premise1_failure_year(
     """
     check_year(start, "start")
     check_year(horizon, "horizon")
-    apps = [
+    apps = tuple(
         a for a in APPLICATIONS
         if not (exclude_memory_bound and a.memory_bound)
-    ]
+    )
     years = np.arange(start, horizon + 1e-9, step)
-    for year in years:
-        live_mins = [a.min_at(year) for a in apps if a.year_first <= year]
-        if not live_mins:
-            continue
-        if _lower_bound_projected(float(year)) > max(live_mins):
-            return float(year)
-    return None
+    if not apps or years.size == 0:
+        return None
+    _mins, firsts = requirement_arrays(apps)
+    live = firsts[:, None] <= years[None, :]
+    live_max = np.where(live, drifted_min_matrix(years, apps), -np.inf).max(axis=0)
+    bounds = _lower_bound_projected_series(years)
+    failed = live.any(axis=0) & (bounds > live_max)
+    if not failed.any():
+        return None
+    return float(years[int(np.argmax(failed))])
 
 
 def premise1_with_renewal(
@@ -113,24 +139,41 @@ def premise1_with_renewal(
         raise ValueError("frontier_multiple must be positive")
     from repro.apps.requirements import DRIFT_RATE_PER_YEAR
 
+    # Same accumulated grid as the seed loop (year += step), so results
+    # are bit-identical; the bound series and the catalog-app live maxima
+    # are precomputed in one pass each.  Only the synthetic stalactites
+    # are inherently sequential (each birth level depends on the bound at
+    # its birth year), and there are at most a handful of them.
+    grid: list[float] = []
+    year = start
+    while year <= horizon:
+        grid.append(float(year))
+        year += step
+    years = np.array(grid)
+    bounds = _lower_bound_projected_series(years)
+    _mins, firsts = requirement_arrays(APPLICATIONS)
+    live_any = (firsts[:, None] <= years[None, :]).any(axis=0)
+    live_max = np.where(
+        firsts[:, None] <= years[None, :], drifted_min_matrix(years), -np.inf
+    ).max(axis=0)
+
     synthetic: list[tuple[float, float]] = []  # (year_first, min at birth)
     next_birth = start
     failure = None
-    year = start
-    while year <= horizon:
-        bound = _lower_bound_projected(float(year))
+    for i, year in enumerate(grid):
+        bound = float(bounds[i])
         if year >= next_birth:
-            synthetic.append((float(year), frontier_multiple * bound))
+            synthetic.append((year, frontier_multiple * bound))
             next_birth += new_app_interval_years
-        live = [a.min_at(year) for a in APPLICATIONS if a.year_first <= year]
-        live += [
-            born_min * max((1.0 - DRIFT_RATE_PER_YEAR) ** (year - born), 0.3)
-            for born, born_min in synthetic
-        ]
-        if live and bound > max(live):
-            failure = float(year)
+        best = live_max[i] if live_any[i] else -np.inf
+        for born, born_min in synthetic:
+            drifted = born_min * max(
+                (1.0 - DRIFT_RATE_PER_YEAR) ** (year - born), 0.3
+            )
+            best = max(best, drifted)
+        if best > -np.inf and bound > best:
+            failure = year
             break
-        year += step
     return ScenarioOutcome(
         premise=1,
         failure_year=failure,
@@ -149,11 +192,11 @@ def premise3_gap_series(
     A value near 1 means the building-block world has arrived: "the most
     powerful systems" are just big stacks of uncontrollable parts.
     """
-    out = np.empty(len(years))
-    for i, year in enumerate(np.asarray(years, dtype=float)):
-        bounds = derive_bounds(float(year))
-        lower = bounds.lower_mtops
-        out[i] = np.inf if lower == 0 else bounds.upper_theoretical_mtops / lower
+    grid = np.asarray(years, dtype=float)
+    lower = lower_bound_series(grid)
+    upper = max_available_mtops_series(grid)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(lower == 0.0, np.inf, upper / lower)
     return out
 
 

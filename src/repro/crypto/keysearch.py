@@ -51,8 +51,11 @@ def _candidate_bits(base_key: int, offsets: np.ndarray,
     bits = np.empty((offsets.size, 64), dtype=bool)
     base_bits = int_to_bits(base, 64)
     bits[:] = base_bits
-    for j in range(search_bits):
-        bits[:, 63 - j] = (offsets >> j) & 1
+    # All searched bit positions in one C-level unpack (batch x bits)
+    # rather than one shift-and-mask column assignment per bit.
+    raw = offsets.astype("<u8").view(np.uint8).reshape(offsets.size, 8)
+    low = np.unpackbits(raw, axis=1, bitorder="little", count=search_bits)
+    bits[:, 64 - search_bits:] = low[:, ::-1]
     return bits
 
 

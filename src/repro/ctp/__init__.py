@@ -40,6 +40,16 @@ from repro.ctp.aggregate import (
     aggregate,
     aggregate_homogeneous,
 )
+from repro.ctp.batch import (
+    aggregate_batch,
+    aggregate_homogeneous_batch,
+    clear_credit_cache,
+    credit_cache_info,
+    credit_sums,
+    ctp_batch,
+    ctp_homogeneous_batch,
+    theoretical_performance_batch,
+)
 from repro.ctp.worksheet import (
     machine_worksheet,
     rating_worksheet,
@@ -64,6 +74,14 @@ __all__ = [
     "aggregation_credits",
     "aggregate",
     "aggregate_homogeneous",
+    "aggregate_batch",
+    "aggregate_homogeneous_batch",
+    "clear_credit_cache",
+    "credit_cache_info",
+    "credit_sums",
+    "ctp_batch",
+    "ctp_homogeneous_batch",
+    "theoretical_performance_batch",
     "machine_worksheet",
     "rating_worksheet",
     "ctp",

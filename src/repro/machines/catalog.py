@@ -18,6 +18,10 @@ configurations (note 47).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+import numpy as np
+
 from repro.ctp.elements import ComputingElement
 from repro.machines.microprocessors import find_micro
 from repro.machines.spec import (
@@ -33,6 +37,8 @@ __all__ = [
     "commercial_by_year",
     "commercial_by_architecture",
     "max_available_mtops",
+    "max_available_mtops_series",
+    "max_config_mtops",
 ]
 
 
@@ -415,17 +421,49 @@ def find_machine(key: str) -> MachineSpec:
         raise KeyError(f"unknown machine {key!r}; known: {sorted(_BY_KEY)}") from None
 
 
+# Precomputed year-sorted index.  The catalog is immutable after import, so
+# the sort, the year array, and the running maximum of ratings are all
+# computed exactly once; every query below is a bisect against these arrays
+# instead of a fresh scan/sort of the catalog.
+_SORTED_BY_YEAR: tuple[MachineSpec, ...] = tuple(
+    sorted(COMMERCIAL_SYSTEMS, key=lambda m: (m.year, m.key))
+)
+_SORTED_YEARS: np.ndarray = np.array([m.year for m in _SORTED_BY_YEAR])
+_RUNNING_MAX_MTOPS: np.ndarray = np.maximum.accumulate(
+    np.array([m.ctp_mtops for m in _SORTED_BY_YEAR])
+)
+_SORTED_YEARS.setflags(write=False)
+_RUNNING_MAX_MTOPS.setflags(write=False)
+
+
 def commercial_by_year(through: float | None = None) -> list[MachineSpec]:
     """Catalog sorted by introduction year, optionally truncated."""
-    specs = sorted(COMMERCIAL_SYSTEMS, key=lambda m: (m.year, m.key))
-    if through is not None:
-        specs = [m for m in specs if m.year <= through]
-    return specs
+    if through is None:
+        return list(_SORTED_BY_YEAR)
+    cut = int(np.searchsorted(_SORTED_YEARS, through, side="right"))
+    return list(_SORTED_BY_YEAR[:cut])
+
+
+@lru_cache(maxsize=None)
+def _by_architecture(arch: Architecture) -> tuple[MachineSpec, ...]:
+    return tuple(m for m in _SORTED_BY_YEAR if m.architecture is arch)
 
 
 def commercial_by_architecture(arch: Architecture) -> list[MachineSpec]:
     """Catalog entries of one architecture class, by year."""
-    return [m for m in commercial_by_year() if m.architecture is arch]
+    return list(_by_architecture(arch))
+
+
+@lru_cache(maxsize=None)
+def max_config_mtops(machine: MachineSpec) -> float:
+    """Memoized CTP of a machine family's maximum configuration.
+
+    The frontier, the SMP trend, and the sensitivity analyses all rate
+    machines at the ceiling a field upgrader can reach; computing that
+    rating walks the CTP pipeline, so it is cached per (hashable, frozen)
+    spec here rather than recomputed on every query.
+    """
+    return machine.max_configuration().ctp_mtops
 
 
 def max_available_mtops(year: float) -> float:
@@ -433,7 +471,24 @@ def max_available_mtops(year: float) -> float:
     ``year`` — line D of Figure 3 ("the theoretical maximum of the
     threshold is the performance of the most powerful systems available").
     """
-    candidates = [m.ctp_mtops for m in COMMERCIAL_SYSTEMS if m.year <= year]
-    if not candidates:
+    idx = int(np.searchsorted(_SORTED_YEARS, year, side="right")) - 1
+    if idx < 0:
         raise ValueError(f"no commercial systems introduced by {year}")
-    return max(candidates)
+    return float(_RUNNING_MAX_MTOPS[idx])
+
+
+def max_available_mtops_series(
+    years: "np.ndarray | list[float]",
+) -> np.ndarray:
+    """Line D evaluated over a whole year grid in one pass.
+
+    Array-in/array-out companion of :func:`max_available_mtops`; grid
+    points before the first cataloged system get 0.0 rather than raising,
+    so callers can scan arbitrary grids without pre-clipping.
+    """
+    grid = np.asarray(years, dtype=float)
+    idx = np.searchsorted(_SORTED_YEARS, grid, side="right") - 1
+    out = np.zeros(grid.shape)
+    mask = idx >= 0
+    out[mask] = _RUNNING_MAX_MTOPS[idx[mask]]
+    return out

@@ -17,6 +17,9 @@ definition.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
+
+import numpy as np
 
 from repro._util import check_year
 from repro.machines.microprocessors import find_micro
@@ -32,6 +35,7 @@ __all__ = [
     "FOREIGN_SYSTEMS",
     "foreign_by_country",
     "max_indigenous_mtops",
+    "max_indigenous_mtops_series",
 ]
 
 
@@ -152,17 +156,35 @@ FOREIGN_SYSTEMS: tuple[MachineSpec, ...] = (
 )
 
 
+@lru_cache(maxsize=None)
+def _country_index(
+    country: ForeignCountry,
+) -> tuple[tuple[MachineSpec, ...], np.ndarray, np.ndarray]:
+    """(year-sorted systems, year array, running-max ratings) per country,
+    computed once — country curves are queried per grid point otherwise."""
+    specs = tuple(
+        sorted(
+            (m for m in FOREIGN_SYSTEMS if m.country == country.value),
+            key=lambda m: (m.year, m.key),
+        )
+    )
+    years = np.array([m.year for m in specs])
+    running = (np.maximum.accumulate(np.array([m.ctp_mtops for m in specs]))
+               if specs else np.empty(0))
+    years.setflags(write=False)
+    running.setflags(write=False)
+    return specs, years, running
+
+
 def foreign_by_country(
     country: ForeignCountry, through: float | None = None
 ) -> list[MachineSpec]:
     """Systems of one country sorted by year, optionally truncated."""
-    specs = sorted(
-        (m for m in FOREIGN_SYSTEMS if m.country == country.value),
-        key=lambda m: (m.year, m.key),
-    )
-    if through is not None:
-        specs = [m for m in specs if m.year <= through]
-    return specs
+    specs, years, _ = _country_index(country)
+    if through is None:
+        return list(specs)
+    cut = int(np.searchsorted(years, through, side="right"))
+    return list(specs[:cut])
 
 
 def max_indigenous_mtops(country: ForeignCountry, year: float) -> float:
@@ -174,6 +196,20 @@ def max_indigenous_mtops(country: ForeignCountry, year: float) -> float:
     in use in countries of national security concern" (Chapter 2).
     """
     check_year(year, "year")
-    ratings = [m.ctp_mtops for m in FOREIGN_SYSTEMS
-               if m.country == country.value and m.year <= year]
-    return max(ratings, default=0.0)
+    _, years, running = _country_index(country)
+    idx = int(np.searchsorted(years, year, side="right")) - 1
+    return float(running[idx]) if idx >= 0 else 0.0
+
+
+def max_indigenous_mtops_series(
+    country: ForeignCountry, years: np.ndarray | list[float]
+) -> np.ndarray:
+    """One country's running-max capability over a whole year grid."""
+    _, sys_years, running = _country_index(country)
+    grid = np.asarray(years, dtype=float)
+    idx = np.searchsorted(sys_years, grid, side="right") - 1
+    out = np.zeros(grid.shape)
+    mask = idx >= 0
+    if running.size:
+        out[mask] = running[idx[mask]]
+    return out

@@ -1,0 +1,14 @@
+"""Performance measurement for the batch evaluation layer.
+
+The benchmark suite times the library's hot paths — batch CTP rating,
+frontier queries over year grids, the Monte-Carlo sensitivity analyses,
+the premise scans, and keysearch bit expansion — against seed-faithful
+scalar reference implementations (:mod:`repro.perf.reference`), reporting
+min-of-k wall times and speedups.  Run it with ``python -m repro bench``
+or via :func:`repro.perf.workloads.run_benchmarks`.
+"""
+
+from repro.perf.harness import Timing, time_workload
+from repro.perf.workloads import BENCH_PATH, run_benchmarks
+
+__all__ = ["Timing", "time_workload", "run_benchmarks", "BENCH_PATH"]

@@ -1,0 +1,64 @@
+"""Min-of-k wall-clock timing with warmup.
+
+``time_workload`` runs a no-argument callable ``warmup`` times unmeasured
+(to populate caches, JIT the first numpy dispatch, fault in pages), then
+``repeats`` measured times, and reports the *minimum* — the standard
+low-noise estimator for a deterministic workload (mean and max only add
+scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["Timing", "time_workload"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """One timed workload."""
+
+    name: str
+    best_seconds: float
+    mean_seconds: float
+    repeats: int
+    warmup: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "best_seconds": self.best_seconds,
+            "mean_seconds": self.mean_seconds,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+
+def time_workload(
+    fn: Callable[[], object],
+    name: str,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Timing:
+    """Time ``fn`` (min over ``repeats`` runs after ``warmup`` unmeasured
+    runs)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return Timing(
+        name=name,
+        best_seconds=min(times),
+        mean_seconds=sum(times) / len(times),
+        repeats=repeats,
+        warmup=warmup,
+    )

@@ -1,0 +1,155 @@
+"""Seed-faithful scalar reference implementations.
+
+These replicate the pre-batch-layer algorithms — per-call catalog scans,
+uncached factor scoring, one frontier rebuild per Monte-Carlo draw, per-bit
+key expansion — so the benchmark suite measures honest speedups against
+what the code actually did, not against a strawman.  They deliberately
+bypass every cache the batch layer added (``cached_scores``, the frontier
+index, the credit prefix sums): do **not** use them outside benchmarks and
+parity tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.controllability.factors import FactorScores
+from repro.controllability.index import (
+    Classification,
+    ControllabilityWeights,
+    DEFAULT_WEIGHTS,
+)
+from repro.core.sensitivity import sample_weights
+from repro.crypto.des import int_to_bits
+from repro.ctp import ComputingElement, Coupling, ctp
+from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines.foreign import FOREIGN_SYSTEMS, ForeignCountry
+from repro.machines.spec import MachineSpec
+
+__all__ = [
+    "assess_classification_scalar",
+    "lower_bound_uncontrollable_scalar",
+    "frontier_series_scalar",
+    "bound_sensitivity_scalar",
+    "ctp_loop_scalar",
+    "foreign_envelope_scalar",
+    "premise3_gap_series_scalar",
+    "candidate_bits_scalar",
+]
+
+UNCONTROLLABILITY_LAG_YEARS = 2.0
+
+
+def assess_classification_scalar(
+    machine: MachineSpec,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+) -> Classification:
+    """Seed ``assess``: factor scores recomputed on every call."""
+    scores = FactorScores.of(machine)
+    index = (
+        weights.size * scores.size
+        + weights.units * scores.units
+        + weights.channel * scores.channel
+        + weights.price * scores.price
+        + weights.scalability * scores.scalability
+    )
+    if index < weights.uncontrollable_below:
+        return Classification.UNCONTROLLABLE
+    if index < weights.controllable_at:
+        return Classification.MARGINAL
+    return Classification.CONTROLLABLE
+
+
+def lower_bound_uncontrollable_scalar(
+    year: float,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+    lag_years: float = UNCONTROLLABILITY_LAG_YEARS,
+) -> float:
+    """Seed frontier query: one full catalog re-assessment per call."""
+    best = 0.0
+    for m in COMMERCIAL_SYSTEMS:
+        if m.year + lag_years > year:
+            continue
+        if (assess_classification_scalar(m, weights)
+                is not Classification.UNCONTROLLABLE):
+            continue
+        rating = m.max_configuration().ctp_mtops
+        if rating > best:
+            best = rating
+    return best
+
+
+def frontier_series_scalar(
+    years: Sequence[float] | np.ndarray,
+    weights: ControllabilityWeights = DEFAULT_WEIGHTS,
+) -> np.ndarray:
+    """Seed year-grid frontier: one catalog rescan per grid point."""
+    return np.array(
+        [lower_bound_uncontrollable_scalar(float(y), weights) for y in years]
+    )
+
+
+def bound_sensitivity_scalar(
+    year: float = 1995.5,
+    n_samples: int = 200,
+    seed: int = 0,
+    concentration: float = 60.0,
+) -> np.ndarray:
+    """Seed Monte-Carlo: one frontier rebuild per weight draw."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples]))
+    samples = np.empty(n_samples)
+    for i in range(n_samples):
+        weights = sample_weights(rng, concentration)
+        samples[i] = lower_bound_uncontrollable_scalar(year, weights)
+    return samples
+
+
+def ctp_loop_scalar(
+    configurations: Sequence[Sequence[ComputingElement]],
+    coupling: Coupling,
+) -> np.ndarray:
+    """Seed batch rating: one scalar ``ctp`` call per configuration."""
+    return np.array([ctp(elements, coupling) for elements in configurations])
+
+
+def foreign_envelope_scalar(year: float) -> float:
+    """Seed foreign envelope: full foreign-catalog scan per country."""
+    best = 0.0
+    for country in ForeignCountry:
+        ratings = [m.ctp_mtops for m in FOREIGN_SYSTEMS
+                   if m.country == country.value and m.year <= year]
+        best = max(best, max(ratings, default=0.0))
+    return best
+
+
+def premise3_gap_series_scalar(
+    years: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Seed premise-3 scan: per-year bound derivation with catalog rescans."""
+    out = np.empty(len(years))
+    for i, year in enumerate(np.asarray(years, dtype=float)):
+        lower = max(
+            lower_bound_uncontrollable_scalar(float(year)),
+            foreign_envelope_scalar(float(year)),
+        )
+        upper = max(
+            (m.ctp_mtops for m in COMMERCIAL_SYSTEMS if m.year <= year),
+            default=0.0,
+        )
+        out[i] = np.inf if lower == 0 else upper / lower
+    return out
+
+
+def candidate_bits_scalar(
+    base_key: int, offsets: np.ndarray, search_bits: int
+) -> np.ndarray:
+    """Seed key expansion: one column assignment per searched bit."""
+    mask = (1 << search_bits) - 1
+    base = base_key & ~mask
+    bits = np.empty((offsets.size, 64), dtype=bool)
+    bits[:] = int_to_bits(base, 64)
+    for j in range(search_bits):
+        bits[:, 63 - j] = (offsets >> j) & 1
+    return bits

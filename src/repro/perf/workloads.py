@@ -1,0 +1,194 @@
+"""The benchmark workloads: five hot paths, batch vs seed-scalar.
+
+Each workload times the batch-layer implementation against the
+seed-faithful scalar reference on the same inputs, checks they agree, and
+reports the speedup.  ``run_benchmarks`` executes the suite and writes
+``BENCH_perf.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto.keysearch import _candidate_bits
+from repro.ctp import ComputingElement, Coupling
+from repro.ctp.batch import clear_credit_cache, ctp_homogeneous_batch
+from repro.perf.harness import Timing, time_workload
+from repro.perf import reference as ref
+
+__all__ = ["BENCH_PATH", "WORKLOAD_NAMES", "run_benchmarks"]
+
+#: Default output location (the repository root when run from it).
+BENCH_PATH = Path("BENCH_perf.json")
+
+WORKLOAD_NAMES = (
+    "batch_ctp_rating",
+    "frontier_year_grid",
+    "bound_sensitivity_mc",
+    "premise3_gap_scan",
+    "keysearch_bit_expansion",
+)
+
+
+def _rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    denom = np.maximum(np.abs(a), 1e-30)
+    return float(np.max(np.abs(a - b) / denom)) if a.size else 0.0
+
+
+def _synthetic_configurations(n: int) -> list[list[ComputingElement]]:
+    """Deterministic mixed-size configurations exercising the rating path."""
+    configs = []
+    for i in range(n):
+        clock = 40.0 + 7.0 * (i % 23)
+        size = 1 + (i % 16)
+        element = ComputingElement(
+            name=f"bench-{i}", clock_mhz=clock,
+            word_bits=64.0 if i % 3 else 32.0,
+            fp_ops_per_cycle=1.0 + (i % 4),
+            int_ops_per_cycle=1.0 + (i % 2),
+            concurrent_int_fp=bool(i % 5 == 0),
+        )
+        configs.append([element] * size)
+    return configs
+
+
+def _bench_batch_ctp(quick: bool) -> dict:
+    n = 200 if quick else 2_000
+    configs = _synthetic_configurations(n)
+    elements = [cfg[0] for cfg in configs]
+    ns = np.array([len(cfg) for cfg in configs])
+    coupling = Coupling.SHARED
+    clear_credit_cache()
+    batch_out = ctp_homogeneous_batch(elements, ns, coupling)
+    scalar_out = ref.ctp_loop_scalar(configs, coupling)
+    scalar = time_workload(lambda: ref.ctp_loop_scalar(configs, coupling),
+                           "scalar", repeats=3 if quick else 5)
+    fast = time_workload(
+        lambda: ctp_homogeneous_batch(elements, ns, coupling), "batch",
+        repeats=5 if quick else 9)
+    return _row("batch_ctp_rating",
+                f"rate {n} homogeneous configurations (scalar ctp loop vs "
+                f"ctp_homogeneous_batch with warm credit prefix sums)",
+                scalar, fast, _rel_err(scalar_out, batch_out))
+
+
+def _bench_frontier_grid(quick: bool) -> dict:
+    from repro.controllability.frontier import frontier_series
+
+    step = 0.05 if quick else 0.01
+    years = np.arange(1988.0, 2000.0, step)
+    batch_out = frontier_series(years)
+    scalar_out = ref.frontier_series_scalar(years)
+    scalar = time_workload(lambda: ref.frontier_series_scalar(years),
+                           "scalar", repeats=2 if quick else 3)
+    fast = time_workload(lambda: frontier_series(years), "batch",
+                         repeats=5 if quick else 9)
+    return _row("frontier_year_grid",
+                f"frontier lower bound on a {years.size}-point year grid "
+                f"(per-year catalog rescan vs cached running-max bisect)",
+                scalar, fast, _rel_err(scalar_out, batch_out))
+
+
+def _bench_bound_sensitivity(quick: bool) -> dict:
+    from repro.core.sensitivity import bound_sensitivity
+
+    n = 100 if quick else 1_000
+    batch_out = np.sort(bound_sensitivity(1995.5, n).samples_mtops)
+    scalar_out = np.sort(ref.bound_sensitivity_scalar(1995.5, n))
+    scalar = time_workload(lambda: ref.bound_sensitivity_scalar(1995.5, n),
+                           "scalar", repeats=2 if quick else 3)
+    fast = time_workload(lambda: bound_sensitivity(1995.5, n), "batch",
+                         repeats=5 if quick else 9)
+    # Draw layouts differ (array vs interleaved scalar draws), so compare
+    # the sampled distributions by their extremes rather than elementwise.
+    spread = _rel_err(
+        np.array([scalar_out.min(), scalar_out.max()]),
+        np.array([batch_out.min(), batch_out.max()]),
+    )
+    return _row("bound_sensitivity_mc",
+                f"{n}-draw Monte-Carlo of the lower bound (per-draw frontier "
+                f"rebuild vs one matrix pass)",
+                scalar, fast, spread)
+
+
+def _bench_premise_scan(quick: bool) -> dict:
+    from repro.core.scenarios import premise3_gap_series
+
+    step = 0.25 if quick else 0.05
+    years = np.arange(1993.0, 2000.0, step)
+    batch_out = premise3_gap_series(years)
+    scalar_out = ref.premise3_gap_series_scalar(years)
+    scalar = time_workload(lambda: ref.premise3_gap_series_scalar(years),
+                           "scalar", repeats=2 if quick else 3)
+    fast = time_workload(lambda: premise3_gap_series(years), "batch",
+                         repeats=5 if quick else 9)
+    return _row("premise3_gap_scan",
+                f"premise-3 gap factor on a {years.size}-point grid "
+                f"(per-year bound derivation vs series arithmetic)",
+                scalar, fast, _rel_err(scalar_out, batch_out))
+
+
+def _bench_keysearch(quick: bool) -> dict:
+    search_bits = 14 if quick else 18
+    offsets = np.arange(1 << search_bits, dtype=np.int64)
+    batch_out = _candidate_bits(0, offsets, search_bits)
+    scalar_out = ref.candidate_bits_scalar(0, offsets, search_bits)
+    scalar = time_workload(
+        lambda: ref.candidate_bits_scalar(0, offsets, search_bits),
+        "scalar", repeats=5 if quick else 9)
+    fast = time_workload(lambda: _candidate_bits(0, offsets, search_bits),
+                         "batch", repeats=5 if quick else 9)
+    mismatch = float(np.mean(batch_out != scalar_out))
+    return _row("keysearch_bit_expansion",
+                f"expand 2^{search_bits} candidate keys to bit arrays "
+                f"(per-bit loop vs one broadcast unpack)",
+                scalar, fast, mismatch)
+
+
+def _row(name: str, description: str, scalar: Timing, batch: Timing,
+         max_rel_err: float) -> dict:
+    return {
+        "name": name,
+        "description": description,
+        "scalar": scalar.as_dict(),
+        "batch": batch.as_dict(),
+        "speedup": scalar.best_seconds / batch.best_seconds,
+        "max_rel_err": max_rel_err,
+    }
+
+
+_BENCHES = {
+    "batch_ctp_rating": _bench_batch_ctp,
+    "frontier_year_grid": _bench_frontier_grid,
+    "bound_sensitivity_mc": _bench_bound_sensitivity,
+    "premise3_gap_scan": _bench_premise_scan,
+    "keysearch_bit_expansion": _bench_keysearch,
+}
+
+
+def run_benchmarks(
+    quick: bool = False,
+    output: Path | str | None = BENCH_PATH,
+    names: tuple[str, ...] = WORKLOAD_NAMES,
+) -> dict:
+    """Run the suite; write JSON to ``output`` unless it is ``None``."""
+    unknown = set(names) - set(_BENCHES)
+    if unknown:
+        raise ValueError(f"unknown workloads: {sorted(unknown)}")
+    results = [_BENCHES[name](quick) for name in names]
+    payload = {
+        "suite": "repro-perf",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": results,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

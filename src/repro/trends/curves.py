@@ -148,14 +148,19 @@ def loo_prediction_errors(
     v = np.asarray(mtops, dtype=float)
     if y.size < 4 or np.unique(y).size < 3:
         raise ValueError("need >= 4 observations at >= 3 distinct years")
-    errors = np.empty(y.size)
-    for i in range(y.size):
-        mask = np.arange(y.size) != i
-        if np.unique(y[mask]).size < 2:
-            raise ValueError("removing one point degenerates the fit")
-        trend = fit_exponential(y[mask], v[mask])
-        errors[i] = np.log10(v[i] / trend.value(y[i]))
-    return errors
+    if np.any(v <= 0) or not np.all(np.isfinite(v)):
+        raise ValueError("all mtops values must be finite and positive")
+    # Closed form instead of n refits: for OLS the deleted-point prediction
+    # residual is e_i / (1 - h_ii), with h_ii the leverage of point i.
+    x = y - np.min(y)
+    logv = np.log10(v)
+    x_bar = x.mean()
+    sxx = float(np.sum((x - x_bar) ** 2))
+    slope = float(np.sum((x - x_bar) * (logv - logv.mean())) / sxx)
+    intercept = float(logv.mean() - slope * x_bar)
+    resid = logv - (intercept + slope * x)
+    leverage = 1.0 / y.size + (x - x_bar) ** 2 / sxx
+    return resid / (1.0 - leverage)
 
 
 def running_max_series(

@@ -11,10 +11,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_year
-from repro.machines.foreign import ForeignCountry, foreign_by_country, max_indigenous_mtops
+from repro.machines.foreign import (
+    ForeignCountry,
+    foreign_by_country,
+    max_indigenous_mtops,
+    max_indigenous_mtops_series,
+)
 from repro.trends.curves import ExponentialTrend, TrendPoint, fit_exponential
 
-__all__ = ["foreign_points", "foreign_trend", "foreign_envelope_mtops"]
+__all__ = [
+    "foreign_points",
+    "foreign_trend",
+    "foreign_envelope_mtops",
+    "foreign_envelope_series",
+]
 
 
 def foreign_points(
@@ -54,3 +64,16 @@ def foreign_envelope_mtops(year: float) -> float:
     return float(
         np.max([max_indigenous_mtops(c, year) for c in ForeignCountry])
     )
+
+
+def foreign_envelope_series(years: np.ndarray | list[float]) -> np.ndarray:
+    """The foreign envelope over a whole year grid in one pass.
+
+    Array-in/array-out companion of :func:`foreign_envelope_mtops`: the
+    elementwise maximum of the per-country running-max curves.
+    """
+    grid = np.asarray(years, dtype=float)
+    out = np.zeros(grid.shape)
+    for c in ForeignCountry:
+        np.maximum(out, max_indigenous_mtops_series(c, grid), out=out)
+    return out

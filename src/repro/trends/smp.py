@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.machines.catalog import COMMERCIAL_SYSTEMS, commercial_by_architecture
+from repro.machines.catalog import (
+    COMMERCIAL_SYSTEMS,
+    commercial_by_architecture,
+    max_config_mtops,
+)
 from repro.machines.spec import Architecture, MachineSpec
 from repro.trends.curves import ExponentialTrend, TrendPoint, fit_exponential
 
@@ -38,7 +42,7 @@ def smp_systems(through: float | None = None) -> list[MachineSpec]:
     systems = [
         m
         for m in commercial_by_architecture(Architecture.SMP)
-        if m.max_configuration().ctp_mtops >= _FRONTIER_FLOOR_MTOPS
+        if max_config_mtops(m) >= _FRONTIER_FLOOR_MTOPS
     ]
     if through is not None:
         systems = [m for m in systems if m.year <= through]
@@ -54,7 +58,7 @@ def smp_max_config_points(through: float | None = None) -> list[TrendPoint]:
     best: dict[tuple[str, float], TrendPoint] = {}
     for m in smp_systems(through):
         key = (m.vendor, m.year)
-        ceiling = m.max_configuration().ctp_mtops
+        ceiling = max_config_mtops(m)
         prev = best.get(key)
         if prev is None or ceiling > prev.mtops:
             best[key] = TrendPoint(m.year, ceiling, label=m.key)
@@ -66,7 +70,7 @@ def smp_vendor_lines(through: float | None = None) -> dict[str, list[TrendPoint]
     lines: dict[str, list[TrendPoint]] = defaultdict(list)
     for m in smp_systems(through):
         lines[m.vendor].append(
-            TrendPoint(m.year, m.max_configuration().ctp_mtops, label=m.key)
+            TrendPoint(m.year, max_config_mtops(m), label=m.key)
         )
     return {v: sorted(pts, key=lambda p: p.year) for v, pts in sorted(lines.items())}
 

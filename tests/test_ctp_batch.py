@@ -1,0 +1,215 @@
+"""Batch CTP APIs vs the scalar pipeline: exact parity and cache hygiene.
+
+The batch layer must be a pure performance change — every rating it
+produces has to match the scalar ``ctp``/``aggregate`` path to within
+1e-9 relative error on every cataloged machine, every coupling, and
+swept aggregation parameters, and the credit prefix-sum cache must never
+serve one parameterization's sums to another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctp import (
+    ComputingElement,
+    Coupling,
+    CTPParameters,
+    aggregate,
+    aggregate_homogeneous,
+    ctp,
+    ctp_homogeneous,
+    theoretical_performance,
+)
+from repro.ctp.batch import (
+    aggregate_batch,
+    aggregate_homogeneous_batch,
+    clear_credit_cache,
+    credit_cache_info,
+    credit_sums,
+    ctp_batch,
+    ctp_homogeneous_batch,
+    theoretical_performance_batch,
+)
+from repro.machines.catalog import COMMERCIAL_SYSTEMS
+
+MULTI_COUPLINGS = (Coupling.SHARED, Coupling.DISTRIBUTED, Coupling.CLUSTER)
+
+
+def _rel_err(a, b) -> float:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.max(np.abs(a - b) / np.maximum(np.abs(b), 1e-30)))
+
+
+def _elements(n: int) -> list[ComputingElement]:
+    return [
+        ComputingElement(
+            name=f"e{i}", clock_mhz=25.0 + 13.0 * i,
+            word_bits=32.0 if i % 2 else 64.0,
+            fp_ops_per_cycle=float(1 + i % 3),
+            int_ops_per_cycle=float(1 + i % 2),
+            concurrent_int_fp=bool(i % 4 == 0),
+        )
+        for i in range(n)
+    ]
+
+
+class TestTheoreticalPerformanceBatch:
+    def test_matches_scalar_bitwise(self):
+        elements = _elements(17)
+        batch = theoretical_performance_batch(elements)
+        scalar = np.array([theoretical_performance(e) for e in elements])
+        assert np.array_equal(batch, scalar)
+
+    def test_empty(self):
+        assert theoretical_performance_batch([]).shape == (0,)
+
+
+class TestAggregateBatchParity:
+    @pytest.mark.parametrize("coupling", MULTI_COUPLINGS)
+    def test_homogeneous_rows(self, coupling):
+        tps = [50.0, 121.7, 960.0]
+        ns = [1, 2, 7, 64, 513]
+        rows = [[tp] * n for tp in tps for n in ns]
+        batch = aggregate_batch(rows, coupling)
+        scalar = [aggregate(row, coupling) for row in rows]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    @pytest.mark.parametrize("coupling", MULTI_COUPLINGS)
+    def test_heterogeneous_rows(self, coupling):
+        rng = np.random.default_rng(7)
+        rows = [
+            list(rng.uniform(1.0, 2_000.0, size=rng.integers(1, 40)))
+            for _ in range(60)
+        ]
+        batch = aggregate_batch(rows, coupling)
+        scalar = [aggregate(row, coupling) for row in rows]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    def test_single_coupling_rows(self):
+        rows = [[128.0], [53.3], [21_125.0]]
+        batch = aggregate_batch(rows, Coupling.SINGLE)
+        scalar = [aggregate(row, Coupling.SINGLE) for row in rows]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    @pytest.mark.parametrize("params", [
+        CTPParameters(shared_credit=0.6),
+        CTPParameters(distributed_base=0.9, distributed_gamma=0.25),
+        CTPParameters(distributed_gamma=0.0),
+        CTPParameters(cluster_beta=0.8),
+    ])
+    @pytest.mark.parametrize("coupling", MULTI_COUPLINGS)
+    def test_swept_parameters(self, params, coupling):
+        rows = [[100.0] * n for n in (2, 5, 33)] + [[7.0, 400.0, 62.5]]
+        batch = aggregate_batch(rows, coupling, params)
+        scalar = [aggregate(row, coupling, params) for row in rows]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    @pytest.mark.parametrize("beta", [0.1, 0.35, 1.0])
+    def test_cluster_beta_override(self, beta):
+        rows = [[250.0] * 12, [10.0, 20.0, 30.0]]
+        batch = aggregate_batch(rows, Coupling.CLUSTER,
+                                interconnect_beta=beta)
+        scalar = [aggregate(row, Coupling.CLUSTER, interconnect_beta=beta)
+                  for row in rows]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(ValueError):
+            aggregate_batch([[100.0], []], Coupling.SHARED)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            aggregate_batch([[100.0, -1.0]], Coupling.SHARED)
+
+
+class TestCtpBatchParity:
+    @pytest.mark.parametrize("coupling", MULTI_COUPLINGS)
+    def test_heterogeneous_configurations(self, coupling):
+        pool = _elements(9)
+        configurations = [
+            pool[:1], pool[:3], pool[2:9], [pool[4]] * 16, pool[::2],
+        ]
+        batch = ctp_batch(configurations, coupling)
+        scalar = [ctp(cfg, coupling) for cfg in configurations]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    @pytest.mark.parametrize("coupling", MULTI_COUPLINGS)
+    def test_homogeneous_matches_scalar(self, coupling):
+        elements = _elements(6)
+        ns = np.array([1, 2, 8, 100, 3, 17])
+        batch = ctp_homogeneous_batch(elements, ns, coupling)
+        scalar = [ctp_homogeneous(e, int(n), coupling)
+                  for e, n in zip(elements, ns)]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    def test_homogeneous_against_aggregate_homogeneous(self):
+        tps = np.array([10.0, 420.0])
+        ns = np.array([5, 12])
+        batch = aggregate_homogeneous_batch(tps, ns, Coupling.DISTRIBUTED)
+        scalar = [aggregate_homogeneous(float(tp), int(n),
+                                        Coupling.DISTRIBUTED)
+                  for tp, n in zip(tps, ns)]
+        assert _rel_err(batch, scalar) <= 1e-9
+
+    def test_every_cataloged_machine(self):
+        """Batch rating of each catalog machine's element configuration
+        matches its scalar computed CTP to <= 1e-9 relative error."""
+        rateable = [m for m in COMMERCIAL_SYSTEMS if m.element is not None]
+        assert rateable, "catalog has no element-backed machines to check"
+        couplings = {m.architecture.coupling for m in rateable}
+        for coupling in couplings:
+            group = [m for m in rateable
+                     if m.architecture.coupling is coupling]
+            batch = ctp_batch(
+                [[m.element] * m.n_processors for m in group], coupling
+            )
+            scalar = [m.computed_ctp_mtops() for m in group]
+            assert _rel_err(batch, scalar) <= 1e-9
+
+
+class TestCreditCache:
+    def setup_method(self):
+        clear_credit_cache()
+
+    def test_cache_reused_for_same_key(self):
+        credit_sums(50, Coupling.SHARED)
+        entries_before = credit_cache_info()["entries"]
+        credit_sums(30, Coupling.SHARED)  # smaller n, same key: no new entry
+        assert credit_cache_info()["entries"] == entries_before
+
+    def test_distinct_params_get_distinct_entries(self):
+        """Regression: cached schedules must be invalidated (re-keyed)
+        when the aggregation parameters differ."""
+        default = credit_sums(10, Coupling.DISTRIBUTED)
+        swept = credit_sums(
+            10, Coupling.DISTRIBUTED,
+            params=CTPParameters(distributed_gamma=0.0),
+        )
+        assert credit_cache_info()["entries"] == 2
+        assert not np.allclose(default[:10], swept[:10])
+        # And each agrees with its own scalar schedule.
+        for params, sums in ((CTPParameters(), default),
+                             (CTPParameters(distributed_gamma=0.0), swept)):
+            scalar = [aggregate_homogeneous(1.0, n, Coupling.DISTRIBUTED,
+                                            params)
+                      for n in range(1, 11)]
+            assert _rel_err(sums[:10], scalar) <= 1e-9
+
+    def test_cluster_beta_is_part_of_the_key(self):
+        a = credit_sums(8, Coupling.CLUSTER)
+        b = credit_sums(8, Coupling.CLUSTER, interconnect_beta=0.9)
+        assert credit_cache_info()["entries"] == 2
+        assert not np.allclose(a[:8], b[:8])
+
+    def test_cached_sums_are_read_only(self):
+        sums = credit_sums(5, Coupling.SHARED)
+        with pytest.raises(ValueError):
+            sums[0] = 99.0
+
+    def test_clear(self):
+        credit_sums(5, Coupling.SHARED)
+        clear_credit_cache()
+        assert credit_cache_info()["entries"] == 0
