@@ -40,11 +40,29 @@ from repro.core import (
 from repro.core.threshold import ThresholdPolicy
 from repro.ctp import Coupling, ComputingElement, ctp, ctp_homogeneous
 from repro.machines import COMMERCIAL_SYSTEMS, FOREIGN_SYSTEMS, MachineSpec
+from repro.obs import (
+    CatalogLookupError,
+    ReproError,
+    ThresholdInfeasibleError,
+    TrendFitError,
+    ValidationError,
+    metrics_snapshot,
+    profile,
+    trace,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "ReproError",
+    "ValidationError",
+    "CatalogLookupError",
+    "ThresholdInfeasibleError",
+    "TrendFitError",
+    "trace",
+    "profile",
+    "metrics_snapshot",
     "derive_bounds",
     "evaluate_premises",
     "headline_summary",

@@ -4,12 +4,18 @@ Dates throughout the library are *decimal years* (e.g. ``1995.5`` means
 mid-1995), matching the paper's timeline granularity.  Performance values are
 Mtops (millions of theoretical operations per second) unless a name says
 otherwise (``mflops``, ``mips``).
+
+All validators raise :class:`repro.obs.ValidationError` (a ``ValueError``
+subclass) with a context payload naming the offending value and the valid
+range, so the CLI can print actionable one-line diagnostics.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
+
+from repro.obs.errors import ValidationError
 
 __all__ = [
     "check_positive",
@@ -28,26 +34,35 @@ YEAR_MAX = 2050.0
 
 
 def check_positive(value: float, name: str) -> float:
-    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    """Return ``value`` if strictly positive, else raise ``ValidationError``."""
     value = float(value)
     if not math.isfinite(value) or value <= 0.0:
-        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+        raise ValidationError(
+            f"{name} must be a finite positive number, got {value!r}",
+            context={"name": name, "got": value, "valid": "> 0"},
+        )
     return value
 
 
 def check_non_negative(value: float, name: str) -> float:
-    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    """Return ``value`` if >= 0, else raise ``ValidationError``."""
     value = float(value)
     if not math.isfinite(value) or value < 0.0:
-        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+        raise ValidationError(
+            f"{name} must be a finite non-negative number, got {value!r}",
+            context={"name": name, "got": value, "valid": ">= 0"},
+        )
     return value
 
 
 def check_fraction(value: float, name: str) -> float:
-    """Return ``value`` if within [0, 1], else raise ``ValueError``."""
+    """Return ``value`` if within [0, 1], else raise ``ValidationError``."""
     value = float(value)
     if not math.isfinite(value) or not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+        raise ValidationError(
+            f"{name} must lie in [0, 1], got {value!r}",
+            context={"name": name, "got": value, "valid": "[0, 1]"},
+        )
     return value
 
 
@@ -55,8 +70,11 @@ def check_year(value: float, name: str = "year") -> float:
     """Validate a decimal year; guards against unit mix-ups."""
     value = float(value)
     if not math.isfinite(value) or not YEAR_MIN <= value <= YEAR_MAX:
-        raise ValueError(
-            f"{name} must be a decimal year in [{YEAR_MIN}, {YEAR_MAX}], got {value!r}"
+        raise ValidationError(
+            f"{name} must be a decimal year in [{YEAR_MIN}, {YEAR_MAX}], "
+            f"got {value!r}",
+            context={"name": name, "got": value,
+                     "valid": f"[{YEAR_MIN}, {YEAR_MAX}]"},
         )
     return value
 
@@ -71,7 +89,10 @@ def geometric_interp(x0: float, y0: float, x1: float, y1: float, x: float) -> fl
     y1 = check_positive(y1, "y1")
     if x1 == x0:
         if y0 != y1:
-            raise ValueError("degenerate interpolation: x0 == x1 but y0 != y1")
+            raise ValidationError(
+                "degenerate interpolation: x0 == x1 but y0 != y1",
+                context={"x0": x0, "y0": y0, "y1": y1},
+            )
         return y0
     t = (x - x0) / (x1 - x0)
     return math.exp(math.log(y0) * (1.0 - t) + math.log(y1) * t)
@@ -93,7 +114,10 @@ def year_range(start: float, stop: float, step: float = 0.25) -> list[float]:
     check_year(stop, "stop")
     check_positive(step, "step")
     if stop < start:
-        raise ValueError(f"stop ({stop}) must be >= start ({start})")
+        raise ValidationError(
+            f"stop ({stop}) must be >= start ({start})",
+            context={"start": start, "stop": stop},
+        )
     n = int(round((stop - start) / step))
     years = [start + i * step for i in range(n + 1)]
     # Guard against accumulating past `stop` by more than float noise.
@@ -110,8 +134,14 @@ def as_sorted_unique(values: Iterable[float]) -> list[float]:
 def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     """Weighted arithmetic mean with validation."""
     if len(values) != len(weights):
-        raise ValueError("values and weights must have the same length")
+        raise ValidationError(
+            "values and weights must have the same length",
+            context={"values": len(values), "weights": len(weights)},
+        )
     total = sum(weights)
     if total <= 0:
-        raise ValueError("weights must sum to a positive number")
+        raise ValidationError(
+            "weights must sum to a positive number",
+            context={"got": total, "valid": "> 0"},
+        )
     return sum(v * w for v, w in zip(values, weights)) / total

@@ -30,6 +30,8 @@ from repro.ctp import ComputingElement, Coupling, ctp_homogeneous
 from repro.controllability.index import assess
 from repro.diffusion.policy import ExportControlPolicy, threshold_at
 from repro.machines.catalog import COMMERCIAL_SYSTEMS, find_machine
+from repro.obs.errors import ReproError, ValidationError
+from repro.obs.trace import profile
 from repro.reporting.tables import render_table
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=[p.name.lower() for p in ThresholdPolicy],
         default="control_what_can_be_controlled",
     )
+    p_review.add_argument("--profile", action="store_true",
+                          help="print a span/counter profile after the output")
 
     sub.add_parser("headline", help="paper-vs-reproduction headline table")
 
@@ -85,6 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument("--year", type=float, default=1995.5)
     p_sens.add_argument("--samples", type=int, default=200)
     p_sens.add_argument("--seed", type=int, default=0)
+    p_sens.add_argument("--profile", action="store_true",
+                        help="print a span/counter profile after the output")
 
     p_sim = sub.add_parser(
         "simulate", help="run a workload across the architecture spectrum"
@@ -114,6 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="smaller inputs and fewer repeats (CI smoke)")
     p_bench.add_argument("--output", type=str, default="BENCH_perf.json",
                          help='JSON output path ("-" to skip writing)')
+    p_bench.add_argument("--profile", action="store_true",
+                         help="print a span/counter profile after the output")
 
     return parser
 
@@ -165,7 +173,38 @@ def _cmd_headline(_args: argparse.Namespace) -> str:
     )
 
 
+def _validate_rate_args(args: argparse.Namespace) -> None:
+    """Reject bad ``rate`` flags up front, naming the flag the user typed
+    rather than the internal field the value would have landed in."""
+    if not args.clock_mhz > 0:
+        raise ValidationError(
+            f"--clock-mhz must be positive (got {args.clock_mhz:g})",
+            context={"flag": "--clock-mhz", "got": args.clock_mhz,
+                     "valid": "> 0"},
+        )
+    if not args.word_bits > 0:
+        raise ValidationError(
+            f"--word-bits must be positive (got {args.word_bits:g})",
+            context={"flag": "--word-bits", "got": args.word_bits,
+                     "valid": "> 0"},
+        )
+    if args.processors < 1:
+        raise ValidationError(
+            f"--processors must be at least 1 (got {args.processors})",
+            context={"flag": "--processors", "got": args.processors,
+                     "valid": ">= 1"},
+        )
+    for flag, value in (("--fp-per-cycle", args.fp_per_cycle),
+                        ("--int-per-cycle", args.int_per_cycle)):
+        if value < 0:
+            raise ValidationError(
+                f"{flag} must be non-negative (got {value:g})",
+                context={"flag": flag, "got": value, "valid": ">= 0"},
+            )
+
+
 def _cmd_rate(args: argparse.Namespace) -> str:
+    _validate_rate_args(args)
     element = ComputingElement(
         name="cli", clock_mhz=args.clock_mhz, word_bits=args.word_bits,
         fp_ops_per_cycle=args.fp_per_cycle,
@@ -355,13 +394,31 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Commands that accept ``--profile`` run under
+    :func:`repro.obs.profile` and append the rendered span tree and
+    counter deltas after their normal output.  Any
+    :class:`repro.obs.ReproError` becomes a one-line ``error:``
+    diagnostic and a nonzero exit — no traceback.
+    """
     args = build_parser().parse_args(argv)
+    profiling = getattr(args, "profile", False)
     try:
-        print(_COMMANDS[args.command](args))
+        if profiling:
+            with profile() as prof:
+                output = _COMMANDS[args.command](args)
+            print(output)
+            print()
+            print(prof.render())
+        else:
+            print(_COMMANDS[args.command](args))
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         return 0
+    except ReproError as exc:
+        print(f"error: {exc.diagnostic()}")
+        return 1
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}")
         return 1

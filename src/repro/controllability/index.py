@@ -17,6 +17,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro._util import check_fraction
+from repro.obs.errors import ValidationError
 from repro.controllability.factors import FactorScores
 from repro.machines.spec import MachineSpec
 
@@ -66,11 +67,18 @@ class ControllabilityWeights:
     def __post_init__(self) -> None:
         total = self.size + self.units + self.channel + self.price + self.scalability
         if abs(total - 1.0) > 1e-9:
-            raise ValueError(f"factor weights must sum to 1, got {total}")
+            raise ValidationError(
+                f"factor weights must sum to 1, got {total}",
+                context={"got": total, "valid": "sum == 1"},
+            )
         check_fraction(self.uncontrollable_below, "uncontrollable_below")
         check_fraction(self.controllable_at, "controllable_at")
         if self.uncontrollable_below >= self.controllable_at:
-            raise ValueError("uncontrollable_below must be < controllable_at")
+            raise ValidationError(
+                "uncontrollable_below must be < controllable_at",
+                context={"uncontrollable_below": self.uncontrollable_below,
+                         "controllable_at": self.controllable_at},
+            )
 
 
 DEFAULT_WEIGHTS = ControllabilityWeights()
@@ -126,7 +134,10 @@ def index_matrix(weight_rows: np.ndarray, scores: np.ndarray) -> np.ndarray:
     w = np.asarray(weight_rows, dtype=float)
     s = np.asarray(scores, dtype=float)
     if w.ndim != 2 or w.shape[1] != 5 or s.ndim != 2 or s.shape[1] != 5:
-        raise ValueError("weight_rows and scores must have shape (*, 5)")
+        raise ValidationError(
+            "weight_rows and scores must have shape (*, 5)",
+            context={"weights_shape": w.shape, "scores_shape": s.shape},
+        )
     out = w[:, 0:1] * s[None, :, 0]
     for k in range(1, 5):
         out = out + w[:, k:k + 1] * s[None, :, k]

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_year
+from repro.obs.errors import ValidationError
+from repro.obs.trace import trace
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.requirements import ApplicationRequirement
 from repro.controllability.frontier import (
@@ -108,19 +110,28 @@ class ThresholdBounds:
 def derive_bounds(year: float) -> ThresholdBounds:
     """Derive the bounds at one date."""
     check_year(year, "year")
-    lower = lower_bound_mtops(year)
-    protectable = sorted(
-        (a for a in APPLICATIONS
-         if a.year_first <= year and a.min_at(year) > lower),
-        key=lambda a: a.min_at(year),
-    )
-    return ThresholdBounds(
-        year=year,
-        uncontrollable_mtops=lower_bound_uncontrollable(year).mtops,
-        foreign_mtops=foreign_envelope_mtops(year),
-        max_available_mtops=max_available_mtops(year),
-        protectable_applications=tuple(protectable),
-    )
+    with trace("bounds.derive", year=year):
+        with trace("bounds.lower"):
+            lower = lower_bound_mtops(year)
+        with trace("bounds.protectable_apps"):
+            protectable = sorted(
+                (a for a in APPLICATIONS
+                 if a.year_first <= year and a.min_at(year) > lower),
+                key=lambda a: a.min_at(year),
+            )
+        with trace("bounds.frontier"):
+            uncontrollable = lower_bound_uncontrollable(year).mtops
+        with trace("bounds.foreign_envelope"):
+            foreign = foreign_envelope_mtops(year)
+        with trace("bounds.max_available"):
+            max_available = max_available_mtops(year)
+        return ThresholdBounds(
+            year=year,
+            uncontrollable_mtops=uncontrollable,
+            foreign_mtops=foreign,
+            max_available_mtops=max_available,
+            protectable_applications=tuple(protectable),
+        )
 
 
 def application_clusters(
@@ -139,7 +150,8 @@ def application_clusters(
     reproduce them).
     """
     if gap_factor <= 1.0:
-        raise ValueError("gap_factor must exceed 1")
+        raise ValidationError("gap_factor must exceed 1",
+                              context={"got": gap_factor, "valid": "> 1"})
     bounds = derive_bounds(year)
     apps = list(bounds.protectable_applications)
     if missions is not None:

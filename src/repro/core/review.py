@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro._util import check_year
+from repro.obs.trace import trace
 from repro.core.framework import ThresholdBounds, application_clusters, derive_bounds
 from repro.core.premises import PremisesAssessment, evaluate_premises
 from repro.core.threshold import SelectedThreshold, ThresholdPolicy, select_threshold
@@ -52,18 +53,25 @@ def run_annual_review(
 ) -> AnnualReview:
     """Run the full review pipeline for one date."""
     check_year(year, "year")
-    bounds = derive_bounds(year)
-    clusters = tuple(
-        (start, len(members)) for start, members in application_clusters(year)
-    )
-    return AnnualReview(
-        year=year,
-        premises=evaluate_premises(year),
-        bounds=bounds,
-        clusters=clusters,
-        recommendation=select_threshold(year, policy),
-        threshold_in_force=threshold_at(year),
-    )
+    with trace("review.run", year=year, policy=policy.name.lower()):
+        bounds = derive_bounds(year)
+        with trace("review.clusters"):
+            clusters = tuple(
+                (start, len(members))
+                for start, members in application_clusters(year)
+            )
+        with trace("review.premises"):
+            premises = evaluate_premises(year)
+        with trace("review.recommendation"):
+            recommendation = select_threshold(year, policy)
+        return AnnualReview(
+            year=year,
+            premises=premises,
+            bounds=bounds,
+            clusters=clusters,
+            recommendation=recommendation,
+            threshold_in_force=threshold_at(year),
+        )
 
 
 def review_series(

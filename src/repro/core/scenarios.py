@@ -21,6 +21,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._util import check_year
+from repro.obs.errors import ValidationError
 from repro.apps.catalog import APPLICATIONS, drifted_min_matrix, requirement_arrays
 from repro.controllability.frontier import (
     projected_frontier_mtops,
@@ -134,9 +135,13 @@ def premise1_with_renewal(
     check_year(start, "start")
     check_year(horizon, "horizon")
     if new_app_interval_years <= 0:
-        raise ValueError("new_app_interval_years must be positive")
+        raise ValidationError("new_app_interval_years must be positive",
+                              context={"got": new_app_interval_years,
+                                       "valid": "> 0"})
     if frontier_multiple <= 0:
-        raise ValueError("frontier_multiple must be positive")
+        raise ValidationError("frontier_multiple must be positive",
+                              context={"got": frontier_multiple,
+                                       "valid": "> 0"})
     from repro.apps.requirements import DRIFT_RATE_PER_YEAR
 
     # Same accumulated grid as the seed loop (year += step), so results

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_year
+from repro.obs.errors import ValidationError
+from repro.obs.trace import trace
 from repro.controllability.frontier import UNCONTROLLABILITY_LAG_YEARS
 from repro.controllability.index import (
     CLASS_BY_CODE,
@@ -57,9 +59,11 @@ def sample_weights(
     uniform jitter of ±``cut_jitter``.
     """
     if concentration <= 0:
-        raise ValueError("concentration must be positive")
+        raise ValidationError("concentration must be positive",
+                              context={"got": concentration, "valid": "> 0"})
     if not 0.0 <= cut_jitter < 0.1:
-        raise ValueError("cut_jitter must be in [0, 0.1)")
+        raise ValidationError("cut_jitter must be in [0, 0.1)",
+                              context={"got": cut_jitter, "valid": "[0, 0.1)"})
     base = np.array([
         DEFAULT_WEIGHTS.size, DEFAULT_WEIGHTS.units, DEFAULT_WEIGHTS.channel,
         DEFAULT_WEIGHTS.price, DEFAULT_WEIGHTS.scalability,
@@ -94,11 +98,14 @@ def sample_weights_batch(
     draws instead of ``3 * n_samples`` scalar ones.
     """
     if concentration <= 0:
-        raise ValueError("concentration must be positive")
+        raise ValidationError("concentration must be positive",
+                              context={"got": concentration, "valid": "> 0"})
     if not 0.0 <= cut_jitter < 0.1:
-        raise ValueError("cut_jitter must be in [0, 0.1)")
+        raise ValidationError("cut_jitter must be in [0, 0.1)",
+                              context={"got": cut_jitter, "valid": "[0, 0.1)"})
     if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
+        raise ValidationError("n_samples must be >= 1",
+                              context={"got": n_samples, "valid": ">= 1"})
     base = np.array([
         DEFAULT_WEIGHTS.size, DEFAULT_WEIGHTS.units, DEFAULT_WEIGHTS.channel,
         DEFAULT_WEIGHTS.price, DEFAULT_WEIGHTS.scalability,
@@ -143,7 +150,8 @@ class BoundSensitivity:
     def fraction_in_band(self, low: float, high: float) -> float:
         """Fraction of draws inside a band (e.g. the paper's 4-5k)."""
         if high <= low:
-            raise ValueError("high must exceed low")
+            raise ValidationError("high must exceed low",
+                                  context={"low": low, "high": high})
         inside = (self.samples_mtops >= low) & (self.samples_mtops <= high)
         return float(np.mean(inside))
 
@@ -162,17 +170,24 @@ def bound_sensitivity(
     """
     check_year(year, "year")
     if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
-    rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples]))
-    weights, low, _high = sample_weights_batch(rng, n_samples, concentration)
-    _machines, scores, ratings = _eligible_population(year)
-    if ratings.size == 0:
-        return BoundSensitivity(year=year,
-                                samples_mtops=np.zeros(n_samples))
-    indices = index_matrix(weights, scores)
-    uncontrollable = indices < low[:, None]
-    samples = np.where(uncontrollable, ratings[None, :], 0.0).max(axis=1)
-    return BoundSensitivity(year=year, samples_mtops=samples)
+        raise ValidationError("n_samples must be >= 1",
+                              context={"got": n_samples, "valid": ">= 1"})
+    with trace("sensitivity.bound", samples=n_samples, year=year):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples]))
+        with trace("sensitivity.sample_weights"):
+            weights, low, _high = sample_weights_batch(rng, n_samples,
+                                                       concentration)
+        with trace("sensitivity.score_population"):
+            _machines, scores, ratings = _eligible_population(year)
+        if ratings.size == 0:
+            return BoundSensitivity(year=year,
+                                    samples_mtops=np.zeros(n_samples))
+        with trace("sensitivity.index_matrix"):
+            indices = index_matrix(weights, scores)
+            uncontrollable = indices < low[:, None]
+            samples = np.where(uncontrollable, ratings[None, :],
+                               0.0).max(axis=1)
+        return BoundSensitivity(year=year, samples_mtops=samples)
 
 
 @dataclass(frozen=True)
@@ -206,9 +221,12 @@ def catalog_uncertainty_sensitivity(
     """
     check_year(year, "year")
     if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
+        raise ValidationError("n_samples must be >= 1",
+                              context={"got": n_samples, "valid": ">= 1"})
     if not 0.0 <= sigma_decades <= 0.5:
-        raise ValueError("sigma_decades must lie in [0, 0.5]")
+        raise ValidationError("sigma_decades must lie in [0, 0.5]",
+                              context={"got": sigma_decades,
+                                       "valid": "[0, 0.5]"})
     from repro.controllability.frontier import uncontrollable_population
 
     rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples, 3]))
@@ -239,23 +257,28 @@ def classification_stability(
     from repro.machines.catalog import find_machine
 
     if n_samples < 1:
-        raise ValueError("n_samples must be >= 1")
-    rng = np.random.default_rng(np.random.SeedSequence([seed, n_samples, 7]))
-    weights, low, high = sample_weights_batch(rng, n_samples, concentration)
-    machines = tuple(find_machine(key) for key in TABLE4_SYSTEMS)
-    defaults = [assess(m).classification for m in machines]
-    indices = index_matrix(weights, score_matrix(machines))
-    codes = classify_index_matrix(indices, low[:, None], high[:, None])
-    default_codes = np.array(
-        [CLASS_BY_CODE.index(cls) for cls in defaults], dtype=codes.dtype
-    )
-    agreement = (codes == default_codes[None, :]).mean(axis=0)
-    results = [
-        ClassificationStability(
-            machine_key=key,
-            default_classification=default,
-            agreement=float(agree),
+        raise ValidationError("n_samples must be >= 1",
+                              context={"got": n_samples, "valid": ">= 1"})
+    with trace("sensitivity.classification_stability", samples=n_samples):
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, n_samples, 7]))
+        weights, low, high = sample_weights_batch(rng, n_samples,
+                                                  concentration)
+        machines = tuple(find_machine(key) for key in TABLE4_SYSTEMS)
+        defaults = [assess(m).classification for m in machines]
+        indices = index_matrix(weights, score_matrix(machines))
+        codes = classify_index_matrix(indices, low[:, None], high[:, None])
+        default_codes = np.array(
+            [CLASS_BY_CODE.index(cls) for cls in defaults], dtype=codes.dtype
         )
-        for key, default, agree in zip(TABLE4_SYSTEMS, defaults, agreement)
-    ]
-    return sorted(results, key=lambda r: -r.agreement)
+        agreement = (codes == default_codes[None, :]).mean(axis=0)
+        results = [
+            ClassificationStability(
+                machine_key=key,
+                default_classification=default,
+                agreement=float(agree),
+            )
+            for key, default, agree in zip(TABLE4_SYSTEMS, defaults,
+                                           agreement)
+        ]
+        return sorted(results, key=lambda r: -r.agreement)

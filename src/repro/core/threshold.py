@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_year
+from repro.obs.errors import ValidationError
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.requirements import ApplicationRequirement
 from repro.core.framework import ThresholdBounds, derive_bounds
@@ -120,7 +121,8 @@ def select_threshold(
     requirement they protect.
     """
     if not 0.0 < margin <= 1.0:
-        raise ValueError("margin must be in (0, 1]")
+        raise ValidationError("margin must be in (0, 1]",
+                              context={"got": margin, "valid": "(0, 1]"})
     bounds = derive_bounds(year)
     line_a = bounds.lower_mtops
 

@@ -38,6 +38,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._util import check_fraction, check_non_negative, check_positive
+from repro.obs.errors import ValidationError
 
 __all__ = [
     "Coupling",
@@ -91,7 +92,8 @@ class CTPParameters:
         check_non_negative(self.distributed_gamma, "distributed_gamma")
         check_fraction(self.cluster_beta, "cluster_beta")
         if self.cluster_beta == 0.0:
-            raise ValueError("cluster_beta must be positive")
+            raise ValidationError("cluster_beta must be positive",
+                                  context={"got": 0.0, "valid": "(0, 1]"})
 
 
 DEFAULT_PARAMETERS = CTPParameters()
@@ -118,9 +120,11 @@ def aggregation_credits(
         other couplings.
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}",
+                              context={"got": n, "valid": ">= 1"})
     if coupling is Coupling.SINGLE and n > 1:
-        raise ValueError("SINGLE coupling admits exactly one element")
+        raise ValidationError("SINGLE coupling admits exactly one element",
+                              context={"got": n, "valid": "n == 1"})
 
     credits = np.ones(n)
     if n == 1:
@@ -135,7 +139,8 @@ def aggregation_credits(
         beta = params.cluster_beta if interconnect_beta is None else interconnect_beta
         beta = check_fraction(beta, "interconnect_beta")
         if beta == 0.0:
-            raise ValueError("interconnect_beta must be positive")
+            raise ValidationError("interconnect_beta must be positive",
+                                  context={"got": 0.0, "valid": "(0, 1]"})
         credits[1:] = beta * params.distributed_base / (i - 1.0) ** params.distributed_gamma
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown coupling {coupling!r}")
@@ -154,10 +159,14 @@ def aggregate(
     the formula requires (``TP_1`` is the most powerful element).
     """
     if len(tps) == 0:
-        raise ValueError("at least one computing element is required")
+        raise ValidationError("at least one computing element is required",
+                              context={"got": 0, "valid": ">= 1 element"})
     arr = np.sort(np.asarray(tps, dtype=float))[::-1]
     if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
-        raise ValueError("all theoretical performances must be finite and positive")
+        raise ValidationError(
+            "all theoretical performances must be finite and positive",
+            context={"min": float(arr.min()), "valid": "> 0"},
+        )
     effective = Coupling.SINGLE if len(arr) == 1 else coupling
     credits = aggregation_credits(len(arr), effective, params, interconnect_beta)
     return float(np.dot(credits, arr))
@@ -173,7 +182,8 @@ def aggregate_homogeneous(
     """CTP of ``n`` identical elements of theoretical performance ``tp``."""
     tp = check_positive(tp, "tp")
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}",
+                              context={"got": n, "valid": ">= 1"})
     effective = Coupling.SINGLE if n == 1 else coupling
     credits = aggregation_credits(n, effective, params, interconnect_beta)
     return float(tp * credits.sum())

@@ -32,15 +32,24 @@ shape eventually hit the O(1) path.  Distinct ``params`` (or ``beta``)
 values get distinct cache rows, which is what makes ablation sweeps safe:
 the regression test asserts a swept parameter never reuses a stale
 schedule.
+
+The cache is bounded: ablation sweeps over thousands of distinct
+``(coupling, params, beta)`` rows evict least-recently-used rows beyond
+``CREDIT_CACHE_MAX_ROWS`` instead of growing without bound.  Hits,
+misses, regrows, and evictions are counted through :mod:`repro.obs`
+(``credit_cache.*``) and reported by :func:`credit_cache_info`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro._util import check_fraction
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, counters
 from repro.ctp.aggregate import (
     Coupling,
     CTPParameters,
@@ -84,9 +93,15 @@ def theoretical_performance_batch(
 
 
 # (coupling, params, beta) -> prefix sums [S_1, S_2, ..., S_k] with
-# S_n = sum of the first n credits.  Regrown geometrically on demand.
-_CREDIT_SUM_CACHE: dict[tuple[Coupling, CTPParameters, float | None],
-                        np.ndarray] = {}
+# S_n = sum of the first n credits.  Regrown geometrically on demand,
+# LRU-evicted beyond CREDIT_CACHE_MAX_ROWS.
+_CREDIT_SUM_CACHE: OrderedDict[tuple[Coupling, CTPParameters, float | None],
+                               np.ndarray] = OrderedDict()
+
+#: Generous row bound: a sweep touches a handful of schedules at a time,
+#: so even aggressive ablation grids stay well under this while a runaway
+#: sweep over thousands of distinct parameter rows no longer leaks memory.
+CREDIT_CACHE_MAX_ROWS = 128
 
 
 def _effective_beta(
@@ -103,7 +118,8 @@ def _effective_beta(
     beta = params.cluster_beta if interconnect_beta is None else interconnect_beta
     beta = check_fraction(beta, "interconnect_beta")
     if beta == 0.0:
-        raise ValueError("interconnect_beta must be positive")
+        raise ValidationError("interconnect_beta must be positive",
+                              context={"got": 0.0, "valid": "(0, 1]"})
     return beta
 
 
@@ -120,36 +136,68 @@ def credit_sums(
     view of the cache; do not mutate it.
     """
     if n_max < 1:
-        raise ValueError(f"n_max must be >= 1, got {n_max}")
+        raise ValidationError(f"n_max must be >= 1, got {n_max}",
+                              context={"got": n_max, "valid": ">= 1"})
     key = (coupling, params, _effective_beta(coupling, params, interconnect_beta))
     cached = _CREDIT_SUM_CACHE.get(key)
     if cached is None or cached.size < n_max:
+        if cached is None:
+            counter_inc("credit_cache.misses")
+        else:
+            counter_inc("credit_cache.regrows")
         if coupling is Coupling.SINGLE:
             # SINGLE admits exactly one element; cache the trivial row.
             size = 1
             if n_max > 1:
-                raise ValueError("SINGLE coupling admits exactly one element")
+                raise ValidationError(
+                    "SINGLE coupling admits exactly one element",
+                    context={"got": n_max, "valid": "n == 1"},
+                )
         else:
             size = max(n_max, 2 * (cached.size if cached is not None else 8))
         credits = aggregation_credits(size, coupling, params, interconnect_beta)
         cached = np.cumsum(credits)
         cached.setflags(write=False)
         _CREDIT_SUM_CACHE[key] = cached
+        while len(_CREDIT_SUM_CACHE) > CREDIT_CACHE_MAX_ROWS:
+            _CREDIT_SUM_CACHE.popitem(last=False)
+            counter_inc("credit_cache.evictions")
+    else:
+        counter_inc("credit_cache.hits")
+    _CREDIT_SUM_CACHE.move_to_end(key)
     return cached[:n_max]
 
 
 def credit_cache_info() -> dict[str, int]:
-    """Introspection for tests: number of cached schedules and their total
-    cached length."""
+    """Cache introspection: current contents plus lifetime counters.
+
+    ``entries`` (and its alias ``rows``) is the number of cached schedule
+    rows — accurate after geometric regrow (a regrown row is still one
+    row) and after :func:`clear_credit_cache` (zero).  ``total_length``
+    is the summed length of the cached prefix-sum arrays.  The counters
+    (``hits``/``misses``/``regrows``/``evictions``) accumulate since the
+    last :func:`clear_credit_cache`.
+    """
+    stats = counters()
     return {
         "entries": len(_CREDIT_SUM_CACHE),
+        "rows": len(_CREDIT_SUM_CACHE),
         "total_length": int(sum(a.size for a in _CREDIT_SUM_CACHE.values())),
+        "max_rows": CREDIT_CACHE_MAX_ROWS,
+        "hits": int(stats.get("credit_cache.hits", 0)),
+        "misses": int(stats.get("credit_cache.misses", 0)),
+        "regrows": int(stats.get("credit_cache.regrows", 0)),
+        "evictions": int(stats.get("credit_cache.evictions", 0)),
     }
 
 
 def clear_credit_cache() -> None:
-    """Drop all cached credit schedules (tests and ablation hygiene)."""
+    """Drop all cached credit schedules and reset the ``credit_cache.*``
+    counters (tests and ablation hygiene)."""
+    from repro.obs.trace import reset_counters
+
     _CREDIT_SUM_CACHE.clear()
+    reset_counters("credit_cache.")
 
 
 def aggregate_homogeneous_batch(
@@ -168,16 +216,24 @@ def aggregate_homogeneous_batch(
     tp = np.asarray(tps, dtype=float)
     n = np.asarray(ns, dtype=np.int64)
     if tp.shape != n.shape or tp.ndim != 1:
-        raise ValueError("tps and ns must be 1-D arrays of equal length")
+        raise ValidationError(
+            "tps and ns must be 1-D arrays of equal length",
+            context={"tps_shape": tp.shape, "ns_shape": n.shape},
+        )
     if tp.size == 0:
         return np.empty(0)
     if np.any(tp <= 0) or not np.all(np.isfinite(tp)):
-        raise ValueError("all theoretical performances must be finite and positive")
+        raise ValidationError(
+            "all theoretical performances must be finite and positive",
+            context={"min": float(tp.min()), "valid": "> 0"},
+        )
     if np.any(n < 1):
-        raise ValueError("all element counts must be >= 1")
+        raise ValidationError("all element counts must be >= 1",
+                              context={"min": int(n.min()), "valid": ">= 1"})
     n_max = int(n.max())
     if coupling is Coupling.SINGLE and n_max > 1:
-        raise ValueError("SINGLE coupling admits exactly one element")
+        raise ValidationError("SINGLE coupling admits exactly one element",
+                              context={"got": n_max, "valid": "n == 1"})
     sums = credit_sums(n_max, coupling, params, interconnect_beta)
     return tp * sums[n - 1]
 
@@ -200,15 +256,25 @@ def aggregate_batch(
         return np.empty(0)
     lengths = np.array([r.size for r in rows], dtype=np.int64)
     if np.any(lengths == 0):
-        raise ValueError("at least one computing element is required per configuration")
+        raise ValidationError(
+            "at least one computing element is required per configuration",
+            context={"empty_rows": int(np.sum(lengths == 0)),
+                     "valid": ">= 1 element per configuration"},
+        )
     if coupling is Coupling.SINGLE and int(lengths.max()) > 1:
-        raise ValueError("SINGLE coupling admits exactly one element")
+        raise ValidationError("SINGLE coupling admits exactly one element",
+                              context={"got": int(lengths.max()),
+                                       "valid": "n == 1"})
     for r in rows:
         if r.ndim != 1:
-            raise ValueError("each configuration must be a 1-D sequence of TPs")
+            raise ValidationError(
+                "each configuration must be a 1-D sequence of TPs",
+                context={"got_ndim": r.ndim, "valid": "1-D"},
+            )
         if np.any(r <= 0) or not np.all(np.isfinite(r)):
-            raise ValueError(
-                "all theoretical performances must be finite and positive"
+            raise ValidationError(
+                "all theoretical performances must be finite and positive",
+                context={"min": float(r.min()), "valid": "> 0"},
             )
     k_max = int(lengths.max())
     # Pad with zeros *after* validation: padded slots earn credit times

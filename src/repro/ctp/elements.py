@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import check_non_negative, check_positive
+from repro.obs.errors import ValidationError
 
 __all__ = ["word_length_factor", "ComputingElement"]
 
@@ -79,8 +80,10 @@ class ComputingElement:
         check_non_negative(self.fp_ops_per_cycle, "fp_ops_per_cycle")
         check_non_negative(self.int_ops_per_cycle, "int_ops_per_cycle")
         if self.fp_ops_per_cycle == 0.0 and self.int_ops_per_cycle == 0.0:
-            raise ValueError(
-                f"computing element {self.name!r} has no arithmetic capability"
+            raise ValidationError(
+                f"computing element {self.name!r} has no arithmetic capability",
+                context={"name": self.name,
+                         "valid": "fp_ops_per_cycle or int_ops_per_cycle > 0"},
             )
 
     @property

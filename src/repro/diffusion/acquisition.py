@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_positive, check_year
+from repro.obs.errors import ValidationError
 from repro.controllability.index import assess
 from repro.machines.catalog import COMMERCIAL_SYSTEMS
 from repro.machines.spec import MachineSpec
@@ -161,7 +162,8 @@ def simulate_acquisitions(
     three tries, after which the buyer gives up.
     """
     if n_attempts < 1:
-        raise ValueError("n_attempts must be >= 1")
+        raise ValidationError("n_attempts must be >= 1",
+                              context={"got": n_attempts, "valid": ">= 1"})
     premium = acquisition_premium(target_mtops, year)
     rng = np.random.default_rng(np.random.SeedSequence([seed, n_attempts]))
     if not premium.feasible:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.machines.foreign import FOREIGN_SYSTEMS, ForeignCountry
+from repro.obs.errors import CatalogLookupError
 from repro.machines.microprocessors import MICROPROCESSORS
 
 __all__ = ["AssimilationLag", "observed_lags", "mean_lag_years"]
@@ -76,5 +77,8 @@ def mean_lag_years(country: ForeignCountry | None = None) -> float:
         lags = [lag for lag in lags if lag.country == country.value]
     if not lags:
         name = country.value if country else "any country"
-        raise ValueError(f"no observed adoption lags for {name}")
+        raise CatalogLookupError(
+            f"no observed adoption lags for {name}",
+            context={"got": name},
+        )
     return float(np.mean([lag.lag_years for lag in lags]))

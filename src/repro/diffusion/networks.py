@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._util import check_positive, check_year
+from repro.obs.errors import ValidationError
 from repro.ctp.aggregate import Coupling, aggregate_homogeneous
 from repro.machines.catalog import max_available_mtops
 from repro.trends.moore import micro_mtops_trend
@@ -44,7 +45,8 @@ def network_ctp(
     """Cluster rating under the library's declining-credit schedule."""
     check_positive(node_mtops, "node_mtops")
     if n_nodes < 1:
-        raise ValueError("n_nodes must be >= 1")
+        raise ValidationError("n_nodes must be >= 1",
+                              context={"got": n_nodes, "valid": ">= 1"})
     return aggregate_homogeneous(
         node_mtops, n_nodes, Coupling.CLUSTER,
         interconnect_beta=interconnect_beta,
@@ -60,7 +62,8 @@ def cstac_ctp(node_mtops: float, n_nodes: int) -> float:
     """
     check_positive(node_mtops, "node_mtops")
     if n_nodes < 1:
-        raise ValueError("n_nodes must be >= 1")
+        raise ValidationError("n_nodes must be >= 1",
+                              context={"got": n_nodes, "valid": ">= 1"})
     return 0.75 * n_nodes * node_mtops
 
 
@@ -94,7 +97,8 @@ def building_block_year(
     """
     check_positive(threshold_mtops, "threshold_mtops")
     if n_nodes < 1:
-        raise ValueError("n_nodes must be >= 1")
+        raise ValidationError("n_nodes must be >= 1",
+                              context={"got": n_nodes, "valid": ">= 1"})
     trend = micro_mtops_trend(fit_through)
     # Node Mtops needed under each rule, then invert the trend.
     ours_per_node = threshold_mtops / network_ctp(1.0, n_nodes,
@@ -128,7 +132,8 @@ def premise3_collapse_year(
     returned year an *early* bound).
     """
     if gap_factor <= 1.0:
-        raise ValueError("gap_factor must exceed 1")
+        raise ValidationError("gap_factor must exceed 1",
+                              context={"got": gap_factor, "valid": "> 1"})
     check_year(horizon, "horizon")
     trend = micro_mtops_trend(fit_through)
     year = fit_through

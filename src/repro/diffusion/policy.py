@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass
 
 from repro._util import check_positive, check_year
+from repro.obs.errors import ThresholdInfeasibleError
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.requirements import ApplicationRequirement
 from repro.controllability.frontier import lower_bound_uncontrollable
@@ -87,8 +88,12 @@ def threshold_at(year: float) -> float:
         if era.start_year <= year:
             current = era
     if current is None:
-        raise ValueError(f"no supercomputer threshold defined before "
-                         f"{THRESHOLD_HISTORY[0].start_year}")
+        raise ThresholdInfeasibleError(
+            f"no supercomputer threshold defined before "
+            f"{THRESHOLD_HISTORY[0].start_year}",
+            context={"got": year,
+                     "valid": f">= {THRESHOLD_HISTORY[0].start_year}"},
+        )
     return current.threshold_mtops
 
 

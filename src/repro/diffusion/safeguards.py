@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 
 from repro._util import check_positive
+from repro.obs.errors import ValidationError
 from repro.diffusion.policy import SafeguardTier
 
 __all__ = [
@@ -138,7 +139,8 @@ def indigenous_incentive(
     program choice.
     """
     if not 0.0 <= indigenous_capability_fraction <= 1.0:
-        raise ValueError("capability fraction must lie in [0, 1]")
+        raise ValidationError("capability fraction must lie in [0, 1]",
+                              context={"valid": "[0, 1]"})
     effective_import = plan_for_tier(tier).usability_fraction
     total = effective_import + indigenous_capability_fraction
     if total == 0.0:

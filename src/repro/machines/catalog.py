@@ -18,6 +18,7 @@ configurations (note 47).
 
 from __future__ import annotations
 
+import difflib
 from functools import lru_cache
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.machines.spec import (
     MachineSpec,
     SizeClass,
 )
+from repro.obs.errors import CatalogLookupError, ThresholdInfeasibleError
+from repro.obs.trace import counter_inc
 
 __all__ = [
     "COMMERCIAL_SYSTEMS",
@@ -39,6 +42,7 @@ __all__ = [
     "max_available_mtops",
     "max_available_mtops_series",
     "max_config_mtops",
+    "catalog_index_info",
 ]
 
 
@@ -413,12 +417,38 @@ _BY_KEY = {m.key: m for m in COMMERCIAL_SYSTEMS}
 assert len(_BY_KEY) == len(COMMERCIAL_SYSTEMS), "duplicate machine keys"
 
 
+def _normalize_key(key: str) -> str:
+    """Case-fold and collapse surrounding/internal whitespace, so
+    ``"  cray   c916 "`` resolves to the ``"Cray C916"`` catalog entry."""
+    return " ".join(str(key).split()).casefold()
+
+
+_BY_NORMALIZED_KEY = {_normalize_key(m.key): m for m in COMMERCIAL_SYSTEMS}
+assert len(_BY_NORMALIZED_KEY) == len(COMMERCIAL_SYSTEMS), \
+    "machine keys collide after normalization"
+
+
 def find_machine(key: str) -> MachineSpec:
-    """Look up a commercial system by ``"vendor model"`` key."""
-    try:
-        return _BY_KEY[key]
-    except KeyError:
-        raise KeyError(f"unknown machine {key!r}; known: {sorted(_BY_KEY)}") from None
+    """Look up a commercial system by ``"vendor model"`` key.
+
+    The lookup is forgiving about case and whitespace.  A miss raises
+    :class:`CatalogLookupError` naming the closest catalog keys.
+    """
+    counter_inc("catalog.lookups")
+    machine = _BY_NORMALIZED_KEY.get(_normalize_key(key))
+    if machine is not None:
+        return machine
+    counter_inc("catalog.lookup_misses")
+    closest = difflib.get_close_matches(
+        _normalize_key(key), list(_BY_NORMALIZED_KEY), n=3, cutoff=0.3
+    )
+    suggestions = [_BY_NORMALIZED_KEY[c].key for c in closest]
+    hint = f"; closest: {', '.join(suggestions)}" if suggestions else ""
+    raise CatalogLookupError(
+        f"unknown machine {key!r}{hint}",
+        context={"got": key, "closest": suggestions,
+                 "catalog_size": len(_BY_KEY)},
+    )
 
 
 # Precomputed year-sorted index.  The catalog is immutable after import, so
@@ -471,9 +501,14 @@ def max_available_mtops(year: float) -> float:
     ``year`` — line D of Figure 3 ("the theoretical maximum of the
     threshold is the performance of the most powerful systems available").
     """
+    counter_inc("catalog.bisect_lookups")
     idx = int(np.searchsorted(_SORTED_YEARS, year, side="right")) - 1
     if idx < 0:
-        raise ValueError(f"no commercial systems introduced by {year}")
+        raise ThresholdInfeasibleError(
+            f"no commercial systems introduced by {year}",
+            context={"got": year,
+                     "valid": f">= {float(_SORTED_YEARS[0])}"},
+        )
     return float(_RUNNING_MAX_MTOPS[idx])
 
 
@@ -487,8 +522,26 @@ def max_available_mtops_series(
     so callers can scan arbitrary grids without pre-clipping.
     """
     grid = np.asarray(years, dtype=float)
+    counter_inc("catalog.bisect_lookups")
+    counter_inc("catalog.bisect_grid_points", grid.size)
     idx = np.searchsorted(_SORTED_YEARS, grid, side="right") - 1
     out = np.zeros(grid.shape)
     mask = idx >= 0
     out[mask] = _RUNNING_MAX_MTOPS[idx[mask]]
     return out
+
+
+def catalog_index_info() -> dict[str, int]:
+    """Introspection for :func:`repro.obs.metrics_snapshot`: size of the
+    precomputed year/running-max bisect index."""
+    from repro.obs.trace import counters
+
+    stats = counters()
+    return {
+        "systems": len(COMMERCIAL_SYSTEMS),
+        "year_index_size": int(_SORTED_YEARS.size),
+        "lookups": int(stats.get("catalog.lookups", 0)),
+        "lookup_misses": int(stats.get("catalog.lookup_misses", 0)),
+        "bisect_lookups": int(stats.get("catalog.bisect_lookups", 0)),
+        "bisect_grid_points": int(stats.get("catalog.bisect_grid_points", 0)),
+    }

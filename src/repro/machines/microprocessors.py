@@ -224,14 +224,34 @@ _BY_NAME = {m.name: m for m in MICROPROCESSORS}
 assert len(_BY_NAME) == len(MICROPROCESSORS), "duplicate microprocessor names"
 
 
+_BY_NORMALIZED_NAME = {" ".join(n.split()).casefold(): m
+                       for n, m in _BY_NAME.items()}
+assert len(_BY_NORMALIZED_NAME) == len(_BY_NAME), \
+    "microprocessor names collide after normalization"
+
+
 def find_micro(name: str) -> Microprocessor:
-    """Look up a microprocessor by exact name."""
-    try:
-        return _BY_NAME[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown microprocessor {name!r}; known: {sorted(_BY_NAME)}"
-        ) from None
+    """Look up a microprocessor by name (case/whitespace-insensitive).
+
+    A miss raises :class:`repro.obs.CatalogLookupError` naming the
+    closest cataloged names.
+    """
+    import difflib
+
+    from repro.obs.errors import CatalogLookupError
+
+    micro = _BY_NORMALIZED_NAME.get(" ".join(str(name).split()).casefold())
+    if micro is not None:
+        return micro
+    closest = difflib.get_close_matches(
+        str(name).casefold(), list(_BY_NORMALIZED_NAME), n=3, cutoff=0.3
+    )
+    suggestions = [_BY_NORMALIZED_NAME[c].name for c in closest]
+    hint = f"; closest: {', '.join(suggestions)}" if suggestions else ""
+    raise CatalogLookupError(
+        f"unknown microprocessor {name!r}{hint}",
+        context={"got": name, "closest": suggestions},
+    )
 
 
 def microprocessors_by_year(through: float | None = None) -> list[Microprocessor]:

@@ -1,0 +1,56 @@
+"""repro.obs — observability and robustness subsystem.
+
+* :mod:`repro.obs.errors` — the typed exception taxonomy
+  (:class:`ReproError` and friends) every library raise descends from;
+* :mod:`repro.obs.trace` — nested span timers, monotonic counters, and
+  the :func:`metrics_snapshot` JSON dump behind ``--profile``.
+
+Conventions (see DESIGN.md, "Observability"):
+
+* library code raises only :class:`ReproError` subclasses on bad input,
+  with a ``context`` payload naming the offending value and valid range;
+* span names are dotted ``subsystem.operation`` (``review.bounds``,
+  ``bench.frontier_year_grid``); counters likewise
+  (``credit_cache.hits``, ``frontier.bisect_lookups``);
+* counters are always on (one dict op); spans record only inside a
+  :func:`profile` collector, so the instrumented hot paths stay within
+  noise of their un-instrumented timings.
+"""
+
+from repro.obs.errors import (
+    CatalogLookupError,
+    ReproError,
+    ThresholdInfeasibleError,
+    TrendFitError,
+    ValidationError,
+)
+from repro.obs.trace import (
+    Profile,
+    Span,
+    counter_inc,
+    counters,
+    metrics_snapshot,
+    profile,
+    profiling_active,
+    render_span_tree,
+    reset_counters,
+    trace,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "CatalogLookupError",
+    "ThresholdInfeasibleError",
+    "TrendFitError",
+    "Span",
+    "Profile",
+    "trace",
+    "profile",
+    "profiling_active",
+    "counter_inc",
+    "counters",
+    "reset_counters",
+    "metrics_snapshot",
+    "render_span_tree",
+]

@@ -1,0 +1,238 @@
+"""Lightweight tracing and metrics: nested span timers and counters.
+
+Two instruments, both cheap enough for hot paths:
+
+* **Counters** — monotonic named counts (:func:`counter_inc`), always on.
+  A counter bump is one dict operation; the credit-sum cache, the catalog
+  bisect index, and the frontier index all count their hits, misses, and
+  rebuilds through here.
+* **Spans** — nested wall-clock timers (:func:`trace`), recorded only
+  while a :func:`profile` collector is active.  When no collector is
+  installed, ``trace`` is a no-op context manager, so instrumented
+  library code pays essentially nothing in normal operation.
+
+``repro review --profile`` / ``repro bench --profile`` wrap the command
+in :func:`profile` and print the resulting span tree plus the counter
+deltas.  :func:`metrics_snapshot` returns the whole metric state as a
+JSON-serializable dict; the benchmark suite embeds it in
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+__all__ = [
+    "Span",
+    "Profile",
+    "trace",
+    "profile",
+    "profiling_active",
+    "counter_inc",
+    "counters",
+    "reset_counters",
+    "metrics_snapshot",
+    "render_span_tree",
+]
+
+# ---------------------------------------------------------------------------
+# Counters (always on)
+# ---------------------------------------------------------------------------
+
+_COUNTERS: dict[str, float] = {}
+
+
+def counter_inc(name: str, amount: float = 1) -> None:
+    """Increment the monotonic counter ``name`` by ``amount``."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + amount
+
+
+def counters() -> dict[str, float]:
+    """A copy of all counters."""
+    return dict(_COUNTERS)
+
+
+def reset_counters(prefix: str = "") -> None:
+    """Drop counters, optionally only those under a dotted ``prefix``."""
+    if not prefix:
+        _COUNTERS.clear()
+        return
+    for key in [k for k in _COUNTERS if k.startswith(prefix)]:
+        del _COUNTERS[key]
+
+
+# ---------------------------------------------------------------------------
+# Spans (recorded only under an active profile collector)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed region, with its nested children."""
+
+    name: str
+    elapsed_s: float = 0.0
+    tags: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "tags": dict(self.tags),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class Profile:
+    """Collector of one profiling session: span roots + counter deltas."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.stack: list[Span] = []
+        self.counters_before: dict[str, float] = {}
+        self.counters_delta: dict[str, float] = {}
+
+    def counter_delta(self, name: str) -> float:
+        """Change of one counter over the profiled region (0 if untouched)."""
+        return self.counters_delta.get(name, 0)
+
+    def render(self) -> str:
+        """The span tree plus counter deltas as printable text."""
+        lines = ["profile (wall time per span)"]
+        for root in self.roots:
+            lines.extend(render_span_tree(root, indent=1))
+        cache_lines = [
+            f"  {name:<32s} {value:>10,.0f}"
+            for name, value in sorted(self.counters_delta.items())
+        ]
+        # The credit cache is the headline metric; always show it, even
+        # when the profiled command never touched it.
+        for headline in ("credit_cache.hits", "credit_cache.misses"):
+            if headline not in self.counters_delta:
+                cache_lines.append(f"  {headline:<32s} {0:>10,}")
+        lines.append("counters")
+        lines.extend(sorted(cache_lines))
+        return "\n".join(lines)
+
+
+_ACTIVE: Profile | None = None
+
+
+def profiling_active() -> bool:
+    """True while a :func:`profile` collector is installed."""
+    return _ACTIVE is not None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the profiling-off path.
+
+    ``trace`` is called on hot paths measured in microseconds; returning
+    this singleton instead of constructing a generator-backed context
+    manager keeps the inactive cost to one global read.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+@contextmanager
+def _record_span(prof: Profile, name: str,
+                 tags: dict[str, object]) -> Iterator[Span]:
+    span = Span(name=name, tags=tags)
+    parent = prof.stack[-1].children if prof.stack else prof.roots
+    parent.append(span)
+    prof.stack.append(span)
+    start = time.perf_counter()
+    try:
+        yield span
+    finally:
+        span.elapsed_s = time.perf_counter() - start
+        prof.stack.pop()
+
+
+def trace(name: str, /, **tags: object):
+    """Time a region as a nested span (no-op without an active profile).
+
+    The span name is positional-only so tags may freely use any keyword
+    (including ``name=``).  Yields the :class:`Span` being recorded, or
+    ``None`` when profiling is off, so callers can attach tags
+    conditionally::
+
+        with trace("frontier.series", points=grid.size):
+            ...
+    """
+    prof = _ACTIVE
+    if prof is None:
+        return _NOOP_SPAN
+    return _record_span(prof, name, dict(tags))
+
+
+@contextmanager
+def profile() -> Iterator[Profile]:
+    """Collect spans and counter deltas for the enclosed region."""
+    global _ACTIVE
+    prof = Profile()
+    prof.counters_before = dict(_COUNTERS)
+    previous = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = previous
+        before = prof.counters_before
+        prof.counters_delta = {
+            name: value - before.get(name, 0)
+            for name, value in _COUNTERS.items()
+            if value != before.get(name, 0)
+        }
+
+
+def render_span_tree(span: Span, indent: int = 0) -> list[str]:
+    """Format one span and its subtree, one line per span."""
+    tag_text = ""
+    if span.tags:
+        tag_text = "  [" + ", ".join(f"{k}={v}" for k, v in
+                                     sorted(span.tags.items())) + "]"
+    line = (f"{'  ' * indent}{span.name:<{max(34 - 2 * indent, 8)}s} "
+            f"{span.elapsed_s * 1e3:>9.2f} ms{tag_text}")
+    lines = [line]
+    for child in span.children:
+        lines.extend(render_span_tree(child, indent + 1))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Snapshot
+# ---------------------------------------------------------------------------
+
+
+def metrics_snapshot() -> dict:
+    """All metric state as a JSON-serializable dict.
+
+    Includes the raw counters plus the structured cache/index statistics
+    of the batch layer (credit-sum cache, catalog year index, frontier
+    index).  Imports are deferred so ``repro.obs`` stays import-cycle
+    free at the bottom of the dependency graph.
+    """
+    from repro.controllability.frontier import frontier_index_info
+    from repro.ctp.batch import credit_cache_info
+    from repro.machines.catalog import catalog_index_info
+
+    return {
+        "counters": counters(),
+        "credit_cache": credit_cache_info(),
+        "catalog_index": catalog_index_info(),
+        "frontier_index": frontier_index_info(),
+    }

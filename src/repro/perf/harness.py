@@ -13,6 +13,9 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs.errors import ValidationError
+from repro.obs.trace import trace
+
 __all__ = ["Timing", "time_workload"]
 
 
@@ -45,16 +48,19 @@ def time_workload(
     """Time ``fn`` (min over ``repeats`` runs after ``warmup`` unmeasured
     runs)."""
     if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+        raise ValidationError("repeats must be >= 1",
+                              context={"got": repeats, "valid": ">= 1"})
     if warmup < 0:
-        raise ValueError("warmup must be >= 0")
-    for _ in range(warmup):
-        fn()
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
+        raise ValidationError("warmup must be >= 0",
+                              context={"got": warmup, "valid": ">= 0"})
+    with trace("time_workload", name=name, repeats=repeats, warmup=warmup):
+        for _ in range(warmup):
+            fn()
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
     return Timing(
         name=name,
         best_seconds=min(times),

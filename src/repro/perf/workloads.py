@@ -17,6 +17,8 @@ import numpy as np
 from repro.crypto.keysearch import _candidate_bits
 from repro.ctp import ComputingElement, Coupling
 from repro.ctp.batch import clear_credit_cache, ctp_homogeneous_batch
+from repro.obs.errors import ValidationError
+from repro.obs.trace import metrics_snapshot, trace
 from repro.perf.harness import Timing, time_workload
 from repro.perf import reference as ref
 
@@ -177,17 +179,29 @@ def run_benchmarks(
     output: Path | str | None = BENCH_PATH,
     names: tuple[str, ...] = WORKLOAD_NAMES,
 ) -> dict:
-    """Run the suite; write JSON to ``output`` unless it is ``None``."""
+    """Run the suite; write JSON to ``output`` unless it is ``None``.
+
+    The payload embeds a :func:`repro.obs.metrics_snapshot` taken after
+    the run, so ``BENCH_perf.json`` records the credit-cache and
+    catalog/frontier-index statistics alongside the timings.
+    """
     unknown = set(names) - set(_BENCHES)
     if unknown:
-        raise ValueError(f"unknown workloads: {sorted(unknown)}")
-    results = [_BENCHES[name](quick) for name in names]
+        raise ValidationError(
+            f"unknown workloads: {sorted(unknown)}",
+            context={"got": sorted(unknown), "valid": sorted(_BENCHES)},
+        )
+    results = []
+    for name in names:
+        with trace(f"bench.{name}", quick=quick):
+            results.append(_BENCHES[name](quick))
     payload = {
         "suite": "repro-perf",
         "quick": quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": results,
+        "metrics": metrics_snapshot(),
     }
     if output is not None:
         Path(output).write_text(json.dumps(payload, indent=2) + "\n")

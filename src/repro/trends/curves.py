@@ -15,6 +15,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro._util import check_positive, check_year
+from repro.obs.errors import ThresholdInfeasibleError, TrendFitError, ValidationError
 
 __all__ = [
     "TrendPoint",
@@ -55,7 +56,10 @@ class ExponentialTrend:
     def __post_init__(self) -> None:
         check_year(self.base_year, "base_year")
         if not np.isfinite(self.intercept) or not np.isfinite(self.slope):
-            raise ValueError("trend parameters must be finite")
+            raise TrendFitError(
+                "trend parameters must be finite",
+                context={"intercept": self.intercept, "slope": self.slope},
+            )
 
     def value(self, year: float | np.ndarray) -> float | np.ndarray:
         """Trend value (Mtops) at ``year`` (scalar or array)."""
@@ -83,7 +87,10 @@ class ExponentialTrend:
         """
         mtops = check_positive(mtops, "mtops")
         if self.slope <= 0:
-            raise ValueError("non-increasing trend never reaches a higher level")
+            raise ThresholdInfeasibleError(
+                "non-increasing trend never reaches a higher level",
+                context={"slope": self.slope, "valid": "slope > 0"},
+            )
         return self.base_year + (np.log10(mtops) - self.intercept) / self.slope
 
     def shifted(self, years: float) -> "ExponentialTrend":
@@ -112,11 +119,19 @@ def fit_exponential(
     y = np.asarray(years, dtype=float)
     v = np.asarray(mtops, dtype=float)
     if y.shape != v.shape or y.ndim != 1:
-        raise ValueError("years and mtops must be 1-D arrays of equal length")
+        raise ValidationError(
+            "years and mtops must be 1-D arrays of equal length",
+            context={"years_shape": y.shape, "mtops_shape": v.shape},
+        )
     if y.size < 2 or np.unique(y).size < 2:
-        raise ValueError("need observations at >= 2 distinct years to fit a trend")
+        raise TrendFitError(
+            "need observations at >= 2 distinct years to fit a trend",
+            context={"observations": int(y.size),
+                     "distinct_years": int(np.unique(y).size), "valid": ">= 2"},
+        )
     if np.any(v <= 0) or not np.all(np.isfinite(v)):
-        raise ValueError("all mtops values must be finite and positive")
+        raise TrendFitError("all mtops values must be finite and positive",
+                            context={"min": float(v.min()), "valid": "> 0"})
     base = float(np.min(y)) if base_year is None else float(base_year)
     check_year(base, "base_year")
     x = y - base
@@ -147,9 +162,14 @@ def loo_prediction_errors(
     y = np.asarray(years, dtype=float)
     v = np.asarray(mtops, dtype=float)
     if y.size < 4 or np.unique(y).size < 3:
-        raise ValueError("need >= 4 observations at >= 3 distinct years")
+        raise TrendFitError(
+            "need >= 4 observations at >= 3 distinct years",
+            context={"observations": int(y.size),
+                     "distinct_years": int(np.unique(y).size)},
+        )
     if np.any(v <= 0) or not np.all(np.isfinite(v)):
-        raise ValueError("all mtops values must be finite and positive")
+        raise TrendFitError("all mtops values must be finite and positive",
+                            context={"min": float(v.min()), "valid": "> 0"})
     # Closed form instead of n refits: for OLS the deleted-point prediction
     # residual is e_i / (1 - h_ii), with h_ii the leverage of point i.
     x = y - np.min(y)

@@ -125,3 +125,78 @@ class TestCommands:
         assert code == 0
         assert "4,000-5,000 band" in out
         assert "verdict stability" in out.lower()
+
+
+class TestRateValidation:
+    """Bad ``rate`` flags exit nonzero with a one-line flag-named
+    diagnostic — never a traceback."""
+
+    @pytest.mark.parametrize("argv,flag", [
+        (["rate", "--clock-mhz", "-100"], "--clock-mhz"),
+        (["rate", "--clock-mhz", "0"], "--clock-mhz"),
+        (["rate", "--clock-mhz", "100", "--processors", "0"], "--processors"),
+        (["rate", "--clock-mhz", "100", "--processors", "-4"],
+         "--processors"),
+        (["rate", "--clock-mhz", "100", "--word-bits", "-40"], "--word-bits"),
+        (["rate", "--clock-mhz", "100", "--fp-per-cycle", "-1"],
+         "--fp-per-cycle"),
+        (["rate", "--clock-mhz", "100", "--int-per-cycle", "-1"],
+         "--int-per-cycle"),
+    ])
+    def test_invalid_flag_is_clean_error(self, capsys, argv, flag):
+        code, out = run_cli(capsys, *argv)
+        assert code == 1
+        assert out.startswith("error:")
+        assert flag in out
+        assert "Traceback" not in out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_valid_rate_still_works(self, capsys):
+        code, out = run_cli(capsys, "rate", "--clock-mhz", "100")
+        assert code == 0
+        assert "CTP" in out
+
+
+class TestMachineNormalization:
+    def test_lowercase_key_resolves(self, capsys):
+        code, out = run_cli(capsys, "machine", "cray c916")
+        assert code == 0
+        assert "21,125" in out
+
+    def test_extra_whitespace_resolves(self, capsys):
+        code, out = run_cli(capsys, "machine", "  Cray   C916 ")
+        assert code == 0
+        assert "21,125" in out
+
+    def test_miss_suggests_closest(self, capsys):
+        code, out = run_cli(capsys, "machine", "Cray C917")
+        assert code == 1
+        assert out.startswith("error:")
+        assert "closest" in out
+        assert "Cray C916" in out
+        assert len(out.strip().splitlines()) == 1
+
+
+class TestProfileFlag:
+    def test_review_profile_prints_span_tree_and_cache_counters(self, capsys):
+        code, out = run_cli(capsys, "review", "--profile")
+        assert code == 0
+        assert "premise 1: HOLDS" in out          # normal output intact
+        assert "profile (wall time per span)" in out
+        assert "review.run" in out
+        assert "bounds.derive" in out
+        assert "ms" in out
+        assert "credit_cache.hits" in out
+        assert "credit_cache.misses" in out
+
+    def test_sensitivity_profile(self, capsys):
+        code, out = run_cli(capsys, "sensitivity", "--samples", "25",
+                            "--profile")
+        assert code == 0
+        assert "sensitivity.bound" in out
+        assert "sensitivity.sample_weights" in out
+
+    def test_no_profile_output_by_default(self, capsys):
+        code, out = run_cli(capsys, "review")
+        assert code == 0
+        assert "profile (wall time per span)" not in out

@@ -213,3 +213,66 @@ class TestCreditCache:
         credit_sums(5, Coupling.SHARED)
         clear_credit_cache()
         assert credit_cache_info()["entries"] == 0
+
+
+class TestCreditCacheBound:
+    """The cache is LRU-bounded and its introspection stays accurate."""
+
+    def setup_method(self):
+        clear_credit_cache()
+
+    def teardown_method(self):
+        clear_credit_cache()
+
+    def test_rows_never_exceed_bound(self):
+        from repro.ctp.batch import CREDIT_CACHE_MAX_ROWS
+
+        overflow = CREDIT_CACHE_MAX_ROWS + 20
+        for i in range(overflow):
+            beta = 0.05 + 0.9 * i / overflow  # distinct key per draw
+            credit_sums(4, Coupling.CLUSTER, interconnect_beta=beta)
+        info = credit_cache_info()
+        assert info["rows"] <= CREDIT_CACHE_MAX_ROWS
+        assert info["entries"] == info["rows"]
+        assert info["evictions"] >= 20
+        assert info["misses"] == overflow
+
+    def test_lru_order_keeps_hot_rows(self):
+        from repro.ctp.batch import CREDIT_CACHE_MAX_ROWS
+
+        credit_sums(4, Coupling.SHARED)  # the row to keep hot
+        for i in range(CREDIT_CACHE_MAX_ROWS):
+            beta = 0.05 + 0.9 * i / CREDIT_CACHE_MAX_ROWS
+            credit_sums(4, Coupling.CLUSTER, interconnect_beta=beta)
+            credit_sums(4, Coupling.SHARED)  # touch: moves to MRU end
+        info = credit_cache_info()
+        assert info["evictions"] >= 1
+        hits_before = info["hits"]
+        credit_sums(4, Coupling.SHARED)  # survived every eviction round
+        assert credit_cache_info()["hits"] == hits_before + 1
+
+    def test_info_accurate_after_regrow(self):
+        credit_sums(10, Coupling.SHARED)
+        first = credit_cache_info()
+        assert first["rows"] == 1
+        assert first["misses"] == 1
+        credit_sums(400, Coupling.SHARED)  # forces a geometric regrow
+        info = credit_cache_info()
+        assert info["rows"] == 1, "a regrown row is still one row"
+        assert info["regrows"] == 1
+        assert info["total_length"] >= 400
+        credit_sums(50, Coupling.SHARED)
+        assert credit_cache_info()["hits"] == 1
+
+    def test_info_accurate_after_clear(self):
+        credit_sums(10, Coupling.SHARED)
+        credit_sums(10, Coupling.SHARED)
+        clear_credit_cache()
+        info = credit_cache_info()
+        assert info["entries"] == 0
+        assert info["rows"] == 0
+        assert info["total_length"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["regrows"] == 0
+        assert info["evictions"] == 0

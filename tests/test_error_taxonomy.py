@@ -1,0 +1,148 @@
+"""Invalid-input sweep: the library raises only ReproError subclasses.
+
+Every public entry point in :mod:`repro.ctp`, :mod:`repro.machines`, and
+:mod:`repro.core`, fed a representative bad input, must fail with a
+typed :class:`repro.obs.ReproError` subclass carrying a context payload
+— never a bare ``ValueError``/``KeyError`` and never an unrelated
+traceback (``TypeError``, ``IndexError``).  The legacy bases still hold
+(``ValidationError`` *is a* ``ValueError``), so old ``except`` clauses
+keep working; this sweep pins the new, more specific contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import derive_bounds
+from repro.core.review import run_annual_review
+from repro.core.sensitivity import bound_sensitivity, classification_stability
+from repro.core.threshold import select_threshold
+from repro.ctp import (
+    ComputingElement,
+    Coupling,
+    aggregate,
+    ctp,
+    ctp_homogeneous,
+)
+from repro.ctp.batch import (
+    aggregate_batch,
+    clear_credit_cache,
+    credit_sums,
+    ctp_batch,
+    ctp_homogeneous_batch,
+    theoretical_performance_batch,
+)
+from repro.machines.catalog import find_machine, max_available_mtops
+from repro.machines.microprocessors import find_micro
+from repro.obs import CatalogLookupError, ReproError, ValidationError
+
+
+def _element(**overrides) -> ComputingElement:
+    spec = dict(name="t", clock_mhz=100.0, word_bits=64.0,
+                fp_ops_per_cycle=1.0, int_ops_per_cycle=1.0,
+                concurrent_int_fp=False)
+    spec.update(overrides)
+    return ComputingElement(**spec)
+
+
+#: (label, zero-argument callable that must raise a ReproError subclass)
+_INVALID_CALLS = [
+    # repro.ctp — element construction
+    ("element_negative_clock", lambda: _element(clock_mhz=-1.0)),
+    ("element_zero_clock", lambda: _element(clock_mhz=0.0)),
+    ("element_negative_word", lambda: _element(word_bits=-32.0)),
+    ("element_no_arithmetic",
+     lambda: _element(fp_ops_per_cycle=0.0, int_ops_per_cycle=0.0)),
+    # repro.ctp — scalar aggregation/rating
+    ("aggregate_empty", lambda: aggregate([], Coupling.SHARED)),
+    ("aggregate_nonpositive_tp",
+     lambda: aggregate([100.0, -5.0], Coupling.SHARED)),
+    ("aggregate_bad_beta",
+     lambda: aggregate([100.0] * 2, Coupling.CLUSTER, interconnect_beta=0.0)),
+    ("ctp_empty_configuration", lambda: ctp([], Coupling.SHARED)),
+    ("ctp_homogeneous_zero_n",
+     lambda: ctp_homogeneous(_element(), 0, Coupling.SHARED)),
+    ("ctp_homogeneous_negative_n",
+     lambda: ctp_homogeneous(_element(), -3, Coupling.SHARED)),
+    # repro.ctp — batch layer
+    ("aggregate_batch_empty_row",
+     lambda: aggregate_batch([[100.0], []], Coupling.SHARED)),
+    ("aggregate_batch_nonpositive",
+     lambda: aggregate_batch([[100.0, -1.0]], Coupling.SHARED)),
+    ("ctp_batch_empty_configuration",
+     lambda: ctp_batch([[_element()], []], Coupling.SHARED)),
+    ("ctp_homogeneous_batch_zero_n",
+     lambda: ctp_homogeneous_batch([_element()], np.array([0]),
+                                   Coupling.SHARED)),
+    ("credit_sums_zero_n", lambda: credit_sums(0, Coupling.SHARED)),
+    # repro.machines
+    ("find_machine_unknown", lambda: find_machine("Cray C917")),
+    ("find_micro_unknown", lambda: find_micro("Alpha 99999")),
+    ("find_machine_empty_key", lambda: find_machine("")),
+    ("max_available_prehistory", lambda: max_available_mtops(1900.0)),
+    # repro.core
+    ("derive_bounds_absurd_year", lambda: derive_bounds(-5.0)),
+    ("run_annual_review_absurd_year", lambda: run_annual_review(12.0)),
+    ("select_threshold_absurd_year", lambda: select_threshold(12.0)),
+    ("bound_sensitivity_zero_samples",
+     lambda: bound_sensitivity(1995.5, n_samples=0)),
+    ("bound_sensitivity_bad_concentration",
+     lambda: bound_sensitivity(1995.5, 10, concentration=-1.0)),
+    ("classification_stability_bad_concentration",
+     lambda: classification_stability(10, concentration=0.0)),
+]
+
+
+class TestOnlyTypedErrors:
+    @pytest.mark.parametrize(
+        "label,call", _INVALID_CALLS, ids=[c[0] for c in _INVALID_CALLS])
+    def test_raises_repro_error_with_context(self, label, call):
+        with pytest.raises(ReproError) as excinfo:
+            call()
+        err = excinfo.value
+        assert err.context, f"{label}: ReproError raised without context"
+        assert err.diagnostic().startswith(str(err))
+
+    def test_lookup_errors_are_catalog_lookup(self):
+        with pytest.raises(CatalogLookupError):
+            find_machine("nonexistent")
+        with pytest.raises(CatalogLookupError):
+            find_micro("nonexistent")
+
+    def test_legacy_value_error_clause_still_catches(self):
+        """Pre-taxonomy caller code that catches ValueError keeps working."""
+        with pytest.raises(ValueError):
+            aggregate([], Coupling.SHARED)
+
+    def test_legacy_key_error_clause_still_catches(self):
+        with pytest.raises(KeyError):
+            find_machine("nonexistent")
+
+
+class TestEmptyBatchEdges:
+    """Zero-configuration batches: valid no-ops, not errors."""
+
+    def test_theoretical_performance_batch_empty(self):
+        out = theoretical_performance_batch([])
+        assert out.shape == (0,)
+
+    def test_aggregate_batch_no_rows(self):
+        out = aggregate_batch([], Coupling.SHARED)
+        assert np.asarray(out).shape == (0,)
+
+    def test_ctp_batch_no_configurations(self):
+        out = ctp_batch([], Coupling.DISTRIBUTED)
+        assert np.asarray(out).shape == (0,)
+
+    def test_ctp_homogeneous_batch_no_rows(self):
+        out = ctp_homogeneous_batch([], np.array([], dtype=int),
+                                    Coupling.SHARED)
+        assert np.asarray(out).shape == (0,)
+
+    def test_empty_configuration_inside_batch_is_validation_error(self):
+        with pytest.raises(ValidationError):
+            ctp_batch([[]], Coupling.SHARED)
+
+    def teardown_method(self):
+        clear_credit_cache()

@@ -100,3 +100,64 @@ class TestSeriesAndTrend:
         lagged = projected_frontier_mtops(1998.0, lag_years=2.0)
         immediate = projected_frontier_mtops(1998.0, lag_years=0.0)
         assert lagged < immediate
+
+
+class TestLagBoundary:
+    """A product qualifies at *exactly* ``year - lag`` — inclusively — and
+    the scalar-filter, bisect, and series paths must agree on that edge."""
+
+    @staticmethod
+    def _some_qualify_year():
+        from repro.machines.spec import Architecture
+        from repro.controllability.index import Classification, assess
+        from repro.machines.catalog import COMMERCIAL_SYSTEMS
+
+        for m in sorted(COMMERCIAL_SYSTEMS, key=lambda m: m.year):
+            if (m.architecture is not Architecture.VECTOR
+                    and assess(m).classification
+                    is Classification.UNCONTROLLABLE):
+                return m, m.year + UNCONTROLLABILITY_LAG_YEARS
+        raise AssertionError("catalog has no uncontrollable machine")
+
+    def test_population_includes_exact_boundary(self):
+        machine, boundary = self._some_qualify_year()
+        assert machine in uncontrollable_population(boundary)
+        assert machine not in uncontrollable_population(
+            np.nextafter(boundary, -np.inf)
+        )
+
+    def test_bisect_path_includes_exact_boundary(self):
+        machine, boundary = self._some_qualify_year()
+        at = lower_bound_uncontrollable(boundary)
+        just_before = lower_bound_uncontrollable(
+            float(np.nextafter(boundary, -np.inf))
+        )
+        assert at.mtops >= machine.max_configuration().ctp_mtops
+        assert just_before.mtops < at.mtops or just_before.machine is not None
+
+    def test_scalar_and_bisect_agree_on_boundary_grid(self):
+        """The lag boundary treated identically by the scalar population
+        filter and the bisect index: at every machine's exact qualify
+        date, the frontier equals the max rating of the filtered
+        population."""
+        from repro.machines.catalog import max_config_mtops
+
+        boundaries = sorted(
+            {m.year + UNCONTROLLABILITY_LAG_YEARS
+             for m in uncontrollable_population(2005.0)}
+        )
+        assert boundaries
+        series = frontier_series(boundaries)
+        for year, from_bisect in zip(boundaries, series):
+            population = uncontrollable_population(year)
+            from_scalar = max(max_config_mtops(m) for m in population)
+            assert from_bisect == pytest.approx(from_scalar), (
+                f"scalar/bisect disagree at boundary year {year}"
+            )
+
+    def test_series_and_pointwise_agree_at_boundaries(self):
+        _machine, boundary = self._some_qualify_year()
+        eps_before = float(np.nextafter(boundary, -np.inf))
+        series = frontier_series([eps_before, boundary])
+        assert series[0] == lower_bound_uncontrollable(eps_before).mtops
+        assert series[1] == lower_bound_uncontrollable(boundary).mtops

@@ -31,6 +31,34 @@ class TestCatalogStructure:
         with pytest.raises(KeyError, match="unknown machine"):
             find_machine("Cray C917")
 
+    @pytest.mark.parametrize("variant", [
+        "cray c916", "CRAY C916", "Cray  C916", "  Cray C916  ",
+        "cRaY\tc916",
+    ])
+    def test_find_machine_normalizes_case_and_whitespace(self, variant):
+        assert find_machine(variant) is find_machine("Cray C916")
+
+    def test_find_machine_miss_is_catalog_lookup_error(self):
+        from repro.obs import CatalogLookupError
+
+        with pytest.raises(CatalogLookupError) as excinfo:
+            find_machine("Cray C917")
+        err = excinfo.value
+        assert "closest" in str(err)
+        assert "Cray C916" in str(err)
+        assert "Cray C916" in err.context["closest"]
+        assert err.context["got"] == "Cray C917"
+
+    def test_find_machine_miss_message_not_repr_quoted(self):
+        """CatalogLookupError is a KeyError but must still print its
+        message plainly, not as a repr-quoted key."""
+        from repro.obs import CatalogLookupError
+
+        try:
+            find_machine("Cray C917")
+        except CatalogLookupError as err:
+            assert not str(err).startswith('"')
+
     def test_by_year_sorted_and_truncated(self):
         specs = commercial_by_year(1990.0)
         assert specs == sorted(specs, key=lambda m: (m.year, m.key))

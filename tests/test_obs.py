@@ -1,0 +1,192 @@
+"""Tests for repro.obs — the error taxonomy and the tracing/metrics layer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CatalogLookupError,
+    Profile,
+    ReproError,
+    ThresholdInfeasibleError,
+    TrendFitError,
+    ValidationError,
+    counter_inc,
+    counters,
+    metrics_snapshot,
+    profile,
+    profiling_active,
+    render_span_tree,
+    reset_counters,
+    trace,
+)
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        for cls in (ValidationError, CatalogLookupError,
+                    ThresholdInfeasibleError, TrendFitError):
+            assert issubclass(cls, ReproError)
+
+    def test_backward_compat_bases(self):
+        """Existing except/pytest.raises clauses keep working."""
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ThresholdInfeasibleError, ValueError)
+        assert issubclass(TrendFitError, ValueError)
+        assert issubclass(CatalogLookupError, KeyError)
+
+    def test_str_is_plain_message(self):
+        """CatalogLookupError must not inherit KeyError's repr-quoting."""
+        err = CatalogLookupError("unknown machine 'X'")
+        assert str(err) == "unknown machine 'X'"
+
+    def test_context_payload(self):
+        err = ValidationError("n must be >= 1",
+                              context={"got": 0, "valid": ">= 1"})
+        assert err.context == {"got": 0, "valid": ">= 1"}
+        assert err.message == "n must be >= 1"
+
+    def test_context_defaults_empty(self):
+        assert ReproError("boom").context == {}
+
+    def test_diagnostic_renders_one_line(self):
+        err = ValidationError("year out of range",
+                              context={"got": 12.0, "valid": "[1940, 2100]"})
+        diag = err.diagnostic()
+        assert "\n" not in diag
+        assert diag.startswith("year out of range")
+        assert "got=12.0" in diag
+
+    def test_diagnostic_without_context(self):
+        assert ReproError("plain").diagnostic() == "plain"
+
+
+class TestCounters:
+    def setup_method(self):
+        reset_counters("test_obs.")
+
+    def test_increment_and_read(self):
+        counter_inc("test_obs.a")
+        counter_inc("test_obs.a", 4)
+        assert counters()["test_obs.a"] == 5
+
+    def test_reset_by_prefix(self):
+        counter_inc("test_obs.a")
+        counter_inc("test_obs.other.b")
+        reset_counters("test_obs.other.")
+        stats = counters()
+        assert "test_obs.other.b" not in stats
+        assert stats["test_obs.a"] == 1
+
+
+class TestTraceAndProfile:
+    def test_trace_is_noop_without_profile(self):
+        assert not profiling_active()
+        with trace("test_obs.noop") as span:
+            assert span is None
+        assert not profiling_active()
+
+    def test_nested_spans_recorded(self):
+        with profile() as prof:
+            assert profiling_active()
+            with trace("outer", kind="t") as outer:
+                with trace("inner"):
+                    pass
+            assert outer is not None
+        assert [s.name for s in prof.roots] == ["outer"]
+        assert [s.name for s in prof.roots[0].children] == ["inner"]
+        assert prof.roots[0].elapsed_s >= prof.roots[0].children[0].elapsed_s
+        assert prof.roots[0].tags == {"kind": "t"}
+
+    def test_trace_accepts_name_tag(self):
+        """The span name is positional-only, so a ``name=`` tag is legal
+        (the perf harness tags its spans this way)."""
+        with profile() as prof:
+            with trace("timed", name="scalar"):
+                pass
+        assert prof.roots[0].tags == {"name": "scalar"}
+
+    def test_counter_deltas(self):
+        counter_inc("test_obs.before")  # outside: must not appear as delta
+        with profile() as prof:
+            counter_inc("test_obs.during", 3)
+        assert prof.counter_delta("test_obs.during") == 3
+        assert prof.counter_delta("test_obs.before") == 0
+
+    def test_render_contains_tree_and_headline_counters(self):
+        with profile() as prof:
+            with trace("root.span"):
+                with trace("child.span"):
+                    pass
+        text = prof.render()
+        assert "root.span" in text
+        assert "child.span" in text
+        assert "ms" in text
+        # The headline cache counters appear even when untouched.
+        assert "credit_cache.hits" in text
+        assert "credit_cache.misses" in text
+
+    def test_render_span_tree_indents_children(self):
+        with profile() as prof:
+            with trace("a"):
+                with trace("b"):
+                    pass
+        lines = render_span_tree(prof.roots[0])
+        assert lines[0].lstrip().startswith("a")
+        assert lines[1].startswith("  ")
+
+    def test_profile_restores_previous_collector(self):
+        with profile():
+            with profile():
+                pass
+            assert profiling_active()
+        assert not profiling_active()
+
+    def test_span_as_dict_roundtrips_json(self):
+        with profile() as prof:
+            with trace("a", n=3):
+                with trace("b"):
+                    pass
+        d = prof.roots[0].as_dict()
+        assert json.loads(json.dumps(d))["children"][0]["name"] == "b"
+
+    def test_exception_still_closes_span(self):
+        with profile() as prof:
+            with pytest.raises(RuntimeError):
+                with trace("broken"):
+                    raise RuntimeError("boom")
+        assert prof.roots[0].name == "broken"
+        assert not prof.stack
+        assert not profiling_active()
+
+
+class TestMetricsSnapshot:
+    def test_structure(self):
+        snap = metrics_snapshot()
+        assert set(snap) >= {"counters", "credit_cache", "catalog_index",
+                             "frontier_index"}
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_credit_cache_stats_track_activity(self):
+        from repro.ctp import Coupling
+        from repro.ctp.batch import clear_credit_cache, credit_sums
+
+        clear_credit_cache()
+        credit_sums(10, Coupling.SHARED)   # miss
+        credit_sums(10, Coupling.SHARED)   # hit
+        cache = metrics_snapshot()["credit_cache"]
+        assert cache["rows"] == 1
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+        clear_credit_cache()
+
+    def test_profile_spans_are_isolated_per_collector(self):
+        with profile() as first:
+            with trace("first.only"):
+                pass
+        with profile() as second:
+            with trace("second.only"):
+                pass
+        assert [s.name for s in first.roots] == ["first.only"]
+        assert [s.name for s in second.roots] == ["second.only"]
+        assert isinstance(first, Profile)
