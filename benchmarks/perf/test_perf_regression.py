@@ -42,6 +42,20 @@ def test_batch_rating_speedup_floor(results):
     assert results["batch_ctp_rating"]["speedup"] >= 5.0
 
 
+def test_serve_load_batching_floor(results):
+    # Micro-batching must clearly beat per-request dispatch even in the
+    # quick configuration on a noisy CI box; full runs measure >= 3x
+    # (recorded in BENCH_perf.json).
+    assert results["serve_load"]["speedup"] >= 1.5
+
+
+def test_serve_load_responses_bit_identical(results):
+    # Per-request results are independent of batch-mates, so the
+    # max_batch=1 and max_batch=64 runs must agree exactly.
+    assert results["serve_load"]["max_rel_err"] == 0.0
+    assert sum(results["serve_load"]["batch_size_histogram"].values()) > 0
+
+
 def test_batch_paths_agree_with_scalar(results):
     for name in ("batch_ctp_rating", "frontier_year_grid",
                  "premise3_gap_scan", "keysearch_bit_expansion"):

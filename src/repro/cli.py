@@ -13,7 +13,8 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``simulate``    — run a suite workload across the architecture spectrum;
 * ``acquire``     — covert-acquisition premium for a capability level;
 * ``report``      — the full markdown review document for a date;
-* ``bench``       — time the batch hot paths against scalar references.
+* ``bench``       — time the batch hot paths against scalar references;
+* ``serve``       — run the micro-batching HTTP serving front end.
 """
 
 from __future__ import annotations
@@ -118,10 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--quick", action="store_true",
                          help="smaller inputs and fewer repeats (CI smoke)")
-    p_bench.add_argument("--output", type=str, default="BENCH_perf.json",
-                         help='JSON output path ("-" to skip writing)')
+    p_bench.add_argument("--output", "--json-out", dest="output", type=str,
+                         default="BENCH_perf.json", metavar="PATH",
+                         help='JSON output path ("-" to skip writing); '
+                              "--json-out is an alias so CI jobs can keep "
+                              "the working tree clean")
     p_bench.add_argument("--profile", action="store_true",
                          help="print a span/counter profile after the output")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the micro-batching HTTP serving front end"
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8040)
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="largest coalesced dispatch (default 64)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=0.0,
+                         help="linger bound for a fuller batch "
+                              "(default 0: dispatch greedily)")
+    p_serve.add_argument("--queue-limit", type=int, default=1024,
+                         help="bounded queue depth; beyond it requests "
+                              "get 429 + Retry-After")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="LRU response-cache entries (0 disables)")
+    p_serve.add_argument("--deadline-ms", type=float, default=5000.0,
+                         help="per-request deadline; missed -> 504")
 
     return parser
 
@@ -355,6 +377,21 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return document
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        deadline_ms=args.deadline_ms,
+    )
+    return run_server(config)
+
+
 def _cmd_bench(args: argparse.Namespace) -> str:
     from repro.perf.workloads import run_benchmarks
 
@@ -390,6 +427,7 @@ _COMMANDS = {
     "acquire": _cmd_acquire,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -38,10 +38,17 @@ The cache is bounded: ablation sweeps over thousands of distinct
 ``CREDIT_CACHE_MAX_ROWS`` instead of growing without bound.  Hits,
 misses, regrows, and evictions are counted through :mod:`repro.obs`
 (``credit_cache.*``) and reported by :func:`credit_cache_info`.
+
+The cache is thread-safe: lookups, inserts, evictions, and
+:func:`clear_credit_cache` all serialize behind one re-entrant lock, so
+the serving layer may rate concurrent batches from many threads without
+corrupting LRU order.  Cached rows are immutable (read-only arrays), so
+views handed out before an eviction remain valid.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -98,6 +105,13 @@ def theoretical_performance_batch(
 _CREDIT_SUM_CACHE: OrderedDict[tuple[Coupling, CTPParameters, float | None],
                                np.ndarray] = OrderedDict()
 
+# Concurrent /rate batches hit the cache from many threads; without a lock
+# the OrderedDict's get/insert/move_to_end/popitem sequences can corrupt
+# LRU order or double-evict.  RLock rather than Lock so clear/info helpers
+# may call each other.  Rows are read-only arrays, so returning a view
+# after releasing the lock is safe even if the row is evicted later.
+_CREDIT_CACHE_LOCK = threading.RLock()
+
 #: Generous row bound: a sweep touches a handful of schedules at a time,
 #: so even aggressive ablation grids stay well under this while a runaway
 #: sweep over thousands of distinct parameter rows no longer leaks memory.
@@ -139,33 +153,36 @@ def credit_sums(
         raise ValidationError(f"n_max must be >= 1, got {n_max}",
                               context={"got": n_max, "valid": ">= 1"})
     key = (coupling, params, _effective_beta(coupling, params, interconnect_beta))
-    cached = _CREDIT_SUM_CACHE.get(key)
-    if cached is None or cached.size < n_max:
-        if cached is None:
-            counter_inc("credit_cache.misses")
+    with _CREDIT_CACHE_LOCK:
+        cached = _CREDIT_SUM_CACHE.get(key)
+        if cached is None or cached.size < n_max:
+            if cached is None:
+                counter_inc("credit_cache.misses")
+            else:
+                counter_inc("credit_cache.regrows")
+            if coupling is Coupling.SINGLE:
+                # SINGLE admits exactly one element; cache the trivial row.
+                size = 1
+                if n_max > 1:
+                    raise ValidationError(
+                        "SINGLE coupling admits exactly one element",
+                        context={"got": n_max, "valid": "n == 1"},
+                    )
+            else:
+                size = max(n_max,
+                           2 * (cached.size if cached is not None else 8))
+            credits = aggregation_credits(size, coupling, params,
+                                          interconnect_beta)
+            cached = np.cumsum(credits)
+            cached.setflags(write=False)
+            _CREDIT_SUM_CACHE[key] = cached
+            while len(_CREDIT_SUM_CACHE) > CREDIT_CACHE_MAX_ROWS:
+                _CREDIT_SUM_CACHE.popitem(last=False)
+                counter_inc("credit_cache.evictions")
         else:
-            counter_inc("credit_cache.regrows")
-        if coupling is Coupling.SINGLE:
-            # SINGLE admits exactly one element; cache the trivial row.
-            size = 1
-            if n_max > 1:
-                raise ValidationError(
-                    "SINGLE coupling admits exactly one element",
-                    context={"got": n_max, "valid": "n == 1"},
-                )
-        else:
-            size = max(n_max, 2 * (cached.size if cached is not None else 8))
-        credits = aggregation_credits(size, coupling, params, interconnect_beta)
-        cached = np.cumsum(credits)
-        cached.setflags(write=False)
-        _CREDIT_SUM_CACHE[key] = cached
-        while len(_CREDIT_SUM_CACHE) > CREDIT_CACHE_MAX_ROWS:
-            _CREDIT_SUM_CACHE.popitem(last=False)
-            counter_inc("credit_cache.evictions")
-    else:
-        counter_inc("credit_cache.hits")
-    _CREDIT_SUM_CACHE.move_to_end(key)
-    return cached[:n_max]
+            counter_inc("credit_cache.hits")
+        _CREDIT_SUM_CACHE.move_to_end(key)
+        return cached[:n_max]
 
 
 def credit_cache_info() -> dict[str, int]:
@@ -179,10 +196,13 @@ def credit_cache_info() -> dict[str, int]:
     last :func:`clear_credit_cache`.
     """
     stats = counters()
+    with _CREDIT_CACHE_LOCK:
+        entries = len(_CREDIT_SUM_CACHE)
+        total_length = int(sum(a.size for a in _CREDIT_SUM_CACHE.values()))
     return {
-        "entries": len(_CREDIT_SUM_CACHE),
-        "rows": len(_CREDIT_SUM_CACHE),
-        "total_length": int(sum(a.size for a in _CREDIT_SUM_CACHE.values())),
+        "entries": entries,
+        "rows": entries,
+        "total_length": total_length,
         "max_rows": CREDIT_CACHE_MAX_ROWS,
         "hits": int(stats.get("credit_cache.hits", 0)),
         "misses": int(stats.get("credit_cache.misses", 0)),
@@ -196,8 +216,9 @@ def clear_credit_cache() -> None:
     counters (tests and ablation hygiene)."""
     from repro.obs.trace import reset_counters
 
-    _CREDIT_SUM_CACHE.clear()
-    reset_counters("credit_cache.")
+    with _CREDIT_CACHE_LOCK:
+        _CREDIT_SUM_CACHE.clear()
+        reset_counters("credit_cache.")
 
 
 def aggregate_homogeneous_batch(

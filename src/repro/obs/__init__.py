@@ -15,11 +15,25 @@ Conventions (see DESIGN.md, "Observability"):
 * counters are always on (one dict op); spans record only inside a
   :func:`profile` collector, so the instrumented hot paths stay within
   noise of their un-instrumented timings.
+
+Thread-safety guarantee
+-----------------------
+Counters and span accounting are safe to drive from many threads at once
+(the serving layer does exactly that): :func:`counter_inc` serializes
+behind an uncontended lock so concurrent increments never lose updates,
+:func:`counters`/:func:`metrics_snapshot` return consistent copies, and
+an active :func:`profile` collector keeps one open-span stack *per
+thread* — a thread's top-level span becomes its own root, so concurrent
+request spans never nest into each other.  The locks sit outside the
+no-op fast path, keeping total overhead within the <5% budget measured
+by the BENCH workloads.
 """
 
 from repro.obs.errors import (
     CatalogLookupError,
+    DeadlineExceededError,
     ReproError,
+    ServiceOverloadedError,
     ThresholdInfeasibleError,
     TrendFitError,
     ValidationError,
@@ -43,6 +57,8 @@ __all__ = [
     "CatalogLookupError",
     "ThresholdInfeasibleError",
     "TrendFitError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
     "Span",
     "Profile",
     "trace",

@@ -28,6 +28,8 @@ __all__ = [
     "CatalogLookupError",
     "ThresholdInfeasibleError",
     "TrendFitError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -83,3 +85,13 @@ class ThresholdInfeasibleError(ReproError, ValueError):
 class TrendFitError(ReproError, ValueError):
     """A trend fit or projection is ill-posed (too few distinct
     observations, nonpositive values, non-increasing trend)."""
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The serving layer shed a request because a bounded queue was full
+    (HTTP 429); ``context['retry_after_s']`` suggests a backoff."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request missed its deadline before a result could be produced
+    (HTTP 504); ``context['deadline_ms']`` names the budget."""

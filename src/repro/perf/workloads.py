@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import platform
+import time
 from pathlib import Path
 
 import numpy as np
@@ -33,6 +34,7 @@ WORKLOAD_NAMES = (
     "bound_sensitivity_mc",
     "premise3_gap_scan",
     "keysearch_bit_expansion",
+    "serve_load",
 )
 
 
@@ -153,6 +155,102 @@ def _bench_keysearch(quick: bool) -> dict:
                 scalar, fast, mismatch)
 
 
+def _bench_serve_load(quick: bool) -> dict:
+    """32 closed-loop clients on the rate batcher, ``max_batch`` 1 vs 64.
+
+    Runs at the engine level (no HTTP) so the measured quantity is the
+    coalescing itself: the same pre-parsed requests, the same batch
+    kernel, only the batching policy differs.  With ``max_batch=1`` every
+    request pays its own dispatch; with ``max_batch=64`` the backlog the
+    32 threads create is drained in bulk.  Responses must be
+    bit-identical between the two runs (each item's answer is independent
+    of its batch-mates), so ``max_rel_err`` doubles as a parity check.
+    """
+    import threading
+
+    from repro.serve.schemas import parse_request
+    from repro.serve.server import ServeConfig, ServiceEngine
+
+    n_clients = 32
+    per_client = 25 if quick else 80
+    payloads = [
+        {
+            "clock_mhz": 40.0 + 7.0 * (i % 23),
+            "word_bits": 64 if i % 3 else 32,
+            "fp_per_cycle": 1 + (i % 4),
+            "int_per_cycle": 1 + (i % 2),
+            "concurrent": i % 5 == 0,
+            "processors": 1 + (i % 16),
+            "coupling": "shared",
+            "year": 1995.5,
+        }
+        for i in range(n_clients * 4)
+    ]
+    requests = [parse_request("rate", p) for p in payloads]
+
+    def run_once(max_batch: int) -> tuple[float, list[float], dict]:
+        config = ServeConfig(max_batch=max_batch, max_wait_ms=0.0,
+                             queue_limit=8192, cache_size=0,
+                             deadline_ms=120_000.0)
+        engine = ServiceEngine(config)
+        batcher = engine.batchers["rate"]
+        ratings: list[list[float]] = [[] for _ in range(n_clients)]
+        barrier = threading.Barrier(n_clients + 1)
+
+        def client(idx: int) -> None:
+            barrier.wait()
+            for j in range(per_client):
+                request = requests[(idx * per_client + j) % len(requests)]
+                body = batcher.submit(request).result()
+                ratings[idx].append(body["ctp_mtops"])
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = batcher.stats()
+        engine.close()
+        flat = [r for per_thread in ratings for r in per_thread]
+        return elapsed, flat, stats
+
+    repeats = 2 if quick else 3
+
+    def best_of(max_batch: int) -> tuple[Timing, list[float], dict]:
+        runs = [run_once(max_batch) for _ in range(repeats)]
+        elapsed, flat, stats = min(runs, key=lambda run: run[0])
+        timing = Timing(
+            name=f"max_batch_{max_batch}",
+            best_seconds=elapsed,
+            mean_seconds=sum(run[0] for run in runs) / repeats,
+            repeats=repeats,
+            warmup=0,
+        )
+        return timing, flat, stats
+
+    clear_credit_cache()
+    scalar, out_1, _ = best_of(1)
+    fast, out_64, stats_64 = best_of(64)
+    total = n_clients * per_client
+    row = _row("serve_load",
+               f"{n_clients} concurrent clients x {per_client} /rate "
+               f"requests through the micro-batcher (max_batch=1 vs "
+               f"max_batch=64, greedy coalescing, cache off)",
+               scalar, fast, _rel_err(out_1, out_64))
+    row["clients"] = n_clients
+    row["requests_per_run"] = total
+    row["throughput_rps"] = {
+        "max_batch_1": total / scalar.best_seconds,
+        "max_batch_64": total / fast.best_seconds,
+    }
+    row["batch_size_histogram"] = stats_64["batch_size_histogram"]
+    return row
+
+
 def _row(name: str, description: str, scalar: Timing, batch: Timing,
          max_rel_err: float) -> dict:
     return {
@@ -171,6 +269,7 @@ _BENCHES = {
     "bound_sensitivity_mc": _bench_bound_sensitivity,
     "premise3_gap_scan": _bench_premise_scan,
     "keysearch_bit_expansion": _bench_keysearch,
+    "serve_load": _bench_serve_load,
 }
 
 

@@ -1,0 +1,60 @@
+"""repro.serve — the micro-batching request service.
+
+The analytical core answers exactly the queries a licensing office issues
+thousands of times a day — CTP ratings, license decisions, threshold
+reviews — and PR 1's batch kernels answer them fastest in bulk.  This
+package turns many small concurrent requests into few large batch calls:
+
+* :mod:`repro.serve.schemas` — JSON payloads -> canonical, cacheable
+  request objects (validated up front, never inside a batch);
+* :mod:`repro.serve.batching` — the micro-batching queue: bounded,
+  deadline-aware, greedy-coalescing (:class:`MicroBatcher`);
+* :mod:`repro.serve.cache` — the LRU response cache keyed on canonical
+  payloads;
+* :mod:`repro.serve.server` — the transport-free
+  :class:`ServiceEngine` plus the stdlib ``ThreadingHTTPServer`` front
+  end (``repro serve``);
+* :mod:`repro.serve.client` — the stdlib client used by tests, CI, and
+  the ``serve_load`` benchmark.
+
+See DESIGN.md, "Serving architecture" for the backpressure /
+graceful-degradation contract (429 / 504 / structured 400s).
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import MISS, LRUCache
+from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.schemas import (
+    ENDPOINTS,
+    LicenseRequest,
+    MachineRequest,
+    RateRequest,
+    ReviewRequest,
+    parse_request,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServeServer,
+    ServiceEngine,
+    error_body,
+    run_server,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "LRUCache",
+    "MISS",
+    "ServeClient",
+    "ServeResponse",
+    "ENDPOINTS",
+    "RateRequest",
+    "LicenseRequest",
+    "MachineRequest",
+    "ReviewRequest",
+    "parse_request",
+    "ServeConfig",
+    "ServeServer",
+    "ServiceEngine",
+    "error_body",
+    "run_server",
+]

@@ -1,0 +1,99 @@
+"""Bounded, thread-safe LRU response cache.
+
+The serving layer keys this cache on the *canonicalized* request (see
+:mod:`repro.serve.schemas`), so two payloads that spell the same question
+differently — explicit defaults, extra whitespace in a machine key, an
+omitted license threshold — share one entry.  Values are the finished
+response bodies (plain JSON-serializable dicts), treated as immutable
+once cached.
+
+A ``capacity`` of 0 disables caching entirely (every ``get`` is a miss
+and ``put`` is a no-op), which the load benchmark uses so repeated
+payloads exercise the batching path instead of the cache.
+
+Hits, misses, and evictions are tracked both locally (exact, reported by
+:meth:`LRUCache.info`) and through the global :mod:`repro.obs` counters
+(``serve.cache.*``) so they appear in :func:`repro.obs.metrics_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc
+
+__all__ = ["MISS", "LRUCache"]
+
+#: Sentinel distinguishing "not cached" from a cached falsy value.
+MISS = object()
+
+
+class LRUCache:
+    """A lock-guarded LRU mapping of canonical request keys to responses."""
+
+    def __init__(self, capacity: int,
+                 counter_prefix: str = "serve.cache") -> None:
+        if not isinstance(capacity, int) or capacity < 0:
+            raise ValidationError(
+                "cache capacity must be a non-negative integer",
+                context={"got": capacity, "valid": ">= 0"},
+            )
+        self.capacity = capacity
+        self._prefix = counter_prefix
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> object:
+        """The cached value for ``key``, or :data:`MISS`."""
+        with self._lock:
+            value = self._data.get(key, MISS) if self.capacity else MISS
+            if value is MISS:
+                self._misses += 1
+                counter_inc(f"{self._prefix}.misses")
+                return MISS
+            self._data.move_to_end(key)
+            self._hits += 1
+            counter_inc(f"{self._prefix}.hits")
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used
+        entries beyond capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+                counter_inc(f"{self._prefix}.evictions")
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def info(self) -> dict:
+        """Exact local statistics (consistent snapshot)."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            total = hits + misses
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self._evictions,
+                "hit_rate": (hits / total) if total else 0.0,
+            }

@@ -1,0 +1,156 @@
+"""Stdlib HTTP client for the serving API.
+
+Used by the test suite, the CI smoke job, and the ``serve_load``
+benchmark, so it stays dependency-free (``http.client`` only).  Each
+thread gets its own persistent keep-alive connection (HTTP/1.1), which is
+what makes the client safe to hammer from a ``ThreadPoolExecutor``; a
+dropped connection is re-opened and the request retried once.
+
+Responses come back as :class:`ServeResponse` — status, parsed JSON
+body, and headers — rather than raising on 4xx/5xx, because the error
+statuses (400/429/504) are part of the API contract the callers assert
+on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.errors import ServiceOverloadedError, ValidationError
+
+__all__ = ["ServeResponse", "ServeClient"]
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange with the serving API."""
+
+    status: int
+    body: dict
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def require_ok(self) -> dict:
+        """The body, or a raised :class:`ServiceOverloadedError` /
+        :class:`ValidationError` mirroring the server's verdict."""
+        if self.ok:
+            return self.body
+        error = self.body.get("error", {})
+        message = error.get("message", f"HTTP {self.status}")
+        context = dict(error.get("context", {}))
+        context["http_status"] = self.status
+        if self.status == 429:
+            raise ServiceOverloadedError(message, context=context)
+        raise ValidationError(message, context=context)
+
+
+class ServeClient:
+    """A thread-safe JSON client bound to one serving address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8040,
+                 timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._connections: list[http.client.HTTPConnection] = []
+
+    # -- transport ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            self._local.conn = conn
+            with self._lock:
+                self._connections.append(conn)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._local.conn = None
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    def request(self, method: str, path: str,
+                payload: object | None = None) -> ServeResponse:
+        """One HTTP exchange; retries once on a dropped keep-alive."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop_connection()
+                if attempt == 2:
+                    raise
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except ValueError:
+            parsed = {"raw": raw.decode("utf-8", "replace")}
+        if not isinstance(parsed, dict):
+            parsed = {"value": parsed}
+        return ServeResponse(
+            status=response.status, body=parsed,
+            headers={k: v for k, v in response.getheaders()},
+        )
+
+    def close(self) -> None:
+        """Close every connection this client ever opened, including
+        those belonging to worker threads that have since exited."""
+        self._drop_connection()
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- endpoints ----------------------------------------------------------
+
+    def rate(self, **fields: object) -> ServeResponse:
+        """POST /rate — e.g. ``client.rate(clock_mhz=150, processors=16)``."""
+        return self.request("POST", "/rate", fields)
+
+    def license(self, machine: str, destination: str,
+                **fields: object) -> ServeResponse:
+        """POST /license for one machine/destination pair."""
+        return self.request("POST", "/license",
+                            {"machine": machine, "destination": destination,
+                             **fields})
+
+    def machine(self, key: str) -> ServeResponse:
+        """POST /machine — catalog lookup plus assessment."""
+        return self.request("POST", "/machine", {"machine": key})
+
+    def review(self, **fields: object) -> ServeResponse:
+        """POST /review — e.g. ``client.review(year=1995.5)``."""
+        return self.request("POST", "/review", fields)
+
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> ServeResponse:
+        return self.request("GET", "/metrics")

@@ -1,0 +1,636 @@
+"""HTTP/JSON front end and the service engine behind it.
+
+Two layers, separable on purpose:
+
+* :class:`ServiceEngine` — the transport-free core: parse -> response
+  cache -> micro-batched dispatch -> structured status/body.  Tests and
+  the ``serve_load`` benchmark drive this layer directly.
+* :class:`ServeServer` / :func:`run_server` — a stdlib
+  ``ThreadingHTTPServer`` front end (no new dependencies) exposing::
+
+      POST /rate      rate a configuration (micro-batched)
+      POST /license   one license decision  (micro-batched)
+      POST /machine   catalog lookup + controllability assessment
+      POST /review    the annual review for a date
+      GET  /healthz   liveness + config echo
+      GET  /metrics   metrics_snapshot() + queue/batch/cache/latency state
+
+Request handling rules (the contract the test suite pins):
+
+* every error path returns structured JSON shaped like
+  ``{"error": {"type", "message", "context"}}`` derived from the
+  :class:`ReproError` taxonomy — a traceback never reaches a response
+  body;
+* a full queue is ``429`` with a ``Retry-After`` header; a missed
+  deadline is ``504``; malformed input is ``400``; an unknown path is
+  ``404``; a wrong method is ``405``;
+* ``/rate`` and ``/license`` coalesce concurrent requests through the
+  batch kernels (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
+  :func:`repro.controllability.index.classify_index_matrix`); results are
+  bit-identical to dispatching each request alone, because every
+  per-request value depends only on that request's row.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import asdict, dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.controllability.index import (
+    CLASS_BY_CODE,
+    DEFAULT_WEIGHTS,
+    classify_index_matrix,
+    index_matrix,
+    score_matrix,
+)
+from repro.core.review import run_annual_review
+from repro.ctp.batch import ctp_homogeneous_batch
+from repro.diffusion.policy import ExportControlPolicy, threshold_at
+from repro.machines.spec import MachineSpec
+from repro.obs.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.obs.trace import counter_inc, trace
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import MISS, LRUCache
+from repro.serve.schemas import (
+    ENDPOINTS,
+    LicenseRequest,
+    MachineRequest,
+    RateRequest,
+    ReviewRequest,
+    parse_request,
+)
+
+__all__ = ["ServeConfig", "ServiceEngine", "ServeServer", "run_server",
+           "error_body"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving process."""
+
+    host: str = "127.0.0.1"
+    port: int = 8040
+    max_batch: int = 64
+    max_wait_ms: float = 0.0
+    queue_limit: int = 1024
+    cache_size: int = 1024
+    deadline_ms: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValidationError("max_batch must be >= 1",
+                                  context={"got": self.max_batch,
+                                           "valid": ">= 1"})
+        if self.queue_limit < 1:
+            raise ValidationError("queue_limit must be >= 1",
+                                  context={"got": self.queue_limit,
+                                           "valid": ">= 1"})
+        if self.max_wait_ms < 0 or self.deadline_ms <= 0:
+            raise ValidationError(
+                "max_wait_ms must be >= 0 and deadline_ms > 0",
+                context={"max_wait_ms": self.max_wait_ms,
+                         "deadline_ms": self.deadline_ms},
+            )
+        if self.cache_size < 0:
+            raise ValidationError("cache_size must be >= 0",
+                                  context={"got": self.cache_size,
+                                           "valid": ">= 0"})
+
+
+def error_body(exc: ReproError) -> dict:
+    """The structured JSON body of one taxonomy error."""
+    return {
+        "error": {
+            "type": type(exc).__name__,
+            "message": exc.message,
+            "context": {k: _jsonable(v) for k, v in exc.context.items()},
+        }
+    }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class LatencyRecorder:
+    """Per-endpoint latency reservoirs (bounded, thread-safe)."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._window = window
+        self._lock = threading.Lock()
+        self._samples: dict[str, deque[float]] = {}
+        self._counts: dict[str, int] = {}
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(endpoint)
+            if bucket is None:
+                bucket = self._samples[endpoint] = deque(maxlen=self._window)
+            bucket.append(seconds)
+            self._counts[endpoint] = self._counts.get(endpoint, 0) + 1
+
+    def quantiles(self) -> dict:
+        """``{endpoint: {count, p50_ms, p95_ms}}`` over the window."""
+        with self._lock:
+            snapshot = {name: list(bucket)
+                        for name, bucket in self._samples.items()}
+            counts = dict(self._counts)
+        out = {}
+        for name, samples in snapshot.items():
+            ordered = sorted(samples)
+            out[name] = {
+                "count": counts[name],
+                "p50_ms": _quantile(ordered, 0.50) * 1e3,
+                "p95_ms": _quantile(ordered, 0.95) * 1e3,
+            }
+        return out
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+class ServiceEngine:
+    """Transport-free serving core: parse, cache, batch, respond."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.cache = LRUCache(self.config.cache_size)
+        self.latency = LatencyRecorder()
+        self.batchers: dict[str, MicroBatcher] = {
+            "rate": MicroBatcher(
+                "rate", self._dispatch_rate,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                queue_limit=self.config.queue_limit,
+            ),
+            "license": MicroBatcher(
+                "license", self._dispatch_license,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                queue_limit=self.config.queue_limit,
+            ),
+        }
+        self._handlers = {
+            "rate": self._rate,
+            "license": self._license,
+            "machine": self._machine,
+            "review": self._review,
+        }
+        self._started_at = time.monotonic()
+        self._closed = False
+
+    def close(self) -> None:
+        """Stop the batch workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for batcher in self.batchers.values():
+            batcher.stop()
+
+    # -- request handling ---------------------------------------------------
+
+    def handle(self, endpoint: str, payload: object) -> tuple[int, dict]:
+        """Serve one request; returns ``(http_status, body)``.
+
+        Never raises: every failure mode maps to a structured JSON error
+        body (400 bad input, 429 shed load, 504 missed deadline, 500 for
+        anything unforeseen — still JSON, never a traceback).
+        """
+        start = time.perf_counter()
+        counter_inc("serve.requests")
+        counter_inc(f"serve.requests.{endpoint}")
+        try:
+            with trace(f"serve.{endpoint}"):
+                request = parse_request(endpoint, payload)
+                key = request.cache_key
+                body = self.cache.get(key)
+                if body is MISS:
+                    body = self._handlers[endpoint](request)
+                    self.cache.put(key, body)
+                return 200, body
+        except ServiceOverloadedError as exc:
+            counter_inc("serve.responses.429")
+            return 429, error_body(exc)
+        except DeadlineExceededError as exc:
+            counter_inc("serve.responses.504")
+            return 504, error_body(exc)
+        except ReproError as exc:
+            counter_inc("serve.responses.400")
+            return 400, error_body(exc)
+        except Exception as exc:  # noqa: BLE001 — no traceback may escape
+            counter_inc("serve.responses.500")
+            return 500, {"error": {"type": "InternalError",
+                                   "message": str(exc), "context": {}}}
+        finally:
+            self.latency.record(endpoint, time.perf_counter() - start)
+
+    def _await(self, future) -> dict:
+        """Wait out a batched dispatch within the request deadline."""
+        budget = self.config.deadline_ms / 1000.0
+        try:
+            # Small grace beyond the deadline: the worker enforces queue
+            # expiry itself and a dispatch in flight is about to land.
+            # (concurrent.futures.TimeoutError is not a builtin
+            # TimeoutError subclass before 3.11, hence the tuple.)
+            return future.result(timeout=budget + 0.1)
+        except (_FutureTimeout, TimeoutError) as exc:
+            if isinstance(exc, ReproError):
+                raise  # DeadlineExceededError set by the worker
+            raise DeadlineExceededError(
+                "request missed its deadline awaiting dispatch",
+                context={"deadline_ms": self.config.deadline_ms},
+            ) from None
+
+    def _rate(self, request: RateRequest) -> dict:
+        deadline = self.config.deadline_ms / 1000.0
+        return self._await(
+            self.batchers["rate"].submit(request, deadline_s=deadline))
+
+    def _license(self, request: LicenseRequest) -> dict:
+        deadline = self.config.deadline_ms / 1000.0
+        return self._await(
+            self.batchers["license"].submit(request, deadline_s=deadline))
+
+    # -- batched dispatchers (worker thread) --------------------------------
+
+    def _dispatch_rate(self, requests: Sequence[RateRequest]) -> list[dict]:
+        """Rate a whole batch through ``ctp_homogeneous_batch``.
+
+        Requests are grouped by coupling (parameters are fixed at the
+        defaults), each group rated in one batch-kernel call.  Each
+        rating is ``tp_i * S[n_i]`` against a shared read-only prefix-sum
+        row, so a request's result is independent of its batch-mates —
+        batched and one-at-a-time dispatch agree bit for bit.
+        """
+        results: list[dict | None] = [None] * len(requests)
+        groups: dict[object, list[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.coupling, []).append(i)
+        for coupling, indices in groups.items():
+            elements = [requests[i].element() for i in indices]
+            ns = np.array([requests[i].processors for i in indices])
+            ratings = ctp_homogeneous_batch(elements, ns, coupling)
+            for i, rating in zip(indices, ratings):
+                request = requests[i]
+                threshold = threshold_at(request.year)
+                rating = float(rating)
+                results[i] = {
+                    "endpoint": "rate",
+                    "ctp_mtops": rating,
+                    "threshold_mtops": threshold,
+                    "supercomputer": bool(rating >= threshold),
+                    "processors": request.processors,
+                    "coupling": request.coupling.name.lower(),
+                    "year": request.year,
+                }
+        return results  # type: ignore[return-value]
+
+    def _dispatch_license(
+        self, requests: Sequence[LicenseRequest]
+    ) -> list[dict]:
+        """Decide a batch of license applications in one pass.
+
+        Ratings come from the (precomputed) catalog specs; the
+        controllability assessment for the whole batch runs through one
+        ``score_matrix``/``index_matrix``/``classify_index_matrix`` call,
+        whose row arithmetic matches the scalar ``assess`` bit for bit.
+        """
+        machines = tuple(r.machine for r in requests)
+        scores = score_matrix(machines)
+        weights = np.array([[DEFAULT_WEIGHTS.size, DEFAULT_WEIGHTS.units,
+                             DEFAULT_WEIGHTS.channel, DEFAULT_WEIGHTS.price,
+                             DEFAULT_WEIGHTS.scalability]])
+        indices = index_matrix(weights, scores)[0]
+        codes = classify_index_matrix(
+            indices, DEFAULT_WEIGHTS.uncontrollable_below,
+            DEFAULT_WEIGHTS.controllable_at)
+        results = []
+        for request, index, code in zip(requests, indices, codes):
+            decision = ExportControlPolicy(
+                request.threshold_mtops
+            ).license_decision(request.machine, request.destination)
+            results.append({
+                "endpoint": "license",
+                "machine": request.machine.key,
+                "destination": request.destination,
+                "year": request.year,
+                "rating_mtops": decision.rating_mtops,
+                "threshold_mtops": request.threshold_mtops,
+                "tier": decision.tier.name.lower(),
+                "tier_label": decision.tier.value,
+                "requires_license": decision.requires_license,
+                "safeguards_required": decision.safeguards_required,
+                "approved": decision.approved,
+                "controllability_index": float(index),
+                "classification": CLASS_BY_CODE[int(code)].value,
+            })
+        return results
+
+    # -- direct (unbatched) handlers ----------------------------------------
+
+    def _machine(self, request: MachineRequest) -> dict:
+        machine = request.machine
+        return {
+            "endpoint": "machine",
+            "machine": machine.key,
+            "country": machine.country,
+            "year": machine.year,
+            "architecture": machine.architecture.value,
+            "processors": machine.n_processors,
+            "ctp_mtops": machine.ctp_mtops,
+            "max_config_ctp_mtops": machine.max_configuration().ctp_mtops,
+            **_assessment_fields(machine),
+        }
+
+    def _review(self, request: ReviewRequest) -> dict:
+        review = run_annual_review(request.year, request.policy)
+        premises = review.premises
+        return {
+            "endpoint": "review",
+            "year": request.year,
+            "policy": request.policy.name.lower(),
+            "premises": {
+                f"premise{report.number}": report.holds
+                for report in (premises.premise1, premises.premise2,
+                               premises.premise3)
+            },
+            "bounds_mtops": {
+                "lower_uncontrollable": review.bounds.uncontrollable_mtops,
+                "lower_foreign": review.bounds.foreign_mtops,
+                "upper_application": review.bounds.upper_application_mtops,
+                "upper_theoretical": review.bounds.upper_theoretical_mtops,
+            },
+            "threshold_in_force_mtops": review.threshold_in_force,
+            "recommended_threshold_mtops":
+                review.recommendation.threshold_mtops,
+            "threshold_is_stale": review.threshold_is_stale,
+        }
+
+    # -- introspection ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "endpoints": sorted(ENDPOINTS) + ["healthz", "metrics"],
+            "queue_depth": {name: batcher.depth()
+                            for name, batcher in self.batchers.items()},
+            "config": asdict(self.config),
+        }
+
+    def metrics(self) -> dict:
+        """The global metrics snapshot plus serving-layer state."""
+        from repro.obs.trace import metrics_snapshot
+
+        snapshot = metrics_snapshot()
+        snapshot["serve"] = {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "config": asdict(self.config),
+            "cache": self.cache.info(),
+            "batchers": {name: batcher.stats()
+                         for name, batcher in self.batchers.items()},
+            "latency": self.latency.quantiles(),
+        }
+        return snapshot
+
+
+def _assessment_fields(machine: MachineSpec) -> dict:
+    from repro.controllability.index import assess
+
+    assessment = assess(machine)
+    return {
+        "controllability_index": assessment.index,
+        "classification": assessment.classification.value,
+    }
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+_MAX_BODY_BYTES = 1_000_000
+_POST_PATHS = {f"/{name}": name for name in ENDPOINTS}
+_GET_PATHS = ("/healthz", "/metrics")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the engine; JSON in, JSON out."""
+
+    engine: ServiceEngine  # bound per server via a subclass attribute
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # metrics replace the default stderr chatter
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, self.engine.healthz())
+        elif path == "/metrics":
+            self._send(200, self.engine.metrics())
+        elif path in _POST_PATHS:
+            self._method_not_allowed("POST")
+        else:
+            self._not_found(path)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        endpoint = _POST_PATHS.get(path)
+        if endpoint is None:
+            # Consume the unread body so the keep-alive stream stays in
+            # sync for the next request on this connection.
+            self._drain_body()
+            if path in _GET_PATHS:
+                self._method_not_allowed("GET")
+            else:
+                self._not_found(path)
+            return
+        try:
+            payload = self._read_json()
+        except ReproError as exc:
+            self._send(400, error_body(exc))
+            return
+        status, body = self.engine.handle(endpoint, payload)
+        headers = {}
+        if status == 429:
+            retry = body.get("error", {}).get("context", {}) \
+                        .get("retry_after_s", 1)
+            headers["Retry-After"] = str(max(1, math.ceil(float(retry))))
+        self._send(status, body, headers)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _drain_body(self) -> None:
+        """Read and discard an unconsumed request body (keep-alive
+        hygiene); oversized bodies force the connection closed instead."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if 0 < length <= _MAX_BODY_BYTES:
+            self.rfile.read(length)
+        elif length > _MAX_BODY_BYTES:
+            self.close_connection = True
+
+    def _read_json(self) -> object:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            self.close_connection = True
+            raise ValidationError(
+                "Content-Length header is required",
+                context={"got": length, "valid": "integer byte count"},
+            ) from None
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            raise ValidationError(
+                "request body too large",
+                context={"got": length, "valid": f"<= {_MAX_BODY_BYTES}"},
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            raise ValidationError(
+                "request body is not valid JSON",
+                context={"got_bytes": length, "valid": "JSON object"},
+            ) from None
+
+    def _not_found(self, path: str) -> None:
+        counter_inc("serve.responses.404")
+        self._send(404, error_body(ValidationError(
+            f"unknown path {path!r}",
+            context={"got": path,
+                     "valid": sorted(_POST_PATHS) + list(_GET_PATHS)},
+        )))
+
+    def _method_not_allowed(self, allowed: str) -> None:
+        counter_inc("serve.responses.405")
+        self._send(405, error_body(ValidationError(
+            f"method not allowed on {self.path}",
+            context={"got": self.command, "valid": allowed},
+        )), {"Allow": allowed})
+
+    def _send(self, status: int, body: dict,
+              headers: dict[str, str] | None = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except BrokenPipeError:
+            pass  # client went away mid-response
+
+
+class ServeServer:
+    """An in-process serving stack: engine + threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests);
+    :attr:`port`/:attr:`url` report the bound address.  Usable as a
+    context manager; :meth:`close` is idempotent and stops both the HTTP
+    loop and the batch workers.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.engine = ServiceEngine(self.config)
+        handler = type("_BoundHandler", (_Handler,),
+                       {"engine": self.engine})
+        self.httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True, name="repro-serve-http")
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+        self.engine.close()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def run_server(config: ServeConfig | None = None) -> str:
+    """Run the server until SIGINT/SIGTERM; returns a shutdown message.
+
+    The CLI entry point: prints the listening address eagerly (flushed,
+    so a piped CI job sees it before the first request), serves in a
+    background thread, and shuts down gracefully — in-flight batches
+    drain before the process exits.
+    """
+    import signal
+
+    server = ServeServer(config)
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _on_signal)
+    try:
+        server.start()
+        print(f"repro serve listening on {server.url} "
+              f"(max_batch={server.config.max_batch}, "
+              f"queue_limit={server.config.queue_limit})", flush=True)
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.close()
+    return "serve: shut down cleanly"

@@ -1,0 +1,133 @@
+"""Hammer tests for the shared mutable state the serving layer leans on.
+
+The serving layer runs the analytical core from many threads at once, so
+the process-wide caches and metrics must hold their invariants under
+contention: the credit-sum cache may never hand a wrong row to anybody,
+the ``obs`` counters must not lose increments, and concurrent profiled
+spans must all be accounted for.  Each test drives real concurrency
+through a ``ThreadPoolExecutor`` and checks *exact* outcomes, not
+just "didn't crash".
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.ctp import Coupling
+from repro.ctp.batch import (
+    CREDIT_CACHE_MAX_ROWS,
+    clear_credit_cache,
+    credit_cache_info,
+    credit_sums,
+)
+from repro.obs.trace import (
+    counter_inc,
+    counters,
+    profile,
+    reset_counters,
+    trace,
+)
+
+
+class TestCreditCacheUnderContention:
+    def test_concurrent_values_match_single_thread(self):
+        """16 threads × mixed couplings/sizes: every returned prefix-sum
+        row equals the single-threaded answer bit for bit, and the cache
+        bookkeeping stays exact."""
+        clear_credit_cache()
+        couplings = (Coupling.SHARED, Coupling.DISTRIBUTED, Coupling.CLUSTER)
+        # Interleaved sizes force regrows to race with reads.
+        work = [(couplings[i % 3], 1 + ((i * 7) % 96)) for i in range(480)]
+        expected = {
+            (coupling, n): np.array(credit_sums(n, coupling))
+            for coupling, n in set(work)
+        }
+        clear_credit_cache()
+
+        def probe(item):
+            coupling, n = item
+            row = credit_sums(n, coupling)
+            assert row.size == n
+            assert not row.flags.writeable
+            return np.array_equal(row, expected[(coupling, n)])
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            results = list(pool.map(probe, work))
+        assert all(results)
+
+        info = credit_cache_info()
+        assert info["entries"] <= CREDIT_CACHE_MAX_ROWS
+        # Three couplings at the default parameters -> exactly 3 rows.
+        assert info["entries"] == 3
+        # Every call is accounted for exactly once.
+        assert (info["hits"] + info["misses"] + info["regrows"]
+                == len(work))
+        assert info["misses"] == 3  # one cold miss per coupling
+
+    def test_clear_is_safe_amid_readers(self):
+        clear_credit_cache()
+
+        def churn(i: int) -> bool:
+            if i % 10 == 0:
+                clear_credit_cache()
+                return True
+            row = credit_sums(1 + i % 40, Coupling.SHARED)
+            return row.size == 1 + i % 40
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(churn, range(200)))
+        clear_credit_cache()
+        assert credit_cache_info()["entries"] == 0
+
+
+class TestCountersUnderContention:
+    def test_no_lost_increments(self):
+        reset_counters("hammer.")
+        n_threads, per_thread = 16, 500
+
+        def spin(_: int) -> None:
+            for _ in range(per_thread):
+                counter_inc("hammer.ticks")
+                counter_inc("hammer.weighted", 3)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(spin, range(n_threads)))
+        snapshot = counters()
+        assert snapshot["hammer.ticks"] == n_threads * per_thread
+        assert snapshot["hammer.weighted"] == 3 * n_threads * per_thread
+        reset_counters("hammer.")
+        assert "hammer.ticks" not in counters()
+
+
+class TestProfileUnderContention:
+    def test_spans_from_all_threads_are_collected(self):
+        """Each thread's spans nest under that thread's own root; no span
+        is lost and no stack leaks across threads."""
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def work(idx: int) -> None:
+            barrier.wait()
+            for j in range(per_thread):
+                with trace(f"hammer.outer.{idx}"):
+                    with trace("hammer.inner", j=j):
+                        pass
+
+        with profile() as prof:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                list(pool.map(work, range(n_threads)))
+
+        def count(spans) -> int:
+            return sum(1 + count(span.children) for span in spans)
+
+        assert count(prof.roots) == 2 * n_threads * per_thread
+        assert not prof.stack  # the profiling thread's stack is empty
+        outers = [span for root in prof.roots
+                  for span in ([root] if root.name.startswith("hammer.outer")
+                               else root.children)
+                  if span.name.startswith("hammer.outer")]
+        assert len(outers) == n_threads * per_thread
+        assert all(len(span.children) == 1 for span in outers)
