@@ -10,6 +10,8 @@ speedups (hundreds to tens of thousands x).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.perf.workloads import WORKLOAD_NAMES, run_benchmarks
@@ -54,6 +56,35 @@ def test_serve_load_responses_bit_identical(results):
     # max_batch=1 and max_batch=64 runs must agree exactly.
     assert results["serve_load"]["max_rel_err"] == 0.0
     assert sum(results["serve_load"]["batch_size_histogram"].values()) > 0
+
+
+def test_cluster_sweep_speedup_floor(results):
+    # The whole-array sweep measures ~28x over the scalar loop on the
+    # full 7 x 10 x 256 grid; 20x leaves headroom for CI noise.
+    assert results["cluster_sweep_grid"]["speedup"] >= 20.0
+
+
+def test_cluster_sweep_bit_exact(results):
+    # Not a tolerance: the sweep replicates the scalar model's operation
+    # order, so every feasible grid point must match to the last bit.
+    assert results["cluster_sweep_grid"]["max_rel_err"] == 0.0
+
+
+def test_parallel_keysearch_deterministic(results):
+    # 1 worker and N workers must return identical result objects
+    # (found keys, keys tried, chunk count) regardless of core count.
+    assert results["parallel_keysearch"]["max_rel_err"] == 0.0
+    assert results["parallel_keysearch"]["found_keys"]
+
+
+def test_parallel_keysearch_speedup_floor(results):
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"only {cores} CPU core(s): process fan-out cannot "
+                    f"beat serial here; parity still asserted above")
+    # Pool startup is amortized over ~0.5 s of work, so 1.5x is a
+    # conservative floor on a 4-core runner.
+    assert results["parallel_keysearch"]["speedup"] >= 1.5
 
 
 def test_batch_paths_agree_with_scalar(results):

@@ -11,6 +11,8 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``sensitivity`` — robustness of the lower bound and the Table 4
   verdicts to the factor weights;
 * ``simulate``    — run a suite workload across the architecture spectrum;
+* ``sweep``       — evaluate the whole machine x workload x node-count
+  design space in one vectorized pass;
 * ``acquire``     — covert-acquisition premium for a capability level;
 * ``report``      — the full markdown review document for a date;
 * ``bench``       — time the batch hot paths against scalar references;
@@ -99,6 +101,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("workload", nargs="?", default=None,
                        help="suite workload name; omit to list")
     p_sim.add_argument("--nodes", type=int, default=16)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="vectorized design-space sweep over the machine "
+                      "catalog"
+    )
+    p_sweep.add_argument("workload", nargs="?", default=None,
+                         help="suite workload name; omit to sweep the "
+                              "whole suite")
+    p_sweep.add_argument("--nodes", type=str, default="1:256",
+                         metavar="SPEC",
+                         help='node counts: comma list ("1,2,4,8") and/or '
+                              'inclusive ranges "lo:hi[:step]" '
+                              '(default "1:256")')
+    p_sweep.add_argument("--max-workers", type=int, default=1,
+                         help="worker processes for the machine-axis "
+                              "fan-out (default 1: in-process)")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="print a span/counter profile after the "
+                              "output")
 
     p_acq = sub.add_parser(
         "acquire", help="covert-acquisition premium for a capability level"
@@ -341,6 +362,110 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
     return table + "\n" + footer
 
 
+def _parse_nodes_spec(spec: str) -> list[int]:
+    """Parse a ``--nodes`` spec: comma-separated integers and/or
+    inclusive ``lo:hi[:step]`` ranges, e.g. ``"1,2,4:16:4,32"``.
+    Duplicates collapse; the result comes back ascending."""
+    counts: list[int] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        try:
+            if len(parts) == 1:
+                counts.append(int(parts[0]))
+                continue
+            if len(parts) > 3:
+                raise ValueError(token)
+            lo, hi = int(parts[0]), int(parts[1])
+            step = int(parts[2]) if len(parts) == 3 else 1
+        except ValueError:
+            raise ValidationError(
+                f'--nodes: cannot parse "{token}" '
+                f'(want an integer or "lo:hi[:step]")',
+                context={"flag": "--nodes", "got": token,
+                         "valid": 'int or "lo:hi[:step]"'},
+            ) from None
+        if step < 1:
+            raise ValidationError(
+                f'--nodes: step must be positive in "{token}"',
+                context={"flag": "--nodes", "got": step, "valid": ">= 1"},
+            )
+        counts.extend(range(lo, hi + 1, step))
+    return sorted(set(counts))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.parallel import sweep_parallel
+    from repro.simulate.sweep import default_machine_catalog
+    from repro.simulate.workloads import WORKLOAD_SUITE, find_workload
+
+    if args.max_workers < 1:
+        raise ValidationError(
+            f"--max-workers must be at least 1 (got {args.max_workers})",
+            context={"flag": "--max-workers", "got": args.max_workers,
+                     "valid": ">= 1"},
+        )
+    counts = _parse_nodes_spec(args.nodes)
+    machines = default_machine_catalog()
+    workloads = ([find_workload(args.workload)] if args.workload
+                 else list(WORKLOAD_SUITE))
+    grid = sweep_parallel(machines, workloads, counts,
+                          max_workers=args.max_workers)
+    import numpy as np
+
+    if args.workload:
+        # One workload: the best node count per catalog machine.
+        rows = []
+        for i, machine in enumerate(machines):
+            times = np.where(grid.feasible[i, 0, :],
+                             grid.times_s[i, 0, :], np.inf)
+            if not np.isfinite(times).any():
+                rows.append([machine.name, "-", "-", "-", "-",
+                             grid.reason_text(i, 0, len(counts) - 1)])
+                continue
+            k = int(np.argmin(times))
+            rows.append([
+                machine.name, int(grid.node_counts[k]),
+                round(float(times[k]), 1),
+                f"{grid.speedups[i, 0, k]:.1f}x",
+                f"{grid.efficiencies[i, 0, k]:.0%}",
+                "",
+            ])
+        table = render_table(
+            ["machine", "best nodes", "time (s)", "speedup", "efficiency",
+             "note"],
+            rows, title=f"{args.workload}: best configuration per machine",
+        )
+    else:
+        # Whole suite: the single best feasible configuration per workload.
+        rows = []
+        for j, workload in enumerate(workloads):
+            times = np.where(grid.feasible[:, j, :],
+                             grid.times_s[:, j, :], np.inf)
+            if not np.isfinite(times).any():
+                rows.append([workload.name, "-", "-", "-", "-"])
+                continue
+            i, k = np.unravel_index(int(np.argmin(times)), times.shape)
+            rows.append([
+                workload.name, machines[i].name,
+                int(grid.node_counts[k]),
+                round(float(times[i, k]), 1),
+                f"{grid.efficiencies[i, j, k]:.0%}",
+            ])
+        table = render_table(
+            ["workload", "best machine", "nodes", "time (s)",
+             "efficiency"],
+            rows, title="Design-space sweep: best feasible configuration",
+        )
+    footer = (f"{grid.feasible.size:,} grid points "
+              f"({len(machines)} machines x {len(workloads)} workloads x "
+              f"{len(counts)} node counts), "
+              f"{args.max_workers} worker process(es)")
+    return table + "\n" + footer
+
+
 def _cmd_acquire(args: argparse.Namespace) -> str:
     premium = acquisition_premium(args.target_mtops, args.year)
     if not premium.feasible:
@@ -424,6 +549,7 @@ _COMMANDS = {
     "license": _cmd_license,
     "sensitivity": _cmd_sensitivity,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "acquire": _cmd_acquire,
     "report": _cmd_report,
     "bench": _cmd_bench,

@@ -15,20 +15,29 @@ pinned against ``numpy.fft`` and by Parseval's theorem.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["fft_rows", "fft2d", "ifft2d", "alltoall_bytes_per_process",
            "fft2d_flops"]
 
 
+@lru_cache(maxsize=32)
 def _bit_reverse_permutation(n: int) -> np.ndarray:
-    """Index permutation that bit-reverses ``log2(n)``-bit indices."""
+    """Index permutation that bit-reverses ``log2(n)``-bit indices.
+
+    Cached per size (transform callers hit the same handful of
+    power-of-two lengths over and over); the cached array is marked
+    read-only so no caller can corrupt a shared instance.
+    """
     bits = int(np.log2(n))
     idx = np.arange(n)
     rev = np.zeros(n, dtype=int)
     for _ in range(bits):
         rev = (rev << 1) | (idx & 1)
         idx >>= 1
+    rev.flags.writeable = False
     return rev
 
 

@@ -37,6 +37,9 @@ __all__ = [
     "foreign_envelope_scalar",
     "premise3_gap_series_scalar",
     "candidate_bits_scalar",
+    "speedup_curve_scalar",
+    "efficiency_curve_scalar",
+    "sweep_grid_scalar",
 ]
 
 UNCONTROLLABILITY_LAG_YEARS = 2.0
@@ -140,6 +143,56 @@ def premise3_gap_series_scalar(
         )
         out[i] = np.inf if lower == 0 else upper / lower
     return out
+
+
+def speedup_curve_scalar(workload, machine, node_counts) -> np.ndarray:
+    """Seed speedup curve: one scalar ``simulate_execution`` per point."""
+    from repro.simulate.execution import simulate_execution
+
+    base = simulate_execution(workload, machine.with_nodes(1))
+    if not base.feasible:
+        return np.zeros(len(node_counts))
+    t1 = base.time_s
+    out = np.empty(len(node_counts))
+    for i, n in enumerate(node_counts):
+        r = simulate_execution(workload, machine.with_nodes(int(n)))
+        out[i] = t1 / r.time_s if r.feasible else 0.0
+    return out
+
+
+def efficiency_curve_scalar(workload, machine, node_counts) -> np.ndarray:
+    """Seed efficiency curve: scalar speedups divided through."""
+    s = speedup_curve_scalar(workload, machine, node_counts)
+    return s / np.asarray(node_counts, dtype=float)
+
+
+def sweep_grid_scalar(machines, workloads, node_counts) -> dict[str, np.ndarray]:
+    """Seed design-space sweep: one scalar ``simulate_execution`` call per
+    (machine, workload, node count) grid point.
+
+    Node counts a machine cannot take (hypernode mismatch) get ``inf``
+    time and ``feasible=False``, mirroring how
+    :func:`repro.simulate.sweep.sweep` marks them, so the two grids are
+    comparable elementwise.
+    """
+    from repro.simulate.execution import simulate_execution
+
+    shape = (len(machines), len(workloads), len(node_counts))
+    times = np.full(shape, np.inf)
+    efficiencies = np.zeros(shape)
+    feasible = np.zeros(shape, dtype=bool)
+    for i, machine in enumerate(machines):
+        for k, n in enumerate(node_counts):
+            if int(n) % machine.hypernode_size:
+                continue
+            configured = machine.with_nodes(int(n))
+            for j, workload in enumerate(workloads):
+                r = simulate_execution(workload, configured)
+                feasible[i, j, k] = r.feasible
+                times[i, j, k] = r.time_s
+                efficiencies[i, j, k] = r.efficiency
+    return {"feasible": feasible, "times_s": times,
+            "efficiencies": efficiencies}
 
 
 def candidate_bits_scalar(

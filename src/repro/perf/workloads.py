@@ -35,6 +35,8 @@ WORKLOAD_NAMES = (
     "premise3_gap_scan",
     "keysearch_bit_expansion",
     "serve_load",
+    "cluster_sweep_grid",
+    "parallel_keysearch",
 )
 
 
@@ -251,6 +253,91 @@ def _bench_serve_load(quick: bool) -> dict:
     return row
 
 
+def _bench_cluster_sweep(quick: bool) -> dict:
+    """Full design-space grid, scalar loop vs whole-array sweep.
+
+    The grid is the same in quick and full mode (the scalar pass costs
+    ~0.1 s, cheap enough for CI smoke); quick just trims repeats.  The
+    sweep must be *bit-exact*: feasibility masks equal, and times and
+    efficiencies identical on every feasible point, so ``max_rel_err``
+    is 0.0 or the run is broken.
+    """
+    from repro.simulate.sweep import default_machine_catalog, sweep
+    from repro.simulate.workloads import WORKLOAD_SUITE
+
+    machines = default_machine_catalog()
+    counts = np.arange(1, 257, dtype=np.int64)
+    grid = sweep(machines, WORKLOAD_SUITE, counts)
+    scalar_grid = ref.sweep_grid_scalar(machines, WORKLOAD_SUITE, counts)
+    feas = grid.feasible
+    if not np.array_equal(feas, scalar_grid["feasible"]):
+        err = 1.0
+    else:
+        err = max(
+            _rel_err(scalar_grid["times_s"][feas], grid.times_s[feas]),
+            _rel_err(scalar_grid["efficiencies"][feas],
+                     grid.efficiencies[feas]),
+        )
+    scalar = time_workload(
+        lambda: ref.sweep_grid_scalar(machines, WORKLOAD_SUITE, counts),
+        "scalar", repeats=2 if quick else 3)
+    fast = time_workload(
+        lambda: sweep(machines, WORKLOAD_SUITE, counts), "batch",
+        repeats=5 if quick else 9)
+    row = _row("cluster_sweep_grid",
+               f"BSP model over {len(machines)} machines x "
+               f"{len(WORKLOAD_SUITE)} workloads x {counts.size} node "
+               f"counts (per-point simulate_execution vs one broadcast "
+               f"sweep)",
+               scalar, fast, err)
+    row["grid_points"] = int(feas.size)
+    row["feasible_points"] = int(feas.sum())
+    return row
+
+
+def _bench_parallel_keysearch(quick: bool) -> dict:
+    """Exhaustive keysearch, one worker vs a small process pool.
+
+    ``max_rel_err`` is 0.0 when the two runs return identical result
+    objects (found keys, keys tried, chunk count) — the driver's
+    determinism contract — and 1.0 otherwise.  The speedup is honest
+    wall clock including pool startup, so on a 1-2 core box it can dip
+    below 1; the regression gate skips the floor there.
+    """
+    import os
+
+    from repro.crypto.des import des_encrypt_block
+    from repro.parallel import parallel_keysearch
+
+    search_bits = 16 if quick else 18
+    plaintext = 0x0123456789ABCDEF
+    planted = 0x2AB5  # low bits of the key; parity-flip twins also match
+    ciphertext = des_encrypt_block(plaintext, planted)
+    workers = max(2, min(4, os.cpu_count() or 1))
+
+    def run(max_workers: int):
+        return parallel_keysearch(plaintext, ciphertext,
+                                  search_bits=search_bits,
+                                  max_workers=max_workers)
+
+    serial_out = run(1)
+    parallel_out = run(workers)
+    err = 0.0 if serial_out == parallel_out else 1.0
+    scalar = time_workload(lambda: run(1), "scalar",
+                           repeats=2 if quick else 3)
+    fast = time_workload(lambda: run(workers), "batch",
+                         repeats=2 if quick else 3)
+    row = _row("parallel_keysearch",
+               f"exhaustive 2^{search_bits} DES keysearch, 1 worker vs "
+               f"{workers} worker processes (chunked fan-out, "
+               f"deterministic reassembly)",
+               scalar, fast, err)
+    row["workers"] = workers
+    row["cpu_count"] = os.cpu_count()
+    row["found_keys"] = list(serial_out.found_keys)
+    return row
+
+
 def _row(name: str, description: str, scalar: Timing, batch: Timing,
          max_rel_err: float) -> dict:
     return {
@@ -270,6 +357,8 @@ _BENCHES = {
     "premise3_gap_scan": _bench_premise_scan,
     "keysearch_bit_expansion": _bench_keysearch,
     "serve_load": _bench_serve_load,
+    "cluster_sweep_grid": _bench_cluster_sweep,
+    "parallel_keysearch": _bench_parallel_keysearch,
 }
 
 

@@ -52,6 +52,13 @@ from repro.simulate.execution import (
     speedup_curve,
     efficiency_curve,
 )
+from repro.simulate.sweep import (
+    InfeasibleReason,
+    SweepResult,
+    sweep,
+    validate_node_counts,
+    default_machine_catalog,
+)
 from repro.simulate.cluster_study import (
     ArchitectureComparison,
     compare_architectures,
@@ -106,6 +113,11 @@ __all__ = [
     "simulate_execution",
     "speedup_curve",
     "efficiency_curve",
+    "InfeasibleReason",
+    "SweepResult",
+    "sweep",
+    "validate_node_counts",
+    "default_machine_catalog",
     "ArchitectureComparison",
     "compare_architectures",
     "max_competitive_cluster_size",

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.machines.spec import Architecture
+from repro.obs.errors import ValidationError
 from repro.simulate.architectures import (
     MachineModel,
     cluster_machine,
@@ -29,8 +32,9 @@ from repro.simulate.architectures import (
     smp_machine,
     vector_machine,
 )
-from repro.simulate.execution import ExecutionResult, simulate_execution
+from repro.simulate.execution import ExecutionResult
 from repro.simulate.interconnect import ATM_155, ETHERNET_10, Interconnect, SMP_BUS
+from repro.simulate.sweep import sweep
 from repro.simulate.workloads import CommPattern, Workload, find_workload
 
 __all__ = [
@@ -97,7 +101,7 @@ def compare_architectures(
     n_nodes: int = 16,
 ) -> ArchitectureComparison:
     """Run one workload on vector, SMP, MPP, dedicated- and ad hoc-cluster
-    machines of ``n_nodes`` each."""
+    machines of ``n_nodes`` each (one vectorized sweep, five machines)."""
     if isinstance(workload, str):
         workload = find_workload(workload)
     machines = (
@@ -107,9 +111,10 @@ def compare_architectures(
         cluster_machine(n_nodes, network=ATM_155, dedicated=True),
         cluster_machine(n_nodes, network=ETHERNET_10),
     )
+    grid = sweep(machines, workload, [n_nodes])
     return ArchitectureComparison(
         workload=workload,
-        results=tuple(simulate_execution(workload, m) for m in machines),
+        results=tuple(grid.result_at(i, 0, 0) for i in range(len(machines))),
     )
 
 
@@ -126,17 +131,24 @@ def max_competitive_cluster_size(
     if isinstance(workload, str):
         workload = find_workload(workload)
     if not 0 < efficiency_floor <= 1:
-        raise ValueError("efficiency_floor must be in (0, 1]")
-    best = 0
+        raise ValidationError(
+            "efficiency_floor must be in (0, 1]",
+            context={"got": efficiency_floor, "valid": "(0, 1]"},
+        )
+    counts = []
     n = 2
     while n <= max_nodes:
-        r = simulate_execution(
-            workload, cluster_machine(n, network=network, dedicated=dedicated)
-        )
-        if r.feasible and r.efficiency >= efficiency_floor:
-            best = n
+        counts.append(n)
         n *= 2
-    return best
+    if not counts:
+        return 0
+    base = cluster_machine(counts[0], network=network, dedicated=dedicated)
+    grid = sweep(base, workload, counts)
+    competitive = grid.feasible[0, 0, :] & (
+        grid.efficiencies[0, 0, :] >= efficiency_floor
+    )
+    hits = np.flatnonzero(competitive)
+    return int(counts[hits[-1]]) if hits.size else 0
 
 
 #: The GATOR run needed the model's most parallel code and specially tuned
@@ -171,9 +183,12 @@ def gator_study() -> dict[str, ExecutionResult]:
         node_mops_per_s=266.0 * 0.25,
         node_memory_mb=128.0, interconnect=ETHERNET_10,
     )
+    machines = (c90, paragon, now_atm, now_ethernet)
+    counts = sorted({m.n_nodes for m in machines})
+    grid = sweep(machines, _GATOR, counts)
     return {
-        m.name: simulate_execution(_GATOR, m)
-        for m in (c90, paragon, now_atm, now_ethernet)
+        m.name: grid.result_at(i, 0, counts.index(m.n_nodes))
+        for i, m in enumerate(machines)
     }
 
 

@@ -26,6 +26,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.obs.trace import counter_inc
 from repro.simulate.architectures import MachineModel
 from repro.simulate.workloads import Workload
 
@@ -64,10 +65,20 @@ class ExecutionResult:
 
     @property
     def efficiency(self) -> float:
-        """Delivered rate over aggregate sustained rate, in [0, 1]."""
+        """Delivered rate over aggregate sustained rate.
+
+        Mathematically this lies in [0, 1]; the value is reported
+        *unclamped* so a model violation (a result whose components
+        imply more delivered work than the machine can sustain) shows up
+        instead of being silently truncated.  Values above 1 bump the
+        ``simulate.efficiency_above_unity`` counter.
+        """
         if not self.feasible:
             return 0.0
-        return min(1.0, self.delivered_mops_per_s / self.machine.aggregate_mops_per_s)
+        eff = self.delivered_mops_per_s / self.machine.aggregate_mops_per_s
+        if eff > 1.0:
+            counter_inc("simulate.efficiency_above_unity")
+        return eff
 
 
 def _memory_check(workload: Workload, machine: MachineModel) -> str | None:
@@ -170,19 +181,20 @@ def speedup_curve(
     machine: MachineModel,
     node_counts: Sequence[int],
 ) -> np.ndarray:
-    """Speedup versus the same machine at one node, per node count.
+    """Speedup versus the same machine at its base size, per node count.
 
-    Infeasible points yield 0 speedup.
+    One whole-array sweep rather than a per-point scalar loop (the
+    original loop survives as
+    :func:`repro.perf.reference.speedup_curve_scalar`).  The base size
+    is one node for flat machines and one hypernode for hierarchical
+    ones.  Infeasible points (including node counts the machine cannot
+    take) yield 0 speedup; non-positive or non-integer node counts raise
+    :class:`~repro.obs.errors.ValidationError`.
     """
-    base = simulate_execution(workload, machine.with_nodes(1))
-    if not base.feasible:
-        return np.zeros(len(node_counts))
-    t1 = base.time_s
-    out = np.empty(len(node_counts))
-    for i, n in enumerate(node_counts):
-        r = simulate_execution(workload, machine.with_nodes(int(n)))
-        out[i] = t1 / r.time_s if r.feasible else 0.0
-    return out
+    from repro.simulate.sweep import sweep
+
+    result = sweep(machine, workload, node_counts)
+    return np.ascontiguousarray(result.speedups[0, 0, :])
 
 
 def efficiency_curve(
@@ -191,5 +203,8 @@ def efficiency_curve(
     node_counts: Sequence[int],
 ) -> np.ndarray:
     """Parallel efficiency (speedup / n) per node count."""
-    s = speedup_curve(workload, machine, node_counts)
-    return s / np.asarray(node_counts, dtype=float)
+    from repro.simulate.sweep import validate_node_counts
+
+    counts = validate_node_counts(node_counts)
+    s = speedup_curve(workload, machine, counts)
+    return s / counts.astype(float)

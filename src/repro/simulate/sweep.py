@@ -1,0 +1,462 @@
+"""Vectorized design-space sweep over the execution-time model.
+
+The paper's cluster-versus-integrated-system analysis (Table 5; Chapter 3
+notes 50-55) is, computationally, a *sweep*: the BSP-flavored execution
+model evaluated over machines x workloads x node counts.  The scalar
+:func:`~repro.simulate.execution.simulate_execution` answers one point at
+a time; :func:`sweep` evaluates the whole tensor in whole-array numpy —
+memory-feasibility masks, serial/compute terms, and the shared-medium /
+switched / hierarchical communication branches all computed as
+``(machines, workloads, nodes)`` arrays.
+
+Every elementwise operation is written in the *same order* as the scalar
+model, so the sweep is **bit-exact** against ``simulate_execution`` on
+every point — the parity suite (``tests/test_sweep.py``) and the
+``cluster_sweep_grid`` benchmark both pin ``max_rel_err == 0.0``.
+
+Grid points whose node count is not a multiple of a machine's hypernode
+size cannot be instantiated at all (``MachineModel.with_nodes`` would
+raise); the sweep marks them infeasible with their own reason code
+instead of raising, so a hypernode machine can share a node grid with
+flat machines.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, trace
+from repro.simulate.architectures import (
+    MachineModel,
+    cluster_machine,
+    hierarchical_machine,
+    mpp_machine,
+    smp_machine,
+    vector_machine,
+)
+from repro.simulate.interconnect import ATM_155, ETHERNET_10, FDDI, SMP_BUS
+from repro.simulate.workloads import CommPattern, Workload
+
+__all__ = [
+    "InfeasibleReason",
+    "SweepResult",
+    "sweep",
+    "validate_node_counts",
+    "default_machine_catalog",
+]
+
+
+class InfeasibleReason(enum.IntEnum):
+    """Why a grid point cannot run (0 = it can)."""
+
+    NONE = 0
+    #: The closely-coupled memory floor exceeds the (pool or hypernode)
+    #: memory — the paper's turbulent-flow example.
+    MIN_MEMORY = 1
+    #: The decomposed working set exceeds per-node memory.
+    NODE_MEMORY = 2
+    #: The node count is not a multiple of the machine's hypernode size,
+    #: so the configuration cannot be built at all.
+    NODE_GRID = 3
+
+
+def validate_node_counts(node_counts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Validate and canonicalize a node-count grid to an int64 array.
+
+    Raises :class:`~repro.obs.errors.ValidationError` (one-line
+    diagnostic) for empty grids and non-positive or non-integer entries —
+    the seed code silently coerced via ``int(n)``.
+    """
+    arr = np.asarray(node_counts)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError(
+            "node_counts must be a non-empty 1-D sequence",
+            context={"got_shape": list(arr.shape)},
+        )
+    if arr.dtype.kind not in "iuf" or (
+        arr.dtype.kind == "f" and not np.all(np.isfinite(arr))
+    ):
+        raise ValidationError(
+            "node_counts must be finite integers",
+            context={"got_dtype": str(arr.dtype)},
+        )
+    as_int = arr.astype(np.int64)
+    if arr.dtype.kind == "f" and not np.array_equal(as_int, arr):
+        bad = arr[as_int != arr][0]
+        raise ValidationError(
+            f"node_counts must be whole numbers (got {bad})",
+            context={"got": float(bad), "valid": "integers >= 1"},
+        )
+    if np.any(as_int < 1):
+        bad = int(as_int[as_int < 1][0])
+        raise ValidationError(
+            f"node counts must be >= 1 (got {bad})",
+            context={"got": bad, "valid": ">= 1"},
+        )
+    return as_int
+
+
+def default_machine_catalog() -> tuple[MachineModel, ...]:
+    """The architecture-spectrum machine set swept by the benchmark and
+    the ``repro sweep`` CLI.
+
+    Node counts on the base machines are placeholders — the sweep
+    re-instantiates every machine at each grid point.
+    """
+    return (
+        vector_machine(16),
+        smp_machine(16),
+        mpp_machine(128),
+        cluster_machine(16, network=ATM_155, dedicated=True),
+        cluster_machine(16, network=ETHERNET_10),
+        cluster_machine(16, network=FDDI, name="FDDI cluster (16)"),
+        hierarchical_machine(8, 8),
+    )
+
+
+def _pattern_volume(pattern: CommPattern, data_mb: float,
+                    counts: np.ndarray) -> np.ndarray:
+    """``CommPattern.volume_per_node_mb`` over an array of process counts.
+
+    Each branch repeats the scalar formula with the same operation order,
+    so results are bit-identical; ``counts == 1`` yields 0.
+    """
+    p = counts.astype(np.float64)
+    if pattern is CommPattern.EMBARRASSING:
+        vol = np.zeros_like(p)
+    elif pattern is CommPattern.REPLICATED:
+        vol = 0.01 * data_mb / p
+    elif pattern is CommPattern.HALO_2D:
+        vol = 4.0 * np.sqrt(data_mb / p) * 1e-2
+    elif pattern is CommPattern.HALO_3D:
+        # numpy's array ``**`` may route through the platform's SIMD pow
+        # (libmvec), which is allowed a 1-2 ulp divergence from the
+        # scalar ``pow`` the reference model calls.  Evaluating the
+        # handful of unique counts with Python-scalar arithmetic keeps
+        # the sweep bit-exact at negligible cost.
+        unique, inverse = np.unique(counts, return_inverse=True)
+        per_count = np.array(
+            [6.0 * (data_mb / float(c)) ** (2.0 / 3.0) * 1e-2
+             for c in unique])
+        vol = per_count[inverse].reshape(counts.shape)
+    elif pattern is CommPattern.ALL_TO_ALL:
+        vol = data_mb / p
+    elif pattern is CommPattern.IRREGULAR:
+        vol = 0.005 * data_mb / p
+    else:  # pragma: no cover
+        raise AssertionError("unreachable")
+    return np.where(counts == 1, 0.0, vol)
+
+
+def _pattern_messages(pattern: CommPattern, counts: np.ndarray) -> np.ndarray:
+    """``CommPattern.messages_per_node`` over an array of process counts."""
+    p = counts.astype(np.float64)
+    if pattern is CommPattern.EMBARRASSING:
+        msg = np.zeros_like(p)
+    elif pattern is CommPattern.REPLICATED:
+        msg = np.full_like(p, 2.0)
+    elif pattern is CommPattern.HALO_2D:
+        msg = np.full_like(p, 4.0)
+    elif pattern is CommPattern.HALO_3D:
+        msg = np.full_like(p, 6.0)
+    elif pattern is CommPattern.ALL_TO_ALL:
+        msg = p - 1.0
+    elif pattern is CommPattern.IRREGULAR:
+        msg = np.full_like(p, 50.0)
+    else:  # pragma: no cover
+        raise AssertionError("unreachable")
+    return np.where(counts == 1, 0.0, msg)
+
+
+def _comm_arrays(
+    machines: Sequence[MachineModel],
+    workloads: Sequence[Workload],
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Per-point communication time, shape ``(M, W, N)``.
+
+    Flat machines take the shared-medium or switched branch on their own
+    interconnect; hypernode machines take the hierarchical branch
+    (intra-hypernode traffic over the bus, boundary traffic over the
+    fabric).  All three branches are whole-array.
+    """
+    n_m, n_w, n_n = len(machines), len(workloads), counts.size
+    hyper = np.array([m.hypernode_size for m in machines],
+                     dtype=np.int64)[:, None, None]
+    bw = np.array([m.interconnect.bandwidth_mbps
+                   for m in machines])[:, None, None]
+    lat = np.array([m.interconnect.latency_us
+                    for m in machines])[:, None, None]
+    net_shared = np.array([m.interconnect.shared_medium
+                           for m in machines])[:, None, None]
+    steps = np.array([float(w.steps) for w in workloads])[None, :, None]
+    p = counts[None, None, :]
+
+    # Pattern volumes/messages at the full process count (W, N) and at the
+    # hypernode count (M, W, N): for flat machines n_hyper == p, so the
+    # hypernode evaluation degenerates to the flat one.  Clamped to >= 1:
+    # points with p < hypernode_size are NODE_GRID-infeasible and zeroed
+    # by the caller, but the arithmetic must stay division-safe.
+    n_hyper = np.maximum(p // hyper, 1)                     # (M, 1, N)
+    vol_p = np.empty((n_w, n_n))
+    msg_p = np.empty((n_w, n_n))
+    vol_h = np.empty((n_m, n_w, n_n))
+    msg_h = np.empty((n_m, n_w, n_n))
+    for j, w in enumerate(workloads):
+        vol_p[j] = _pattern_volume(w.pattern, w.data_mb, counts)
+        msg_p[j] = _pattern_messages(w.pattern, counts)
+        vol_h[:, j, :] = _pattern_volume(w.pattern, w.data_mb,
+                                         n_hyper[:, 0, :])
+        msg_h[:, j, :] = _pattern_messages(w.pattern, n_hyper[:, 0, :])
+
+    # Flat branch: shared media serialize the aggregate volume.
+    per_step_shared = (p * vol_p[None]) / bw + msg_p[None] * lat * 1e-6
+    per_step_switched = vol_p[None] / bw + msg_p[None] * lat * 1e-6
+    comm_flat = steps * np.where(net_shared, per_step_shared,
+                                 per_step_switched)
+
+    # Hierarchical branch (scalar: _hierarchical_step_time).
+    total_volume = p * vol_p[None]                          # (M, W, N)
+    single_hyper = n_hyper <= 1
+    inter = np.where(single_hyper, 0.0, vol_h)
+    inter_msgs = np.where(single_hyper, 0.0, msg_h)
+    intra_total = np.maximum(total_volume - n_hyper * inter, 0.0)
+    intra_time = (intra_total / n_hyper) / SMP_BUS.bandwidth_mbps
+    inter_time = inter / bw + inter_msgs * lat * 1e-6
+    comm_hier = steps * (intra_time + inter_time)
+
+    comm = np.where(hyper > 1, comm_hier, comm_flat)
+    return np.where(p == 1, 0.0, comm)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The evaluated design-space tensor.
+
+    All arrays have shape ``(machines, workloads, node_counts)``.
+    Infeasible points carry zero time components (matching the scalar
+    model), ``inf`` wall-clock time, and zero speedup/efficiency.
+    Speedups are relative to the same machine at its smallest
+    instantiable node count (1 for flat machines, one hypernode for
+    hierarchical ones).
+    """
+
+    machines: tuple[MachineModel, ...]
+    workloads: tuple[Workload, ...]
+    node_counts: np.ndarray
+    feasible: np.ndarray
+    reason_codes: np.ndarray
+    serial_time_s: np.ndarray
+    compute_time_s: np.ndarray
+    comm_time_s: np.ndarray
+    times_s: np.ndarray
+    speedups: np.ndarray
+    efficiencies: np.ndarray
+    #: Per-machine baseline node count the speedups divide against.
+    baseline_nodes: np.ndarray = field(repr=False, default=None)
+    #: Baseline wall-clock time per (machine, workload), ``inf`` when the
+    #: baseline itself cannot run.
+    baseline_times_s: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.times_s.shape
+
+    def machine_index(self, name: str) -> int:
+        for i, m in enumerate(self.machines):
+            if m.name == name:
+                return i
+        raise ValidationError(f"unknown machine {name!r}",
+                              context={"known": [m.name for m in
+                                                 self.machines]})
+
+    def workload_index(self, name: str) -> int:
+        for j, w in enumerate(self.workloads):
+            if w.name == name:
+                return j
+        raise ValidationError(f"unknown workload {name!r}",
+                              context={"known": [w.name for w in
+                                                 self.workloads]})
+
+    def reason_text(self, i: int, j: int, k: int) -> str | None:
+        """The scalar model's infeasibility message for one point
+        (``None`` when the point is feasible)."""
+        code = InfeasibleReason(int(self.reason_codes[i, j, k]))
+        if code is InfeasibleReason.NONE:
+            return None
+        machine = self.machines[i]
+        workload = self.workloads[j]
+        n = int(self.node_counts[k])
+        if code is InfeasibleReason.NODE_GRID:
+            return (f"{machine.name}: {n} nodes not a multiple of the "
+                    f"{machine.hypernode_size}-processor hypernode")
+        if code is InfeasibleReason.MIN_MEMORY:
+            if machine.shared_memory:
+                pool = n * machine.node_memory_mb
+            else:
+                pool = machine.node_memory_mb * machine.hypernode_size
+            return (
+                f"needs {workload.min_memory_mb:.0f} MB closely coupled; "
+                f"{'pool' if machine.shared_memory else 'hypernode'} has "
+                f"{pool:.0f} MB"
+            )
+        per_node = workload.data_mb / n
+        return (
+            f"working set {per_node:.0f} MB/node exceeds "
+            f"{machine.node_memory_mb:.0f} MB"
+        )
+
+    def result_at(self, i: int, j: int, k: int):
+        """Reconstruct the scalar :class:`ExecutionResult` for one point.
+
+        Raises :class:`ValidationError` for node-grid-mismatch points:
+        the corresponding machine configuration cannot be built.
+        """
+        from repro.simulate.execution import ExecutionResult
+
+        code = InfeasibleReason(int(self.reason_codes[i, j, k]))
+        if code is InfeasibleReason.NODE_GRID:
+            raise ValidationError(
+                "no machine exists at this grid point",
+                context={"machine": self.machines[i].name,
+                         "nodes": int(self.node_counts[k]),
+                         "hypernode": self.machines[i].hypernode_size},
+            )
+        machine = self.machines[i].with_nodes(int(self.node_counts[k]))
+        return ExecutionResult(
+            workload=self.workloads[j],
+            machine=machine,
+            feasible=bool(self.feasible[i, j, k]),
+            infeasible_reason=self.reason_text(i, j, k),
+            serial_time_s=float(self.serial_time_s[i, j, k]),
+            compute_time_s=float(self.compute_time_s[i, j, k]),
+            comm_time_s=float(self.comm_time_s[i, j, k]),
+        )
+
+
+def _evaluate(
+    machines: tuple[MachineModel, ...],
+    workloads: tuple[Workload, ...],
+    counts: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """The core broadcast evaluation; returns raw component arrays."""
+    rate = np.array([m.node_mops_per_s for m in machines])[:, None, None]
+    node_mem = np.array([m.node_memory_mb for m in machines])[:, None, None]
+    hyper = np.array([m.hypernode_size for m in machines],
+                     dtype=np.int64)[:, None, None]
+    shared_mem = np.array([m.shared_memory for m in machines])[:, None, None]
+    total = np.array([w.total_mops for w in workloads])[None, :, None]
+    frac = np.array([w.parallel_fraction for w in workloads])[None, :, None]
+    data = np.array([w.data_mb for w in workloads])[None, :, None]
+    min_mem = np.array([w.min_memory_mb for w in workloads])[None, :, None]
+    p = counts[None, None, :]
+
+    grid_ok = (p % hyper) == 0
+
+    # Memory feasibility (scalar: _memory_check, same check order).
+    pool = np.where(shared_mem, p * node_mem, node_mem * hyper)
+    floor_fails = min_mem > pool
+    per_node = data / p
+    node_fails = per_node > node_mem
+
+    reason = np.where(
+        ~grid_ok, np.int8(InfeasibleReason.NODE_GRID),
+        np.where(floor_fails, np.int8(InfeasibleReason.MIN_MEMORY),
+                 np.where(node_fails, np.int8(InfeasibleReason.NODE_MEMORY),
+                          np.int8(InfeasibleReason.NONE))))
+    feasible = reason == InfeasibleReason.NONE
+
+    serial = np.broadcast_to(total * (1.0 - frac) / rate, feasible.shape)
+    compute = total * frac / (rate * p)
+    comm = _comm_arrays(machines, workloads, counts)
+
+    zero = np.float64(0.0)
+    serial = np.where(feasible, serial, zero)
+    compute = np.where(feasible, compute, zero)
+    comm = np.where(feasible, comm, zero)
+    times = np.where(feasible, (serial + compute) + comm, np.inf)
+
+    # Efficiency: delivered rate over aggregate sustained rate, exactly
+    # as the (unclamped) scalar property computes it.
+    aggregate = p * rate
+    efficiency = np.where(feasible, (total / times) / aggregate, zero)
+    return {
+        "feasible": feasible,
+        "reason_codes": reason,
+        "serial_time_s": serial,
+        "compute_time_s": compute,
+        "comm_time_s": comm,
+        "times_s": times,
+        "efficiencies": efficiency,
+    }
+
+
+def sweep(
+    machines: Sequence[MachineModel] | MachineModel,
+    workloads: Sequence[Workload] | Workload,
+    node_counts: Sequence[int] | np.ndarray,
+) -> SweepResult:
+    """Evaluate the execution model over machines x workloads x nodes.
+
+    Every machine is re-instantiated at every node count in
+    ``node_counts`` (the machines' own ``n_nodes`` are ignored); node
+    counts a machine cannot take (hypernode mismatch) become
+    ``NODE_GRID``-infeasible points rather than errors.  Bit-exact
+    against :func:`~repro.simulate.execution.simulate_execution`.
+    """
+    if isinstance(machines, MachineModel):
+        machines = (machines,)
+    if isinstance(workloads, Workload):
+        workloads = (workloads,)
+    machines = tuple(machines)
+    workloads = tuple(workloads)
+    if not machines:
+        raise ValidationError("machines must be non-empty",
+                              context={"got": 0, "valid": ">= 1 machine"})
+    if not workloads:
+        raise ValidationError("workloads must be non-empty",
+                              context={"got": 0, "valid": ">= 1 workload"})
+    counts = validate_node_counts(node_counts)
+
+    with trace("simulate.sweep", machines=len(machines),
+               workloads=len(workloads), nodes=int(counts.size)):
+        out = _evaluate(machines, workloads, counts)
+        counter_inc("sweep.calls")
+        counter_inc("sweep.points",
+                    len(machines) * len(workloads) * counts.size)
+
+        # Baselines: the machine at its smallest instantiable node count
+        # (1 for flat machines, one hypernode for hierarchical ones).
+        baseline_nodes = np.array([m.hypernode_size for m in machines],
+                                  dtype=np.int64)
+        unique_bases = np.unique(baseline_nodes)
+        base_eval = _evaluate(machines, workloads, unique_bases)
+        base_col = np.searchsorted(unique_bases, baseline_nodes)
+        baseline_times = base_eval["times_s"][
+            np.arange(len(machines)), :, base_col]        # (M, W)
+        speedup_ok = out["feasible"] & np.isfinite(
+            baseline_times)[:, :, None]
+        with np.errstate(invalid="ignore"):
+            speedups = np.where(
+                speedup_ok, baseline_times[:, :, None] / out["times_s"], 0.0)
+
+    return SweepResult(
+        machines=machines,
+        workloads=workloads,
+        node_counts=counts,
+        feasible=out["feasible"],
+        reason_codes=out["reason_codes"],
+        serial_time_s=out["serial_time_s"],
+        compute_time_s=out["compute_time_s"],
+        comm_time_s=out["comm_time_s"],
+        times_s=out["times_s"],
+        speedups=speedups,
+        efficiencies=out["efficiencies"],
+        baseline_nodes=baseline_nodes,
+        baseline_times_s=baseline_times,
+    )

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.simulate.architectures import cluster_machine, smp_machine, vector_machine
+from repro.obs.trace import counters
 from repro.simulate.execution import (
+    ExecutionResult,
     efficiency_curve,
     simulate_execution,
     speedup_curve,
@@ -110,3 +112,26 @@ class TestCurves:
         w = _workload(min_memory_mb=1e6)
         s = speedup_curve(w, cluster_machine(1), [2, 4])
         assert np.all(s == 0.0)
+
+
+class TestEfficiencyUnclamped:
+    def test_model_violation_reported_not_truncated(self):
+        # Components implying more delivered work than the machine can
+        # sustain must come back > 1, not silently clamped to 1.0, and
+        # must bump the anomaly counter.
+        w = _workload(total_mops=1e6)
+        m = smp_machine(4)
+        time_s = 0.5 * (w.total_mops / m.aggregate_mops_per_s)
+        r = ExecutionResult(workload=w, machine=m, feasible=True,
+                            infeasible_reason=None, serial_time_s=0.0,
+                            compute_time_s=time_s, comm_time_s=0.0)
+        before = counters().get("simulate.efficiency_above_unity", 0)
+        eff = r.efficiency
+        assert eff == r.delivered_mops_per_s / m.aggregate_mops_per_s
+        assert eff > 1.0
+        assert counters().get("simulate.efficiency_above_unity", 0) \
+            == before + 1
+
+    def test_physical_results_unchanged(self):
+        r = simulate_execution(_workload(), smp_machine(8))
+        assert r.feasible and 0.0 < r.efficiency <= 1.0
