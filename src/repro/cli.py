@@ -8,6 +8,8 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``rate``        — CTP of a hardware configuration given from flags;
 * ``machine``     — catalog lookup plus controllability assessment;
 * ``license``     — a license decision for a machine/destination pair;
+* ``policy``      — Chapter-5 credibility/burden scorecards over a whole
+  threshold x year grid in one vectorized pass;
 * ``sensitivity`` — robustness of the lower bound and the Table 4
   verdicts to the factor weights;
 * ``simulate``    — run a suite workload across the architecture spectrum;
@@ -87,6 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_license.add_argument("--threshold", type=float, default=None,
                            help="Mtops (default: in force at --year)")
     p_license.add_argument("--year", type=float, default=1995.5)
+
+    p_policy = sub.add_parser(
+        "policy", help="credibility/burden scorecards over a threshold "
+                       "x year grid"
+    )
+    p_policy.add_argument("--thresholds", type=str,
+                          default="100,160,195,1500,2000,7000",
+                          metavar="SPEC",
+                          help='candidate thresholds in Mtops: comma list '
+                               'and/or inclusive ranges "lo:hi[:step]" '
+                               '(default: the four historical eras plus '
+                               '2,000 and 7,000)')
+    p_policy.add_argument("--years", type=str, default="1988:1998:2",
+                          metavar="SPEC",
+                          help='review dates: comma list and/or inclusive '
+                               'ranges "lo:hi[:step]" (default '
+                               '"1988:1998:2")')
+    p_policy.add_argument("--max-workers", type=int, default=1,
+                          help="worker processes slabbing the threshold "
+                               "axis (default 1: in-process)")
+    p_policy.add_argument("--profile", action="store_true",
+                          help="print a span/counter profile after the "
+                               "output")
 
     p_sens = sub.add_parser("sensitivity", help="robustness of the findings")
     p_sens.add_argument("--year", type=float, default=1995.5)
@@ -306,6 +331,82 @@ def _cmd_license(args: argparse.Namespace) -> str:
         ],
         title=f"{args.key} -> {args.destination}",
     )
+
+
+def _parse_float_spec(spec: str, flag: str) -> list[float]:
+    """Parse a float axis spec: comma-separated values and/or inclusive
+    ``lo:hi[:step]`` ranges (step defaults to 1).  Duplicates collapse;
+    the result comes back ascending."""
+    values: list[float] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        try:
+            if len(parts) == 1:
+                values.append(float(parts[0]))
+                continue
+            if len(parts) > 3:
+                raise ValueError(token)
+            lo, hi = float(parts[0]), float(parts[1])
+            step = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError:
+            raise ValidationError(
+                f'{flag}: cannot parse "{token}" '
+                f'(want a number or "lo:hi[:step]")',
+                context={"flag": flag, "got": token,
+                         "valid": 'number or "lo:hi[:step]"'},
+            ) from None
+        if not step > 0:
+            raise ValidationError(
+                f'{flag}: step must be positive in "{token}"',
+                context={"flag": flag, "got": step, "valid": "> 0"},
+            )
+        # lo + k*step keeps the points exact for representable steps,
+        # where accumulating "x += step" would drift.
+        n_steps = int((hi - lo) / step + 1e-9)
+        values.extend(lo + k * step for k in range(n_steps + 1))
+    return sorted(set(values))
+
+
+def _cmd_policy(args: argparse.Namespace) -> str:
+    from repro.diffusion.policy_grid import evaluate_policy_grid
+
+    if args.max_workers < 1:
+        raise ValidationError(
+            f"--max-workers must be at least 1 (got {args.max_workers})",
+            context={"flag": "--max-workers", "got": args.max_workers,
+                     "valid": ">= 1"},
+        )
+    thresholds = _parse_float_spec(args.thresholds, "--thresholds")
+    years = _parse_float_spec(args.years, "--years")
+    grid = evaluate_policy_grid(thresholds, years,
+                                max_workers=args.max_workers)
+    rows = []
+    for i, threshold in enumerate(grid.thresholds):
+        for j, year in enumerate(grid.years):
+            rows.append([
+                f"{threshold:,.0f}",
+                f"{year:g}",
+                f"{grid.frontier_mtops[j]:,.0f}",
+                int(grid.protected_counts[i, j]),
+                int(grid.illusory_counts[i, j]),
+                f"{grid.burden_units[i, j]:,.0f}",
+                int(grid.uncontrollable_counts[i, j]),
+                "yes" if grid.credible[i, j] else "NO",
+            ])
+    table = render_table(
+        ["threshold", "year", "frontier", "protected", "illusory",
+         "burden", "uncontrollable", "credible"],
+        rows, title="Policy scorecards (Mtops)",
+    )
+    n_credible = int(grid.credible.sum())
+    footer = (f"{grid.credible.size:,} grid points "
+              f"({len(grid.thresholds)} thresholds x "
+              f"{len(grid.years)} years), {n_credible:,} credible, "
+              f"{args.max_workers} worker process(es)")
+    return table + "\n" + footer
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> str:
@@ -547,6 +648,7 @@ _COMMANDS = {
     "rate": _cmd_rate,
     "machine": _cmd_machine,
     "license": _cmd_license,
+    "policy": _cmd_policy,
     "sensitivity": _cmd_sensitivity,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,

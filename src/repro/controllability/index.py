@@ -28,6 +28,7 @@ __all__ = [
     "ControllabilityAssessment",
     "assess",
     "cached_scores",
+    "clear_assessment_caches",
     "score_matrix",
     "index_matrix",
     "classify_index_matrix",
@@ -174,11 +175,18 @@ def classify_index_matrix(
                     np.where(idx < high, np.int8(1), np.int8(2)))
 
 
+@lru_cache(maxsize=4096)
 def assess(
     machine: MachineSpec,
     weights: ControllabilityWeights = DEFAULT_WEIGHTS,
 ) -> ControllabilityAssessment:
-    """Score, combine, and classify one machine."""
+    """Score, combine, and classify one machine.
+
+    Memoized: both arguments are frozen/hashable dataclasses and the
+    assessment is pure, so the market scans and policy grids that ask
+    about the same machine thousands of times share one evaluation.
+    ``clear_assessment_caches`` is the eviction hook.
+    """
     scores = cached_scores(machine)
     index = (
         weights.size * scores.size
@@ -196,6 +204,18 @@ def assess(
     return ControllabilityAssessment(
         machine=machine, scores=scores, index=float(index), classification=cls
     )
+
+
+def clear_assessment_caches() -> None:
+    """Drop memoized assessments and factor scores (tests and ablation
+    hygiene — the assessment-side analogue of
+    :func:`repro.ctp.batch.clear_credit_cache`).  Downstream caches built
+    *from* assessments (the frontier index, the machine columns) hold
+    values, not references, so clearing here cannot leave them stale —
+    but tests that re-score a mutated catalog should clear those too.
+    """
+    assess.cache_clear()
+    cached_scores.cache_clear()
 
 
 #: The systems Chapter 3's Table 4 discusses, by catalog key.

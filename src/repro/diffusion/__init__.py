@@ -15,7 +15,11 @@ Three models operationalize Chapter 3's diffusion arguments:
   summary (what a threshold actually protects, and what burden it puts on
   industry);
 * ``networks`` — Chapter 6's networked-systems study: cluster ratings,
-  building-block threshold crossings, and the premise-3 collapse scenario.
+  building-block threshold crossings, and the premise-3 collapse scenario;
+* ``policy_grid`` — the vectorized engine over ``policy``: columnar
+  Chapter-5 scorecards for whole threshold x year lattices, batched
+  license decisions, and threshold-history series, all bit-exact against
+  the scalar evaluators.
 """
 
 from repro.diffusion.lag import (
@@ -27,7 +31,9 @@ from repro.diffusion.acquisition import (
     AcquisitionAttempt,
     AcquisitionStats,
     acquisition_premium,
+    acquisition_premium_batch,
     simulate_acquisitions,
+    simulate_acquisitions_batch,
 )
 from repro.diffusion.networks import (
     BuildingBlockScenario,
@@ -47,6 +53,12 @@ from repro.diffusion.policy import (
     PolicyEffectiveness,
     evaluate_policy,
 )
+from repro.diffusion.policy_grid import (
+    PolicyGrid,
+    evaluate_policy_grid,
+    license_decision_batch,
+    threshold_at_series,
+)
 
 __all__ = [
     "AssimilationLag",
@@ -55,7 +67,9 @@ __all__ = [
     "AcquisitionAttempt",
     "AcquisitionStats",
     "acquisition_premium",
+    "acquisition_premium_batch",
     "simulate_acquisitions",
+    "simulate_acquisitions_batch",
     "BuildingBlockScenario",
     "building_block_year",
     "cstac_ctp",
@@ -70,4 +84,8 @@ __all__ = [
     "LicenseDecision",
     "PolicyEffectiveness",
     "evaluate_policy",
+    "PolicyGrid",
+    "evaluate_policy_grid",
+    "license_decision_batch",
+    "threshold_at_series",
 ]

@@ -20,11 +20,13 @@ quote expected delay and interdiction rates under different thresholds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro._util import check_positive, check_year
 from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, trace
 from repro.controllability.index import assess
 from repro.machines.catalog import COMMERCIAL_SYSTEMS
 from repro.machines.spec import MachineSpec
@@ -33,7 +35,10 @@ __all__ = [
     "AcquisitionAttempt",
     "AcquisitionStats",
     "acquisition_premium",
+    "acquisition_premium_batch",
     "simulate_acquisitions",
+    "simulate_acquisitions_batch",
+    "clear_acquisition_caches",
 ]
 
 
@@ -61,8 +66,16 @@ class AcquisitionAttempt:
         return self.machine is not None
 
 
-def _market_at(year: float, lag_years: float = 0.0) -> list[MachineSpec]:
-    return [m for m in COMMERCIAL_SYSTEMS if m.year + lag_years <= year]
+@lru_cache(maxsize=512)
+def _market_at(year: float, lag_years: float = 0.0) -> tuple[MachineSpec, ...]:
+    """Catalog systems on the market at ``year`` (memoized per date).
+
+    Policy grids and Monte-Carlo sweeps ask for the same few dates
+    thousands of times; the scan is pure, so one pass per distinct
+    ``(year, lag)`` serves them all.  ``clear_acquisition_caches`` is the
+    eviction hook.
+    """
+    return tuple(m for m in COMMERCIAL_SYSTEMS if m.year + lag_years <= year)
 
 
 #: Controllability index below which acquisition carries no class premium
@@ -135,6 +148,65 @@ def acquisition_premium(
     )
 
 
+def acquisition_premium_batch(
+    targets_mtops: np.ndarray | list[float],
+    year: float,
+    safeguards_in_force: bool = True,
+) -> list[AcquisitionAttempt]:
+    """:func:`acquisition_premium` over a whole target grid at one date.
+
+    The market is scanned and scored once: machines are sorted by the
+    scalar path's selection key ``(severity, key)`` and the running
+    maximum of reachable ratings over that order is bisected per target —
+    the first position where the prefix maximum reaches the target is
+    exactly the machine ``min(candidates, ...)`` picks, because at that
+    position the maximum just increased, so that machine itself reaches
+    the target and no earlier (easier) machine does.  Every premium field
+    is computed with the scalar expression, so each element is
+    bit-identical to the scalar call.
+    """
+    check_year(year, "year")
+    targets = [float(t) for t in np.asarray(targets_mtops, dtype=float).ravel()]
+    for t in targets:
+        check_positive(t, "targets_mtops")
+    with trace("acquisition.premium_batch") as span:
+        if span is not None:
+            span.tags["targets"] = len(targets)
+        counter_inc("acquisition.premium_batch_calls")
+        market = sorted(
+            _market_at(year), key=lambda m: (_severity(m, year), m.key)
+        )
+        reachable = np.array([
+            m.max_configuration().ctp_mtops if m.field_upgradable else m.ctp_mtops
+            for m in market
+        ])
+        prefix_max = np.maximum.accumulate(reachable) if market else reachable
+        scale = 1.0 if safeguards_in_force else 0.5
+        out: list[AcquisitionAttempt] = []
+        positions = np.searchsorted(prefix_max, np.asarray(targets), side="left")
+        for target, pos in zip(targets, positions):
+            p = int(pos)
+            if p >= len(market):
+                out.append(AcquisitionAttempt(
+                    target_mtops=target, year=year, machine=None,
+                    controllability=1.0, expected_delay_years=float("inf"),
+                    cost_multiplier=float("inf"), detection_probability=1.0,
+                ))
+                continue
+            chosen = market[p]
+            severity = _severity(chosen, year)
+            out.append(AcquisitionAttempt(
+                target_mtops=target,
+                year=year,
+                machine=chosen,
+                controllability=severity,
+                expected_delay_years=3.0 * severity * scale,
+                cost_multiplier=1.0 + 2.0 * severity * scale,
+                detection_probability=min(0.85 * severity * scale, 0.95),
+            ))
+        return out
+
+
 @dataclass(frozen=True)
 class AcquisitionStats:
     """Monte-Carlo summary of repeated acquisition attempts."""
@@ -195,3 +267,84 @@ def simulate_acquisitions(
         mean_cost_multiplier=float(np.mean(cost[ever_clear]))
         if ever_clear.any() else float("inf"),
     )
+
+
+def simulate_acquisitions_batch(
+    targets_mtops: np.ndarray | list[float],
+    year: float,
+    n_attempts: int = 1_000,
+    seed: int = 0,
+) -> list[AcquisitionStats]:
+    """:func:`simulate_acquisitions` over a target grid, one RNG matrix.
+
+    Every scalar call seeds ``SeedSequence([seed, n_attempts])`` and draws
+    the *same* uniform and exponential matrices — only the comparison
+    probability and delay scale differ per target.  So the batch draws the
+    two matrices once (``rng.exponential(scale, size)`` is exactly
+    ``standard_exponential(size) * scale`` at the same stream position)
+    and broadcasts them against the per-target premiums; the per-attempt
+    arithmetic is elementwise-identical IEEE ops, and the final masked
+    means run per target on the identical selected values, so every stat
+    matches the scalar loop bit for bit.
+    """
+    if n_attempts < 1:
+        raise ValidationError("n_attempts must be >= 1",
+                              context={"got": n_attempts, "valid": ">= 1"})
+    premiums = acquisition_premium_batch(targets_mtops, year)
+    with trace("acquisition.simulate_batch") as span:
+        if span is not None:
+            span.tags["targets"] = len(premiums)
+            span.tags["n_attempts"] = n_attempts
+        counter_inc("acquisition.simulate_batch_calls")
+        max_tries = 3
+        rng = np.random.default_rng(np.random.SeedSequence([seed, n_attempts]))
+        uniforms = rng.random((n_attempts, max_tries))
+        std_exp = rng.standard_exponential(size=(n_attempts, max_tries))
+        feasible = [p for p in premiums if p.feasible]
+        detection = np.array([p.detection_probability for p in feasible])
+        base_delay = np.array([
+            max(p.expected_delay_years, 1e-3) for p in feasible
+        ])
+        cost_mult = np.array([p.cost_multiplier for p in feasible])
+        # (targets, attempts, tries) broadcasts; reductions over the tries
+        # axis mirror the scalar per-attempt sums element for element.
+        caught = uniforms[None, :, :] < detection[:, None, None]
+        delays = base_delay[:, None, None] * std_exp[None, :, :]
+        first_clear = np.argmax(~caught, axis=2)
+        ever_clear = ~caught.all(axis=2)
+        tries_used = np.where(ever_clear, first_clear + 1, max_tries)
+        take = np.arange(max_tries)[None, None, :] < tries_used[:, :, None]
+        total_delay = (delays * take).sum(axis=2)
+        cost = cost_mult[:, None] * (1.0 + 0.25 * (tries_used - 1))
+        out: list[AcquisitionStats] = []
+        k = 0
+        for premium in premiums:
+            if not premium.feasible:
+                out.append(AcquisitionStats(
+                    target_mtops=premium.target_mtops, year=year,
+                    n_attempts=n_attempts, success_rate=0.0,
+                    interdiction_rate=1.0, mean_delay_years=float("inf"),
+                    mean_cost_multiplier=float("inf"),
+                ))
+                continue
+            clear_k = ever_clear[k]
+            out.append(AcquisitionStats(
+                target_mtops=premium.target_mtops,
+                year=year,
+                n_attempts=n_attempts,
+                success_rate=float(np.mean(clear_k)),
+                interdiction_rate=float(np.mean(caught[k, :, 0])),
+                mean_delay_years=float(np.mean(total_delay[k][clear_k]))
+                if clear_k.any() else float("inf"),
+                mean_cost_multiplier=float(np.mean(cost[k][clear_k]))
+                if clear_k.any() else float("inf"),
+            ))
+            k += 1
+        return out
+
+
+def clear_acquisition_caches() -> None:
+    """Drop the memoized market scans (tests and ablation hygiene — the
+    acquisition-side analogue of
+    :func:`repro.ctp.batch.clear_credit_cache`)."""
+    _market_at.cache_clear()

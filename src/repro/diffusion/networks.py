@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._util import check_positive, check_year
 from repro.obs.errors import ValidationError
 from repro.ctp.aggregate import Coupling, aggregate_homogeneous
-from repro.machines.catalog import max_available_mtops
+from repro.machines.catalog import max_available_mtops_series
 from repro.trends.moore import micro_mtops_trend
 
 __all__ = [
@@ -136,12 +138,21 @@ def premise3_collapse_year(
                               context={"got": gap_factor, "valid": "> 1"})
     check_year(horizon, "horizon")
     trend = micro_mtops_trend(fit_through)
-    year = fit_through
-    while year <= horizon:
-        cluster = network_ctp(float(trend.value(year)), n_nodes,
-                              interconnect_beta)
-        best = max_available_mtops(min(year, 1999.9))
-        if cluster * gap_factor >= best:
-            return year
-        year += 0.25
-    return None
+    if horizon < fit_through:
+        return None
+    # Quarter-year grid from fit_through through horizon.  0.25 steps on
+    # year-magnitude floats are exact, so ``fit_through + 0.25 * k``
+    # reproduces the old accumulated walk bit for bit.
+    steps = int(np.floor((horizon - fit_through) / 0.25 + 1e-9)) + 1
+    grid = fit_through + 0.25 * np.arange(steps)
+    # One bisect pass over the cached running-max catalog index replaces
+    # a per-year catalog scan; the cluster rating stays a per-point
+    # scalar evaluation (the trend's pow must not go through SIMD).
+    best = max_available_mtops_series(np.minimum(grid, 1999.9))
+    clusters = np.array([
+        network_ctp(float(trend.value(float(year))), n_nodes,
+                    interconnect_beta)
+        for year in grid
+    ])
+    crossed = np.flatnonzero(clusters * gap_factor >= best)
+    return float(grid[crossed[0]]) if crossed.size else None

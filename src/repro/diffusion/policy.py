@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro._util import check_positive, check_year
 from repro.obs.errors import ThresholdInfeasibleError
 from repro.apps.catalog import APPLICATIONS
@@ -80,21 +82,34 @@ THRESHOLD_HISTORY: tuple[ThresholdEra, ...] = (
 )
 
 
+#: Era start years / thresholds as read-only bisect columns.  The era in
+#: force at ``year`` is the last start at or before it — one
+#: ``searchsorted`` instead of a linear scan of every era per call.
+_ERA_STARTS: np.ndarray = np.array(
+    [era.start_year for era in THRESHOLD_HISTORY])
+_ERA_THRESHOLDS: np.ndarray = np.array(
+    [era.threshold_mtops for era in THRESHOLD_HISTORY])
+_ERA_STARTS.setflags(write=False)
+_ERA_THRESHOLDS.setflags(write=False)
+
+
 def threshold_at(year: float) -> float:
-    """The control threshold in force at ``year``."""
+    """The control threshold in force at ``year``.
+
+    One bisect against the era-start column; dates before the first era
+    raise the taxonomy's :class:`ThresholdInfeasibleError` (a
+    ``ValueError``) rather than falling through.
+    """
     check_year(year, "year")
-    current = None
-    for era in THRESHOLD_HISTORY:
-        if era.start_year <= year:
-            current = era
-    if current is None:
+    i = int(np.searchsorted(_ERA_STARTS, year, side="right")) - 1
+    if i < 0:
         raise ThresholdInfeasibleError(
             f"no supercomputer threshold defined before "
             f"{THRESHOLD_HISTORY[0].start_year}",
             context={"got": year,
                      "valid": f">= {THRESHOLD_HISTORY[0].start_year}"},
         )
-    return current.threshold_mtops
+    return float(_ERA_THRESHOLDS[i])
 
 
 @dataclass(frozen=True)

@@ -10,15 +10,20 @@ should sit *above* a hump of installations (big decontrol benefit) and
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro._util import check_positive, check_year
 from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.obs.trace import counter_inc
 
 __all__ = [
     "LOG_BIN_EDGES",
     "installed_distribution",
     "installed_units_above",
+    "installed_units_above_batch",
+    "clear_installed_index",
     "market_value_between",
 ]
 
@@ -78,12 +83,57 @@ def installed_distribution(
     return edges, counts
 
 
+@lru_cache(maxsize=512)
+def _suffix_index(year: float) -> tuple[np.ndarray, np.ndarray]:
+    """``(centers, suffix)`` for the default-bin distribution at ``year``.
+
+    ``suffix[k]`` is ``counts[k:].sum()`` — computed as exactly that
+    slice-sum for each ``k``, never as a reversed cumulative sum, so a
+    lookup reproduces the seed's ``counts[centers >= t].sum()`` (an
+    identical contiguous pairwise summation) bit for bit.  One
+    distribution build serves every threshold queried at ``year``.
+    """
+    counter_inc("market.suffix_builds")
+    edges, counts = installed_distribution(year)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    suffix = np.empty(counts.size + 1)
+    for k in range(counts.size + 1):
+        suffix[k] = counts[k:].sum()
+    centers.setflags(write=False)
+    suffix.setflags(write=False)
+    return centers, suffix
+
+
 def installed_units_above(threshold_mtops: float, year: float) -> float:
     """Installed units rated at or above a threshold at ``year``."""
     check_positive(threshold_mtops, "threshold_mtops")
-    edges, counts = installed_distribution(year)
-    centers = np.sqrt(edges[:-1] * edges[1:])
-    return float(counts[centers >= threshold_mtops].sum())
+    check_year(year, "year")
+    centers, suffix = _suffix_index(float(year))
+    k = int(np.searchsorted(centers, threshold_mtops, side="left"))
+    return float(suffix[k])
+
+
+def installed_units_above_batch(
+    thresholds_mtops: np.ndarray | list[float],
+    year: float,
+) -> np.ndarray:
+    """:func:`installed_units_above` over a whole threshold grid.
+
+    One cached distribution build plus one vectorized bisect; every
+    element is bit-identical to the scalar call at that threshold.
+    """
+    thresholds = np.asarray(thresholds_mtops, dtype=float)
+    bad = ~(np.isfinite(thresholds) & (thresholds > 0.0))
+    if bad.any():
+        check_positive(float(thresholds[bad][0]), "thresholds_mtops")
+    check_year(year, "year")
+    centers, suffix = _suffix_index(float(year))
+    return suffix[np.searchsorted(centers, thresholds, side="left")]
+
+
+def clear_installed_index() -> None:
+    """Drop cached per-year suffix tables (tests and ablation hygiene)."""
+    _suffix_index.cache_clear()
 
 
 def market_value_between(

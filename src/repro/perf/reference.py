@@ -40,6 +40,10 @@ __all__ = [
     "speedup_curve_scalar",
     "efficiency_curve_scalar",
     "sweep_grid_scalar",
+    "installed_units_above_scalar",
+    "evaluate_policy_scalar",
+    "policy_grid_scalar",
+    "simulate_acquisitions_scalar",
 ]
 
 UNCONTROLLABILITY_LAG_YEARS = 2.0
@@ -193,6 +197,150 @@ def sweep_grid_scalar(machines, workloads, node_counts) -> dict[str, np.ndarray]
                 efficiencies[i, j, k] = r.efficiency
     return {"feasible": feasible, "times_s": times,
             "efficiencies": efficiencies}
+
+
+def installed_units_above_scalar(threshold_mtops: float, year: float) -> float:
+    """Seed installed-base query: full histogram rebuild per call."""
+    from repro.market.installed import installed_distribution
+
+    edges, counts = installed_distribution(year)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    return float(counts[centers >= threshold_mtops].sum())
+
+
+def evaluate_policy_scalar(threshold_mtops: float, year: float) -> dict:
+    """Seed Chapter-5 scorecard: one full catalog walk, histogram
+    rebuild, and per-machine re-assessment per call."""
+    from repro.apps.catalog import APPLICATIONS
+
+    frontier = lower_bound_uncontrollable_scalar(year)
+    protected = 0
+    illusory = 0
+    for app in APPLICATIONS:
+        requirement = app.min_at(year)
+        if requirement < threshold_mtops:
+            continue
+        if requirement >= frontier:
+            protected += 1
+        else:
+            illusory += 1
+    burden = 0.0
+    if threshold_mtops < frontier:
+        burden = (installed_units_above_scalar(threshold_mtops, year)
+                  - installed_units_above_scalar(frontier, year))
+    uncontrollable = 0
+    for m in COMMERCIAL_SYSTEMS:
+        if (m.year <= year
+                and m.max_configuration().ctp_mtops >= threshold_mtops
+                and assess_classification_scalar(m)
+                is Classification.UNCONTROLLABLE):
+            uncontrollable += 1
+    return {
+        "frontier_mtops": frontier,
+        "protected": protected,
+        "illusory": illusory,
+        "burden_units": max(burden, 0.0),
+        "uncontrollable": uncontrollable,
+    }
+
+
+def policy_grid_scalar(
+    thresholds: Sequence[float] | np.ndarray,
+    years: Sequence[float] | np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Seed policy grid: one full scalar scorecard per grid point."""
+    t = np.asarray(thresholds, dtype=float)
+    y = np.asarray(years, dtype=float)
+    shape = (t.size, y.size)
+    protected = np.empty(shape, dtype=np.int64)
+    illusory = np.empty(shape, dtype=np.int64)
+    burden = np.empty(shape)
+    uncontrollable = np.empty(shape, dtype=np.int64)
+    frontier = np.empty(y.size)
+    for j, year in enumerate(y):
+        for i, threshold in enumerate(t):
+            cell = evaluate_policy_scalar(float(threshold), float(year))
+            protected[i, j] = cell["protected"]
+            illusory[i, j] = cell["illusory"]
+            burden[i, j] = cell["burden_units"]
+            uncontrollable[i, j] = cell["uncontrollable"]
+            frontier[j] = cell["frontier_mtops"]
+    return {"frontier_mtops": frontier, "protected": protected,
+            "illusory": illusory, "burden_units": burden,
+            "uncontrollable": uncontrollable}
+
+
+#: Acquisition-severity constants, restated from the seed model.
+_ACQ_SEVERITY_FLOOR = 0.35
+_ACQ_FRESHNESS_WEIGHT = 0.6
+_ACQ_LAG_YEARS = 2.0
+
+
+def _acquisition_severity_scalar(machine: MachineSpec, year: float) -> float:
+    """Seed acquisition severity: factor scores recomputed per call."""
+    scores = FactorScores.of(machine)
+    weights = DEFAULT_WEIGHTS
+    index = (
+        weights.size * scores.size
+        + weights.units * scores.units
+        + weights.channel * scores.channel
+        + weights.price * scores.price
+        + weights.scalability * scores.scalability
+    )
+    class_severity = max(
+        0.0, (index - _ACQ_SEVERITY_FLOOR) / (1.0 - _ACQ_SEVERITY_FLOOR)
+    ) ** 2
+    freshness = _ACQ_FRESHNESS_WEIGHT * float(
+        np.clip((machine.year + _ACQ_LAG_YEARS - year) / _ACQ_LAG_YEARS,
+                0.0, 1.0)
+    )
+    return max(class_severity, freshness)
+
+
+def simulate_acquisitions_scalar(
+    target_mtops: float,
+    year: float,
+    n_attempts: int = 1_000,
+    seed: int = 0,
+) -> tuple[float, float, float, float]:
+    """Seed acquisition Monte-Carlo: fresh market scan, per-candidate
+    severity recomputation, and a private RNG draw pair per target.
+
+    Returns ``(success_rate, interdiction_rate, mean_delay_years,
+    mean_cost_multiplier)``.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_attempts]))
+    candidates = [
+        m for m in COMMERCIAL_SYSTEMS
+        if m.year + 0.0 <= year
+        and (m.max_configuration().ctp_mtops if m.field_upgradable
+             else m.ctp_mtops) >= target_mtops
+    ]
+    if not candidates:
+        return (0.0, 1.0, float("inf"), float("inf"))
+    chosen = min(candidates,
+                 key=lambda m: (_acquisition_severity_scalar(m, year), m.key))
+    severity = _acquisition_severity_scalar(chosen, year)
+    detection = min(0.85 * severity, 0.95)
+    base_delay = max(3.0 * severity, 1e-3)
+    cost_multiplier = 1.0 + 2.0 * severity
+    max_tries = 3
+    caught = rng.random((n_attempts, max_tries)) < detection
+    delays = rng.exponential(base_delay, size=(n_attempts, max_tries))
+    first_clear = np.argmax(~caught, axis=1)
+    ever_clear = ~caught.all(axis=1)
+    tries_used = np.where(ever_clear, first_clear + 1, max_tries)
+    take = np.arange(max_tries) < tries_used[:, None]
+    total_delay = (delays * take).sum(axis=1)
+    cost = cost_multiplier * (1.0 + 0.25 * (tries_used - 1))
+    return (
+        float(np.mean(ever_clear)),
+        float(np.mean(caught[:, 0])),
+        float(np.mean(total_delay[ever_clear]))
+        if ever_clear.any() else float("inf"),
+        float(np.mean(cost[ever_clear]))
+        if ever_clear.any() else float("inf"),
+    )
 
 
 def candidate_bits_scalar(

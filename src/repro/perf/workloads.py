@@ -37,6 +37,8 @@ WORKLOAD_NAMES = (
     "serve_load",
     "cluster_sweep_grid",
     "parallel_keysearch",
+    "policy_grid",
+    "acquisition_mc",
 )
 
 
@@ -338,6 +340,120 @@ def _bench_parallel_keysearch(quick: bool) -> dict:
     return row
 
 
+def _bench_policy_grid(quick: bool) -> dict:
+    """Chapter-5 scorecard lattice, per-point scalar vs columnar grid.
+
+    The grid engine's contract is *bit-exactness*, not tolerance: every
+    count and burden value must equal the seed scalar's, and the
+    reconstructed per-cell scorecards must equal ``evaluate_policy``'s
+    dataclasses — membership tuples included — on every lattice point,
+    or ``max_rel_err`` reports 1.0 and the regression gate fails.  The
+    timed batch path rebuilds the per-year caches on every call (cold
+    suffix tables and requirement matrices), so the speedup prices in
+    the columnar build, not just warm lookups.
+    """
+    from repro.diffusion.columns import clear_requirement_matrices
+    from repro.diffusion.policy import evaluate_policy
+    from repro.diffusion.policy_grid import evaluate_policy_grid
+    from repro.market.installed import clear_installed_index
+
+    thresholds = np.geomspace(10.0, 50_000.0, 24 if quick else 48)
+    years = np.arange(1986.0, 2000.0, 0.6 if quick else 0.25)
+    grid = evaluate_policy_grid(thresholds, years)
+    scalar_grid = ref.policy_grid_scalar(thresholds, years)
+    exact = (
+        np.array_equal(grid.protected_counts, scalar_grid["protected"])
+        and np.array_equal(grid.illusory_counts, scalar_grid["illusory"])
+        and np.array_equal(grid.burden_units, scalar_grid["burden_units"])
+        and np.array_equal(grid.uncontrollable_counts,
+                           scalar_grid["uncontrollable"])
+        and np.array_equal(grid.frontier_mtops,
+                           scalar_grid["frontier_mtops"])
+        and all(
+            grid.result_at(i, j) == evaluate_policy(float(t), float(y))
+            for i, t in enumerate(thresholds)
+            for j, y in enumerate(years)
+        )
+    )
+
+    def cold_grid():
+        clear_installed_index()
+        clear_requirement_matrices()
+        return evaluate_policy_grid(thresholds, years)
+
+    scalar = time_workload(
+        lambda: ref.policy_grid_scalar(thresholds, years),
+        "scalar", repeats=2 if quick else 3)
+    fast = time_workload(cold_grid, "batch", repeats=5 if quick else 9)
+    row = _row("policy_grid",
+               f"Chapter-5 policy scorecards on a {thresholds.size} x "
+               f"{years.size} (threshold, year) lattice (per-point catalog "
+               f"walks and histogram rebuilds vs one columnar broadcast, "
+               f"cold per-year caches each call)",
+               scalar, fast, 0.0 if exact else 1.0)
+    row["grid_points"] = int(thresholds.size * years.size)
+    return row
+
+
+def _bench_acquisition_mc(quick: bool) -> dict:
+    """Acquisition premium + Monte-Carlo over a target grid, batched.
+
+    Every scalar call re-scans the market, re-scores candidate severity,
+    and draws its own RNG matrices; the batch shares one sorted market
+    scan and one draw pair across all targets.  Stats must match the
+    per-target scalar reference exactly (infinities included) or
+    ``max_rel_err`` reports 1.0.
+    """
+    from repro.controllability.index import clear_assessment_caches
+    from repro.diffusion.acquisition import (
+        acquisition_premium,
+        acquisition_premium_batch,
+        clear_acquisition_caches,
+        simulate_acquisitions_batch,
+    )
+
+    n_targets = 256 if quick else 512
+    n_attempts = 64
+    year, seed = 1995.5, 0
+    targets = np.geomspace(10.0, 200_000.0, n_targets)
+    clear_acquisition_caches()
+    clear_assessment_caches()
+    batch_stats = simulate_acquisitions_batch(targets, year, n_attempts,
+                                              seed)
+    scalar_stats = [
+        ref.simulate_acquisitions_scalar(float(t), year, n_attempts, seed)
+        for t in targets
+    ]
+    batch_arr = np.array([
+        (s.success_rate, s.interdiction_rate, s.mean_delay_years,
+         s.mean_cost_multiplier) for s in batch_stats
+    ])
+    exact = (
+        np.array_equal(batch_arr, np.array(scalar_stats))
+        and acquisition_premium_batch(targets, year) == [
+            acquisition_premium(float(t), year) for t in targets
+        ]
+    )
+    scalar = time_workload(
+        lambda: [ref.simulate_acquisitions_scalar(float(t), year,
+                                                  n_attempts, seed)
+                 for t in targets],
+        "scalar", repeats=2 if quick else 3)
+    fast = time_workload(
+        lambda: simulate_acquisitions_batch(targets, year, n_attempts,
+                                            seed),
+        "batch", repeats=5 if quick else 9)
+    row = _row("acquisition_mc",
+               f"covert-acquisition Monte-Carlo over {n_targets} targets x "
+               f"{n_attempts} attempts (per-target market rescans and "
+               f"private RNG draws vs one sorted scan and one shared draw "
+               f"pair)",
+               scalar, fast, 0.0 if exact else 1.0)
+    row["targets"] = n_targets
+    row["attempts_per_target"] = n_attempts
+    return row
+
+
 def _row(name: str, description: str, scalar: Timing, batch: Timing,
          max_rel_err: float) -> dict:
     return {
@@ -359,6 +475,8 @@ _BENCHES = {
     "serve_load": _bench_serve_load,
     "cluster_sweep_grid": _bench_cluster_sweep,
     "parallel_keysearch": _bench_parallel_keysearch,
+    "policy_grid": _bench_policy_grid,
+    "acquisition_mc": _bench_acquisition_mc,
 }
 
 

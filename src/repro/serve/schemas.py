@@ -37,6 +37,7 @@ __all__ = [
     "LicenseRequest",
     "MachineRequest",
     "ReviewRequest",
+    "PolicyRequest",
     "parse_request",
 ]
 
@@ -292,11 +293,43 @@ def parse_review(payload: object) -> ReviewRequest:
     return ReviewRequest(year=year, policy=_policy(payload))
 
 
+@dataclass(frozen=True)
+class PolicyRequest:
+    """A canonical ``/policy`` request: one candidate threshold + date.
+
+    An omitted threshold resolves to the one in force at ``year``, so
+    "score the current regime" payloads share a cache entry and a grid
+    cell with their explicit spellings.
+    """
+
+    threshold_mtops: float
+    year: float
+
+    _FIELDS = ("threshold_mtops", "year")
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("policy", self.threshold_mtops, self.year)
+
+
+def parse_policy(payload: object) -> PolicyRequest:
+    payload = _require_object(payload, "policy")
+    _reject_unknown(payload, PolicyRequest._FIELDS, "policy")
+    year = check_year(_number(payload, "year", 1995.5), "year")
+    if "threshold_mtops" in payload:
+        threshold = _positive(_number(payload, "threshold_mtops", None),
+                              "threshold_mtops")
+    else:
+        threshold = threshold_at(year)
+    return PolicyRequest(threshold_mtops=threshold, year=year)
+
+
 _PARSERS = {
     "rate": parse_rate,
     "license": parse_license,
     "machine": parse_machine,
     "review": parse_review,
+    "policy": parse_policy,
 }
 
 #: The POST endpoints the service understands, in routing order.

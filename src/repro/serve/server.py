@@ -10,6 +10,7 @@ Two layers, separable on purpose:
 
       POST /rate      rate a configuration (micro-batched)
       POST /license   one license decision  (micro-batched)
+      POST /policy    Chapter-5 policy scorecard (micro-batched)
       POST /machine   catalog lookup + controllability assessment
       POST /review    the annual review for a date
       GET  /healthz   liveness + config echo
@@ -24,11 +25,13 @@ Request handling rules (the contract the test suite pins):
 * a full queue is ``429`` with a ``Retry-After`` header; a missed
   deadline is ``504``; malformed input is ``400``; an unknown path is
   ``404``; a wrong method is ``405``;
-* ``/rate`` and ``/license`` coalesce concurrent requests through the
-  batch kernels (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
-  :func:`repro.controllability.index.classify_index_matrix`); results are
+* ``/rate``, ``/license``, and ``/policy`` coalesce concurrent requests
+  through the batch kernels (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
+  :func:`repro.controllability.index.classify_index_matrix`,
+  :func:`repro.diffusion.policy_grid.evaluate_policy_grid`); results are
   bit-identical to dispatching each request alone, because every
-  per-request value depends only on that request's row.
+  per-request value depends only on that request's row (for ``/policy``,
+  its grid cell — and the grid engine is bit-exact per cell).
 """
 
 from __future__ import annotations
@@ -69,6 +72,7 @@ from repro.serve.schemas import (
     ENDPOINTS,
     LicenseRequest,
     MachineRequest,
+    PolicyRequest,
     RateRequest,
     ReviewRequest,
     parse_request,
@@ -191,12 +195,19 @@ class ServiceEngine:
                 max_wait_ms=self.config.max_wait_ms,
                 queue_limit=self.config.queue_limit,
             ),
+            "policy": MicroBatcher(
+                "policy", self._dispatch_policy,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                queue_limit=self.config.queue_limit,
+            ),
         }
         self._handlers = {
             "rate": self._rate,
             "license": self._license,
             "machine": self._machine,
             "review": self._review,
+            "policy": self._policy,
         }
         self._started_at = time.monotonic()
         self._closed = False
@@ -273,6 +284,11 @@ class ServiceEngine:
         return self._await(
             self.batchers["license"].submit(request, deadline_s=deadline))
 
+    def _policy(self, request: PolicyRequest) -> dict:
+        deadline = self.config.deadline_ms / 1000.0
+        return self._await(
+            self.batchers["policy"].submit(request, deadline_s=deadline))
+
     # -- batched dispatchers (worker thread) --------------------------------
 
     def _dispatch_rate(self, requests: Sequence[RateRequest]) -> list[dict]:
@@ -345,6 +361,47 @@ class ServiceEngine:
                 "approved": decision.approved,
                 "controllability_index": float(index),
                 "classification": CLASS_BY_CODE[int(code)].value,
+            })
+        return results
+
+    def _dispatch_policy(
+        self, requests: Sequence[PolicyRequest]
+    ) -> list[dict]:
+        """Score a batch of policy questions through one grid build.
+
+        The batch's distinct thresholds and years form the axes of a
+        single :func:`evaluate_policy_grid` call; each request then reads
+        its own cell.  Every cell value is independent of which other
+        cells share the grid (the grid engine is bit-exact against the
+        scalar evaluator per point), so batched and one-at-a-time
+        dispatch agree bit for bit.
+        """
+        from repro.diffusion.policy_grid import evaluate_policy_grid
+
+        thresholds = sorted({r.threshold_mtops for r in requests})
+        years = sorted({r.year for r in requests})
+        grid = evaluate_policy_grid(thresholds, years)
+        row = {t: i for i, t in enumerate(thresholds)}
+        col = {y: j for j, y in enumerate(years)}
+        results = []
+        for request in requests:
+            cell = grid.result_at(row[request.threshold_mtops],
+                                  col[request.year])
+            results.append({
+                "endpoint": "policy",
+                "threshold_mtops": cell.threshold_mtops,
+                "year": cell.year,
+                "frontier_mtops": cell.frontier_mtops,
+                "credible": cell.credible,
+                "protected_count": len(cell.protected_applications),
+                "illusory_count": len(cell.illusory_applications),
+                "protected_applications": [
+                    a.name for a in cell.protected_applications],
+                "illusory_applications": [
+                    a.name for a in cell.illusory_applications],
+                "burden_units": cell.burden_units,
+                "uncontrollable_covered_systems": [
+                    m.key for m in cell.uncontrollable_covered_systems],
             })
         return results
 
