@@ -18,7 +18,10 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``acquire``     — covert-acquisition premium for a capability level;
 * ``report``      — the full markdown review document for a date;
 * ``bench``       — time the batch hot paths against scalar references;
-* ``serve``       — run the micro-batching HTTP serving front end.
+* ``serve``       — run the micro-batching HTTP serving front end
+  (``--workers N`` pre-forks a sharded fleet over one port);
+* ``snapshot``    — serialize the columnar stores for zero-rebuild
+  serving cold starts.
 """
 
 from __future__ import annotations
@@ -190,6 +193,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="LRU response-cache entries (0 disables)")
     p_serve.add_argument("--deadline-ms", type=float, default=5000.0,
                          help="per-request deadline; missed -> 504")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="pre-forked worker processes sharing the "
+                              "port (default 1: single process, no fork)")
+    p_serve.add_argument("--snapshot", type=str, default=None,
+                         metavar="DIR",
+                         help="load a `repro snapshot` artifact before "
+                              "serving (mmap-shared across workers); "
+                              "stale snapshots are refused")
+    p_serve.add_argument("--drain-timeout", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM/SIGINT, bound for draining "
+                              "in-flight batches before workers are "
+                              "killed (default 5)")
+
+    p_snap = sub.add_parser(
+        "snapshot", help="serialize the columnar stores for zero-rebuild "
+                         "serving cold starts"
+    )
+    p_snap.add_argument("--output", type=str, default=".repro-snapshot",
+                        metavar="DIR",
+                        help="snapshot directory (default .repro-snapshot)")
+    p_snap.add_argument("--check", action="store_true",
+                        help="validate an existing snapshot against the "
+                             "live catalog instead of building")
+    p_snap.add_argument("--profile", action="store_true",
+                        help="print a span/counter profile after the "
+                             "output")
 
     return parser
 
@@ -606,6 +636,19 @@ def _cmd_report(args: argparse.Namespace) -> str:
 def _cmd_serve(args: argparse.Namespace) -> str:
     from repro.serve.server import ServeConfig, run_server
 
+    if args.workers < 1:
+        raise ValidationError(
+            f"--workers must be at least 1 (got {args.workers})",
+            context={"flag": "--workers", "got": args.workers,
+                     "valid": ">= 1"},
+        )
+    if not args.drain_timeout >= 0:
+        raise ValidationError(
+            f"--drain-timeout must be non-negative "
+            f"(got {args.drain_timeout:g})",
+            context={"flag": "--drain-timeout", "got": args.drain_timeout,
+                     "valid": ">= 0"},
+        )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -614,8 +657,29 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
         deadline_ms=args.deadline_ms,
+        drain_timeout=args.drain_timeout,
     )
+    if args.snapshot is not None:
+        from repro.store import load_snapshot
+
+        load_snapshot(args.snapshot)
+    if args.workers > 1:
+        from repro.serve.prefork import run_prefork_server
+
+        return run_prefork_server(config, n_workers=args.workers)
     return run_server(config)
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> str:
+    from repro.store import build_snapshot, load_snapshot
+
+    if args.check:
+        info = load_snapshot(args.output)
+        return (f"snapshot {args.output} OK: {info.n_arrays} arrays, "
+                f"hash {info.manifest_hash[:16]} matches the live catalog")
+    info = build_snapshot(args.output)
+    return (f"wrote {args.output}: {info.n_arrays} arrays, "
+            f"hash {info.manifest_hash[:16]}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
@@ -656,6 +720,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "snapshot": _cmd_snapshot,
 }
 
 

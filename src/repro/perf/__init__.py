@@ -9,6 +9,21 @@ or via :func:`repro.perf.workloads.run_benchmarks`.
 """
 
 from repro.perf.harness import Timing, time_workload
+from repro.perf.loadgen import (
+    LoadgenResult,
+    open_loop_run,
+    rate_sweep,
+    saturation_knee,
+)
 from repro.perf.workloads import BENCH_PATH, run_benchmarks
 
-__all__ = ["Timing", "time_workload", "run_benchmarks", "BENCH_PATH"]
+__all__ = [
+    "Timing",
+    "time_workload",
+    "run_benchmarks",
+    "BENCH_PATH",
+    "LoadgenResult",
+    "open_loop_run",
+    "rate_sweep",
+    "saturation_knee",
+]

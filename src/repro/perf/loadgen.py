@@ -1,0 +1,235 @@
+"""Open-loop load generation for the serving tier.
+
+A closed-loop harness (N workers in a request/response lockstep, like
+the engine-level ``serve_load`` bench) cannot see saturation: when the
+server slows down, the harness slows its own offered rate to match, and
+the latency it reports is flattered by exactly the queueing it failed to
+generate — the *coordinated omission* trap.  An open-loop harness fixes
+the offered rate ahead of time: arrivals are a Poisson process at
+``rate_rps``, each request's latency is measured from its **scheduled**
+arrival time, and a dispatcher that falls behind schedule charges the
+lag to the requests it delayed, not to the server's flattery.
+
+Determinism: arrival times come from ``numpy.random.default_rng(seed)``,
+so two sweeps with the same seed offer identical schedules (wall-clock
+completions still vary — this pins the *offered* load, not the answers).
+
+The saturation knee is read from a rate sweep: the first offered rate
+the server fails to sustain (achieved/offered < ``tolerance``).  Below
+the knee an open-loop server keeps up and latency is flat; past it the
+queue grows without bound and percentile latency explodes — the knee is
+the capacity number a deployment can actually be provisioned against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, trace
+
+__all__ = ["LoadgenResult", "open_loop_run", "rate_sweep",
+           "saturation_knee"]
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """One open-loop run at one offered rate."""
+
+    offered_rps: float          # the configured (nominal) arrival rate
+    scheduled_rps: float        # the realized schedule's rate: a finite
+                                # Poisson draw lands above or below the
+                                # nominal rate, and sustain is judged
+                                # against what was actually offered
+    achieved_rps: float         # completions / wall duration
+    duration_s: float           # first scheduled arrival -> last completion
+    sent: int
+    completed: int
+    errors: int                 # send() raised or reported failure
+    p50_ms: float               # latency from *scheduled* arrival
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @property
+    def sustained(self) -> bool:
+        """Kept up within 10% of the realized schedule, error-free."""
+        return (self.errors == 0
+                and self.achieved_rps >= 0.9 * self.scheduled_rps)
+
+    def as_dict(self) -> dict:
+        return {
+            "offered_rps": self.offered_rps,
+            "scheduled_rps": self.scheduled_rps,
+            "achieved_rps": self.achieved_rps,
+            "duration_s": self.duration_s,
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def _percentile_ms(latencies_s: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile in milliseconds (0.0 for no samples)."""
+    if not latencies_s:
+        return 0.0
+    ordered = sorted(latencies_s)
+    index = min(len(ordered) - 1,
+                max(0, int(np.ceil(q * len(ordered))) - 1))
+    return ordered[index] * 1e3
+
+
+def arrival_offsets(rate_rps: float, n_requests: int,
+                    seed: int = 0) -> np.ndarray:
+    """Poisson-process arrival offsets (seconds from run start).
+
+    Exponential inter-arrival gaps at ``rate_rps``, cumulatively summed;
+    deterministic per seed.
+    """
+    if not rate_rps > 0:
+        raise ValidationError("rate_rps must be positive",
+                              context={"got": rate_rps, "valid": "> 0"})
+    if n_requests < 1:
+        raise ValidationError("n_requests must be >= 1",
+                              context={"got": n_requests, "valid": ">= 1"})
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    return np.cumsum(gaps)
+
+
+def open_loop_run(
+    send: Callable[[object], bool],
+    payloads: Sequence[object],
+    rate_rps: float,
+    duration_s: float = 2.0,
+    seed: int = 0,
+    max_inflight: int = 256,
+) -> LoadgenResult:
+    """Offer ``payloads`` (cycled) at a fixed Poisson rate; measure.
+
+    ``send`` performs one request and returns truthy on success — it is
+    called from worker threads and must be thread-safe (e.g. a
+    :class:`~repro.serve.client.ServeClient` method, or a direct
+    ``engine.handle`` closure).  Latency for each request runs from its
+    *scheduled* arrival to its completion, so dispatcher or queue lag is
+    charged as latency instead of silently thinning the offered load.
+
+    ``max_inflight`` bounds the thread pool: a saturated server cannot
+    recruit unbounded OS threads, it just accumulates schedule lag —
+    which the percentiles then report honestly.
+    """
+    if not duration_s > 0:
+        raise ValidationError("duration_s must be positive",
+                              context={"got": duration_s, "valid": "> 0"})
+    if not payloads:
+        raise ValidationError("payloads must not be empty",
+                              context={"got": 0, "valid": ">= 1 payload"})
+    n_requests = max(1, int(round(rate_rps * duration_s)))
+    offsets = arrival_offsets(rate_rps, n_requests, seed)
+
+    latencies: list[float] = []
+    errors = 0
+    completed = 0
+    done_at = 0.0
+    lock = threading.Lock()
+    inflight = threading.Semaphore(max_inflight)
+    threads: list[threading.Thread] = []
+
+    def _one(scheduled: float, payload: object) -> None:
+        nonlocal errors, completed, done_at
+        try:
+            ok = bool(send(payload))
+        except Exception:  # noqa: BLE001 — a crashed request is an error
+            ok = False
+        finish = time.perf_counter()
+        with lock:
+            if ok:
+                completed += 1
+                latencies.append(finish - scheduled)
+            else:
+                errors += 1
+            done_at = max(done_at, finish)
+        inflight.release()
+
+    with trace("loadgen.run") as span:
+        if span is not None:
+            span.tags["rate_rps"] = float(rate_rps)
+            span.tags["requests"] = n_requests
+        counter_inc("loadgen.runs")
+        start = time.perf_counter()
+        for i in range(n_requests):
+            scheduled = start + float(offsets[i])
+            # Fire on schedule; when behind, fire immediately — the
+            # request still carries its scheduled timestamp, so the lag
+            # shows up as latency (open-loop honesty).
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            inflight.acquire()
+            thread = threading.Thread(
+                target=_one, args=(scheduled, payloads[i % len(payloads)]),
+                daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+
+    wall = max(done_at - start, 1e-9)
+    return LoadgenResult(
+        offered_rps=float(rate_rps),
+        scheduled_rps=n_requests / float(offsets[-1]),
+        achieved_rps=completed / wall,
+        duration_s=wall,
+        sent=n_requests,
+        completed=completed,
+        errors=errors,
+        p50_ms=_percentile_ms(latencies, 0.50),
+        p95_ms=_percentile_ms(latencies, 0.95),
+        p99_ms=_percentile_ms(latencies, 0.99),
+        max_ms=(max(latencies) * 1e3) if latencies else 0.0,
+    )
+
+
+def rate_sweep(
+    send: Callable[[object], bool],
+    payloads: Sequence[object],
+    rates_rps: Sequence[float],
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> list[LoadgenResult]:
+    """One open-loop run per offered rate, ascending."""
+    results = []
+    for rate in sorted(float(r) for r in rates_rps):
+        results.append(open_loop_run(send, payloads, rate,
+                                     duration_s=duration_s, seed=seed))
+    return results
+
+
+def saturation_knee(results: Sequence[LoadgenResult],
+                    tolerance: float = 0.9) -> float | None:
+    """The first offered rate the server failed to sustain.
+
+    Sustain means achieved/scheduled >= ``tolerance`` with zero errors —
+    judged against the *realized* schedule rate, so finite-sample noise
+    in the Poisson draw is not misread as server saturation.  Returns
+    that offered rate, or ``None`` if every rate in the sweep was
+    sustained (the knee lies beyond the sweep's range).
+    """
+    if not 0 < tolerance <= 1:
+        raise ValidationError("tolerance must be in (0, 1]",
+                              context={"got": tolerance,
+                                       "valid": "(0, 1]"})
+    for result in results:
+        ratio = result.achieved_rps / result.scheduled_rps
+        if result.errors > 0 or ratio < tolerance:
+            return result.offered_rps
+    return None

@@ -14,8 +14,11 @@ package turns many small concurrent requests into few large batch calls:
 * :mod:`repro.serve.server` — the transport-free
   :class:`ServiceEngine` plus the stdlib ``ThreadingHTTPServer`` front
   end (``repro serve``);
+* :mod:`repro.serve.prefork` — the pre-forked worker fleet sharing one
+  port over mmap-shared snapshot state (``repro serve --workers N``);
 * :mod:`repro.serve.client` — the stdlib client used by tests, CI, and
-  the ``serve_load`` benchmark.
+  the serving benchmarks (stale keep-alive connections retry once,
+  transparently).
 
 See DESIGN.md, "Serving architecture" for the backpressure /
 graceful-degradation contract (429 / 504 / structured 400s).
@@ -24,6 +27,11 @@ graceful-degradation contract (429 / 504 / structured 400s).
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import MISS, LRUCache
 from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.prefork import (
+    PreforkServer,
+    reuseport_available,
+    run_prefork_server,
+)
 from repro.serve.schemas import (
     ENDPOINTS,
     LicenseRequest,
@@ -57,4 +65,7 @@ __all__ = [
     "ServiceEngine",
     "error_body",
     "run_server",
+    "PreforkServer",
+    "reuseport_available",
+    "run_prefork_server",
 ]

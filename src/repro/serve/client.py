@@ -1,10 +1,19 @@
 """Stdlib HTTP client for the serving API.
 
-Used by the test suite, the CI smoke job, and the ``serve_load``
-benchmark, so it stays dependency-free (``http.client`` only).  Each
-thread gets its own persistent keep-alive connection (HTTP/1.1), which is
-what makes the client safe to hammer from a ``ThreadPoolExecutor``; a
-dropped connection is re-opened and the request retried once.
+Used by the test suite, the CI smoke job, and the serving benchmarks,
+so it stays dependency-free (``http.client`` only).  Each thread gets
+its own persistent keep-alive connection (HTTP/1.1), which is what makes
+the client safe to hammer from a ``ThreadPoolExecutor``.
+
+Keep-alive has one well-known failure mode: the server may close an idle
+pooled connection between requests (worker restart, idle timeout), and
+the *next* request on it fails with ``RemoteDisconnected`` or a reset —
+through no fault of the request itself.  That exact case is retried
+transparently, exactly once, on a fresh connection, and counted
+(``stale_retries`` / the ``serve_client.stale_retries`` counter).  A
+failure on a *fresh* connection is a real connectivity error and raises
+immediately — retrying those would mask a down server and double-send
+on ambiguous transport errors.
 
 Responses come back as :class:`ServeResponse` — status, parsed JSON
 body, and headers — rather than raising on 4xx/5xx, because the error
@@ -20,8 +29,20 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.obs.errors import ServiceOverloadedError, ValidationError
+from repro.obs.trace import counter_inc
 
-__all__ = ["ServeResponse", "ServeClient"]
+__all__ = ["ServeResponse", "ServeClient", "STALE_CONNECTION_ERRORS"]
+
+#: Transport errors that signal a dead *pooled* connection (the server
+#: closed its end between requests) rather than a failing server: these
+#: — and only these, and only on a previously-used connection — are
+#: retried once.
+STALE_CONNECTION_ERRORS = (
+    http.client.RemoteDisconnected,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
 
 
 @dataclass(frozen=True)
@@ -61,18 +82,23 @@ class ServeClient:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._connections: list[http.client.HTTPConnection] = []
+        #: Transparent retries performed on stale pooled connections.
+        self.stale_retries = 0
 
     # -- transport ----------------------------------------------------------
 
-    def _connection(self) -> http.client.HTTPConnection:
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The thread's pooled connection, plus whether any request has
+        already succeeded on it (the stale-retry eligibility bit)."""
         conn = getattr(self._local, "conn", None)
         if conn is None:
             conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout)
             self._local.conn = conn
+            self._local.used = False
             with self._lock:
                 self._connections.append(conn)
-        return conn
+        return conn, bool(getattr(self._local, "used", False))
 
     def _drop_connection(self) -> None:
         conn = getattr(self._local, "conn", None)
@@ -88,23 +114,36 @@ class ServeClient:
 
     def request(self, method: str, path: str,
                 payload: object | None = None) -> ServeResponse:
-        """One HTTP exchange; retries once on a dropped keep-alive."""
+        """One HTTP exchange.
+
+        A stale-keep-alive failure (the server closed the pooled
+        connection between requests) is retried exactly once on a fresh
+        connection; any other transport error — including the same
+        exception types on a never-used connection — propagates, since
+        there the server is actually unreachable or misbehaving.
+        """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         for attempt in (1, 2):
-            conn = self._connection()
+            conn, used = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
+                self._local.used = True
                 break
+            except STALE_CONNECTION_ERRORS:
+                self._drop_connection()
+                if attempt == 2 or not used:
+                    raise
+                self.stale_retries += 1
+                counter_inc("serve_client.stale_retries")
             except (http.client.HTTPException, ConnectionError, OSError):
                 self._drop_connection()
-                if attempt == 2:
-                    raise
+                raise
         try:
             parsed = json.loads(raw) if raw else {}
         except ValueError:
@@ -144,6 +183,11 @@ class ServeClient:
     def machine(self, key: str) -> ServeResponse:
         """POST /machine — catalog lookup plus assessment."""
         return self.request("POST", "/machine", {"machine": key})
+
+    def policy(self, **fields: object) -> ServeResponse:
+        """POST /policy — e.g. ``client.policy(threshold_mtops=2000,
+        year=1995.5)``."""
+        return self.request("POST", "/policy", fields)
 
     def review(self, **fields: object) -> ServeResponse:
         """POST /review — e.g. ``client.review(year=1995.5)``."""

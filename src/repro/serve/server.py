@@ -93,8 +93,13 @@ class ServeConfig:
     queue_limit: int = 1024
     cache_size: int = 1024
     deadline_ms: float = 5000.0
+    drain_timeout: float = 5.0
 
     def __post_init__(self) -> None:
+        if not self.drain_timeout >= 0:
+            raise ValidationError("drain_timeout must be >= 0",
+                                  context={"got": self.drain_timeout,
+                                           "valid": ">= 0"})
         if self.max_batch < 1:
             raise ValidationError("max_batch must be >= 1",
                                   context={"got": self.max_batch,
@@ -178,8 +183,10 @@ def _quantile(ordered: list[float], q: float) -> float:
 class ServiceEngine:
     """Transport-free serving core: parse, cache, batch, respond."""
 
-    def __init__(self, config: ServeConfig | None = None) -> None:
+    def __init__(self, config: ServeConfig | None = None,
+                 worker_id: int | None = None) -> None:
         self.config = config or ServeConfig()
+        self.worker_id = worker_id
         self.cache = LRUCache(self.config.cache_size)
         self.latency = LatencyRecorder()
         self.batchers: dict[str, MicroBatcher] = {
@@ -212,13 +219,21 @@ class ServiceEngine:
         self._started_at = time.monotonic()
         self._closed = False
 
-    def close(self) -> None:
-        """Stop the batch workers (idempotent)."""
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Stop the batch workers, draining queued work first (idempotent).
+
+        Each batcher's worker finishes in-flight and queued requests
+        before exiting, bounded by ``drain_timeout`` seconds (default:
+        the config's ``drain_timeout``) — graceful shutdown never strands
+        an accepted request silently, and never hangs forever either.
+        """
         if self._closed:
             return
         self._closed = True
+        if drain_timeout is None:
+            drain_timeout = self.config.drain_timeout
         for batcher in self.batchers.values():
-            batcher.stop()
+            batcher.stop(timeout=drain_timeout)
 
     # -- request handling ---------------------------------------------------
 
@@ -447,6 +462,24 @@ class ServiceEngine:
 
     # -- introspection ------------------------------------------------------
 
+    def _identity(self) -> dict:
+        """Who is answering: process, worker slot, and snapshot version.
+
+        ``pid`` is read at call time, so an engine constructed before a
+        fork reports each worker's own pid.  ``snapshot_manifest_hash``
+        is ``None`` for a fresh in-process build; in a fleet, a worker
+        whose hash differs from its peers is serving skewed data.
+        """
+        import os
+
+        from repro.store import active_manifest_hash
+
+        return {
+            "pid": os.getpid(),
+            "worker_id": self.worker_id,
+            "snapshot_manifest_hash": active_manifest_hash(),
+        }
+
     def healthz(self) -> dict:
         return {
             "status": "ok",
@@ -455,6 +488,7 @@ class ServiceEngine:
             "queue_depth": {name: batcher.depth()
                             for name, batcher in self.batchers.items()},
             "config": asdict(self.config),
+            **self._identity(),
         }
 
     def metrics(self) -> dict:
@@ -469,6 +503,7 @@ class ServiceEngine:
             "batchers": {name: batcher.stats()
                          for name, batcher in self.batchers.items()},
             "latency": self.latency.quantiles(),
+            **self._identity(),
         }
         return snapshot
 
@@ -616,13 +651,26 @@ class ServeServer:
     loop and the batch workers.
     """
 
-    def __init__(self, config: ServeConfig | None = None) -> None:
+    def __init__(self, config: ServeConfig | None = None,
+                 worker_id: int | None = None,
+                 listen_socket: object | None = None) -> None:
         self.config = config or ServeConfig()
-        self.engine = ServiceEngine(self.config)
+        self.engine = ServiceEngine(self.config, worker_id=worker_id)
         handler = type("_BoundHandler", (_Handler,),
                        {"engine": self.engine})
-        self.httpd = ThreadingHTTPServer(
-            (self.config.host, self.config.port), handler)
+        if listen_socket is not None:
+            # Pre-fork path: adopt an already-bound, already-listening
+            # socket (inherited from the parent or SO_REUSEPORT-bound by
+            # the worker) instead of binding a fresh one.
+            self.httpd = ThreadingHTTPServer(
+                (self.config.host, self.config.port), handler,
+                bind_and_activate=False)
+            self.httpd.socket.close()  # replace the unused auto-socket
+            self.httpd.socket = listen_socket  # type: ignore[assignment]
+            self.httpd.server_address = listen_socket.getsockname()
+        else:
+            self.httpd = ThreadingHTTPServer(
+                (self.config.host, self.config.port), handler)
         self.httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
         self._closed = False

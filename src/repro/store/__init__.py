@@ -1,0 +1,43 @@
+"""repro.store — versioned, mmap-shared snapshots of the columnar stores.
+
+``repro snapshot`` serializes every derived read-only structure the
+serving tier needs — machine columns, the frontier bisect index, the
+requirement matrix, installed-base suffix tables, credit prefix sums —
+into a directory of raw ``.npy`` arrays plus a content-hashed manifest.
+:func:`load_snapshot` memory-maps them back and installs them through
+each store's ``install_*`` hook, so a serving process (or a whole
+pre-forked fleet sharing the parent's mappings) cold-starts with zero
+columnar rebuilds.  A hash mismatch against the live catalog raises
+:class:`~repro.obs.errors.SnapshotStaleError` instead of serving stale
+answers.
+"""
+
+from repro.store.snapshot import (
+    BUILD_COUNTERS,
+    DEFAULT_SNAPSHOT_DIR,
+    DEFAULT_SNAPSHOT_YEARS,
+    FORMAT_VERSION,
+    SnapshotInfo,
+    active_manifest_hash,
+    active_snapshot,
+    build_counter_totals,
+    build_snapshot,
+    clear_store_caches,
+    live_content_hash,
+    load_snapshot,
+)
+
+__all__ = [
+    "BUILD_COUNTERS",
+    "DEFAULT_SNAPSHOT_DIR",
+    "DEFAULT_SNAPSHOT_YEARS",
+    "FORMAT_VERSION",
+    "SnapshotInfo",
+    "active_manifest_hash",
+    "active_snapshot",
+    "build_counter_totals",
+    "build_snapshot",
+    "clear_store_caches",
+    "live_content_hash",
+    "load_snapshot",
+]

@@ -1,0 +1,228 @@
+"""The snapshot store contract: bit identity, zero rebuilds, staleness.
+
+Three promises anchor ``repro.store``:
+
+1. **Bit identity** — stores loaded from a snapshot equal a fresh
+   in-process build to the last bit, all the way up through
+   ``evaluate_policy_grid`` and the homogeneous CTP batch path.
+2. **Zero rebuilds** — loading ticks no ``*.builds`` counter: the
+   artifact replaces the work, it doesn't just warm it up.
+3. **Staleness is fatal** — a snapshot whose content hash no longer
+   matches the live catalog raises :class:`SnapshotStaleError` (a
+   :class:`ReproError`) instead of serving stale answers; the CLI
+   rebuild path clears the condition.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.ctp import Coupling
+from repro.ctp.batch import aggregate_homogeneous_batch
+from repro.diffusion.policy_grid import evaluate_policy_grid
+from repro.machines.columns import machine_columns_from_arrays
+from repro.obs.errors import ReproError, SnapshotStaleError, ValidationError
+from repro.obs.trace import reset_counters
+from repro.store import (
+    BUILD_COUNTERS,
+    DEFAULT_SNAPSHOT_YEARS,
+    FORMAT_VERSION,
+    active_manifest_hash,
+    build_counter_totals,
+    build_snapshot,
+    clear_store_caches,
+    live_content_hash,
+    load_snapshot,
+)
+
+GRID_THRESHOLDS = np.array([195.0, 2000.0, 7000.0, 20_000.0])
+GRID_YEARS = np.array([1990.0, 1993.25, 1995.5, 1997.75])
+
+
+@pytest.fixture(autouse=True)
+def _clean_store_state():
+    """Every test starts and ends with no installed snapshot state."""
+    clear_store_caches()
+    yield
+    clear_store_caches()
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path):
+    path = tmp_path / "snapshot"
+    build_snapshot(path)
+    return path
+
+
+class TestBuild:
+    def test_manifest_inventory_matches_files(self, snapshot_dir):
+        manifest = json.loads((snapshot_dir / "manifest.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["content_hash"] == live_content_hash()
+        for entry in manifest["arrays"].values():
+            array = np.load(snapshot_dir / entry["file"], mmap_mode="r")
+            assert list(array.shape) == entry["shape"]
+            assert str(array.dtype) == entry["dtype"]
+
+    def test_rebuild_is_idempotent(self, snapshot_dir):
+        info = build_snapshot(snapshot_dir)
+        assert info.manifest_hash == live_content_hash()
+        load_snapshot(snapshot_dir)
+
+    def test_bad_inputs_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            build_snapshot(tmp_path / "s", years=())
+        with pytest.raises(ValidationError):
+            build_snapshot(tmp_path / "s", credit_n=0)
+
+
+class TestRoundTrip:
+    def test_policy_grid_bit_identical(self, snapshot_dir):
+        fresh = evaluate_policy_grid(GRID_THRESHOLDS, GRID_YEARS)
+        clear_store_caches()
+        load_snapshot(snapshot_dir)
+        loaded = evaluate_policy_grid(GRID_THRESHOLDS, GRID_YEARS)
+        for field in ("frontier_mtops", "requirements", "protected_counts",
+                      "illusory_counts", "burden_units",
+                      "uncontrollable_counts", "credible"):
+            assert np.array_equal(getattr(fresh, field),
+                                  getattr(loaded, field)), field
+
+    def test_ctp_homogeneous_batch_bit_identical(self, snapshot_dir):
+        tps = np.array([55.0, 110.0, 220.0, 440.0, 880.0])
+        ns = np.array([1, 2, 7, 64, 500])
+        fresh = {c: aggregate_homogeneous_batch(tps[:1] if c is
+                                                Coupling.SINGLE else tps,
+                                                ns[:1] if c is
+                                                Coupling.SINGLE else ns, c)
+                 for c in Coupling}
+        clear_store_caches()
+        load_snapshot(snapshot_dir)
+        for coupling, reference in fresh.items():
+            single = coupling is Coupling.SINGLE
+            again = aggregate_homogeneous_batch(
+                tps[:1] if single else tps, ns[:1] if single else ns,
+                coupling)
+            assert np.array_equal(reference, again), coupling
+
+    def test_market_lookup_bit_identical(self, snapshot_dir):
+        from repro.market.installed import installed_units_above_batch
+
+        thresholds = np.geomspace(10.0, 100_000.0, 50)
+        year = float(DEFAULT_SNAPSHOT_YEARS[30])
+        fresh = installed_units_above_batch(thresholds, year)
+        clear_store_caches()
+        load_snapshot(snapshot_dir)
+        assert np.array_equal(fresh,
+                              installed_units_above_batch(thresholds, year))
+
+    def test_zero_builds_after_load(self, snapshot_dir):
+        reset_counters()
+        load_snapshot(snapshot_dir)
+        evaluate_policy_grid(GRID_THRESHOLDS, GRID_YEARS)
+        aggregate_homogeneous_batch(np.array([55.0]), np.array([64]),
+                                    Coupling.SHARED)
+        totals = build_counter_totals()
+        assert set(totals) == set(BUILD_COUNTERS)
+        assert all(total == 0 for total in totals.values()), totals
+
+    def test_requirement_subset_grid_slices_without_rebuild(
+            self, snapshot_dir):
+        from repro.diffusion.columns import requirement_matrix
+
+        subset = tuple(float(y) for y in DEFAULT_SNAPSHOT_YEARS[5:20:3])
+        fresh = requirement_matrix(subset).copy()
+        clear_store_caches()
+        reset_counters()
+        load_snapshot(snapshot_dir)
+        sliced = requirement_matrix(subset)
+        assert np.array_equal(fresh, sliced)
+        assert build_counter_totals()["columns.requirement_builds"] == 0
+
+    def test_active_hash_tracking(self, snapshot_dir):
+        assert active_manifest_hash() is None
+        info = load_snapshot(snapshot_dir)
+        assert active_manifest_hash() == info.manifest_hash
+        clear_store_caches()
+        assert active_manifest_hash() is None
+
+    def test_copy_load_matches_mmap_load(self, snapshot_dir):
+        load_snapshot(snapshot_dir, mmap=True)
+        mapped = evaluate_policy_grid(GRID_THRESHOLDS, GRID_YEARS)
+        clear_store_caches()
+        load_snapshot(snapshot_dir, mmap=False)
+        copied = evaluate_policy_grid(GRID_THRESHOLDS, GRID_YEARS)
+        assert np.array_equal(mapped.burden_units, copied.burden_units)
+
+
+class TestStaleness:
+    def _corrupt_hash(self, snapshot_dir):
+        manifest_path = snapshot_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["content_hash"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+
+    def test_hash_mismatch_raises_typed_error(self, snapshot_dir):
+        self._corrupt_hash(snapshot_dir)
+        with pytest.raises(SnapshotStaleError) as excinfo:
+            load_snapshot(snapshot_dir)
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.context["got"] == "0" * 64
+        assert excinfo.value.context["valid"] == live_content_hash()
+        # Refusal must leave nothing half-installed.
+        assert active_manifest_hash() is None
+
+    def test_unknown_format_version_raises(self, snapshot_dir):
+        manifest_path = snapshot_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotStaleError):
+            load_snapshot(snapshot_dir)
+
+    def test_missing_array_file_raises(self, snapshot_dir):
+        (snapshot_dir / "arrays" / "machine_intro_years.npy").unlink()
+        with pytest.raises(SnapshotStaleError):
+            load_snapshot(snapshot_dir)
+
+    def test_missing_manifest_is_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_snapshot(tmp_path / "nowhere")
+
+    def test_cli_rebuild_clears_staleness(self, snapshot_dir, capsys):
+        self._corrupt_hash(snapshot_dir)
+        assert main(["snapshot", "--check",
+                     "--output", str(snapshot_dir)]) == 1
+        assert "rebuild with `repro snapshot`" in capsys.readouterr().out
+        assert main(["snapshot", "--output", str(snapshot_dir)]) == 0
+        assert main(["snapshot", "--check",
+                     "--output", str(snapshot_dir)]) == 0
+        assert "matches the live catalog" in capsys.readouterr().out
+
+
+class TestColumnValidation:
+    def test_from_arrays_rejects_missing_column(self, snapshot_dir):
+        manifest = json.loads((snapshot_dir / "manifest.json").read_text())
+        arrays = {
+            name.split(".", 1)[1]: np.load(snapshot_dir / entry["file"])
+            for name, entry in manifest["arrays"].items()
+            if name.startswith("machine.")
+        }
+        del arrays["intro_years"]
+        with pytest.raises(ValidationError):
+            machine_columns_from_arrays(arrays)
+
+    def test_from_arrays_rejects_wrong_length(self, snapshot_dir):
+        manifest = json.loads((snapshot_dir / "manifest.json").read_text())
+        arrays = {
+            name.split(".", 1)[1]: np.load(snapshot_dir / entry["file"])
+            for name, entry in manifest["arrays"].items()
+            if name.startswith("machine.")
+        }
+        arrays["intro_years"] = arrays["intro_years"][:-1]
+        with pytest.raises(ValidationError):
+            machine_columns_from_arrays(arrays)
