@@ -21,7 +21,9 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``serve``       — run the micro-batching HTTP serving front end
   (``--workers N`` pre-forks a sharded fleet over one port);
 * ``snapshot``    — serialize the columnar stores for zero-rebuild
-  serving cold starts.
+  serving cold starts;
+* ``catalog``     — apply event-sourced catalog mutations (appends and
+  amendments) in process or against a running fleet.
 """
 
 from __future__ import annotations
@@ -37,7 +39,8 @@ from repro.core.threshold import ThresholdPolicy, select_threshold
 from repro.ctp import ComputingElement, Coupling, ctp_homogeneous
 from repro.controllability.index import assess
 from repro.diffusion.policy import ExportControlPolicy, threshold_at
-from repro.machines.catalog import COMMERCIAL_SYSTEMS, find_machine
+from repro.machines import catalog as _machine_catalog
+from repro.machines.catalog import find_machine
 from repro.obs.errors import ReproError, ValidationError
 from repro.obs.trace import profile
 from repro.reporting.tables import render_table
@@ -221,6 +224,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a span/counter profile after the "
                              "output")
 
+    p_catalog = sub.add_parser(
+        "catalog", help="apply event-sourced catalog mutations"
+    )
+    cat_sub = p_catalog.add_subparsers(dest="catalog_command",
+                                       required=True)
+    p_apply = cat_sub.add_parser(
+        "apply", help="apply catalog events from a JSON file "
+                      "(in process, or remotely via --port)"
+    )
+    p_apply.add_argument("events", type=str, metavar="FILE",
+                         help="JSON file holding one event object or a "
+                              "list of them ('-' reads stdin)")
+    p_apply.add_argument("--port", type=int, default=None,
+                         help="POST each event to a running server's "
+                              "/catalog/append instead of applying in "
+                              "process")
+    p_apply.add_argument("--host", type=str, default="127.0.0.1")
+    p_apply.add_argument("--fleet-size", type=int, default=1,
+                         metavar="N",
+                         help="with --port, distinct worker processes "
+                              "that must acknowledge each event (a "
+                              "pre-forked fleet balances fresh "
+                              "connections across workers; replays are "
+                              "no-ops, so repeated POSTs converge the "
+                              "whole fleet)")
+    p_apply.add_argument("--attempts", type=int, default=64,
+                         help="with --port, cap on fresh-connection "
+                              "POSTs while converging the fleet "
+                              "(default 64)")
+    p_apply.add_argument("--profile", action="store_true",
+                         help="print a span/counter profile after the "
+                              "output")
+
     return parser
 
 
@@ -323,7 +359,7 @@ def _cmd_rate(args: argparse.Namespace) -> str:
 def _cmd_machine(args: argparse.Namespace) -> str:
     if args.key is None:
         rows = [[m.key, f"{m.year:.1f}", round(m.ctp_mtops, 1)]
-                for m in sorted(COMMERCIAL_SYSTEMS,
+                for m in sorted(_machine_catalog.COMMERCIAL_SYSTEMS,
                                 key=lambda m: (m.year, m.key))]
         return render_table(["machine", "introduced", "CTP (Mtops)"], rows,
                             title="Commercial catalog")
@@ -682,6 +718,119 @@ def _cmd_snapshot(args: argparse.Namespace) -> str:
             f"hash {info.manifest_hash[:16]}")
 
 
+def _read_catalog_events(source: str) -> list[dict]:
+    """Event payloads from a JSON file (or stdin): one object or a list."""
+    import json
+    import sys
+
+    try:
+        if source == "-":
+            text = sys.stdin.read()
+        else:
+            with open(source, encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read events from {source}: {exc}",
+            context={"got": source, "valid": "a readable JSON file or '-'"},
+        ) from None
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ValidationError(
+            f"events file is not valid JSON: {exc}",
+            context={"got": source},
+        ) from None
+    events = payload if isinstance(payload, list) else [payload]
+    if not events or not all(isinstance(e, dict) for e in events):
+        raise ValidationError(
+            "events must be a JSON object or a non-empty list of objects",
+            context={"got": type(payload).__name__,
+                     "valid": "object | [object, ...]"},
+        )
+    return events
+
+
+def _cmd_catalog(args: argparse.Namespace) -> str:
+    events = _read_catalog_events(args.events)
+    if args.port is None:
+        return _apply_events_local(events)
+    return _apply_events_remote(events, args)
+
+
+def _apply_events_local(events: list[dict]) -> str:
+    from repro.catalog import events as catalog_events
+
+    lines = []
+    for payload in events:
+        event = catalog_events.parse_event(payload)
+        outcome = catalog_events.apply_event(event)
+        verb = "applied" if outcome.applied else "no-op (already applied)"
+        lines.append(f"{outcome.kind} {outcome.key}: {verb}, "
+                     f"epoch {outcome.epoch}")
+    lines.append(f"catalog epoch is now {_current_catalog_epoch()}")
+    return "\n".join(lines)
+
+
+def _current_catalog_epoch() -> int:
+    from repro.catalog.registry import current_epoch
+
+    return current_epoch()
+
+
+def _apply_events_remote(events: list[dict],
+                         args: argparse.Namespace) -> str:
+    """Converge a (possibly pre-forked) fleet on every event.
+
+    Each POST rides a *fresh* connection, which a SO_REUSEPORT fleet
+    load-balances across workers; because replaying an applied event is
+    an explicit no-op, repeatedly POSTing until ``--fleet-size`` distinct
+    pids have answered converges every worker process.
+    """
+    from repro.serve.client import ServeClient
+
+    if args.fleet_size < 1:
+        raise ValidationError(
+            f"--fleet-size must be at least 1 (got {args.fleet_size})",
+            context={"flag": "--fleet-size", "got": args.fleet_size,
+                     "valid": ">= 1"},
+        )
+    if args.attempts < args.fleet_size:
+        raise ValidationError(
+            "--attempts must be at least --fleet-size",
+            context={"flag": "--attempts", "got": args.attempts,
+                     "valid": f">= {args.fleet_size}"},
+        )
+    lines = []
+    for payload in events:
+        acknowledged: set[int] = set()
+        epoch = None
+        kind = key = None
+        for _ in range(args.attempts):
+            client = ServeClient(args.host, args.port)
+            try:
+                body = client.catalog_append(payload).require_ok()
+            finally:
+                client.close()
+            acknowledged.add(int(body["pid"]))
+            epoch, kind, key = body["epoch"], body["kind"], body["key"]
+            if len(acknowledged) >= args.fleet_size:
+                break
+        if len(acknowledged) < args.fleet_size:
+            raise ValidationError(
+                f"only {len(acknowledged)} of {args.fleet_size} workers "
+                f"acknowledged {payload.get('event')} after "
+                f"{args.attempts} attempts",
+                context={"got": sorted(acknowledged),
+                         "valid": f"{args.fleet_size} distinct pids",
+                         "flag": "--attempts"},
+            )
+        lines.append(f"{kind} {key}: epoch {epoch}, "
+                     f"{len(acknowledged)} worker(s) converged "
+                     f"(pids {sorted(acknowledged)})")
+    return "\n".join(lines)
+
+
 def _cmd_bench(args: argparse.Namespace) -> str:
     from repro.perf.workloads import run_benchmarks
 
@@ -721,6 +870,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "snapshot": _cmd_snapshot,
+    "catalog": _cmd_catalog,
 }
 
 

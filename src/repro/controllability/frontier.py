@@ -31,7 +31,9 @@ from repro.controllability.index import (
     DEFAULT_WEIGHTS,
     assess,
 )
-from repro.machines.catalog import COMMERCIAL_SYSTEMS, max_config_mtops
+from repro.catalog.registry import register_invalidation_hook
+from repro.machines import catalog as _catalog
+from repro.machines.catalog import max_config_mtops
 from repro.machines.spec import MachineSpec
 from repro.obs.errors import TrendFitError
 from repro.obs.trace import counter_inc, trace
@@ -50,6 +52,9 @@ __all__ = [
     "install_frontier_index",
     "clear_frontier_indexes",
     "frontier_index_info",
+    "patched_frontier_index",
+    "prepare_frontier_patch",
+    "commit_frontier_patch",
 ]
 
 #: "...approximately two years after they are first shipped" (Chapter 3).
@@ -79,7 +84,8 @@ def _classified_population(
         allowed.add(Classification.MARGINAL)
     return tuple(
         m
-        for m in sorted(COMMERCIAL_SYSTEMS, key=lambda m: (m.year, m.key))
+        for m in sorted(_catalog.COMMERCIAL_SYSTEMS,
+                        key=lambda m: (m.year, m.key))
         if assess(m, weights).classification in allowed
     )
 
@@ -87,11 +93,20 @@ def _classified_population(
 @dataclass(frozen=True)
 class _FrontierIndex:
     """Precomputed frontier: qualify dates, running-max ratings, and the
-    machine that set each plateau.  A frontier query is one bisect."""
+    machine that set each plateau.  A frontier query is one bisect.
+
+    ``population`` carries the qualifying machines in index order — it is
+    what lets mutation events patch the index incrementally (splice one
+    member, recompute the running-max/leader suffix) instead of
+    re-assessing the whole catalog.  ``None`` marks an index whose
+    population is unknown (legacy snapshot): such an index cannot be
+    patched and is dropped for lazy rebuild on mutation.
+    """
 
     qualify_years: np.ndarray       # sorted: machine year + lag
     running_max: np.ndarray         # running max of max-config ratings
     leaders: tuple[MachineSpec, ...]  # machine defining the plateau
+    population: tuple[MachineSpec, ...] | None = None
 
 
 # Snapshot-installed indexes (repro.store) take precedence over the
@@ -116,19 +131,24 @@ def install_frontier_index(
     qualify_years: np.ndarray,
     running_max: np.ndarray,
     leader_rows: np.ndarray,
+    population_rows: np.ndarray | None = None,
 ) -> None:
     """Install a precomputed frontier index (snapshot load path).
 
-    ``leader_rows`` holds catalog row numbers (order of
-    ``COMMERCIAL_SYSTEMS``) so the machine objects are rejoined from the
-    import-time catalog without re-running any assessment.
+    ``leader_rows`` and ``population_rows`` hold catalog row numbers
+    (order of ``COMMERCIAL_SYSTEMS``) so the machine objects are rejoined
+    from the live catalog without re-running any assessment.  Omitting
+    ``population_rows`` installs an unpatchable index (dropped and
+    rebuilt lazily on the first mutation event).
     """
     counter_inc("frontier.index_installs")
-    machines = tuple(COMMERCIAL_SYSTEMS)
+    machines = tuple(_catalog.COMMERCIAL_SYSTEMS)
     _INSTALLED_INDEXES[(weights, float(lag_years))] = _FrontierIndex(
         qualify_years=qualify_years,
         running_max=running_max,
         leaders=tuple(machines[int(row)] for row in leader_rows),
+        population=None if population_rows is None else tuple(
+            machines[int(row)] for row in population_rows),
     )
 
 
@@ -138,6 +158,13 @@ def clear_frontier_indexes() -> None:
     _INSTALLED_INDEXES.clear()
     _build_frontier_index.cache_clear()
     _classified_population.cache_clear()
+
+
+# Nuclear-path registration only (kinds=()): event applies patch the
+# installed indexes in place via commit_frontier_patch instead of
+# dropping them.
+register_invalidation_hook(
+    "controllability.frontier", lambda epoch: clear_frontier_indexes())
 
 
 @lru_cache(maxsize=256)
@@ -164,7 +191,122 @@ def _build_frontier_index(
         qualify_years=qualify,
         running_max=running,
         leaders=tuple(leaders),
+        population=machines,
     )
+
+
+def patched_frontier_index(
+    index: _FrontierIndex,
+    weights: ControllabilityWeights,
+    lag_years: float,
+    machine: MachineSpec,
+    removed_key: str | None = None,
+) -> "_FrontierIndex | None":
+    """``index`` with ``removed_key`` dropped and ``machine`` spliced in
+    (if it classifies UNCONTROLLABLE under ``weights``).
+
+    Only the suffix from the touched position is recomputed: the running
+    maximum is a sequential fold, so seeding it with the unchanged prefix
+    value (and the prefix leader) reproduces a full rebuild bit for bit —
+    including the strict ``>`` plateau rule, under which a machine whose
+    rating ties the current running max does **not** displace the
+    incumbent leader.  Returns ``None`` when the index carries no
+    population (unpatchable; caller drops it for lazy rebuild), or the
+    index unchanged when the event does not touch this population.
+    """
+    if index.population is None:
+        return None
+    population = list(index.population)
+    start = len(population)
+    removed = False
+    if removed_key is not None:
+        for i, member in enumerate(population):
+            if member.key == removed_key:
+                del population[i]
+                start = i
+                removed = True
+                break
+    qualifies = (
+        assess(machine, weights).classification
+        is Classification.UNCONTROLLABLE
+    )
+    if qualifies:
+        import bisect
+
+        keys = [(m.year, m.key) for m in population]
+        pos = bisect.bisect_left(keys, (machine.year, machine.key))
+        population.insert(pos, machine)
+        start = min(start, pos)
+    if not removed and not qualifies:
+        return index
+    counter_inc("frontier.index_patches")
+    members = tuple(population)
+    tail = members[start:]
+    tail_years = [m.year + lag_years for m in tail]
+    tail_ratings = [max_config_mtops(m) for m in tail]
+    if start:
+        seed = float(index.running_max[start - 1])
+        tail_running = np.maximum.accumulate(
+            np.concatenate([[seed], tail_ratings]))[1:]
+        best = seed
+        leader: MachineSpec | None = index.leaders[start - 1]
+    else:
+        tail_running = (np.maximum.accumulate(np.array(tail_ratings))
+                        if tail else np.empty(0))
+        best = 0.0
+        leader = None
+    leaders = list(index.leaders[:start])
+    for m, rating in zip(tail, tail_ratings):
+        if rating > best:
+            best = rating
+            leader = m
+        leaders.append(leader)
+    qualify = np.concatenate([index.qualify_years[:start], tail_years]) \
+        if members else np.empty(0)
+    running = np.concatenate([index.running_max[:start], tail_running]) \
+        if members else np.empty(0)
+    qualify.setflags(write=False)
+    running.setflags(write=False)
+    return _FrontierIndex(
+        qualify_years=qualify,
+        running_max=running,
+        leaders=tuple(leaders),
+        population=members,
+    )
+
+
+def prepare_frontier_patch() -> dict:
+    """Snapshot the patchable frontier indexes **before** a catalog
+    mutation (repro.catalog.events calls this under its write guard).
+
+    The default-weights/default-lag index is materialized here if it is
+    not already cached, so the hot index every serve endpoint touches is
+    always maintained incrementally rather than rebuilt.
+    """
+    bases = dict(_INSTALLED_INDEXES)
+    default_key = (DEFAULT_WEIGHTS, UNCONTROLLABILITY_LAG_YEARS)
+    if default_key not in bases:
+        bases[default_key] = _frontier_index(*default_key)
+    return bases
+
+
+def commit_frontier_patch(
+    bases: dict,
+    machine: MachineSpec,
+    removed_key: str | None = None,
+) -> None:
+    """Apply a mutation to every pre-captured frontier index and drop the
+    memoized builders (exotic weightings rebuild lazily from the patched
+    catalog)."""
+    _build_frontier_index.cache_clear()
+    _classified_population.cache_clear()
+    for (weights, lag_years), base in bases.items():
+        patched = patched_frontier_index(
+            base, weights, lag_years, machine, removed_key)
+        if patched is None:
+            _INSTALLED_INDEXES.pop((weights, lag_years), None)
+        else:
+            _INSTALLED_INDEXES[(weights, lag_years)] = patched
 
 
 def uncontrollable_population(

@@ -218,6 +218,22 @@ def clear_assessment_caches() -> None:
     cached_scores.cache_clear()
 
 
+# Assessments are keyed by the frozen spec, so an amended machine can
+# never *stale* them — but the replaced spec's entries are dead weight,
+# and the churn path drops them eagerly.  Appends leave every entry valid.
+def _register_assessment_hook() -> None:
+    from repro.catalog.registry import register_invalidation_hook
+
+    register_invalidation_hook(
+        "controllability.assessments",
+        lambda epoch: clear_assessment_caches(),
+        kinds=("amend_machine",),
+    )
+
+
+_register_assessment_hook()
+
+
 #: The systems Chapter 3's Table 4 discusses, by catalog key.
 TABLE4_SYSTEMS: tuple[str, ...] = (
     "Cray C916",

@@ -34,7 +34,8 @@ from repro.controllability.index import (
     index_matrix,
     score_matrix,
 )
-from repro.machines.catalog import COMMERCIAL_SYSTEMS, max_config_mtops
+from repro.machines import catalog as _catalog
+from repro.machines.catalog import max_config_mtops
 
 __all__ = [
     "sample_weights",
@@ -126,7 +127,7 @@ def _eligible_population(
     """Catalog machines past the uncontrollability lag at ``year``, with
     their factor-score matrix and max-configuration ratings."""
     machines = tuple(
-        m for m in COMMERCIAL_SYSTEMS if m.year + lag_years <= year
+        m for m in _catalog.COMMERCIAL_SYSTEMS if m.year + lag_years <= year
     )
     scores = score_matrix(machines)
     ratings = np.array([max_config_mtops(m) for m in machines])

@@ -28,7 +28,7 @@ from repro._util import check_positive, check_year
 from repro.obs.errors import ValidationError
 from repro.obs.trace import counter_inc, trace
 from repro.controllability.index import assess
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines import catalog as _catalog
 from repro.machines.spec import MachineSpec
 
 __all__ = [
@@ -75,7 +75,8 @@ def _market_at(year: float, lag_years: float = 0.0) -> tuple[MachineSpec, ...]:
     ``(year, lag)`` serves them all.  ``clear_acquisition_caches`` is the
     eviction hook.
     """
-    return tuple(m for m in COMMERCIAL_SYSTEMS if m.year + lag_years <= year)
+    return tuple(m for m in _catalog.COMMERCIAL_SYSTEMS
+                 if m.year + lag_years <= year)
 
 
 #: Controllability index below which acquisition carries no class premium
@@ -348,3 +349,18 @@ def clear_acquisition_caches() -> None:
     acquisition-side analogue of
     :func:`repro.ctp.batch.clear_credit_cache`)."""
     _market_at.cache_clear()
+
+
+# Market scans are keyed by year and enumerate the catalog, so any
+# machine append/amend stales them; threshold amendments cannot.
+def _register_acquisition_hook() -> None:
+    from repro.catalog.registry import register_invalidation_hook
+
+    register_invalidation_hook(
+        "diffusion.acquisition.market",
+        lambda epoch: clear_acquisition_caches(),
+        kinds=("append_machine", "amend_machine"),
+    )
+
+
+_register_acquisition_hook()

@@ -156,3 +156,18 @@ def clear_requirement_matrices() -> None:
     _INSTALLED_MATRICES.clear()
     _build_requirement_matrix.cache_clear()
     _build_application_columns.cache_clear()
+
+
+# Requirement matrices derive from APPLICATIONS drift alone — no machine
+# or threshold content — so catalog events never stale them and the
+# precise per-event path must NOT purge them (kinds=()); only the atomic
+# invalidate_all sweep clears here.
+def _register_requirement_hook() -> None:
+    from repro.catalog.registry import register_invalidation_hook
+
+    register_invalidation_hook(
+        "diffusion.columns.requirements",
+        lambda epoch: clear_requirement_matrices())
+
+
+_register_requirement_hook()

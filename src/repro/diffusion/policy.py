@@ -20,7 +20,7 @@ from repro.obs.errors import ThresholdInfeasibleError
 from repro.apps.catalog import APPLICATIONS
 from repro.apps.requirements import ApplicationRequirement
 from repro.controllability.frontier import lower_bound_uncontrollable
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines import catalog as _machine_catalog
 from repro.machines.spec import MachineSpec
 from repro.market.installed import installed_units_above
 
@@ -30,6 +30,8 @@ __all__ = [
     "ThresholdEra",
     "THRESHOLD_HISTORY",
     "threshold_at",
+    "amend_threshold_era",
+    "restore_baseline_threshold_history",
     "ExportControlPolicy",
     "LicenseDecision",
     "PolicyEffectiveness",
@@ -91,6 +93,61 @@ _ERA_THRESHOLDS: np.ndarray = np.array(
     [era.threshold_mtops for era in THRESHOLD_HISTORY])
 _ERA_STARTS.setflags(write=False)
 _ERA_THRESHOLDS.setflags(write=False)
+
+#: The import-time history, kept for ``restore_baseline_threshold_history``.
+_BASELINE_THRESHOLD_HISTORY: tuple[ThresholdEra, ...] = THRESHOLD_HISTORY
+
+
+def _install_threshold_history(history: tuple[ThresholdEra, ...]) -> None:
+    """Swap in a new era tuple and rebuild the bisect columns (four
+    elements — the 'patch' is a rebuild by construction).  Re-exports on
+    ``repro.diffusion`` are refreshed; epoch bumps and downstream cache
+    invalidation are orchestrated by ``repro.catalog.events``."""
+    global THRESHOLD_HISTORY, _ERA_STARTS, _ERA_THRESHOLDS
+    import sys
+
+    THRESHOLD_HISTORY = history
+    _ERA_STARTS = np.array([era.start_year for era in history])
+    _ERA_THRESHOLDS = np.array([era.threshold_mtops for era in history])
+    _ERA_STARTS.setflags(write=False)
+    _ERA_THRESHOLDS.setflags(write=False)
+    package = sys.modules.get("repro.diffusion")
+    if package is not None and hasattr(package, "THRESHOLD_HISTORY"):
+        package.THRESHOLD_HISTORY = THRESHOLD_HISTORY
+
+
+def amend_threshold_era(
+    start_year: float,
+    threshold_mtops: float,
+    label: str | None = None,
+) -> ThresholdEra:
+    """Replace the era starting exactly at ``start_year``; returns the new
+    era.  Unknown start years raise rather than silently inserting — era
+    *insertion* is a policy-history rewrite, not an amendment."""
+    from repro.obs.errors import ValidationError
+
+    check_positive(threshold_mtops, "threshold_mtops")
+    for i, era in enumerate(THRESHOLD_HISTORY):
+        if era.start_year == start_year:
+            amended = ThresholdEra(
+                start_year=start_year,
+                threshold_mtops=float(threshold_mtops),
+                label=era.label if label is None else label,
+            )
+            _install_threshold_history(
+                THRESHOLD_HISTORY[:i] + (amended,) + THRESHOLD_HISTORY[i + 1:]
+            )
+            return amended
+    raise ValidationError(
+        f"no threshold era starts at {start_year}",
+        context={"got": start_year,
+                 "valid": [era.start_year for era in THRESHOLD_HISTORY]},
+    )
+
+
+def restore_baseline_threshold_history() -> None:
+    """Reinstate the import-time era tuple (``reset_catalog`` support)."""
+    _install_threshold_history(_BASELINE_THRESHOLD_HISTORY)
 
 
 def threshold_at(year: float) -> float:
@@ -218,7 +275,7 @@ def evaluate_policy(threshold_mtops: float, year: float) -> PolicyEffectiveness:
     from repro.controllability.index import Classification, assess
 
     uncontrollable_covered = tuple(
-        m for m in COMMERCIAL_SYSTEMS
+        m for m in _machine_catalog.COMMERCIAL_SYSTEMS
         if m.year <= year
         and m.max_configuration().ctp_mtops >= threshold_mtops
         and assess(m).classification is Classification.UNCONTROLLABLE

@@ -39,10 +39,9 @@ from repro.obs.trace import counter_inc, trace
 from repro.apps.requirements import ApplicationRequirement
 from repro.controllability.frontier import frontier_series
 from repro.diffusion.columns import application_columns, requirement_matrix
+from repro.catalog.registry import current_epoch
+from repro.diffusion import policy as _policy
 from repro.diffusion.policy import (
-    _ERA_STARTS,
-    _ERA_THRESHOLDS,
-    THRESHOLD_HISTORY,
     LicenseDecision,
     PolicyEffectiveness,
     SafeguardTier,
@@ -93,6 +92,8 @@ class PolicyGrid:
     uncontrollable_counts: np.ndarray
     #: The paper's credibility test: threshold at or above the frontier.
     credible: np.ndarray
+    #: Catalog epoch the grid was evaluated under.
+    epoch: int = field(default=0, compare=False)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -279,6 +280,7 @@ def evaluate_policy_grid(
             burden_units=burden,
             uncontrollable_counts=uncontrollable,
             credible=credible,
+            epoch=current_epoch(),
         )
 
 
@@ -292,16 +294,19 @@ def threshold_at_series(years: Sequence[float] | np.ndarray) -> np.ndarray:
     grid = np.asarray(years, dtype=float).ravel()
     for year in grid:
         check_year(float(year), "years")
-    idx = np.searchsorted(_ERA_STARTS, grid, side="right") - 1
+    # Era columns are read through the policy module at call time: an
+    # amend_threshold event swaps them, and a bound copy here would keep
+    # serving the pre-event history.
+    idx = np.searchsorted(_policy._ERA_STARTS, grid, side="right") - 1
     if (idx < 0).any():
         first_bad = float(grid[idx < 0][0])
         raise ThresholdInfeasibleError(
             f"no supercomputer threshold defined before "
-            f"{THRESHOLD_HISTORY[0].start_year}",
+            f"{_policy.THRESHOLD_HISTORY[0].start_year}",
             context={"got": first_bad,
-                     "valid": f">= {THRESHOLD_HISTORY[0].start_year}"},
+                     "valid": f">= {_policy.THRESHOLD_HISTORY[0].start_year}"},
         )
-    out = _ERA_THRESHOLDS[idx]
+    out = _policy._ERA_THRESHOLDS[idx]
     out.setflags(write=False)
     return out
 

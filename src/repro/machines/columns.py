@@ -25,7 +25,9 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.machines.catalog import COMMERCIAL_SYSTEMS, max_config_mtops
+from repro.catalog.registry import current_epoch, register_invalidation_hook
+from repro.machines import catalog as _catalog
+from repro.machines.catalog import max_config_mtops
 from repro.machines.spec import MachineSpec
 from repro.obs.trace import counter_inc, trace
 
@@ -36,6 +38,7 @@ __all__ = [
     "install_machine_columns",
     "clear_machine_columns",
     "machine_columns_info",
+    "patched_machine_columns",
 ]
 
 
@@ -73,6 +76,8 @@ class MachineColumns:
     uncontrollable: np.ndarray
     #: Catalog row by machine key, for O(1) request-to-column joins.
     index_by_key: Mapping[str, int] = field(compare=False)
+    #: Catalog epoch the columns were built (or patched) under.
+    epoch: int = field(default=0, compare=False)
 
     @property
     def size(self) -> int:
@@ -91,7 +96,7 @@ def _build_columns() -> MachineColumns:
 
     counter_inc("columns.machine_builds")
     with trace("columns.machine_build") as span:
-        machines = tuple(COMMERCIAL_SYSTEMS)
+        machines = tuple(_catalog.COMMERCIAL_SYSTEMS)
         assessments = [assess(m) for m in machines]
         max_cfg = [max_config_mtops(m) for m in machines]
         reachable = [
@@ -117,6 +122,7 @@ def _build_columns() -> MachineColumns:
             uncontrollable=_frozen([c == 0 for c in codes], dtype=bool),
             index_by_key=MappingProxyType(
                 {m.key: i for i, m in enumerate(machines)}),
+            epoch=current_epoch(),
         )
 
 
@@ -148,7 +154,7 @@ def machine_columns_from_arrays(
     ``assess()`` runs.  Array order must be catalog order — the snapshot
     manifest hash guarantees it.
     """
-    machines = tuple(COMMERCIAL_SYSTEMS)
+    machines = tuple(_catalog.COMMERCIAL_SYSTEMS)
     for name in ("intro_years", "entry_mtops", "max_config_mtops",
                  "reachable_mtops", "field_upgradable", "units_installed",
                  "controllability_index", "class_codes", "uncontrollable"):
@@ -174,6 +180,82 @@ def machine_columns_from_arrays(
         uncontrollable=arrays["uncontrollable"],
         index_by_key=MappingProxyType(
             {m.key: i for i, m in enumerate(machines)}),
+        epoch=current_epoch(),
+    )
+
+
+def patched_machine_columns(
+    base: MachineColumns,
+    machine: MachineSpec,
+    row: int,
+    epoch: int,
+) -> MachineColumns:
+    """``base`` with exactly one row appended or overwritten.
+
+    Row ``row == base.size`` appends (``append_machine``); a smaller row
+    overwrites in place (``amend_machine``).  Only the touched machine is
+    assessed — every other row is carried over byte-for-byte, which is
+    what makes the patch bit-identical to a full rebuild (the rebuild
+    recomputes those rows deterministically to the same values).
+    """
+    from repro.controllability.index import _CLASS_CODES, assess
+
+    if not 0 <= row <= base.size:
+        from repro.obs.errors import ValidationError
+
+        raise ValidationError(
+            f"patched row {row} outside columns of size {base.size}",
+            context={"got": row, "valid": f"0..{base.size}"},
+        )
+    counter_inc("columns.machine_patches")
+    assessment = assess(machine)
+    max_cfg = max_config_mtops(machine)
+    code = _CLASS_CODES[assessment.classification]
+    values = {
+        "intro_years": machine.year,
+        "entry_mtops": machine.ctp_mtops,
+        "max_config_mtops": max_cfg,
+        "reachable_mtops": max_cfg if machine.field_upgradable
+        else machine.ctp_mtops,
+        "field_upgradable": machine.field_upgradable,
+        "units_installed": np.nan if machine.units_installed is None
+        else machine.units_installed,
+        "controllability_index": assessment.index,
+        "class_codes": code,
+        "uncontrollable": code == 0,
+    }
+
+    def _patch(name: str) -> np.ndarray:
+        column = np.asarray(getattr(base, name))
+        cell = np.array([values[name]], dtype=column.dtype)
+        if row == base.size:
+            out = np.concatenate([column, cell])
+        else:
+            out = column.copy()
+            out[row] = cell[0]
+        out.setflags(write=False)
+        return out
+
+    if row == base.size:
+        machines = base.machines + (machine,)
+    else:
+        entries = list(base.machines)
+        entries[row] = machine
+        machines = tuple(entries)
+    return MachineColumns(
+        machines=machines,
+        intro_years=_patch("intro_years"),
+        entry_mtops=_patch("entry_mtops"),
+        max_config_mtops=_patch("max_config_mtops"),
+        reachable_mtops=_patch("reachable_mtops"),
+        field_upgradable=_patch("field_upgradable"),
+        units_installed=_patch("units_installed"),
+        controllability_index=_patch("controllability_index"),
+        class_codes=_patch("class_codes"),
+        uncontrollable=_patch("uncontrollable"),
+        index_by_key=MappingProxyType(
+            {m.key: i for i, m in enumerate(machines)}),
+        epoch=epoch,
     )
 
 
@@ -189,6 +271,14 @@ def clear_machine_columns() -> None:
     global _INSTALLED
     _INSTALLED = None
     _build_columns.cache_clear()
+
+
+# The clear hook is registered with the catalog invalidation registry, so
+# `repro.catalog.invalidate_all` resets this store atomically with every
+# other cache.  Event applies do NOT clear it — they install a patched
+# column set instead (kinds=() keeps this off the precise per-event path).
+register_invalidation_hook(
+    "machines.columns", lambda epoch: clear_machine_columns())
 
 
 def machine_columns_info() -> dict[str, int]:

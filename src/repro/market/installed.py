@@ -15,7 +15,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro._util import check_positive, check_year
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines import catalog as _catalog
 from repro.obs.trace import counter_inc
 
 __all__ = [
@@ -69,7 +69,7 @@ def installed_distribution(
     check_positive(deinstall_years, "deinstall_years")
     edges = LOG_BIN_EDGES if bin_edges is None else np.asarray(bin_edges)
     counts = np.zeros(edges.size - 1)
-    for m in COMMERCIAL_SYSTEMS:
+    for m in _catalog.COMMERCIAL_SYSTEMS:
         if m.units_installed is None:
             continue
         age = year - m.year
@@ -160,6 +160,22 @@ def clear_installed_index() -> None:
     _build_suffix_index.cache_clear()
 
 
+# Suffix tables are keyed by year and aggregate the whole catalog's
+# installed bases, so machine events stale them; threshold amendments
+# cannot (thresholds are query inputs here, not table contents).
+def _register_installed_hook() -> None:
+    from repro.catalog.registry import register_invalidation_hook
+
+    register_invalidation_hook(
+        "market.installed.suffix",
+        lambda epoch: clear_installed_index(),
+        kinds=("append_machine", "amend_machine"),
+    )
+
+
+_register_installed_hook()
+
+
 def market_value_between(
     low_mtops: float,
     high_mtops: float,
@@ -178,7 +194,7 @@ def market_value_between(
         raise ValueError("high_mtops must exceed low_mtops")
     check_year(year, "year")
     total = 0.0
-    for m in COMMERCIAL_SYSTEMS:
+    for m in _catalog.COMMERCIAL_SYSTEMS:
         if m.units_installed is None or m.entry_price_usd is None:
             continue
         age = year - m.year

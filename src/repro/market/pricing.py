@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_positive, check_year
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines import catalog as _catalog
 from repro.trends.curves import ExponentialTrend, fit_exponential
 
 __all__ = ["price_performance_trend", "dollars_per_mtops", "affordable_mtops"]
@@ -27,7 +27,7 @@ def _price_points(since: float = 1988.0) -> tuple[np.ndarray, np.ndarray]:
     but also cheaper per processor.
     """
     years, ratios = [], []
-    for m in COMMERCIAL_SYSTEMS:
+    for m in _catalog.COMMERCIAL_SYSTEMS:
         if m.entry_price_usd is None or m.year < since:
             continue
         years.append(m.year)

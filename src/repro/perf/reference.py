@@ -24,7 +24,7 @@ from repro.controllability.index import (
 from repro.core.sensitivity import sample_weights
 from repro.crypto.des import int_to_bits
 from repro.ctp import ComputingElement, Coupling, ctp
-from repro.machines.catalog import COMMERCIAL_SYSTEMS
+from repro.machines import catalog as _catalog
 from repro.machines.foreign import FOREIGN_SYSTEMS, ForeignCountry
 from repro.machines.spec import MachineSpec
 
@@ -76,7 +76,7 @@ def lower_bound_uncontrollable_scalar(
 ) -> float:
     """Seed frontier query: one full catalog re-assessment per call."""
     best = 0.0
-    for m in COMMERCIAL_SYSTEMS:
+    for m in _catalog.COMMERCIAL_SYSTEMS:
         if m.year + lag_years > year:
             continue
         if (assess_classification_scalar(m, weights)
@@ -142,7 +142,7 @@ def premise3_gap_series_scalar(
             foreign_envelope_scalar(float(year)),
         )
         upper = max(
-            (m.ctp_mtops for m in COMMERCIAL_SYSTEMS if m.year <= year),
+            (m.ctp_mtops for m in _catalog.COMMERCIAL_SYSTEMS if m.year <= year),
             default=0.0,
         )
         out[i] = np.inf if lower == 0 else upper / lower
@@ -229,7 +229,7 @@ def evaluate_policy_scalar(threshold_mtops: float, year: float) -> dict:
         burden = (installed_units_above_scalar(threshold_mtops, year)
                   - installed_units_above_scalar(frontier, year))
     uncontrollable = 0
-    for m in COMMERCIAL_SYSTEMS:
+    for m in _catalog.COMMERCIAL_SYSTEMS:
         if (m.year <= year
                 and m.max_configuration().ctp_mtops >= threshold_mtops
                 and assess_classification_scalar(m)
@@ -311,7 +311,7 @@ def simulate_acquisitions_scalar(
     """
     rng = np.random.default_rng(np.random.SeedSequence([seed, n_attempts]))
     candidates = [
-        m for m in COMMERCIAL_SYSTEMS
+        m for m in _catalog.COMMERCIAL_SYSTEMS
         if m.year + 0.0 <= year
         and (m.max_configuration().ctp_mtops if m.field_upgradable
              else m.ctp_mtops) >= target_mtops

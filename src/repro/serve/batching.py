@@ -51,6 +51,7 @@ from repro.obs.errors import (
     ServiceOverloadedError,
     ValidationError,
 )
+from repro.catalog.registry import current_epoch, read_guard
 from repro.obs.trace import counter_inc, trace
 
 __all__ = ["MicroBatcher"]
@@ -118,6 +119,7 @@ class MicroBatcher:
         self._histogram: dict[int, int] = {}
         self._dispatches = 0
         self._completed = 0
+        self._last_dispatch_epoch = current_epoch()
         self._expired = 0
         self._overflows = 0
         self._thread = threading.Thread(
@@ -224,8 +226,18 @@ class MicroBatcher:
         counter_inc(f"serve.{self.name}.dispatches")
         counter_inc(f"serve.{self.name}.batched_requests", len(live))
         try:
-            with trace(f"serve.batch.{self.name}", size=len(live)):
-                results = list(self._dispatch([p.request for p in live]))
+            # The whole dispatch runs under the catalog read guard: a
+            # mutation event (write guard) waits for the batch to drain,
+            # so every request in it completes bit-identically against
+            # the epoch it was admitted under — never a half-applied
+            # catalog.
+            with read_guard():
+                epoch = current_epoch()
+                with trace(f"serve.batch.{self.name}", size=len(live)):
+                    results = list(
+                        self._dispatch([p.request for p in live]))
+            with self._cond:
+                self._last_dispatch_epoch = epoch
             if len(results) != len(live):
                 raise ValidationError(
                     f"{self.name} dispatch returned {len(results)} results "
@@ -264,4 +276,5 @@ class MicroBatcher:
                 "batch_size_histogram": histogram,
                 "mean_batch_size": (total_batched / dispatches
                                     if dispatches else 0.0),
+                "last_dispatch_epoch": self._last_dispatch_epoch,
             }

@@ -11,9 +11,16 @@ A ``capacity`` of 0 disables caching entirely (every ``get`` is a miss
 and ``put`` is a no-op), which the load benchmark uses so repeated
 payloads exercise the batching path instead of the cache.
 
-Hits, misses, and evictions are tracked both locally (exact, reported by
-:meth:`LRUCache.info`) and through the global :mod:`repro.obs` counters
-(``serve.cache.*``) so they appear in :func:`repro.obs.metrics_snapshot`.
+Canonical keys are prefixed with the **catalog epoch** in force when the
+request was admitted (see ``ServiceEngine.handle``): a mutation event
+bumps the epoch, so post-event requests key past every pre-event entry,
+and :meth:`LRUCache.purge_below_epoch` reclaims the dead generation
+eagerly — the invalidation hook this cache historically lacked.
+
+Hits, misses, evictions, and purges are tracked both locally (exact,
+reported by :meth:`LRUCache.info`) and through the global
+:mod:`repro.obs` counters (``serve.cache.*``) so they appear in
+:func:`repro.obs.metrics_snapshot`.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._purges = 0
 
     def get(self, key: Hashable) -> object:
         """The cached value for ``key``, or :data:`MISS`."""
@@ -80,6 +88,25 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def purge_below_epoch(self, epoch: int) -> int:
+        """Drop every entry whose canonical key was minted before
+        ``epoch`` (keys are ``(epoch, *request_key)`` tuples); returns
+        the number purged.  Non-epoch-prefixed keys are treated as
+        epoch 0 — stale by construction once any event has applied."""
+        purged = 0
+        with self._lock:
+            for key in list(self._data):
+                key_epoch = key[0] if (
+                    isinstance(key, tuple) and key
+                    and isinstance(key[0], int)) else 0
+                if key_epoch < epoch:
+                    del self._data[key]
+                    purged += 1
+            self._purges += purged
+        if purged:
+            counter_inc(f"{self._prefix}.purges", purged)
+        return purged
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -95,5 +122,6 @@ class LRUCache:
                 "hits": hits,
                 "misses": misses,
                 "evictions": self._evictions,
+                "purges": self._purges,
                 "hit_rate": (hits / total) if total else 0.0,
             }

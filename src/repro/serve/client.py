@@ -193,6 +193,16 @@ class ServeClient:
         """POST /review — e.g. ``client.review(year=1995.5)``."""
         return self.request("POST", "/review", fields)
 
+    def catalog_append(self, event: dict) -> ServeResponse:
+        """POST /catalog/append — apply one catalog mutation event.
+
+        ``event`` is the wire form (``{"event": "append_machine",
+        "machine": {...}}`` etc.).  Replays are explicit no-ops
+        (``applied: false``), so the same event may be POSTed once per
+        worker of a pre-fork fleet to converge every process.
+        """
+        return self.request("POST", "/catalog/append", event)
+
     def healthz(self) -> ServeResponse:
         return self.request("GET", "/healthz")
 

@@ -46,7 +46,7 @@ import socket
 import threading
 import time
 
-from repro.obs.errors import ValidationError
+from repro.obs.errors import SnapshotStaleError, ValidationError
 from repro.serve.server import ServeConfig, ServeServer
 
 __all__ = ["PreforkServer", "run_prefork_server", "reuseport_available"]
@@ -157,6 +157,14 @@ def _worker_main(
         signal.signal(signum, lambda *_: stop.set())
 
     try:
+        # A worker serving from a snapshot that no longer matches the
+        # in-process catalog would answer from skewed data forever (or,
+        # historically, crash-loop with no signal the parent could read).
+        # Check before binding: the failure becomes one structured
+        # control-plane message instead of N opaque exit codes.
+        from repro.store import verify_active_snapshot
+
+        verify_active_snapshot()
         if inherited is not None:
             listen = inherited
         else:
@@ -181,6 +189,18 @@ def _worker_main(
                 _send_msg(control, server.engine.metrics())
             elif cmd == "shutdown":
                 break
+    except SnapshotStaleError as exc:
+        # Surface the stale-snapshot state upward so the parent can fail
+        # the whole fleet fast with a diagnosis instead of a crash loop.
+        exit_code = 1
+        try:
+            _send_msg(control, {"event": "snapshot_stale",
+                                "worker_id": worker_id,
+                                "pid": os.getpid(),
+                                "message": str(exc),
+                                "context": exc.context})
+        except OSError:
+            pass
     except Exception:  # noqa: BLE001 — a worker must always exit cleanly
         exit_code = 1
     finally:
@@ -305,6 +325,27 @@ class PreforkServer:
         for worker in self.workers:
             remaining = max(0.0, deadline - time.monotonic())
             message = worker.reader.read_msg(remaining)
+            if message is not None \
+                    and message.get("event") == "snapshot_stale":
+                # One structured failure for the whole fleet — both
+                # hashes, the epoch delta, and the rebuild command —
+                # instead of N workers crash-looping in silence.
+                context = dict(message.get("context") or {})
+                snapshot_dir = context.get("path", ".repro-snapshot")
+                self.close()
+                raise SnapshotStaleError(
+                    f"worker {worker.worker_id} refused to serve from a "
+                    "stale snapshot; rebuild it with "
+                    f"`repro snapshot --output {snapshot_dir}`",
+                    context={"worker_id": worker.worker_id,
+                             "pid": message.get("pid", worker.pid),
+                             "snapshot_hash": context.get("got"),
+                             "live_hash": context.get("valid"),
+                             "epoch_delta": context.get("epoch_delta"),
+                             "path": snapshot_dir,
+                             "rebuild":
+                                 f"repro snapshot --output {snapshot_dir}"},
+                )
             if message is None or message.get("event") != "ready":
                 self.close()
                 raise ValidationError(

@@ -13,6 +13,7 @@ Two layers, separable on purpose:
       POST /policy    Chapter-5 policy scorecard (micro-batched)
       POST /machine   catalog lookup + controllability assessment
       POST /review    the annual review for a date
+      POST /catalog/append   apply one catalog mutation event (epoch bump)
       GET  /healthz   liveness + config echo
       GET  /metrics   metrics_snapshot() + queue/batch/cache/latency state
 
@@ -64,6 +65,11 @@ from repro.obs.errors import (
     ReproError,
     ServiceOverloadedError,
     ValidationError,
+)
+from repro.catalog.registry import (
+    current_epoch,
+    register_invalidation_hook,
+    unregister_invalidation_hook,
 )
 from repro.obs.trace import counter_inc, trace
 from repro.serve.batching import MicroBatcher
@@ -218,6 +224,15 @@ class ServiceEngine:
         }
         self._started_at = time.monotonic()
         self._closed = False
+        # Catalog mutations purge this engine's response cache through
+        # the invalidation registry: the epoch-prefixed keys already
+        # prevent stale *hits*, the purge reclaims the dead entries.
+        self._purge_hook = f"serve.cache.engine.{id(self)}"
+        register_invalidation_hook(
+            self._purge_hook,
+            lambda epoch: self.cache.purge_below_epoch(epoch),
+            kinds=("append_machine", "amend_machine", "amend_threshold"),
+        )
 
     def close(self, drain_timeout: float | None = None) -> None:
         """Stop the batch workers, draining queued work first (idempotent).
@@ -230,6 +245,7 @@ class ServiceEngine:
         if self._closed:
             return
         self._closed = True
+        unregister_invalidation_hook(self._purge_hook)
         if drain_timeout is None:
             drain_timeout = self.config.drain_timeout
         for batcher in self.batchers.values():
@@ -249,8 +265,14 @@ class ServiceEngine:
         counter_inc(f"serve.requests.{endpoint}")
         try:
             with trace(f"serve.{endpoint}"):
+                if endpoint == "catalog_append":
+                    return 200, self._catalog_append(payload)
                 request = parse_request(endpoint, payload)
-                key = request.cache_key
+                # The canonical key is prefixed with the catalog epoch in
+                # force at admission: a mutation event bumps the epoch, so
+                # responses computed before it can never satisfy requests
+                # arriving after it.
+                key = (current_epoch(), *request.cache_key)
                 body = self.cache.get(key)
                 if body is MISS:
                     body = self._handlers[endpoint](request)
@@ -460,6 +482,35 @@ class ServiceEngine:
             "threshold_is_stale": review.threshold_is_stale,
         }
 
+    # -- catalog mutation ---------------------------------------------------
+
+    def _catalog_append(self, payload: object) -> dict:
+        """Apply one catalog event through the event-sourced mutation
+        path.
+
+        Never cached and never batched: ``apply_event`` serializes under
+        the catalog write guard, drains in-flight batches, patches the
+        columnar stores incrementally, and bumps the epoch (which purges
+        this engine's response cache through the invalidation registry).
+        Replaying an already-applied event is an explicit no-op
+        (``applied: false``), so a client may POST the same event to
+        every worker of a pre-fork fleet to converge all processes.
+        """
+        from repro.catalog import events as catalog_events
+
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                "catalog/append body must be a JSON object",
+                context={"got": type(payload).__name__, "valid": "object"},
+            )
+        event = catalog_events.parse_event(payload)
+        outcome = catalog_events.apply_event(event)
+        return {
+            "endpoint": "catalog_append",
+            **outcome.as_dict(),
+            **self._identity(),
+        }
+
     # -- introspection ------------------------------------------------------
 
     def _identity(self) -> dict:
@@ -484,7 +535,8 @@ class ServiceEngine:
         return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
-            "endpoints": sorted(ENDPOINTS) + ["healthz", "metrics"],
+            "endpoints": sorted(ENDPOINTS) + ["catalog/append",
+                                              "healthz", "metrics"],
             "queue_depth": {name: batcher.depth()
                             for name, batcher in self.batchers.items()},
             "config": asdict(self.config),
@@ -500,6 +552,7 @@ class ServiceEngine:
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "config": asdict(self.config),
             "cache": self.cache.info(),
+            "catalog_epoch": current_epoch(),
             "batchers": {name: batcher.stats()
                          for name, batcher in self.batchers.items()},
             "latency": self.latency.quantiles(),
@@ -524,6 +577,7 @@ def _assessment_fields(machine: MachineSpec) -> dict:
 
 _MAX_BODY_BYTES = 1_000_000
 _POST_PATHS = {f"/{name}": name for name in ENDPOINTS}
+_POST_PATHS["/catalog/append"] = "catalog_append"
 _GET_PATHS = ("/healthz", "/metrics")
 
 

@@ -25,6 +25,7 @@ from repro.store.snapshot import (
     clear_store_caches,
     live_content_hash,
     load_snapshot,
+    verify_active_snapshot,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "clear_store_caches",
     "live_content_hash",
     "load_snapshot",
+    "verify_active_snapshot",
 ]

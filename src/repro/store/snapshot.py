@@ -40,6 +40,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.catalog.registry import (
+    current_epoch,
+    register_invalidation_hook,
+)
 from repro.obs.errors import SnapshotStaleError, ValidationError
 from repro.obs.trace import counter_inc, counters, trace
 
@@ -54,12 +58,15 @@ __all__ = [
     "load_snapshot",
     "active_snapshot",
     "active_manifest_hash",
+    "verify_active_snapshot",
     "clear_store_caches",
     "build_counter_totals",
 ]
 
 #: Bump on any incompatible change to the artifact layout.
-FORMAT_VERSION = 1
+#: 2: added ``frontier.population_rows`` (patchable frontier index) and
+#: the catalog ``epoch`` to the manifest.
+FORMAT_VERSION = 2
 
 #: Where ``repro snapshot`` / ``repro serve --snapshot`` look by default.
 DEFAULT_SNAPSHOT_DIR = Path(".repro-snapshot")
@@ -222,6 +229,9 @@ def build_snapshot(
         arrays["frontier.running_max"] = index.running_max
         arrays["frontier.leader_rows"] = np.array(
             [row_by_key[m.key] for m in index.leaders], dtype=np.int64)
+        arrays["frontier.population_rows"] = np.array(
+            [row_by_key[m.key] for m in (index.population or ())],
+            dtype=np.int64)
 
         # 3. Application drift columns + the requirement matrix over the
         #    canonical year grid (bit-exact scalar-pow construction).
@@ -257,6 +267,7 @@ def build_snapshot(
         manifest = {
             "format_version": FORMAT_VERSION,
             "content_hash": live_content_hash(),
+            "epoch": current_epoch(),
             "years": list(years),
             "credit_n": int(credit_n),
             "couplings": [c.name.lower() for c in Coupling],
@@ -375,7 +386,9 @@ def load_snapshot(path: Path | str = DEFAULT_SNAPSHOT_DIR,
                 "snapshot content hash does not match the live catalog — "
                 "rebuild with `repro snapshot`",
                 context={"got": manifest["content_hash"], "valid": live,
-                         "path": str(path)},
+                         "path": str(path),
+                         "epoch_delta": (current_epoch()
+                                         - int(manifest.get("epoch", 0)))},
             )
 
         def load(name: str) -> np.ndarray:
@@ -392,6 +405,7 @@ def load_snapshot(path: Path | str = DEFAULT_SNAPSHOT_DIR,
             qualify_years=load("frontier.qualify_years"),
             running_max=load("frontier.running_max"),
             leader_rows=load("frontier.leader_rows"),
+            population_rows=load("frontier.population_rows"),
         )
 
         years = tuple(float(y) for y in manifest["years"])
@@ -420,6 +434,48 @@ def load_snapshot(path: Path | str = DEFAULT_SNAPSHOT_DIR,
                             n_arrays=len(manifest["arrays"]))
         _ACTIVE = info
         return info
+
+
+def verify_active_snapshot() -> None:
+    """Re-check the loaded snapshot against the *current* catalog state.
+
+    A worker forked after its parent loaded a snapshot may discover —
+    e.g. at startup, before reporting ready — that the in-process
+    catalog no longer matches the artifact it is serving from (a
+    mutation event landed between load and fork, or the snapshot on
+    disk belongs to a different catalog build).  No-op when no snapshot
+    is active; raises :class:`SnapshotStaleError` with both hashes and
+    the epoch delta otherwise.
+    """
+    if _ACTIVE is None:
+        return
+    live = live_content_hash()
+    if _ACTIVE.manifest_hash != live:
+        raise SnapshotStaleError(
+            "active snapshot no longer matches the live catalog — "
+            "rebuild with `repro snapshot`",
+            context={
+                "got": _ACTIVE.manifest_hash,
+                "valid": live,
+                "path": str(_ACTIVE.path),
+                "epoch_delta": (current_epoch()
+                                - int(_ACTIVE.manifest.get("epoch", 0))),
+            },
+        )
+
+
+# A catalog mutation patches the in-process stores past the loaded
+# artifact: the process is no longer serving "from the snapshot", so
+# deactivate it (healthz/metrics report a fresh-build identity and the
+# fleet skew detector sees agreement again once every worker applies).
+register_invalidation_hook(
+    "store.snapshot", lambda epoch: _deactivate_snapshot(),
+    kinds=("append_machine", "amend_machine", "amend_threshold"))
+
+
+def _deactivate_snapshot() -> None:
+    global _ACTIVE
+    _ACTIVE = None
 
 
 # ---------------------------------------------------------------------------

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.machines import catalog as _catalog
 from repro.machines.catalog import (
-    COMMERCIAL_SYSTEMS,
     commercial_by_architecture,
     max_config_mtops,
 )
@@ -89,4 +89,5 @@ def smp_trend(through: float | None = None) -> ExponentialTrend:
 
 
 def _all_smp_entries() -> list[MachineSpec]:  # pragma: no cover - debug helper
-    return [m for m in COMMERCIAL_SYSTEMS if m.architecture is Architecture.SMP]
+    return [m for m in _catalog.COMMERCIAL_SYSTEMS
+            if m.architecture is Architecture.SMP]
