@@ -177,6 +177,23 @@ def test_catalog_churn_p99_under_churn(results):
     assert row["p99_ms"] < 250.0
 
 
+def test_scenario_grid_speedup_floor(results):
+    # One 8-world tensor build vs 8 sequential cold single-world builds
+    # measures ~6-7x (the shared frontier index, suffix tables, and
+    # requirement matrices are rebuilt once instead of per world); 5x is
+    # the acceptance floor.
+    assert results["scenario_grid"]["speedup"] >= 5.0
+
+
+def test_scenario_grid_identity_bit_exact(results):
+    # Not a tolerance: the historical world's tensor slice must equal
+    # evaluate_policy_grid array for array, and every world's slice must
+    # equal its own single-world build.
+    row = results["scenario_grid"]
+    assert row["max_rel_err"] == 0.0
+    assert row["worlds"] == 8
+
+
 def test_batch_paths_agree_with_scalar(results):
     for name in ("batch_ctp_rating", "frontier_year_grid",
                  "premise3_gap_scan", "keysearch_bit_expansion"):

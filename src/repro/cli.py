@@ -10,6 +10,9 @@ Commands mirror the analyses a policy analyst would actually run:
 * ``license``     — a license decision for a machine/destination pair;
 * ``policy``      — Chapter-5 credibility/burden scorecards over a whole
   threshold x year grid in one vectorized pass;
+* ``scenarios``   — the same scorecards across counterfactual policy
+  worlds (alternate decontrol timelines, frontier shocks, drift regimes)
+  as one (scenario x threshold x year) tensor;
 * ``sensitivity`` — robustness of the lower bound and the Table 4
   verdicts to the factor weights;
 * ``simulate``    — run a suite workload across the architecture spectrum;
@@ -118,6 +121,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_policy.add_argument("--profile", action="store_true",
                           help="print a span/counter profile after the "
                                "output")
+
+    p_scenarios = sub.add_parser(
+        "scenarios", help="credibility/burden scorecards across "
+                          "counterfactual policy worlds"
+    )
+    p_scenarios.add_argument(
+        "--worlds", type=str,
+        default="historical,flop_cap,accelerated_foreign",
+        metavar="NAMES",
+        help="comma list of preset worlds (default "
+             '"historical,flop_cap,accelerated_foreign"; the historical '
+             "baseline is always included)")
+    p_scenarios.add_argument(
+        "--worlds-json", type=str, default=None, metavar="FILE",
+        help="JSON file with extra scenario objects in the wire form "
+             "(one object or a list; '-' reads stdin)")
+    p_scenarios.add_argument("--thresholds", type=str,
+                             default="195,1500,7000", metavar="SPEC",
+                             help='candidate thresholds in Mtops: comma '
+                                  'list and/or inclusive ranges '
+                                  '"lo:hi[:step]" (default "195,1500,7000")')
+    p_scenarios.add_argument("--years", type=str, default="1988:1998:2",
+                             metavar="SPEC",
+                             help='review dates: comma list and/or '
+                                  'inclusive ranges "lo:hi[:step]" '
+                                  '(default "1988:1998:2")')
+    p_scenarios.add_argument("--max-workers", type=int, default=1,
+                             help="worker processes slabbing the scenario "
+                                  "axis (default 1: in-process)")
+    p_scenarios.add_argument("--profile", action="store_true",
+                             help="print a span/counter profile after the "
+                                  "output")
 
     p_sens = sub.add_parser("sensitivity", help="robustness of the findings")
     p_sens.add_argument("--year", type=float, default=1995.5)
@@ -473,6 +508,103 @@ def _cmd_policy(args: argparse.Namespace) -> str:
               f"{len(grid.years)} years), {n_credible:,} credible, "
               f"{args.max_workers} worker process(es)")
     return table + "\n" + footer
+
+
+def _scenario_worlds(args: argparse.Namespace) -> list:
+    """Resolve ``--worlds`` presets plus ``--worlds-json`` objects; the
+    historical baseline is always world 0 (the comparison anchor)."""
+    from repro.scenarios import HISTORICAL, preset_scenario, \
+        scenario_from_payload
+
+    worlds = [HISTORICAL]
+    for token in args.worlds.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        scenario = preset_scenario(token)
+        if scenario not in worlds:
+            worlds.append(scenario)
+    if args.worlds_json is not None:
+        import json
+        import sys
+
+        try:
+            if args.worlds_json == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.worlds_json, encoding="utf-8") as handle:
+                    text = handle.read()
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read worlds from {args.worlds_json}: {exc}",
+                context={"flag": "--worlds-json", "got": args.worlds_json,
+                         "valid": "a readable JSON file or '-'"},
+            ) from None
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValidationError(
+                f"worlds file is not valid JSON: {exc}",
+                context={"flag": "--worlds-json", "got": args.worlds_json},
+            ) from None
+        entries = payload if isinstance(payload, list) else [payload]
+        for entry in entries:
+            scenario = scenario_from_payload(entry)
+            if scenario not in worlds:
+                worlds.append(scenario)
+    return worlds
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> str:
+    from repro.scenarios import evaluate_scenario_grid
+
+    if args.max_workers < 1:
+        raise ValidationError(
+            f"--max-workers must be at least 1 (got {args.max_workers})",
+            context={"flag": "--max-workers", "got": args.max_workers,
+                     "valid": ">= 1"},
+        )
+    worlds = _scenario_worlds(args)
+    thresholds = _parse_float_spec(args.thresholds, "--thresholds")
+    years = _parse_float_spec(args.years, "--years")
+    grid = evaluate_scenario_grid(worlds, thresholds, years,
+                                  max_workers=args.max_workers)
+
+    def _year(value: float | None) -> str:
+        return "-" if value is None else f"{value:g}"
+
+    summary_rows = []
+    for w, scenario in enumerate(grid.scenarios):
+        summary_rows.append([
+            scenario.name,
+            _year(grid.divergence_year(w)) if w else "-",
+            _year(grid.credibility_loss_year(w)),
+            f"{grid.burden_delta(w):+,.0f}" if w else "baseline",
+        ])
+    summary = render_table(
+        ["world", "diverges", "credibility lost", "burden vs historical"],
+        summary_rows, title="World comparison",
+    )
+
+    rows = []
+    for i, threshold in enumerate(grid.thresholds):
+        for j, year in enumerate(grid.years):
+            cells = [f"{threshold:,.0f}", f"{year:g}"]
+            for w in range(len(grid.scenarios)):
+                flag = "yes" if grid.credible[w, i, j] else "NO"
+                cells.append(
+                    f"{flag}/{grid.burden_units[w, i, j]:,.0f}")
+            rows.append(cells)
+    detail = render_table(
+        ["threshold", "year"] + [s.name for s in grid.scenarios],
+        rows, title="Credible?/burden per world (Mtops)",
+    )
+    n_w, n_t, n_y = grid.shape
+    footer = (f"{n_w * n_t * n_y:,} tensor cells ({n_w} worlds x "
+              f"{n_t} thresholds x {n_y} years), "
+              f"{args.max_workers} worker process(es), "
+              f"epoch {grid.epoch}")
+    return summary + "\n\n" + detail + "\n" + footer
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> str:
@@ -862,6 +994,7 @@ _COMMANDS = {
     "machine": _cmd_machine,
     "license": _cmd_license,
     "policy": _cmd_policy,
+    "scenarios": _cmd_scenarios,
     "sensitivity": _cmd_sensitivity,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,

@@ -31,6 +31,7 @@ __all__ = [
     "ServiceOverloadedError",
     "DeadlineExceededError",
     "SnapshotStaleError",
+    "ScenarioEpochError",
 ]
 
 
@@ -103,3 +104,10 @@ class SnapshotStaleError(ReproError, RuntimeError):
     threshold history, or schedule parameters; ``context`` carries both
     hashes.  Loading refuses rather than serving stale data — rebuild
     with ``repro snapshot``."""
+
+
+class ScenarioEpochError(ReproError, RuntimeError):
+    """A scenario-grid result was read after a catalog mutation changed
+    the epoch it was built under; ``context`` carries ``built_at`` and
+    ``current``.  Re-evaluate the grid rather than mixing worlds computed
+    against different catalog states."""

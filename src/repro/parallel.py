@@ -51,6 +51,7 @@ __all__ = [
     "parallel_keysearch",
     "parallel_bound_sensitivity",
     "sweep_parallel",
+    "scenario_worlds_parallel",
 ]
 
 
@@ -378,3 +379,31 @@ def sweep_parallel(
         baseline_times_s=np.concatenate(
             [p.baseline_times_s for p in parts]),
     )
+
+
+# ---------------------------------------------------------------------------
+# Scenario-world tensor slabs
+# ---------------------------------------------------------------------------
+
+
+def scenario_worlds_parallel(
+    scenarios,
+    thresholds,
+    years,
+    max_workers: int = 1,
+    n_chunks: int | None = None,
+):
+    """:func:`repro.scenarios.grid.evaluate_scenario_grid` with the
+    *scenario* axis fanned out over worker processes.
+
+    Worlds are independent of one another, so slabbing the world axis
+    and stacking preserves bit-exactness: the tensor equals the
+    single-process build exactly, for any worker count or chunk layout.
+    (Thin alias so parallel callers discover the fan-out here alongside
+    the other drivers; the chunking itself lives in the grid engine.)
+    """
+    from repro.scenarios.grid import evaluate_scenario_grid
+
+    return evaluate_scenario_grid(scenarios, thresholds, years,
+                                  max_workers=max_workers,
+                                  n_chunks=n_chunks)

@@ -42,6 +42,7 @@ WORKLOAD_NAMES = (
     "snapshot_cold_start",
     "serve_prefork_load",
     "catalog_churn",
+    "scenario_grid",
 )
 
 
@@ -857,6 +858,114 @@ def _bench_catalog_churn(quick: bool) -> dict:
     return row
 
 
+def _bench_scenario_grid(quick: bool) -> dict:
+    """Counterfactual-world tensor, sequential per-world vs one build.
+
+    The sequential baseline evaluates eight single-world grids back to
+    back, each from cold caches — what "run the policy grid once per
+    world" costs when every build rebuilds the frontier index, suffix
+    tables, and requirement matrices for itself.  The tensor path builds
+    all eight worlds in one :func:`evaluate_scenario_grid` call over the
+    same cold start, sharing every world-independent per-year quantity.
+    Parity is bit-exactness, not tolerance: the historical world's slice
+    must equal ``evaluate_policy_grid`` array for array, and every
+    world's tensor slice must equal its own single-world build, or
+    ``max_rel_err`` reports 1.0.
+    """
+    from repro.controllability.frontier import clear_frontier_indexes
+    from repro.diffusion.columns import clear_requirement_matrices
+    from repro.diffusion.policy_grid import evaluate_policy_grid
+    from repro.market.installed import clear_installed_index
+    from repro.scenarios import (
+        HISTORICAL,
+        accelerated_foreign,
+        clear_scenario_caches,
+        early_decontrol,
+        evaluate_scenario_grid,
+        flop_cap,
+        sticky_requirements,
+    )
+
+    worlds = [
+        HISTORICAL,
+        flop_cap(),
+        accelerated_foreign(),
+        early_decontrol(),
+        sticky_requirements(),
+        flop_cap(cap_mtops=2_000.0, acceleration=1.5),
+        accelerated_foreign(factor=3.0, onset=1990.0),
+        early_decontrol(years_early=4.0),
+    ]
+    thresholds = np.geomspace(10.0, 50_000.0, 16 if quick else 32)
+    years = np.arange(1986.0, 2000.0, 0.6 if quick else 0.25)
+
+    def cold():
+        clear_scenario_caches()
+        clear_installed_index()
+        clear_requirement_matrices()
+        clear_frontier_indexes()
+
+    cold()
+    tensor = evaluate_scenario_grid(worlds, thresholds, years)
+    policy = evaluate_policy_grid(thresholds, years)
+    singles = [evaluate_scenario_grid([w], thresholds, years)
+               for w in worlds]
+    exact = (
+        np.array_equal(tensor.frontier_mtops[0], policy.frontier_mtops)
+        and np.array_equal(tensor.requirements[0], policy.requirements)
+        and np.array_equal(tensor.protected_counts[0],
+                           policy.protected_counts)
+        and np.array_equal(tensor.illusory_counts[0],
+                           policy.illusory_counts)
+        and np.array_equal(tensor.burden_units[0], policy.burden_units)
+        and np.array_equal(tensor.uncontrollable_counts[0],
+                           policy.uncontrollable_counts)
+        and np.array_equal(tensor.credible[0], policy.credible)
+        and all(
+            np.array_equal(tensor.frontier_mtops[w],
+                           single.frontier_mtops[0])
+            and np.array_equal(tensor.requirements[w],
+                               single.requirements[0])
+            and np.array_equal(tensor.protected_counts[w],
+                               single.protected_counts[0])
+            and np.array_equal(tensor.illusory_counts[w],
+                               single.illusory_counts[0])
+            and np.array_equal(tensor.burden_units[w],
+                               single.burden_units[0])
+            and np.array_equal(tensor.uncontrollable_counts[w],
+                               single.uncontrollable_counts[0])
+            and np.array_equal(tensor.credible[w], single.credible[0])
+            and np.array_equal(tensor.in_force_mtops[w],
+                               single.in_force_mtops[0])
+            for w, single in enumerate(singles)
+        )
+    )
+
+    def sequential_worlds():
+        out = []
+        for world in worlds:
+            cold()
+            out.append(evaluate_scenario_grid([world], thresholds, years))
+        return out
+
+    def tensor_build():
+        cold()
+        return evaluate_scenario_grid(worlds, thresholds, years)
+
+    scalar = time_workload(sequential_worlds, "scalar",
+                           repeats=2 if quick else 3)
+    fast = time_workload(tensor_build, "batch", repeats=3 if quick else 5)
+    row = _row("scenario_grid",
+               f"{len(worlds)}-world counterfactual tensor on a "
+               f"{thresholds.size} x {years.size} (threshold, year) grid "
+               f"({len(worlds)} sequential cold single-world builds vs one "
+               f"cold tensor build sharing the per-year columns)",
+               scalar, fast, 0.0 if exact else 1.0)
+    row["worlds"] = len(worlds)
+    row["tensor_points"] = int(len(worlds) * thresholds.size * years.size)
+    return row
+
+
 def _row(name: str, description: str, scalar: Timing, batch: Timing,
          max_rel_err: float) -> dict:
     return {
@@ -883,6 +992,7 @@ _BENCHES = {
     "snapshot_cold_start": _bench_snapshot_cold_start,
     "serve_prefork_load": _bench_serve_prefork_load,
     "catalog_churn": _bench_catalog_churn,
+    "scenario_grid": _bench_scenario_grid,
 }
 
 

@@ -1,0 +1,42 @@
+"""Counterfactual "policy world" scenarios (Chapter 5 across worlds).
+
+:mod:`repro.scenarios.spec` defines the frozen :class:`Scenario` spec,
+its presets (``flop_cap``, ``accelerated_foreign``, ``early_decontrol``,
+``sticky_requirements``), and the strict JSON wire codec;
+:mod:`repro.scenarios.grid` evaluates the (scenario x threshold x year)
+tensor by riding the policy-grid columns with world overlays.
+"""
+
+from repro.scenarios.grid import (
+    ScenarioGrid,
+    clear_scenario_caches,
+    evaluate_scenario_grid,
+)
+from repro.scenarios.spec import (
+    HISTORICAL,
+    PRESETS,
+    Scenario,
+    accelerated_foreign,
+    early_decontrol,
+    flop_cap,
+    preset_scenario,
+    scenario_from_payload,
+    scenario_to_payload,
+    sticky_requirements,
+)
+
+__all__ = [
+    "HISTORICAL",
+    "PRESETS",
+    "Scenario",
+    "ScenarioGrid",
+    "accelerated_foreign",
+    "clear_scenario_caches",
+    "early_decontrol",
+    "evaluate_scenario_grid",
+    "flop_cap",
+    "preset_scenario",
+    "scenario_from_payload",
+    "scenario_to_payload",
+    "sticky_requirements",
+]

@@ -1,0 +1,471 @@
+"""Counterfactual "policy world" specifications and their wire codec.
+
+Everything else in the reproduction evaluates the one historical world:
+the fixed ``THRESHOLD_HISTORY`` decontrol timeline, the catalog-derived
+uncontrollability frontier, and the paper's single
+application-requirement drift.  A :class:`Scenario` names an *alternate*
+world through three orthogonal knobs, each expressed as a column-level
+overlay on the policy-grid inputs rather than a mutation of any global
+state:
+
+* ``decontrol`` — an alternate threshold-era timeline (evaluated with a
+  scenario-local bisect; :func:`repro.diffusion.policy._install_threshold_history`
+  is never touched);
+* ``frontier_shock`` — a piecewise-constant multiplier curve on the
+  frontier running-max, modeling foreign-indigenous acceleration (the
+  "what if Russian and Indian programs had moved faster" question of
+  Chapter 4);
+* ``drift_rate`` / ``drift_floor`` — an alternate application-requirement
+  drift regime (Chapter 2's downward drift, faster or frozen).
+
+A scenario with every knob ``None`` is the **historical identity**: the
+grid engine routes it through the exact arrays the existing
+:class:`repro.diffusion.policy_grid.PolicyGrid` computes, bit for bit.
+
+The :func:`flop_cap` preset is the modern analogue made explicit by "The
+LLM Mirage" (PAPERS.md): a single high training-FLOP-cap-style threshold
+instituted in one step, with accelerated indigenous capability and faster
+algorithmic-efficiency drift.
+
+Wire codec: :func:`scenario_to_payload` / :func:`scenario_from_payload`
+is a strict JSON contract — unknown fields are rejected, era ordering is
+validated, and round-tripping is the identity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_year
+from repro.diffusion import policy as _policy
+from repro.diffusion.policy import ThresholdEra
+from repro.obs.errors import ThresholdInfeasibleError, ValidationError
+
+__all__ = [
+    "Scenario",
+    "HISTORICAL",
+    "PRESETS",
+    "preset_scenario",
+    "flop_cap",
+    "accelerated_foreign",
+    "early_decontrol",
+    "sticky_requirements",
+    "scenario_to_payload",
+    "scenario_from_payload",
+]
+
+
+def _check_eras(eras: tuple[ThresholdEra, ...]) -> None:
+    if not eras:
+        raise ValidationError(
+            "decontrol timeline must name at least one era",
+            context={"got": 0, "valid": ">= 1 era"},
+        )
+    previous = None
+    for era in eras:
+        check_year(era.start_year, "decontrol era start_year")
+        if not (np.isfinite(era.threshold_mtops)
+                and era.threshold_mtops > 0):
+            raise ValidationError(
+                "decontrol era thresholds must be positive",
+                context={"got": era.threshold_mtops, "valid": "> 0"},
+            )
+        if previous is not None and era.start_year <= previous:
+            raise ValidationError(
+                "decontrol era start years must be strictly increasing",
+                context={"got": [e.start_year for e in eras],
+                         "valid": "strictly ascending"},
+            )
+        previous = era.start_year
+    return None
+
+
+def _check_shock(anchors: tuple[tuple[float, float], ...]) -> None:
+    if not anchors:
+        raise ValidationError(
+            "frontier_shock must name at least one (year, multiplier) "
+            "anchor",
+            context={"got": 0, "valid": ">= 1 anchor"},
+        )
+    previous = None
+    for year, multiplier in anchors:
+        check_year(year, "frontier_shock anchor year")
+        if not (np.isfinite(multiplier) and multiplier > 0):
+            raise ValidationError(
+                "frontier_shock multipliers must be positive",
+                context={"got": multiplier, "valid": "> 0"},
+            )
+        if previous is not None and year <= previous:
+            raise ValidationError(
+                "frontier_shock anchor years must be strictly increasing",
+                context={"got": [a[0] for a in anchors],
+                         "valid": "strictly ascending"},
+            )
+        previous = year
+
+
+def _check_fractional(value: float, field: str, allow_zero: bool) -> None:
+    low_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (np.isfinite(value) and low_ok and value < 1.0 or value == 1.0
+            and field == "drift_floor"):
+        raise ValidationError(
+            f"{field} must be a fraction in "
+            f"{'[0, 1)' if allow_zero else '(0, 1]'}",
+            context={"field": field, "got": value,
+                     "valid": "[0, 1)" if allow_zero else "(0, 1]"},
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One counterfactual policy world (frozen, hashable).
+
+    Every field except ``name`` defaults to ``None`` — "as history had
+    it".  A scenario whose knobs are all ``None`` is the historical
+    identity world, guaranteed bit-exact against the existing
+    :class:`~repro.diffusion.policy_grid.PolicyGrid`.
+
+    Attributes
+    ----------
+    name:
+        Display label; carried in cache keys and serve responses.
+    decontrol:
+        Alternate threshold-era timeline (strictly ascending start
+        years); ``None`` uses the live ``THRESHOLD_HISTORY``.
+    frontier_shock:
+        Piecewise-constant multiplier curve on the uncontrollability
+        frontier: ``((year, multiplier), ...)`` anchors, strictly
+        ascending; the multiplier in force at ``y`` is that of the last
+        anchor at or before ``y`` (1.0 before the first anchor).
+    drift_rate / drift_floor:
+        Alternate application-requirement drift regime; ``None`` keeps
+        the paper's ``DRIFT_RATE_PER_YEAR`` / ``DRIFT_FLOOR_FRACTION``.
+    """
+
+    name: str
+    decontrol: tuple[ThresholdEra, ...] | None = None
+    frontier_shock: tuple[tuple[float, float], ...] | None = None
+    drift_rate: float | None = None
+    drift_floor: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ValidationError(
+                "scenario name must be a non-empty string",
+                context={"got": self.name, "valid": "non-empty string"},
+            )
+        if self.decontrol is not None:
+            object.__setattr__(self, "decontrol", tuple(self.decontrol))
+            _check_eras(self.decontrol)
+        if self.frontier_shock is not None:
+            object.__setattr__(
+                self, "frontier_shock",
+                tuple((float(y), float(m)) for y, m in self.frontier_shock))
+            _check_shock(self.frontier_shock)
+        if self.drift_rate is not None:
+            _check_fractional(float(self.drift_rate), "drift_rate",
+                              allow_zero=True)
+            object.__setattr__(self, "drift_rate", float(self.drift_rate))
+        if self.drift_floor is not None:
+            _check_fractional(float(self.drift_floor), "drift_floor",
+                              allow_zero=False)
+            object.__setattr__(self, "drift_floor", float(self.drift_floor))
+
+    @property
+    def is_historical(self) -> bool:
+        """True when every knob is ``None`` — the identity world."""
+        return (self.decontrol is None and self.frontier_shock is None
+                and self.drift_rate is None and self.drift_floor is None)
+
+    # -- world queries -------------------------------------------------------
+
+    def threshold_eras(self) -> tuple[ThresholdEra, ...]:
+        """The decontrol timeline in force in this world.
+
+        The historical fallback reads ``_policy.THRESHOLD_HISTORY`` at
+        call time, so an ``amend_threshold`` event is visible to
+        historical-world scenarios exactly as it is to the scalar path.
+        """
+        if self.decontrol is not None:
+            return self.decontrol
+        return _policy.THRESHOLD_HISTORY
+
+    def threshold_in_force(self, year: float) -> float:
+        """The control threshold this world imposes at ``year``.
+
+        Dates before the first era raise the same
+        :class:`ThresholdInfeasibleError` the historical
+        :func:`repro.diffusion.policy.threshold_at` does.
+        """
+        check_year(year, "year")
+        eras = self.threshold_eras()
+        i = bisect.bisect_right([e.start_year for e in eras], year) - 1
+        if i < 0:
+            raise ThresholdInfeasibleError(
+                f"scenario {self.name!r} defines no threshold before "
+                f"{eras[0].start_year}",
+                context={"got": year, "valid": f">= {eras[0].start_year}",
+                         "scenario": self.name},
+            )
+        return float(eras[i].threshold_mtops)
+
+    def threshold_in_force_series(
+        self, years: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """:meth:`threshold_in_force` over a year grid, total: years
+        before the first era map to 0.0 (no control regime) instead of
+        raising, so tensor builds over early years stay well-defined."""
+        grid = np.asarray(years, dtype=float).ravel()
+        eras = self.threshold_eras()
+        starts = np.array([e.start_year for e in eras])
+        values = np.array([e.threshold_mtops for e in eras])
+        idx = np.searchsorted(starts, grid, side="right") - 1
+        out = np.where(idx >= 0, values[np.clip(idx, 0, None)], 0.0)
+        out.setflags(write=False)
+        return out
+
+    def frontier_multipliers(
+        self, years: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """The shock multiplier in force at each grid year (1.0
+        everywhere when the knob is off or before the first anchor)."""
+        grid = np.asarray(years, dtype=float).ravel()
+        if self.frontier_shock is None:
+            return np.ones(grid.shape)
+        anchor_years = np.array([a[0] for a in self.frontier_shock])
+        anchor_mults = np.array([a[1] for a in self.frontier_shock])
+        idx = np.searchsorted(anchor_years, grid, side="right") - 1
+        return np.where(idx >= 0, anchor_mults[np.clip(idx, 0, None)], 1.0)
+
+
+#: The identity world: history exactly as the paper records it.
+HISTORICAL = Scenario(name="historical")
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+
+def flop_cap(
+    cap_mtops: float = 10_000.0,
+    start_year: float = 1994.1,
+    acceleration: float = 2.0,
+    efficiency_rate: float = 0.18,
+) -> Scenario:
+    """The modern training-FLOP-cap analogue ("The LLM Mirage").
+
+    One high cap replaces the era ladder from ``start_year`` on (eras
+    before it keep their historical values), indigenous capability runs
+    ``acceleration``x ahead of the catalog frontier (squared two years
+    in), and algorithmic efficiency drifts requirements down at
+    ``efficiency_rate`` per year instead of the paper's 8%.
+    """
+    baseline = tuple(e for e in _policy.THRESHOLD_HISTORY
+                     if e.start_year < start_year)
+    eras = baseline + (
+        ThresholdEra(start_year, float(cap_mtops), "compute cap analogue"),
+    )
+    return Scenario(
+        name="flop_cap",
+        decontrol=eras,
+        frontier_shock=((start_year, float(acceleration)),
+                        (start_year + 2.0, float(acceleration) ** 2)),
+        drift_rate=float(efficiency_rate),
+    )
+
+
+def accelerated_foreign(factor: float = 2.0,
+                        onset: float = 1992.0) -> Scenario:
+    """Foreign-indigenous programs deliver ``factor``x the frontier
+    rating from ``onset`` on — Chapter 4's premise-2 failure as a world,
+    not a warning."""
+    return Scenario(
+        name="accelerated_foreign",
+        frontier_shock=((float(onset), float(factor)),),
+    )
+
+
+def early_decontrol(years_early: float = 2.0) -> Scenario:
+    """Every historical decontrol step lands ``years_early`` years
+    sooner — the timeline the paper's own recommendation implies."""
+    eras = tuple(
+        ThresholdEra(era.start_year - float(years_early),
+                     era.threshold_mtops, era.label)
+        for era in _policy.THRESHOLD_HISTORY
+    )
+    return Scenario(name="early_decontrol", decontrol=eras)
+
+
+def sticky_requirements() -> Scenario:
+    """Application requirements never drift down (``drift_rate=0``) —
+    the world where better algorithms never erode the stalactites."""
+    return Scenario(name="sticky_requirements", drift_rate=0.0)
+
+
+#: Named preset constructors, for the CLI and the ``/scenario`` schema.
+PRESETS = {
+    "historical": lambda: HISTORICAL,
+    "flop_cap": flop_cap,
+    "accelerated_foreign": accelerated_foreign,
+    "early_decontrol": early_decontrol,
+    "sticky_requirements": sticky_requirements,
+}
+
+
+def preset_scenario(name: str) -> Scenario:
+    """The preset called ``name``; unknown names raise with the valid
+    list in context."""
+    constructor = PRESETS.get(name)
+    if constructor is None:
+        raise ValidationError(
+            f"unknown scenario preset {name!r}",
+            context={"got": name, "valid": sorted(PRESETS)},
+        )
+    return constructor()
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+_PAYLOAD_FIELDS = ("name", "decontrol", "frontier_shock", "drift_rate",
+                   "drift_floor")
+_ERA_FIELDS = ("start_year", "threshold_mtops", "label")
+
+
+def scenario_to_payload(scenario: Scenario) -> dict:
+    """The strict JSON wire form; knobs left at ``None`` are omitted, so
+    the payload spells exactly what the scenario overrides."""
+    payload: dict = {"name": scenario.name}
+    if scenario.decontrol is not None:
+        payload["decontrol"] = [
+            {"start_year": era.start_year,
+             "threshold_mtops": era.threshold_mtops,
+             "label": era.label}
+            for era in scenario.decontrol
+        ]
+    if scenario.frontier_shock is not None:
+        payload["frontier_shock"] = [[year, multiplier]
+                                     for year, multiplier
+                                     in scenario.frontier_shock]
+    if scenario.drift_rate is not None:
+        payload["drift_rate"] = scenario.drift_rate
+    if scenario.drift_floor is not None:
+        payload["drift_floor"] = scenario.drift_floor
+    return payload
+
+
+def _payload_number(value: object, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"scenario field {field} must be a number",
+            context={"field": field, "got": value, "valid": "number"},
+        )
+    return float(value)
+
+
+def _parse_era(entry: object, position: int) -> ThresholdEra:
+    if not isinstance(entry, Mapping):
+        raise ValidationError(
+            f"decontrol[{position}] must be an object",
+            context={"got": type(entry).__name__, "valid": "object"},
+        )
+    unknown = sorted(set(entry) - set(_ERA_FIELDS))
+    if unknown:
+        raise ValidationError(
+            f"unknown decontrol era field(s): {', '.join(map(str, unknown))}",
+            context={"got": unknown, "valid": sorted(_ERA_FIELDS)},
+        )
+    for field in ("start_year", "threshold_mtops"):
+        if field not in entry:
+            raise ValidationError(
+                f"decontrol[{position}] requires field {field!r}",
+                context={"field": field, "valid": "present"},
+            )
+    label = entry.get("label", "")
+    if not isinstance(label, str):
+        raise ValidationError(
+            "decontrol era label must be a string",
+            context={"got": label, "valid": "string"},
+        )
+    return ThresholdEra(
+        start_year=_payload_number(entry["start_year"], "start_year"),
+        threshold_mtops=_payload_number(entry["threshold_mtops"],
+                                        "threshold_mtops"),
+        label=label,
+    )
+
+
+def scenario_from_payload(payload: object) -> Scenario:
+    """Parse the strict wire form back into a :class:`Scenario`.
+
+    Unknown fields are rejected (a misspelled ``"drift_rte"`` must not
+    silently evaluate the historical drift), era/anchor ordering is
+    validated by the ``Scenario`` constructor, and
+    ``scenario_from_payload(scenario_to_payload(s)) == s`` exactly.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError(
+            "scenario must be a JSON object",
+            context={"got": type(payload).__name__, "valid": "object"},
+        )
+    unknown = sorted(set(payload) - set(_PAYLOAD_FIELDS))
+    if unknown:
+        raise ValidationError(
+            f"unknown scenario field(s): {', '.join(map(str, unknown))}",
+            context={"got": unknown, "valid": sorted(_PAYLOAD_FIELDS)},
+        )
+    if "name" not in payload:
+        raise ValidationError(
+            "scenario requires field 'name'",
+            context={"field": "name", "valid": "present"},
+        )
+    decontrol = None
+    if "decontrol" in payload:
+        entries = payload["decontrol"]
+        if not isinstance(entries, Sequence) or isinstance(entries, str):
+            raise ValidationError(
+                "decontrol must be a list of era objects",
+                context={"got": type(entries).__name__, "valid": "list"},
+            )
+        decontrol = tuple(_parse_era(entry, k)
+                          for k, entry in enumerate(entries))
+    shock = None
+    if "frontier_shock" in payload:
+        anchors = payload["frontier_shock"]
+        if not isinstance(anchors, Sequence) or isinstance(anchors, str):
+            raise ValidationError(
+                "frontier_shock must be a list of [year, multiplier] pairs",
+                context={"got": type(anchors).__name__, "valid": "list"},
+            )
+        parsed = []
+        for k, anchor in enumerate(anchors):
+            if (not isinstance(anchor, Sequence) or isinstance(anchor, str)
+                    or len(anchor) != 2):
+                raise ValidationError(
+                    f"frontier_shock[{k}] must be a [year, multiplier] pair",
+                    context={"got": anchor, "valid": "[year, multiplier]"},
+                )
+            parsed.append((
+                _payload_number(anchor[0], f"frontier_shock[{k}] year"),
+                _payload_number(anchor[1], f"frontier_shock[{k}] multiplier"),
+            ))
+        shock = tuple(parsed)
+    drift_rate = (None if "drift_rate" not in payload
+                  else _payload_number(payload["drift_rate"], "drift_rate"))
+    drift_floor = (None if "drift_floor" not in payload
+                   else _payload_number(payload["drift_floor"],
+                                        "drift_floor"))
+    name = payload["name"]
+    if not isinstance(name, str):
+        raise ValidationError(
+            "scenario name must be a string",
+            context={"got": name, "valid": "non-empty string"},
+        )
+    return Scenario(name=name, decontrol=decontrol, frontier_shock=shock,
+                    drift_rate=drift_rate, drift_floor=drift_floor)

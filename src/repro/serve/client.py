@@ -193,6 +193,12 @@ class ServeClient:
         """POST /review — e.g. ``client.review(year=1995.5)``."""
         return self.request("POST", "/review", fields)
 
+    def scenario(self, **fields: object) -> ServeResponse:
+        """POST /scenario — e.g. ``client.scenario(scenario="flop_cap",
+        year=1995.5)``; ``scenario`` is a preset name or a full wire-form
+        object."""
+        return self.request("POST", "/scenario", fields)
+
     def catalog_append(self, event: dict) -> ServeResponse:
         """POST /catalog/append — apply one catalog mutation event.
 

@@ -38,6 +38,7 @@ __all__ = [
     "MachineRequest",
     "ReviewRequest",
     "PolicyRequest",
+    "ScenarioRequest",
     "parse_request",
 ]
 
@@ -324,12 +325,55 @@ def parse_policy(payload: object) -> PolicyRequest:
     return PolicyRequest(threshold_mtops=threshold, year=year)
 
 
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """A canonical ``/scenario`` request: one world + threshold + date.
+
+    ``scenario`` accepts either a preset name (``"flop_cap"``) or a full
+    scenario object in the strict wire form; both canonicalize to the
+    same frozen :class:`Scenario`, so equivalent spellings share a cache
+    entry.  An omitted threshold resolves to the one *that world's*
+    timeline imposes at ``year``.
+    """
+
+    scenario: "Scenario"
+    threshold_mtops: float
+    year: float
+
+    _FIELDS = ("scenario", "threshold_mtops", "year")
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("scenario", self.scenario, self.threshold_mtops, self.year)
+
+
+def parse_scenario(payload: object) -> ScenarioRequest:
+    from repro.scenarios.spec import preset_scenario, scenario_from_payload
+
+    payload = _require_object(payload, "scenario")
+    _reject_unknown(payload, ScenarioRequest._FIELDS, "scenario")
+    spec = payload.get("scenario", "historical")
+    if isinstance(spec, str):
+        scenario = preset_scenario(_string(spec, "scenario"))
+    else:
+        scenario = scenario_from_payload(spec)
+    year = check_year(_number(payload, "year", 1995.5), "year")
+    if "threshold_mtops" in payload:
+        threshold = _positive(_number(payload, "threshold_mtops", None),
+                              "threshold_mtops")
+    else:
+        threshold = scenario.threshold_in_force(year)
+    return ScenarioRequest(scenario=scenario, threshold_mtops=threshold,
+                           year=year)
+
+
 _PARSERS = {
     "rate": parse_rate,
     "license": parse_license,
     "machine": parse_machine,
     "review": parse_review,
     "policy": parse_policy,
+    "scenario": parse_scenario,
 }
 
 #: The POST endpoints the service understands, in routing order.

@@ -11,6 +11,7 @@ Two layers, separable on purpose:
       POST /rate      rate a configuration (micro-batched)
       POST /license   one license decision  (micro-batched)
       POST /policy    Chapter-5 policy scorecard (micro-batched)
+      POST /scenario  counterfactual-world scorecard (micro-batched)
       POST /machine   catalog lookup + controllability assessment
       POST /review    the annual review for a date
       POST /catalog/append   apply one catalog mutation event (epoch bump)
@@ -26,13 +27,16 @@ Request handling rules (the contract the test suite pins):
 * a full queue is ``429`` with a ``Retry-After`` header; a missed
   deadline is ``504``; malformed input is ``400``; an unknown path is
   ``404``; a wrong method is ``405``;
-* ``/rate``, ``/license``, and ``/policy`` coalesce concurrent requests
-  through the batch kernels (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
+* ``/rate``, ``/license``, ``/policy``, and ``/scenario`` coalesce
+  concurrent requests through the batch kernels
+  (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
   :func:`repro.controllability.index.classify_index_matrix`,
-  :func:`repro.diffusion.policy_grid.evaluate_policy_grid`); results are
+  :func:`repro.diffusion.policy_grid.evaluate_policy_grid`,
+  :func:`repro.scenarios.grid.evaluate_scenario_grid`); results are
   bit-identical to dispatching each request alone, because every
-  per-request value depends only on that request's row (for ``/policy``,
-  its grid cell — and the grid engine is bit-exact per cell).
+  per-request value depends only on that request's row (for ``/policy``
+  and ``/scenario``, its grid/tensor cell — and both grid engines are
+  bit-exact per cell).
 """
 
 from __future__ import annotations
@@ -81,6 +85,7 @@ from repro.serve.schemas import (
     PolicyRequest,
     RateRequest,
     ReviewRequest,
+    ScenarioRequest,
     parse_request,
 )
 
@@ -214,6 +219,12 @@ class ServiceEngine:
                 max_wait_ms=self.config.max_wait_ms,
                 queue_limit=self.config.queue_limit,
             ),
+            "scenario": MicroBatcher(
+                "scenario", self._dispatch_scenario,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                queue_limit=self.config.queue_limit,
+            ),
         }
         self._handlers = {
             "rate": self._rate,
@@ -221,6 +232,7 @@ class ServiceEngine:
             "machine": self._machine,
             "review": self._review,
             "policy": self._policy,
+            "scenario": self._scenario,
         }
         self._started_at = time.monotonic()
         self._closed = False
@@ -325,6 +337,11 @@ class ServiceEngine:
         deadline = self.config.deadline_ms / 1000.0
         return self._await(
             self.batchers["policy"].submit(request, deadline_s=deadline))
+
+    def _scenario(self, request: ScenarioRequest) -> dict:
+        deadline = self.config.deadline_ms / 1000.0
+        return self._await(
+            self.batchers["scenario"].submit(request, deadline_s=deadline))
 
     # -- batched dispatchers (worker thread) --------------------------------
 
@@ -439,6 +456,60 @@ class ServiceEngine:
                 "burden_units": cell.burden_units,
                 "uncontrollable_covered_systems": [
                     m.key for m in cell.uncontrollable_covered_systems],
+            })
+        return results
+
+    def _dispatch_scenario(
+        self, requests: Sequence[ScenarioRequest]
+    ) -> list[dict]:
+        """Score a batch of world questions through one tensor build.
+
+        The batch's distinct worlds form the scenario axis and its
+        distinct thresholds/years the grid axes of a single
+        :func:`evaluate_scenario_grid` call; each request then reads its
+        own (world, threshold, year) cell.  Every cell value is
+        independent of which other cells share the tensor, so batched
+        and one-at-a-time dispatch agree bit for bit.  The MicroBatcher
+        already holds the catalog read guard for the whole dispatch
+        (``_caller_holds_guard`` — the guard is not reentrant), which is
+        also what makes the tensor epoch-consistent with the cache keys
+        stamped at admission.
+        """
+        from repro.scenarios.grid import evaluate_scenario_grid
+
+        scenarios: list = []
+        for request in requests:
+            if request.scenario not in scenarios:
+                scenarios.append(request.scenario)
+        thresholds = sorted({r.threshold_mtops for r in requests})
+        years = sorted({r.year for r in requests})
+        grid = evaluate_scenario_grid(scenarios, thresholds, years,
+                                      _caller_holds_guard=True)
+        world = {s: w for w, s in enumerate(scenarios)}
+        row = {t: i for i, t in enumerate(thresholds)}
+        col = {y: j for j, y in enumerate(years)}
+        results = []
+        for request in requests:
+            w = world[request.scenario]
+            j = col[request.year]
+            cell = grid.result_at(w, row[request.threshold_mtops], j)
+            results.append({
+                "endpoint": "scenario",
+                "scenario": request.scenario.name,
+                "world": _jsonable_scenario(request.scenario),
+                "historical": request.scenario.is_historical,
+                "threshold_mtops": cell.threshold_mtops,
+                "year": cell.year,
+                "frontier_mtops": cell.frontier_mtops,
+                "credible": cell.credible,
+                "protected_count": len(cell.protected_applications),
+                "illusory_count": len(cell.illusory_applications),
+                "burden_units": cell.burden_units,
+                "uncontrollable_count":
+                    len(cell.uncontrollable_covered_systems),
+                "threshold_in_force_mtops":
+                    float(grid.in_force_mtops[w, j]),
+                "in_force_credible": bool(grid.in_force_credible[w, j]),
             })
         return results
 
@@ -559,6 +630,12 @@ class ServiceEngine:
             **self._identity(),
         }
         return snapshot
+
+
+def _jsonable_scenario(scenario) -> dict:
+    from repro.scenarios.spec import scenario_to_payload
+
+    return scenario_to_payload(scenario)
 
 
 def _assessment_fields(machine: MachineSpec) -> dict:

@@ -366,7 +366,8 @@ class TestIntrospection:
             server.close()
         assert body["status"] == "ok"
         assert body["config"]["max_batch"] == 32
-        assert set(body["queue_depth"]) == {"rate", "license", "policy"}
+        assert set(body["queue_depth"]) == {"rate", "license", "policy",
+                                            "scenario"}
         assert "rate" in body["endpoints"]
 
     def test_metrics_shape_after_traffic(self):
