@@ -194,6 +194,29 @@ def test_scenario_grid_identity_bit_exact(results):
     assert row["worlds"] == 8
 
 
+def test_policy_point_queries_speedup_floor(results):
+    # A warm tile hit answers in tens of microseconds vs ~1-2 ms for a
+    # full-lattice build per query (measured ~30x in quick mode); the
+    # PR's acceptance gate is 20x on BOTH the min-of-k total and the
+    # per-query p99 tail.
+    row = results["policy_point_queries"]
+    assert row["speedup"] >= 20.0
+    assert row["p99_speedup"] >= 20.0
+
+
+def test_policy_point_queries_bit_exact(results):
+    # Not a tolerance: streamed answers equal the warm monolithic grid
+    # cell-for-cell, tile-assembled sweeps are tobytes-identical to the
+    # monolithic builds, and parity is re-proved after every catalog
+    # event — with the timed tile phase ticking zero full-grid builds.
+    row = results["policy_point_queries"]
+    assert row["max_rel_err"] == 0.0
+    assert row["grid_builds_during_tile_phase"] == 0
+    assert row["events_applied"] >= 3
+    assert row["parity_per_event"] and all(row["parity_per_event"])
+    assert row["tiles_built"] > 0
+
+
 def test_batch_paths_agree_with_scalar(results):
     for name in ("batch_ctp_rating", "frontier_year_grid",
                  "premise3_gap_scan", "keysearch_bit_expansion"):

@@ -59,6 +59,11 @@ _HOOKS_LOCK = threading.RLock()
 
 _INVALIDATIONS = 0
 
+#: Per-hook invocation counts (precise + nuclear paths combined) — lets
+#: tests and benchmarks assert kind-precision: that a hook did *not*
+#: run for an event kind outside its registration.
+_HOOK_RUNS: dict[str, int] = {}
+
 
 def current_epoch() -> int:
     """The global catalog epoch (0 until the first applied event)."""
@@ -126,6 +131,7 @@ def invalidate_all(epoch: int | None = None) -> tuple[str, ...]:
         _INVALIDATIONS += 1
         names = tuple(sorted(_HOOKS))
         for name in names:
+            _HOOK_RUNS[name] = _HOOK_RUNS.get(name, 0) + 1
             _HOOKS[name][1](epoch)
     return names
 
@@ -141,19 +147,23 @@ def invalidate_for(kind: str, epoch: int) -> tuple[str, ...]:
             name for name in sorted(_HOOKS) if kind in _HOOKS[name][0]
         )
         for name in names:
+            _HOOK_RUNS[name] = _HOOK_RUNS.get(name, 0) + 1
             _HOOKS[name][1](epoch)
     return names
 
 
 def catalog_epoch_info() -> dict:
-    """Introspection: epoch, registered hooks (with kinds), sweep count."""
+    """Introspection: epoch, registered hooks (with kinds), sweep count,
+    and per-hook invocation counts."""
     with _HOOKS_LOCK:
         hooks = {name: tuple(sorted(kinds)) for name, (kinds, _) in sorted(_HOOKS.items())}
         invalidations = _INVALIDATIONS
+        hook_runs = dict(sorted(_HOOK_RUNS.items()))
     return {
         "epoch": current_epoch(),
         "hooks": hooks,
         "invalidations": invalidations,
+        "hook_runs": hook_runs,
     }
 
 

@@ -118,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_policy.add_argument("--max-workers", type=int, default=1,
                           help="worker processes slabbing the threshold "
                                "axis (default 1: in-process)")
+    p_policy.add_argument("--point", action="append", default=None,
+                          metavar="T,Y",
+                          help="answer single (threshold Mtops, year) "
+                               "scorecards through the lazy tile plane "
+                               "instead of building the full grid; "
+                               "repeatable, overrides --thresholds/"
+                               "--years")
     p_policy.add_argument("--profile", action="store_true",
                           help="print a span/counter profile after the "
                                "output")
@@ -471,9 +478,67 @@ def _parse_float_spec(spec: str, flag: str) -> list[float]:
     return sorted(set(values))
 
 
+def _parse_policy_points(specs: list[str]) -> list[tuple[float, float]]:
+    """Parse repeatable ``--point T,Y`` flags into (threshold, year)."""
+    points = []
+    for spec in specs:
+        parts = spec.split(",")
+        if len(parts) != 2:
+            raise ValidationError(
+                f'--point expects "THRESHOLD,YEAR" (got {spec!r})',
+                context={"flag": "--point", "got": spec,
+                         "valid": 'e.g. "2000,1995.5"'},
+            )
+        try:
+            points.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            raise ValidationError(
+                f"--point values must be numbers (got {spec!r})",
+                context={"flag": "--point", "got": spec,
+                         "valid": 'e.g. "2000,1995.5"'},
+            ) from None
+    return points
+
+
+def _cmd_policy_points(args: argparse.Namespace) -> str:
+    """Point-query path: one tile touch per cell, no full-grid build."""
+    from repro.tiles import policy_cells, tile_plane_info
+
+    points = _parse_policy_points(args.point)
+    before = tile_plane_info()["policy"]
+    cells = policy_cells(points)
+    after = tile_plane_info()["policy"]
+    rows = []
+    for cell in cells:
+        rows.append([
+            f"{cell.threshold_mtops:,.0f}",
+            f"{cell.year:g}",
+            f"{cell.frontier_mtops:,.0f}",
+            len(cell.protected_applications),
+            len(cell.illusory_applications),
+            f"{cell.burden_units:,.0f}",
+            len(cell.uncontrollable_covered_systems),
+            "yes" if cell.credible else "NO",
+        ])
+    table = render_table(
+        ["threshold", "year", "frontier", "protected", "illusory",
+         "burden", "uncontrollable", "credible"],
+        rows, title="Policy scorecards (Mtops)",
+    )
+    built = (after["builds"] - before["builds"]
+             + after["partial_builds"] - before["partial_builds"])
+    hits = after["cache"]["hits"] - before["cache"]["hits"]
+    footer = (f"{len(points)} point quer{'y' if len(points) == 1 else 'ies'}"
+              f" via the tile plane: {built} tile build(s), "
+              f"{hits} tile hit(s), 0 full-grid builds")
+    return table + "\n" + footer
+
+
 def _cmd_policy(args: argparse.Namespace) -> str:
     from repro.diffusion.policy_grid import evaluate_policy_grid
 
+    if args.point:
+        return _cmd_policy_points(args)
     if args.max_workers < 1:
         raise ValidationError(
             f"--max-workers must be at least 1 (got {args.max_workers})",

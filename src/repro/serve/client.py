@@ -214,3 +214,11 @@ class ServeClient:
 
     def metrics(self) -> ServeResponse:
         return self.request("GET", "/metrics")
+
+    def machines(self) -> ServeResponse:
+        """GET /machines — the epoch-tagged catalog listing."""
+        return self.request("GET", "/machines")
+
+    def thresholds(self) -> ServeResponse:
+        """GET /thresholds — the epoch-tagged threshold-era history."""
+        return self.request("GET", "/thresholds")

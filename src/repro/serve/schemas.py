@@ -33,6 +33,7 @@ from repro.obs.errors import ValidationError
 
 __all__ = [
     "ENDPOINTS",
+    "GET_ENDPOINTS",
     "RateRequest",
     "LicenseRequest",
     "MachineRequest",
@@ -378,6 +379,11 @@ _PARSERS = {
 
 #: The POST endpoints the service understands, in routing order.
 ENDPOINTS = tuple(_PARSERS)
+
+#: Read-only listing endpoints served over GET (no request body, no
+#: parser): catalog machines and the threshold-era history, both
+#: epoch-tagged so clients can correlate listings with mutations.
+GET_ENDPOINTS = ("machines", "thresholds")
 
 
 def parse_request(endpoint: str, payload: object):

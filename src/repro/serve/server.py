@@ -80,6 +80,7 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.cache import MISS, LRUCache
 from repro.serve.schemas import (
     ENDPOINTS,
+    GET_ENDPOINTS,
     LicenseRequest,
     MachineRequest,
     PolicyRequest,
@@ -421,26 +422,24 @@ class ServiceEngine:
     def _dispatch_policy(
         self, requests: Sequence[PolicyRequest]
     ) -> list[dict]:
-        """Score a batch of policy questions through one grid build.
+        """Score a batch of policy questions through the tile plane.
 
-        The batch's distinct thresholds and years form the axes of a
-        single :func:`evaluate_policy_grid` call; each request then reads
-        its own cell.  Every cell value is independent of which other
-        cells share the grid (the grid engine is bit-exact against the
-        scalar evaluator per point), so batched and one-at-a-time
-        dispatch agree bit for bit.
+        :func:`repro.tiles.policy_cells` groups the batch by tile
+        bucket — concurrent point queries landing in the same tile cost
+        one tile build (or a pure cache hit across batches) — and a
+        sparse agentic mix never triggers a full-lattice
+        ``evaluate_policy_grid`` build.  Every cell value is
+        independent of its batch-mates (tile cells are bit-exact
+        against the scalar evaluator), so batched and one-at-a-time
+        dispatch agree bit for bit, and responses are byte-identical to
+        the former whole-batch grid build.
         """
-        from repro.diffusion.policy_grid import evaluate_policy_grid
+        from repro.tiles import policy_cells
 
-        thresholds = sorted({r.threshold_mtops for r in requests})
-        years = sorted({r.year for r in requests})
-        grid = evaluate_policy_grid(thresholds, years)
-        row = {t: i for i, t in enumerate(thresholds)}
-        col = {y: j for j, y in enumerate(years)}
+        cells = policy_cells(
+            [(r.threshold_mtops, r.year) for r in requests])
         results = []
-        for request in requests:
-            cell = grid.result_at(row[request.threshold_mtops],
-                                  col[request.year])
+        for cell in cells:
             results.append({
                 "endpoint": "policy",
                 "threshold_mtops": cell.threshold_mtops,
@@ -462,37 +461,29 @@ class ServiceEngine:
     def _dispatch_scenario(
         self, requests: Sequence[ScenarioRequest]
     ) -> list[dict]:
-        """Score a batch of world questions through one tensor build.
+        """Score a batch of world questions through the tile plane.
 
-        The batch's distinct worlds form the scenario axis and its
-        distinct thresholds/years the grid axes of a single
-        :func:`evaluate_scenario_grid` call; each request then reads its
-        own (world, threshold, year) cell.  Every cell value is
-        independent of which other cells share the tensor, so batched
-        and one-at-a-time dispatch agree bit for bit.  The MicroBatcher
-        already holds the catalog read guard for the whole dispatch
+        :func:`repro.tiles.scenario_cells` groups the batch by
+        (world, tile bucket) — scenario tiles are scenario-major slabs,
+        so same-world same-tile batch-mates share one build — and a
+        sparse agentic mix never triggers a full-tensor
+        ``evaluate_scenario_grid`` build.  Every cell value is
+        independent of its batch-mates, so batched and one-at-a-time
+        dispatch agree bit for bit, byte-identical to the former
+        whole-batch tensor build.  The MicroBatcher already holds the
+        catalog read guard for the whole dispatch
         (``_caller_holds_guard`` — the guard is not reentrant), which is
-        also what makes the tensor epoch-consistent with the cache keys
+        also what makes the tiles epoch-consistent with the cache keys
         stamped at admission.
         """
-        from repro.scenarios.grid import evaluate_scenario_grid
+        from repro.tiles import scenario_cells
 
-        scenarios: list = []
-        for request in requests:
-            if request.scenario not in scenarios:
-                scenarios.append(request.scenario)
-        thresholds = sorted({r.threshold_mtops for r in requests})
-        years = sorted({r.year for r in requests})
-        grid = evaluate_scenario_grid(scenarios, thresholds, years,
-                                      _caller_holds_guard=True)
-        world = {s: w for w, s in enumerate(scenarios)}
-        row = {t: i for i, t in enumerate(thresholds)}
-        col = {y: j for j, y in enumerate(years)}
+        points = scenario_cells(
+            [(r.scenario, r.threshold_mtops, r.year) for r in requests],
+            _caller_holds_guard=True)
         results = []
-        for request in requests:
-            w = world[request.scenario]
-            j = col[request.year]
-            cell = grid.result_at(w, row[request.threshold_mtops], j)
+        for request, point in zip(requests, points):
+            cell = point.cell
             results.append({
                 "endpoint": "scenario",
                 "scenario": request.scenario.name,
@@ -508,8 +499,8 @@ class ServiceEngine:
                 "uncontrollable_count":
                     len(cell.uncontrollable_covered_systems),
                 "threshold_in_force_mtops":
-                    float(grid.in_force_mtops[w, j]),
-                "in_force_credible": bool(grid.in_force_credible[w, j]),
+                    point.threshold_in_force_mtops,
+                "in_force_credible": point.in_force_credible,
             })
         return results
 
@@ -602,12 +593,76 @@ class ServiceEngine:
             "snapshot_manifest_hash": active_manifest_hash(),
         }
 
+    def list_machines(self) -> dict:
+        """Read-only catalog listing off the shared machine columns.
+
+        Served straight from :func:`repro.machines.columns
+        .machine_columns` (snapshot-installed or in-process build alike)
+        and tagged with the catalog epoch in force, so agentic clients
+        can correlate a listing with subsequent point queries.
+        """
+        from repro.machines.columns import machine_columns
+
+        counter_inc("serve.requests.machines")
+        cols = machine_columns()
+        machines = []
+        for k, m in enumerate(cols.machines):
+            units = float(cols.units_installed[k])
+            machines.append({
+                "key": m.key,
+                "country": m.country,
+                "year": float(cols.intro_years[k]),
+                "entry_mtops": float(cols.entry_mtops[k]),
+                "max_config_mtops": float(cols.max_config_mtops[k]),
+                "reachable_mtops": float(cols.reachable_mtops[k]),
+                "field_upgradable": bool(cols.field_upgradable[k]),
+                "units_installed": None if math.isnan(units) else units,
+                "controllability_index":
+                    float(cols.controllability_index[k]),
+                "classification":
+                    CLASS_BY_CODE[int(cols.class_codes[k])].value,
+                "uncontrollable": bool(cols.uncontrollable[k]),
+            })
+        return {
+            "endpoint": "machines",
+            "catalog_epoch": current_epoch(),
+            "count": len(machines),
+            "machines": machines,
+            **self._identity(),
+        }
+
+    def list_thresholds(self) -> dict:
+        """Read-only listing of the threshold-era history in force.
+
+        Reads ``THRESHOLD_HISTORY`` through the policy module at call
+        time (an ``amend_threshold`` event swaps it), epoch-tagged like
+        :meth:`list_machines`.
+        """
+        from repro.diffusion import policy as _policy
+
+        counter_inc("serve.requests.thresholds")
+        eras = [
+            {
+                "start_year": era.start_year,
+                "threshold_mtops": era.threshold_mtops,
+                "label": era.label,
+            }
+            for era in _policy.THRESHOLD_HISTORY
+        ]
+        return {
+            "endpoint": "thresholds",
+            "catalog_epoch": current_epoch(),
+            "count": len(eras),
+            "eras": eras,
+            **self._identity(),
+        }
+
     def healthz(self) -> dict:
         return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
-            "endpoints": sorted(ENDPOINTS) + ["catalog/append",
-                                              "healthz", "metrics"],
+            "endpoints": sorted(ENDPOINTS) + sorted(GET_ENDPOINTS)
+            + ["catalog/append", "healthz", "metrics"],
             "queue_depth": {name: batcher.depth()
                             for name, batcher in self.batchers.items()},
             "config": asdict(self.config),
@@ -617,12 +672,14 @@ class ServiceEngine:
     def metrics(self) -> dict:
         """The global metrics snapshot plus serving-layer state."""
         from repro.obs.trace import metrics_snapshot
+        from repro.tiles import tile_plane_info
 
         snapshot = metrics_snapshot()
         snapshot["serve"] = {
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "config": asdict(self.config),
             "cache": self.cache.info(),
+            "tiles": tile_plane_info(),
             "catalog_epoch": current_epoch(),
             "batchers": {name: batcher.stats()
                          for name, batcher in self.batchers.items()},
@@ -655,7 +712,8 @@ def _assessment_fields(machine: MachineSpec) -> dict:
 _MAX_BODY_BYTES = 1_000_000
 _POST_PATHS = {f"/{name}": name for name in ENDPOINTS}
 _POST_PATHS["/catalog/append"] = "catalog_append"
-_GET_PATHS = ("/healthz", "/metrics")
+_GET_PATHS = ("/healthz", "/metrics") + tuple(
+    f"/{name}" for name in GET_ENDPOINTS)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -674,6 +732,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, self.engine.healthz())
         elif path == "/metrics":
             self._send(200, self.engine.metrics())
+        elif path == "/machines":
+            self._send(200, self.engine.list_machines())
+        elif path == "/thresholds":
+            self._send(200, self.engine.list_thresholds())
         elif path in _POST_PATHS:
             self._method_not_allowed("POST")
         else:

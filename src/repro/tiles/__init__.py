@@ -1,0 +1,76 @@
+"""Tiled lazy grid evaluation with an epoch-keyed cross-request cache.
+
+The Chapter-5 policy lattice and the scenario tensor were batch
+engines: one cell costs a full ``(thresholds x years)`` or
+``(scenario x threshold x year)`` build.  This package decomposes both
+lattices into fixed-size tiles (:mod:`repro.tiles.geometry`), evaluates
+tiles lazily on first touch through the existing column-overlay
+broadcasts, and caches them in LRU-bounded, sub-epoch-keyed planes
+registered with the catalog invalidation registry
+(:mod:`repro.tiles.store`) — precise ``invalidate_for`` per event kind,
+nuclear on ``invalidate_all``.
+
+Point APIs (:func:`policy_point`, :func:`threshold_at`,
+:func:`scenario_point`) touch exactly one tile; batch point APIs
+(:func:`policy_cells`, :func:`scenario_cells`) coalesce same-tile
+queries into one build, which is what the serve MicroBatcher dispatches
+through; sweep APIs (:class:`TiledPolicyGrid`,
+:func:`tiled_policy_grid`, :func:`tiled_scenario_grid`) assemble tiles
+into grids **bit-exact** against ``evaluate_policy_grid`` /
+``evaluate_scenario_grid``.  None of them ever trigger a full-lattice
+build.
+"""
+
+from repro.tiles.geometry import (
+    MAX_AXIS_POINTS,
+    TILE_SHAPE,
+    YEAR_SPAN,
+    block_slices,
+    canonical_thresholds,
+    canonical_years,
+    threshold_bucket,
+    year_bucket,
+)
+from repro.tiles.policy import (
+    PolicyTile,
+    TiledPolicyGrid,
+    policy_cells,
+    policy_point,
+    prime_tile_plane,
+    threshold_at,
+    tiled_policy_grid,
+)
+from repro.tiles.scenario import (
+    ScenarioPoint,
+    ScenarioTile,
+    scenario_cells,
+    scenario_point,
+    tiled_scenario_grid,
+)
+from repro.tiles.store import TilePlane, clear_tile_planes, tile_plane_info
+
+__all__ = [
+    "MAX_AXIS_POINTS",
+    "TILE_SHAPE",
+    "YEAR_SPAN",
+    "PolicyTile",
+    "ScenarioPoint",
+    "ScenarioTile",
+    "TiledPolicyGrid",
+    "TilePlane",
+    "block_slices",
+    "canonical_thresholds",
+    "canonical_years",
+    "clear_tile_planes",
+    "policy_cells",
+    "policy_point",
+    "prime_tile_plane",
+    "scenario_cells",
+    "scenario_point",
+    "threshold_at",
+    "threshold_bucket",
+    "tile_plane_info",
+    "tiled_policy_grid",
+    "tiled_scenario_grid",
+    "year_bucket",
+]

@@ -1,0 +1,97 @@
+"""Tile geometry over the continuous (threshold, year) policy domain.
+
+The policy and scenario lattices are unbounded and continuous — agentic
+clients ask about *any* positive threshold and *any* year in
+``[YEAR_MIN, YEAR_MAX]`` — so tiles cannot be indexed by array offsets
+the way a fixed grid would be.  Instead the domain itself is bucketed:
+
+* **threshold buckets** are half-decades in ``log10`` space (``width
+  0.5``: ``[100, ~316)``, ``[~316, 1000)``, ...), matching how the
+  paper's candidate thresholds spread over four orders of magnitude;
+* **year buckets** span :data:`YEAR_SPAN` (2.0) years, anchored at the
+  catalog's ``YEAR_MIN`` (1940.0), matching the cadence of the CoCom /
+  Wassenaar review cycles the queries cluster around.
+
+Each bucket seeds a canonical :data:`TILE_SHAPE` lattice (16 log-spaced
+thresholds x 16 evenly spaced years), and query coordinates that fall
+off the canonical lattice are unioned into the tile's axes on a partial
+rebuild (see :mod:`repro.tiles.store`).  Bucket identity only has to be
+*deterministic* per float — a coordinate that lands one bucket over due
+to ``log10`` rounding still gets an exact axis entry, so answers never
+depend on which bucket serves them.
+
+:func:`block_slices` is the discrete sibling used by the sweep-assembly
+path: it partitions an explicit axis into fixed-size index blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import YEAR_MAX, YEAR_MIN
+
+__all__ = [
+    "TILE_SHAPE",
+    "MAX_AXIS_POINTS",
+    "YEAR_SPAN",
+    "threshold_bucket",
+    "year_bucket",
+    "canonical_thresholds",
+    "canonical_years",
+    "block_slices",
+]
+
+#: Canonical tile extent: (threshold points, year points) per bucket.
+TILE_SHAPE: tuple[int, int] = (16, 16)
+
+#: Partial rebuilds union query coordinates into a tile's axes; beyond
+#: this many points per axis the tile resets to canonical + the live
+#: request, bounding both tile memory and rebuild cost.
+MAX_AXIS_POINTS = 64
+
+#: Half-decade threshold buckets in log10 space.
+_LOG_WIDTH = 0.5
+
+#: Year-bucket span and anchor (the catalog's earliest valid year).
+YEAR_SPAN = 2.0
+_YEAR_ANCHOR = YEAR_MIN
+
+
+def threshold_bucket(threshold_mtops: float) -> int:
+    """The half-decade bucket index containing ``threshold_mtops``."""
+    return math.floor(math.log10(threshold_mtops) / _LOG_WIDTH)
+
+
+def year_bucket(year: float) -> int:
+    """The :data:`YEAR_SPAN`-wide bucket index containing ``year``."""
+    return math.floor((year - _YEAR_ANCHOR) / YEAR_SPAN)
+
+
+def canonical_thresholds(bucket: int) -> tuple[float, ...]:
+    """The canonical log-spaced threshold lattice for one bucket."""
+    n = TILE_SHAPE[0]
+    return tuple(10.0 ** ((bucket + k / n) * _LOG_WIDTH) for k in range(n))
+
+
+def canonical_years(bucket: int) -> tuple[float, ...]:
+    """The canonical evenly spaced year lattice for one bucket.
+
+    Clipped to the catalog's valid ``[YEAR_MIN, YEAR_MAX]`` range so a
+    query at the domain edge never drags an invalid canonical point
+    into a tile build.
+    """
+    n = TILE_SHAPE[1]
+    start = _YEAR_ANCHOR + bucket * YEAR_SPAN
+    step = YEAR_SPAN / n
+    return tuple(
+        y for k in range(n)
+        if YEAR_MIN <= (y := start + k * step) <= YEAR_MAX
+    )
+
+
+def block_slices(size: int, block: int) -> list[tuple[int, int]]:
+    """Partition ``range(size)`` into ``[a, b)`` blocks of width
+    ``block`` (last block ragged)."""
+    if block < 1:
+        raise ValueError(f"block width must be >= 1, got {block}")
+    return [(a, min(a + block, size)) for a in range(0, size, block)]

@@ -1,0 +1,405 @@
+"""Tiled lazy evaluation of the Chapter-5 policy lattice.
+
+Point queries (:func:`policy_point`, :func:`threshold_at`) touch exactly
+one tile: the (threshold, year) coordinate maps to a geometry bucket,
+the bucket's tile is fetched from the plane store or built on first
+touch via the *same* broadcasts ``evaluate_policy_grid`` runs
+(:func:`repro.diffusion.policy_grid._grid_counts` over the tile's small
+axes), and the answer is read out with ``PolicyGrid.result_at`` — so a
+tile cell is the bit-exact scalar scorecard by the same argument the
+monolithic grid makes: every per-cell quantity (requirement column,
+frontier bisect, burden suffix lookups, uncontrollable predicates)
+depends only on its own ``(threshold, year)``.
+
+Sweeps go through :class:`TiledPolicyGrid`, which partitions explicit
+axes into index blocks, builds/reuses one tile per block through the
+same plane store, and :meth:`~TiledPolicyGrid.materialize`\\ s a
+``PolicyGrid`` that is **tobytes-identical** to
+``evaluate_policy_grid`` over the same axes — per-cell independence
+makes block assembly exact, and the frontier/requirements/credible
+companions are computed by the identical expressions.
+
+Neither path ever calls ``evaluate_policy_grid`` (the
+``policy.grid_builds`` counter stays untouched), which is what lets the
+serve fleet assert "zero full-lattice builds" under a pure point-query
+mix.
+
+Invalidation is precise: policy scorecards read machine columns, the
+installed-base suffix tables, and the requirement matrix — none of
+which an ``amend_threshold`` event touches — so the ``tiles.policy``
+plane registers under the machine event kinds only (the same precision
+``market.installed.suffix`` uses), while the era-lookup plane backing
+:func:`threshold_at` is stale under ``amend_threshold`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro._util import check_positive, check_year
+from repro.catalog.registry import current_epoch
+from repro.controllability.frontier import frontier_series
+from repro.diffusion import policy as _policy
+from repro.diffusion.columns import requirement_matrix
+from repro.diffusion.policy import PolicyEffectiveness
+from repro.diffusion.policy_grid import (
+    PolicyGrid,
+    _grid_counts,
+    _validated_axes,
+    threshold_at_series,
+)
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, trace
+from repro.tiles.geometry import (
+    MAX_AXIS_POINTS,
+    TILE_SHAPE,
+    block_slices,
+    canonical_thresholds,
+    canonical_years,
+    threshold_bucket,
+    year_bucket,
+)
+from repro.tiles.store import TilePlane, _covering_tile
+
+__all__ = [
+    "PolicyTile",
+    "TiledPolicyGrid",
+    "policy_point",
+    "policy_cells",
+    "threshold_at",
+    "tiled_policy_grid",
+    "prime_tile_plane",
+]
+
+#: Scorecard tiles: stale only under machine mutations (an
+#: ``amend_threshold`` rewrites the era table, never a scorecard cell).
+POLICY_PLANE = TilePlane(
+    "policy", kinds=("append_machine", "amend_machine"))
+
+#: Era-lookup tiles for :func:`threshold_at`: stale only under
+#: ``amend_threshold``.
+ERA_PLANE = TilePlane("era", kinds=("amend_threshold",))
+
+
+@dataclass(frozen=True)
+class PolicyTile:
+    """One lazily built sub-grid plus float -> axis-offset indexes."""
+
+    grid: PolicyGrid
+    row: Mapping[float, int] = field(repr=False)
+    col: Mapping[float, int] = field(repr=False)
+
+    @property
+    def axes(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        return (tuple(self.row), tuple(self.col))
+
+
+@dataclass(frozen=True)
+class _EraTile:
+    """One bucket of :func:`threshold_at` lookups (year axis only)."""
+
+    values: np.ndarray
+    col: Mapping[float, int] = field(repr=False)
+
+    @property
+    def axes(self) -> tuple[tuple[float, ...]]:
+        return (tuple(self.col),)
+
+
+def _build_policy_tile(
+    t_axis: Sequence[float], y_axis: Sequence[float]
+) -> PolicyTile:
+    """Evaluate one tile with the monolithic grid's own broadcasts.
+
+    Deliberately not a call to ``evaluate_policy_grid``: the tile plane
+    must leave ``policy.grid_builds`` at zero so the serve smoke can
+    assert a point-query mix never triggered a full-lattice build.
+    """
+    t = np.array(t_axis, dtype=float)
+    y = np.array(y_axis, dtype=float)
+    years_key = tuple(float(v) for v in y_axis)
+    counter_inc("tiles.policy.cells", t.size * y.size)
+    frontier, protected, illusory, burden, uncontrollable = _grid_counts(
+        t, years_key)
+    requirements = requirement_matrix(years_key)
+    credible = t[:, None] >= frontier[None, :]
+    for arr in (t, y, frontier, protected, illusory, burden,
+                uncontrollable, credible):
+        arr.setflags(write=False)
+    grid = PolicyGrid(
+        thresholds=t,
+        years=y,
+        frontier_mtops=frontier,
+        requirements=requirements,
+        protected_counts=protected,
+        illusory_counts=illusory,
+        burden_units=burden,
+        uncontrollable_counts=uncontrollable,
+        credible=credible,
+        epoch=current_epoch(),
+    )
+    return PolicyTile(
+        grid=grid,
+        row={float(v): k for k, v in enumerate(t_axis)},
+        col={float(v): k for k, v in enumerate(y_axis)},
+    )
+
+
+def _tile_covers(tile: PolicyTile,
+                 need_axes: tuple[tuple[float, ...], ...]) -> bool:
+    need_t, need_y = need_axes
+    return (all(v in tile.row for v in need_t)
+            and all(v in tile.col for v in need_y))
+
+
+def policy_cells(
+    points: Sequence[tuple[float, float]],
+) -> list[PolicyEffectiveness]:
+    """Scalar scorecards for a batch of (threshold, year) points.
+
+    Points are grouped by geometry bucket; each group costs at most one
+    tile build (first touch) or one partial rebuild (off-lattice
+    coordinates against an existing tile), and repeat buckets are pure
+    cache hits.  This grouping is what turns a micro-batch of
+    concurrent point queries landing in the same tile into a single
+    build.
+    """
+    pts: list[tuple[float, float]] = []
+    for threshold, year in points:
+        t = float(threshold)
+        y = float(year)
+        check_positive(t, "threshold_mtops")
+        check_year(y, "year")
+        pts.append((t, y))
+    counter_inc("tiles.policy.point_queries", len(pts))
+    groups: dict[tuple[int, int], list[int]] = {}
+    for idx, (t, y) in enumerate(pts):
+        bucket = (threshold_bucket(t), year_bucket(y))
+        groups.setdefault(bucket, []).append(idx)
+    out: list[PolicyEffectiveness | None] = [None] * len(pts)
+    with trace("tiles.policy.points") as span:
+        if span is not None:
+            span.tags["points"] = len(pts)
+            span.tags["buckets"] = len(groups)
+        for (bi, bj), members in groups.items():
+            need_t = tuple(sorted({pts[k][0] for k in members}))
+            need_y = tuple(sorted({pts[k][1] for k in members}))
+            tile = _covering_tile(
+                POLICY_PLANE,
+                ("b", bi, bj),
+                (need_t, need_y),
+                (canonical_thresholds(bi), canonical_years(bj)),
+                _tile_covers,
+                _build_policy_tile,
+                MAX_AXIS_POINTS,
+            )
+            for k in members:
+                t, y = pts[k]
+                out[k] = tile.grid.result_at(tile.row[t], tile.col[y])
+    return out  # type: ignore[return-value]
+
+
+def policy_point(threshold_mtops: float, year: float) -> PolicyEffectiveness:
+    """The exact scalar scorecard at one point, through the tile plane.
+
+    Bit-exact against ``evaluate_policy(threshold_mtops, year)`` — and
+    against the matching cell of any ``evaluate_policy_grid`` build —
+    at roughly the cost of one 16x16 tile on first touch and a cache
+    hit thereafter.
+    """
+    return policy_cells([(threshold_mtops, year)])[0]
+
+
+def _build_era_tile(y_axis: Sequence[float]) -> _EraTile:
+    counter_inc("tiles.era.cells", len(y_axis))
+    values = threshold_at_series(np.array(y_axis, dtype=float))
+    return _EraTile(
+        values=values,
+        col={float(v): k for k, v in enumerate(y_axis)},
+    )
+
+
+def _era_covers(tile: _EraTile,
+                need_axes: tuple[tuple[float, ...], ...]) -> bool:
+    return all(v in tile.col for v in need_axes[0])
+
+
+def threshold_at(year: float) -> float:
+    """:func:`repro.diffusion.policy.threshold_at` through the tile
+    plane: one era tile per year bucket instead of a bisect per call.
+
+    Years before the first era raise the same
+    :class:`~repro.obs.errors.ThresholdInfeasibleError` the scalar
+    lookup does (the infeasible year stays on the tile axes, so the
+    underlying ``threshold_at_series`` raises during the build).
+    """
+    y = float(year)
+    check_year(y, "year")
+    counter_inc("tiles.era.point_queries")
+    bj = year_bucket(y)
+    first_era = _policy.THRESHOLD_HISTORY[0].start_year
+    canonical = tuple(v for v in canonical_years(bj) if v >= first_era)
+    tile = _covering_tile(
+        ERA_PLANE,
+        ("b", bj),
+        ((y,),),
+        (canonical,),
+        _era_covers,
+        _build_era_tile,
+        MAX_AXIS_POINTS,
+    )
+    return float(tile.values[tile.col[y]])
+
+
+class TiledPolicyGrid:
+    """A (thresholds x years) sweep assembled from plane-cached tiles.
+
+    The explicit axes are partitioned into ``tile_shape`` index blocks;
+    each block is one tile in the shared plane store, built on first
+    touch and reused across every sweep (and every other
+    ``TiledPolicyGrid``) that covers the same axis slices.
+    :meth:`result_at` reads one tile; :meth:`materialize` assembles the
+    full ``PolicyGrid``, bit-exact against ``evaluate_policy_grid``.
+    """
+
+    def __init__(
+        self,
+        thresholds: Sequence[float] | np.ndarray,
+        years: Sequence[float] | np.ndarray,
+        tile_shape: tuple[int, int] = TILE_SHAPE,
+    ) -> None:
+        t, y = _validated_axes(thresholds, years)
+        rows, cols = int(tile_shape[0]), int(tile_shape[1])
+        if rows < 1 or cols < 1:
+            raise ValidationError(
+                "tile_shape entries must be >= 1",
+                context={"got": tuple(tile_shape), "valid": ">= (1, 1)"},
+            )
+        self.thresholds = t
+        self.years = y
+        self.tile_shape = (rows, cols)
+        self._t_blocks = block_slices(t.size, rows)
+        self._y_blocks = block_slices(y.size, cols)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (int(self.thresholds.size), int(self.years.size))
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._t_blocks) * len(self._y_blocks)
+
+    def _block_tile(self, ta: int, tb: int, ya: int, yb: int) -> PolicyTile:
+        t_key = tuple(float(v) for v in self.thresholds[ta:tb])
+        y_key = tuple(float(v) for v in self.years[ya:yb])
+        return POLICY_PLANE.get_or_build(
+            ("x", t_key, y_key),
+            lambda: _build_policy_tile(t_key, y_key),
+        )
+
+    def result_at(self, i: int, j: int) -> PolicyEffectiveness:
+        """The exact scalar scorecard at cell ``(i, j)``, served from
+        the single tile containing it."""
+        n_t, n_y = self.shape
+        if i < 0:
+            i += n_t
+        if j < 0:
+            j += n_y
+        if not (0 <= i < n_t and 0 <= j < n_y):
+            raise IndexError(f"cell ({i}, {j}) outside grid {self.shape}")
+        ta, tb = self._t_blocks[i // self.tile_shape[0]]
+        ya, yb = self._y_blocks[j // self.tile_shape[1]]
+        tile = self._block_tile(ta, tb, ya, yb)
+        return tile.grid.result_at(i - ta, j - ya)
+
+    def materialize(self) -> PolicyGrid:
+        """Assemble the full grid from tiles — tobytes-identical to
+        ``evaluate_policy_grid(self.thresholds, self.years)``.
+
+        Per-cell independence of the underlying broadcasts makes block
+        assembly exact; the frontier, requirement matrix, and
+        credibility companions are computed by the very expressions the
+        monolithic build uses.
+        """
+        counter_inc("tiles.policy.assemblies")
+        n_t, n_y = self.shape
+        protected = np.empty((n_t, n_y), dtype=np.int64)
+        illusory = np.empty((n_t, n_y), dtype=np.int64)
+        burden = np.empty((n_t, n_y))
+        uncontrollable = np.empty((n_t, n_y), dtype=np.int64)
+        with trace("tiles.policy.assemble") as span:
+            if span is not None:
+                span.tags["tiles"] = self.n_tiles
+                span.tags["cells"] = n_t * n_y
+            for ta, tb in self._t_blocks:
+                for ya, yb in self._y_blocks:
+                    tile = self._block_tile(ta, tb, ya, yb)
+                    protected[ta:tb, ya:yb] = tile.grid.protected_counts
+                    illusory[ta:tb, ya:yb] = tile.grid.illusory_counts
+                    burden[ta:tb, ya:yb] = tile.grid.burden_units
+                    uncontrollable[ta:tb, ya:yb] = (
+                        tile.grid.uncontrollable_counts)
+            t, y = self.thresholds, self.years
+            years_key = tuple(float(v) for v in y)
+            frontier = frontier_series(y)
+            requirements = requirement_matrix(years_key)
+            credible = t[:, None] >= frontier[None, :]
+            for arr in (t, y, frontier, protected, illusory, burden,
+                        uncontrollable, credible):
+                arr.setflags(write=False)
+            return PolicyGrid(
+                thresholds=t,
+                years=y,
+                frontier_mtops=frontier,
+                requirements=requirements,
+                protected_counts=protected,
+                illusory_counts=illusory,
+                burden_units=burden,
+                uncontrollable_counts=uncontrollable,
+                credible=credible,
+                epoch=current_epoch(),
+            )
+
+
+def tiled_policy_grid(
+    thresholds: Sequence[float] | np.ndarray,
+    years: Sequence[float] | np.ndarray,
+    tile_shape: tuple[int, int] = TILE_SHAPE,
+) -> PolicyGrid:
+    """One-shot tile-assembled sweep, bit-exact vs
+    ``evaluate_policy_grid`` over the same axes."""
+    return TiledPolicyGrid(thresholds, years, tile_shape).materialize()
+
+
+def prime_tile_plane(
+    thresholds: Sequence[float] | None = None,
+    years: Sequence[float] | None = None,
+) -> dict:
+    """Pre-build the tiles covering the hot agentic query region.
+
+    Defaults to the paper's era thresholds plus the 2,000/7,000-Mtops
+    candidates, crossed with half-year review dates 1990–1998.  The
+    prefork parent calls this once before forking, so every worker
+    inherits a warm plane through copy-on-write instead of each paying
+    the first-touch builds.
+    """
+    if thresholds is None:
+        thresholds = tuple(
+            era.threshold_mtops for era in _policy.THRESHOLD_HISTORY
+        ) + (2000.0, 7000.0)
+    if years is None:
+        years = tuple(1990.0 + 0.5 * k for k in range(17))
+    before = POLICY_PLANE.info()["builds"] + ERA_PLANE.info()["builds"]
+    pairs = [(float(t), float(y)) for t in thresholds for y in years]
+    policy_cells(pairs)
+    first_era = _policy.THRESHOLD_HISTORY[0].start_year
+    for y in years:
+        if float(y) >= first_era:
+            threshold_at(float(y))
+    built = (POLICY_PLANE.info()["builds"] + ERA_PLANE.info()["builds"]
+             - before)
+    counter_inc("tiles.primed")
+    return {"points": len(pairs), "tiles_built": built}

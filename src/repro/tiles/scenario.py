@@ -1,0 +1,320 @@
+"""Tiled lazy evaluation of the (scenario x threshold x year) tensor.
+
+Scenario tiles are **scenario-major slabs**: one world per tile, over a
+bucket's (threshold, year) lattice, built by the same column-overlay
+path :func:`repro.scenarios.grid.evaluate_scenario_grid` runs
+(:func:`~repro.scenarios.grid._world_slab` over the tile's small axes)
+— never by the tensor builder itself, so ``scenarios.grid_builds``
+stays at zero under a pure point-query mix.
+
+Every scenario answer carries the world's in-force threshold, which an
+``amend_threshold`` event rewrites for historical-timeline worlds, so
+the ``tiles.scenario`` plane is stale under **every** event kind (the
+same breadth as the ``"scenarios"`` tensor-cache hook).  That breadth
+is also what keeps the cached one-world ``ScenarioGrid`` tiles epoch-
+consistent: a tile in the store was necessarily built at the current
+epoch, so its ``_check_epoch`` read discipline never trips on a cached
+read.
+
+Reads hold the catalog read guard exactly like the tensor builder does
+— and like it, accept ``_caller_holds_guard`` from dispatch paths (the
+serve MicroBatcher) that already hold it, because the guard is not
+reentrant.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro._util import check_positive, check_year
+from repro.catalog.registry import (
+    EVENT_KINDS,
+    current_epoch,
+    read_guard,
+)
+from repro.diffusion.columns import application_columns
+from repro.diffusion.policy import PolicyEffectiveness
+from repro.diffusion.policy_grid import _validated_axes
+from repro.obs.errors import ValidationError
+from repro.obs.trace import counter_inc, trace
+from repro.scenarios.grid import ScenarioGrid, _world_slab
+from repro.scenarios.spec import Scenario
+from repro.tiles.geometry import (
+    MAX_AXIS_POINTS,
+    TILE_SHAPE,
+    block_slices,
+    canonical_thresholds,
+    canonical_years,
+    threshold_bucket,
+    year_bucket,
+)
+from repro.tiles.store import TilePlane, _covering_tile
+
+__all__ = [
+    "ScenarioPoint",
+    "ScenarioTile",
+    "scenario_point",
+    "scenario_cells",
+    "tiled_scenario_grid",
+]
+
+#: One-world scenario tiles: stale under every event kind, like the
+#: tensor cache (answers embed the in-force threshold series).
+SCENARIO_PLANE = TilePlane("scenario", kinds=EVENT_KINDS)
+
+
+@dataclass(frozen=True)
+class ScenarioTile:
+    """One world's lazily built sub-tensor plus axis indexes."""
+
+    grid: ScenarioGrid
+    row: Mapping[float, int] = field(repr=False)
+    col: Mapping[float, int] = field(repr=False)
+
+    @property
+    def axes(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        return (tuple(self.row), tuple(self.col))
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One (scenario, threshold, year) answer off the tile plane."""
+
+    scenario: Scenario
+    cell: PolicyEffectiveness
+    #: The threshold the world's own timeline imposes at this year
+    #: (0.0 before the world's first era).
+    threshold_in_force_mtops: float
+    #: Whether that in-force threshold exists and clears the frontier.
+    in_force_credible: bool
+
+
+def _build_scenario_tile(
+    scenario: Scenario,
+    t_axis: Sequence[float],
+    y_axis: Sequence[float],
+) -> ScenarioTile:
+    """One-world tile through the overlay engine's own slab worker."""
+    t = np.array(t_axis, dtype=float)
+    y = np.array(y_axis, dtype=float)
+    thresholds_key = tuple(float(v) for v in t_axis)
+    years_key = tuple(float(v) for v in y_axis)
+    counter_inc("tiles.scenario.cells", t.size * y.size)
+    (frontier, requirements, protected, illusory, burden,
+     uncontrollable) = _world_slab((scenario,), thresholds_key, years_key)
+    in_force = np.stack(
+        [np.asarray(scenario.threshold_in_force_series(y))])
+    credible = t[None, :, None] >= frontier[:, None, :]
+    in_force_credible = (in_force >= frontier) & (in_force > 0.0)
+    for arr in (t, y, frontier, requirements, protected, illusory,
+                burden, uncontrollable, credible, in_force,
+                in_force_credible):
+        arr.setflags(write=False)
+    grid = ScenarioGrid(
+        scenarios=(scenario,),
+        thresholds=t,
+        years=y,
+        frontier_mtops=frontier,
+        requirements=requirements,
+        protected_counts=protected,
+        illusory_counts=illusory,
+        burden_units=burden,
+        uncontrollable_counts=uncontrollable,
+        credible=credible,
+        in_force_mtops=in_force,
+        in_force_credible=in_force_credible,
+        epoch=current_epoch(),
+    )
+    return ScenarioTile(
+        grid=grid,
+        row={float(v): k for k, v in enumerate(t_axis)},
+        col={float(v): k for k, v in enumerate(y_axis)},
+    )
+
+
+def _tile_covers(tile: ScenarioTile,
+                 need_axes: tuple[tuple[float, ...], ...]) -> bool:
+    need_t, need_y = need_axes
+    return (all(v in tile.row for v in need_t)
+            and all(v in tile.col for v in need_y))
+
+
+def scenario_cells(
+    points: Sequence[tuple[Scenario, float, float]],
+    _caller_holds_guard: bool = False,
+) -> list[ScenarioPoint]:
+    """Answers for a batch of (scenario, threshold, year) points.
+
+    Points are grouped by (world, geometry bucket): each group costs at
+    most one one-world tile build, so a micro-batch of concurrent
+    point queries landing in the same tile triggers a single build.
+    """
+    pts: list[tuple[Scenario, float, float]] = []
+    for scenario, threshold, year in points:
+        if not isinstance(scenario, Scenario):
+            raise ValidationError(
+                "scenario must be a Scenario instance",
+                context={"got": type(scenario).__name__,
+                         "valid": "Scenario"},
+            )
+        t = float(threshold)
+        y = float(year)
+        check_positive(t, "threshold_mtops")
+        check_year(y, "year")
+        pts.append((scenario, t, y))
+    counter_inc("tiles.scenario.point_queries", len(pts))
+    groups: dict[tuple[Scenario, int, int], list[int]] = {}
+    for idx, (scenario, t, y) in enumerate(pts):
+        bucket = (scenario, threshold_bucket(t), year_bucket(y))
+        groups.setdefault(bucket, []).append(idx)
+    out: list[ScenarioPoint | None] = [None] * len(pts)
+    guard = nullcontext() if _caller_holds_guard else read_guard()
+    with guard, trace("tiles.scenario.points") as span:
+        if span is not None:
+            span.tags["points"] = len(pts)
+            span.tags["buckets"] = len(groups)
+        for (scenario, bi, bj), members in groups.items():
+            need_t = tuple(sorted({pts[k][1] for k in members}))
+            need_y = tuple(sorted({pts[k][2] for k in members}))
+            tile = _covering_tile(
+                SCENARIO_PLANE,
+                ("b", scenario, bi, bj),
+                (need_t, need_y),
+                (canonical_thresholds(bi), canonical_years(bj)),
+                _tile_covers,
+                lambda t_axis, y_axis, s=scenario:
+                    _build_scenario_tile(s, t_axis, y_axis),
+                MAX_AXIS_POINTS,
+            )
+            for k in members:
+                _s, t, y = pts[k]
+                i, j = tile.row[t], tile.col[y]
+                out[k] = ScenarioPoint(
+                    scenario=scenario,
+                    cell=tile.grid.result_at(0, i, j),
+                    threshold_in_force_mtops=float(
+                        tile.grid.in_force_mtops[0, j]),
+                    in_force_credible=bool(
+                        tile.grid.in_force_credible[0, j]),
+                )
+    return out  # type: ignore[return-value]
+
+
+def scenario_point(
+    scenario: Scenario,
+    threshold_mtops: float,
+    year: float,
+    _caller_holds_guard: bool = False,
+) -> ScenarioPoint:
+    """One (scenario, threshold, year) answer through the tile plane,
+    bit-exact against the matching ``evaluate_scenario_grid`` cell."""
+    return scenario_cells(
+        [(scenario, threshold_mtops, year)],
+        _caller_holds_guard=_caller_holds_guard,
+    )[0]
+
+
+def tiled_scenario_grid(
+    scenarios: Sequence[Scenario],
+    thresholds: Sequence[float] | np.ndarray,
+    years: Sequence[float] | np.ndarray,
+    tile_shape: tuple[int, int] = TILE_SHAPE,
+    _caller_holds_guard: bool = False,
+) -> ScenarioGrid:
+    """Assemble the full tensor from one-world block tiles —
+    tobytes-identical to ``evaluate_scenario_grid`` over the same axes.
+
+    Worlds are slabs (one tile never mixes worlds); the in-force series
+    and the credibility tensors are computed by the monolithic
+    builder's own expressions over the assembled columns.
+    """
+    scenarios = tuple(scenarios)
+    if not scenarios:
+        raise ValidationError(
+            "scenarios must be non-empty",
+            context={"got": 0, "valid": ">= 1 scenario"},
+        )
+    for s in scenarios:
+        if not isinstance(s, Scenario):
+            raise ValidationError(
+                "scenarios must be Scenario instances",
+                context={"got": type(s).__name__, "valid": "Scenario"},
+            )
+    if len(set(scenarios)) != len(scenarios):
+        raise ValidationError(
+            "scenarios must be distinct",
+            context={"got": [s.name for s in scenarios],
+                     "valid": "no duplicate worlds"},
+        )
+    t, y = _validated_axes(thresholds, years)
+    rows, cols = int(tile_shape[0]), int(tile_shape[1])
+    if rows < 1 or cols < 1:
+        raise ValidationError(
+            "tile_shape entries must be >= 1",
+            context={"got": tuple(tile_shape), "valid": ">= (1, 1)"},
+        )
+    counter_inc("tiles.scenario.assemblies")
+    apps, _base, _firsts = application_columns()
+    n_w, n_t, n_y, n_a = len(scenarios), t.size, y.size, len(apps)
+    t_blocks = block_slices(n_t, rows)
+    y_blocks = block_slices(n_y, cols)
+    frontier = np.empty((n_w, n_y))
+    requirements = np.empty((n_w, n_a, n_y))
+    protected = np.empty((n_w, n_t, n_y), dtype=np.int64)
+    illusory = np.empty((n_w, n_t, n_y), dtype=np.int64)
+    burden = np.empty((n_w, n_t, n_y))
+    uncontrollable = np.empty((n_w, n_t, n_y), dtype=np.int64)
+    in_force = np.empty((n_w, n_y))
+    guard = nullcontext() if _caller_holds_guard else read_guard()
+    with guard, trace("tiles.scenario.assemble") as span:
+        if span is not None:
+            span.tags["worlds"] = n_w
+            span.tags["tiles"] = n_w * len(t_blocks) * len(y_blocks)
+        epoch = current_epoch()
+        for w, scenario in enumerate(scenarios):
+            for ta, tb in t_blocks:
+                t_key = tuple(float(v) for v in t[ta:tb])
+                for ya, yb in y_blocks:
+                    y_key = tuple(float(v) for v in y[ya:yb])
+                    tile = SCENARIO_PLANE.get_or_build(
+                        ("x", scenario, t_key, y_key),
+                        lambda s=scenario, tk=t_key, yk=y_key:
+                            _build_scenario_tile(s, tk, yk),
+                    )
+                    if ta == 0:
+                        frontier[w, ya:yb] = tile.grid.frontier_mtops[0]
+                        requirements[w, :, ya:yb] = (
+                            tile.grid.requirements[0])
+                    protected[w, ta:tb, ya:yb] = (
+                        tile.grid.protected_counts[0])
+                    illusory[w, ta:tb, ya:yb] = (
+                        tile.grid.illusory_counts[0])
+                    burden[w, ta:tb, ya:yb] = tile.grid.burden_units[0]
+                    uncontrollable[w, ta:tb, ya:yb] = (
+                        tile.grid.uncontrollable_counts[0])
+            in_force[w] = np.asarray(scenario.threshold_in_force_series(y))
+        credible = t[None, :, None] >= frontier[:, None, :]
+        in_force_credible = (in_force >= frontier) & (in_force > 0.0)
+        for arr in (t, y, frontier, requirements, protected, illusory,
+                    burden, uncontrollable, credible, in_force,
+                    in_force_credible):
+            arr.setflags(write=False)
+        return ScenarioGrid(
+            scenarios=scenarios,
+            thresholds=t,
+            years=y,
+            frontier_mtops=frontier,
+            requirements=requirements,
+            protected_counts=protected,
+            illusory_counts=illusory,
+            burden_units=burden,
+            uncontrollable_counts=uncontrollable,
+            credible=credible,
+            in_force_mtops=in_force,
+            in_force_credible=in_force_credible,
+            epoch=epoch,
+        )

@@ -1,0 +1,207 @@
+"""Epoch-keyed, LRU-bounded tile planes wired into the catalog registry.
+
+A :class:`TilePlane` is one family of lazily built tiles (policy
+scorecards, era lookups, scenario worlds) wrapped around the serve
+layer's :class:`~repro.serve.cache.LRUCache` — which contributes the
+hit/miss/eviction counters (``tiles.<plane>.cache.*``) for free — plus
+the pieces the response cache does not have:
+
+* a **plane sub-epoch** prefixed onto every tile key.  Each plane
+  registers an invalidation hook under exactly the event kinds that can
+  stale its tiles (``tiles.policy`` under the machine events only — an
+  ``amend_threshold`` rewrites the era table, not a scorecard — while
+  ``tiles.scenario`` is stale under every kind because scenario answers
+  carry the in-force threshold).  The hook bumps the sub-epoch and drops
+  the store, so the precise ``invalidate_for`` path clears only the
+  affected planes and the nuclear ``invalidate_all`` sweep clears all of
+  them;
+* a **plane lock** making fetch-or-build single-flight: concurrent
+  point queries landing in the same tile wait for one build instead of
+  racing duplicates (builds are small — a 16x16 bucket — so holding the
+  lock across a build is cheaper than build-twice-and-race);
+* **build / partial-build counters** distinguishing first-touch builds
+  from axis-union rebuilds triggered by off-lattice query coordinates.
+
+:func:`tile_plane_info` snapshots every plane for ``/metrics``;
+:func:`clear_tile_planes` is the manual reset used by benchmarks and
+tests (catalog events never need it — the hooks fire automatically).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable
+
+from repro.catalog.registry import register_invalidation_hook
+from repro.obs.trace import counter_inc, trace
+from repro.serve.cache import LRUCache, MISS
+
+__all__ = [
+    "TilePlane",
+    "tile_plane_info",
+    "clear_tile_planes",
+]
+
+#: Default tile capacity per plane.  A tile is one bucket (~16x16 cells
+#: plus its requirement-matrix reference), so 256 tiles bound a plane to
+#: a few megabytes while covering far more buckets than any realistic
+#: agentic working set.
+_DEFAULT_CAPACITY = 256
+
+#: Every constructed plane, for the /metrics snapshot and manual resets.
+_PLANES: dict[str, "TilePlane"] = {}
+
+
+class TilePlane:
+    """One named family of tiles behind a sub-epoch and an LRU bound."""
+
+    def __init__(self, name: str, *, kinds: tuple[str, ...],
+                 capacity: int = _DEFAULT_CAPACITY) -> None:
+        self.name = name
+        self.kinds = tuple(kinds)
+        self.cache = LRUCache(capacity,
+                              counter_prefix=f"tiles.{name}.cache")
+        self.lock = threading.RLock()
+        self._sub_epoch = 0
+        self._builds = 0
+        self._partial_builds = 0
+        self._invalidations = 0
+        _PLANES[name] = self
+        register_invalidation_hook(
+            f"tiles.{name}", self._on_invalidate, kinds=self.kinds)
+
+    # -- invalidation -------------------------------------------------
+
+    def _on_invalidate(self, epoch: int) -> None:
+        """Registry hook: stale every tile in this plane.
+
+        Bumping the sub-epoch (under the plane lock) also defeats the
+        race where an in-flight build keyed before the event stores
+        after it: the stale entry lands under the old prefix, is never
+        fetched again, and ages out of the LRU.
+        """
+        with self.lock:
+            self._sub_epoch += 1
+            self._invalidations += 1
+            self.cache.clear()
+        counter_inc(f"tiles.{self.name}.invalidations")
+
+    def clear(self) -> None:
+        """Manual reset (benchmarks/tests); counts as an invalidation."""
+        self._on_invalidate(0)
+
+    # -- fetch / store ------------------------------------------------
+
+    def _full_key(self, key: tuple) -> tuple:
+        return (self._sub_epoch,) + tuple(key)
+
+    def fetch(self, key: tuple) -> object:
+        """The cached tile at ``key`` or :data:`~repro.serve.cache.MISS`
+        (ticks the plane's hit/miss counters).  Call under ``lock`` when
+        a miss will be followed by :meth:`store`."""
+        with self.lock:
+            return self.cache.get(self._full_key(key))
+
+    def store(self, key: tuple, tile: object, *,
+              partial: bool = False) -> None:
+        """Insert a freshly built tile, counting the build kind."""
+        with self.lock:
+            if partial:
+                self._partial_builds += 1
+                counter_inc(f"tiles.{self.name}.partial_builds")
+            else:
+                self._builds += 1
+                counter_inc(f"tiles.{self.name}.builds")
+            self.cache.put(self._full_key(key), tile)
+
+    def get_or_build(self, key: tuple,
+                     build: Callable[[], object]) -> object:
+        """Single-flight fetch-or-build for tiles whose axes are fixed
+        by their key (the sweep-assembly block tiles)."""
+        with self.lock:
+            tile = self.fetch(key)
+            if tile is not MISS:
+                return tile
+            with trace(f"tiles.{self.name}.build") as span:
+                if span is not None:
+                    span.tags["key"] = repr(key[:1])
+                tile = build()
+            self.store(key, tile)
+            return tile
+
+    # -- introspection ------------------------------------------------
+
+    def info(self) -> dict:
+        """Snapshot for ``/metrics``: builds, partial builds,
+        invalidations, sub-epoch, and the LRU's own statistics."""
+        with self.lock:
+            return {
+                "sub_epoch": self._sub_epoch,
+                "builds": self._builds,
+                "partial_builds": self._partial_builds,
+                "invalidations": self._invalidations,
+                "kinds": self.kinds,
+                "cache": self.cache.info(),
+            }
+
+
+def tile_plane_info() -> dict[str, dict]:
+    """Per-plane statistics for every constructed tile plane."""
+    return {name: plane.info() for name, plane in sorted(_PLANES.items())}
+
+
+def clear_tile_planes() -> None:
+    """Drop every tile in every plane (manual reset; catalog events
+    invalidate automatically through the registry hooks)."""
+    for plane in _PLANES.values():
+        plane.clear()
+
+
+def _covering_tile(
+    plane: TilePlane,
+    key: tuple[Hashable, ...],
+    need_axes: tuple[tuple[float, ...], ...],
+    canonical_axes: tuple[tuple[float, ...], ...],
+    covers: Callable[[object, tuple[tuple[float, ...], ...]], bool],
+    build: Callable[..., object],
+    max_axis_points: int,
+) -> object:
+    """Fetch the bucket tile at ``key``, (re)building until it covers
+    every coordinate in ``need_axes``.
+
+    First touch builds canonical-union-needed axes; an off-lattice
+    coordinate against an existing tile triggers a **partial build**
+    over the union of the tile's current axes and the new coordinates.
+    Either way the requested floats become exact axis entries, so the
+    answer read out of the tile is the bit-exact grid cell.  Axes that
+    would exceed ``max_axis_points`` reset to canonical + the live
+    request instead of growing without bound.
+    """
+    with plane.lock:
+        tile = plane.fetch(key)
+        if tile is not MISS and covers(tile, need_axes):
+            return tile
+        if tile is MISS:
+            axes = tuple(
+                tuple(sorted(set(canonical) | set(need)))
+                for canonical, need in zip(canonical_axes, need_axes)
+            )
+            partial = False
+        else:
+            axes = tuple(
+                tuple(sorted(set(existing) | set(need)))
+                for existing, need in zip(tile.axes, need_axes)
+            )
+            if any(len(axis) > max_axis_points for axis in axes):
+                axes = tuple(
+                    tuple(sorted(set(canonical) | set(need)))
+                    for canonical, need in zip(canonical_axes, need_axes)
+                )
+            partial = True
+        with trace(f"tiles.{plane.name}.build") as span:
+            if span is not None:
+                span.tags["key"] = repr(key)
+                span.tags["partial"] = partial
+            tile = build(*axes)
+        plane.store(key, tile, partial=partial)
+        return tile

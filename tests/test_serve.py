@@ -393,6 +393,67 @@ class TestIntrospection:
         assert "counters" in body  # the global metrics_snapshot rides along
         assert "credit_cache" in body
 
+    def test_metrics_include_tile_planes(self):
+        server = _server()
+        client = ServeClient(port=server.port)
+        try:
+            client.policy(threshold_mtops=2000.0, year=1995.5).require_ok()
+            body = client.metrics().require_ok()
+        finally:
+            client.close()
+            server.close()
+        tiles = body["serve"]["tiles"]
+        assert set(tiles) >= {"policy", "era", "scenario"}
+        assert tiles["policy"]["builds"] >= 1
+        assert set(tiles["policy"]["cache"]) >= {"hits", "misses",
+                                                 "evictions"}
+
+    def test_get_machines_is_epoch_tagged(self):
+        server = _server()
+        client = ServeClient(port=server.port)
+        try:
+            body = client.machines().require_ok()
+        finally:
+            client.close()
+            server.close()
+        from repro.catalog.registry import current_epoch
+
+        assert body["endpoint"] == "machines"
+        assert body["count"] == len(body["machines"]) > 0
+        assert body["catalog_epoch"] == current_epoch()
+        sample = body["machines"][0]
+        assert {"key", "country", "year", "reachable_mtops",
+                "classification", "uncontrollable"} <= set(sample)
+
+    def test_get_thresholds_matches_history(self):
+        from repro.catalog.registry import current_epoch
+        from repro.diffusion.policy import THRESHOLD_HISTORY
+
+        server = _server()
+        client = ServeClient(port=server.port)
+        try:
+            body = client.thresholds().require_ok()
+        finally:
+            client.close()
+            server.close()
+        assert body["endpoint"] == "thresholds"
+        assert body["catalog_epoch"] == current_epoch()
+        assert [era["start_year"] for era in body["eras"]] \
+            == [era.start_year for era in THRESHOLD_HISTORY]
+        assert [era["threshold_mtops"] for era in body["eras"]] \
+            == [era.threshold_mtops for era in THRESHOLD_HISTORY]
+
+    def test_healthz_lists_get_endpoints(self):
+        server = _server()
+        client = ServeClient(port=server.port)
+        try:
+            body = client.healthz().require_ok()
+        finally:
+            client.close()
+            server.close()
+        assert "machines" in body["endpoints"]
+        assert "thresholds" in body["endpoints"]
+
 
 # ---------------------------------------------------------------------------
 # MicroBatcher unit behavior
