@@ -217,6 +217,27 @@ def test_policy_point_queries_bit_exact(results):
     assert row["tiles_built"] > 0
 
 
+def test_agentic_mix_speedup_floor(results):
+    # One fused multi-query plan over the ~200-query mixed stream must
+    # beat per-request sequential dispatch by the PR's acceptance gate
+    # (measured ~7x quick: review dedup, shared CTP batch, shared
+    # matrix pass, tile regroup, era reuse).
+    assert results["agentic_mix"]["speedup"] >= 3.0
+
+
+def test_agentic_mix_byte_identical(results):
+    # Not a tolerance: every fused slot's JSON body must serialize
+    # identically to its per-request sequential counterpart, and the
+    # planner must actually have fused work (CSE hits, fused ops, and
+    # review->era reuses all nonzero on this mix).
+    row = results["agentic_mix"]
+    assert row["max_rel_err"] == 0.0
+    assert row["cse_hits"] > 0
+    assert row["ops_fused"] > 0
+    assert row["reuse_hits"] > 0
+    assert row["unique_queries"] + row["cse_hits"] == row["queries"]
+
+
 def test_batch_paths_agree_with_scalar(results):
     for name in ("batch_ctp_rating", "frontier_year_grid",
                  "premise3_gap_scan", "keysearch_bit_expansion"):

@@ -32,6 +32,7 @@ Commands mirror the analyses a policy analyst would actually run:
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
 from repro.core.framework import headline_summary
@@ -251,6 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on SIGTERM/SIGINT, bound for draining "
                               "in-flight batches before workers are "
                               "killed (default 5)")
+
+    p_mcp = sub.add_parser(
+        "mcp", help="serve line-delimited JSON-RPC over stdin/stdout "
+                    "(the MCP-style agentic bridge)"
+    )
+    p_mcp.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU response-cache entries (0 disables)")
+    p_mcp.add_argument("--deadline-ms", type=float, default=5000.0,
+                       help="per-request deadline; missed -> JSON-RPC "
+                            "error -32002")
 
     p_snap = sub.add_parser(
         "snapshot", help="serialize the columnar stores for zero-rebuild "
@@ -903,6 +914,30 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return run_server(config)
 
 
+def _cmd_mcp(args: argparse.Namespace) -> str:
+    """Run the stdio JSON-RPC bridge until the host closes stdin.
+
+    A thin consumer of the serving engine: every method forwards to the
+    same transport-free ``ServiceEngine.handle`` the HTTP front end
+    uses (``batch`` runs the multi-query planner), so an MCP host gets
+    canonical validation, caching, and fusion without a socket.
+    """
+    from repro.serve.rpc import run_stdio_bridge
+    from repro.serve.server import ServeConfig, ServiceEngine
+
+    config = ServeConfig(cache_size=args.cache_size,
+                         deadline_ms=args.deadline_ms)
+    engine = ServiceEngine(config)
+    try:
+        served = run_stdio_bridge(engine)
+    finally:
+        engine.close()
+    # The bridge owns stdout (one JSON value per line); the summary must
+    # not pollute the protocol stream, so it goes to stderr directly.
+    print(f"mcp: served {served} request(s)", file=sys.stderr)
+    return ""
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> str:
     from repro.store import build_snapshot, load_snapshot
 
@@ -1067,6 +1102,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "mcp": _cmd_mcp,
     "snapshot": _cmd_snapshot,
     "catalog": _cmd_catalog,
 }
@@ -1091,7 +1127,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
             print(prof.render())
         else:
-            print(_COMMANDS[args.command](args))
+            output = _COMMANDS[args.command](args)
+            if output:  # "" = the command owned stdout itself (mcp)
+                print(output)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         return 0

@@ -44,6 +44,7 @@ WORKLOAD_NAMES = (
     "catalog_churn",
     "scenario_grid",
     "policy_point_queries",
+    "agentic_mix",
 )
 
 
@@ -1193,6 +1194,116 @@ def _bench_policy_point_queries(quick: bool) -> dict:
     return row
 
 
+def _bench_agentic_mix(quick: bool) -> dict:
+    """A heterogeneous agentic batch: one fused plan vs per-request
+    dispatch.
+
+    The workload is the mixed traffic the multi-query planner exists
+    for: a Poisson-weighted stream of ~200 queries drawn from a small
+    cross-endpoint vocabulary (annual reviews, CTP ratings, license
+    decisions, policy / scenario points, threshold lookups, catalog
+    assessments — the shape of one agent's planning turn, repeated
+    across concurrent agents).  The baseline dispatches each query as
+    its own single-request plan — exactly the per-endpoint sequential
+    path, one read-guard acquisition and one columnar pass per query —
+    while the fused side compiles the whole stream into **one** plan:
+    duplicates collapse by CSE, every rating shares one
+    ``ctp_homogeneous_batch``, licenses share one controllability
+    matrix pass, point queries regroup by tile bucket, and reviews run
+    once per distinct (year, policy) with their thresholds reused by
+    the rate / threshold-at slots.
+
+    ``max_rel_err`` is byte-identity, not a tolerance: every fused
+    slot's JSON body must serialize identically to its sequential
+    counterpart (and no slot may fail), so 0.0 doubles as the parity
+    gate the acceptance criteria require.
+    """
+    from repro.catalog import events as catalog_events
+    from repro.serve import plan as qplan
+    from repro.serve.schemas import parse_request
+    from repro.tiles import clear_tile_planes
+
+    catalog_events.reset_catalog()
+    rng = np.random.default_rng(17)
+
+    vocab: list[tuple[str, dict]] = []
+    for year in (1992.0, 1994.0, 1995.5, 1997.0):
+        vocab.append(("review", {"year": year}))
+    for i in range(6):
+        vocab.append(("rate", {
+            "clock_mhz": 60.0 + 25.0 * i,
+            "processors": 1 + 2 * i,
+            "coupling": "shared" if i % 2 else "distributed",
+            "year": 1992.0 + i,
+        }))
+    for t in (195.0, 2_000.0, 7_000.0, 10_000.0):
+        for y in (1992.0, 1995.5):
+            vocab.append(("policy", {"threshold_mtops": t, "year": y}))
+    for world in ("historical", "flop_cap"):
+        for y in (1993.0, 1996.0):
+            vocab.append(("scenario", {"scenario": world, "year": y}))
+    for year in (1992.0, 1993.5, 1994.0, 1995.5, 1997.0):
+        vocab.append(("threshold_at", {"year": year}))
+    for key in ("Cray C916", "Cray T3D (64)", "Cray T90/32"):
+        vocab.append(("machine", {"machine": key}))
+        vocab.append(("license", {"machine": key, "destination": "India",
+                                  "year": 1995.5}))
+
+    counts = rng.poisson(lam=200 / len(vocab), size=len(vocab))
+    stream = [parse_request(endpoint, dict(payload))
+              for (endpoint, payload), count in zip(vocab, counts)
+              for _ in range(max(1, int(count)))]
+    rng.shuffle(stream)
+
+    def sequential_pass() -> list:
+        out = []
+        for request in stream:
+            out.extend(qplan.execute_plan(qplan.build_plan([request])))
+        return out
+
+    def fused_pass() -> list:
+        return qplan.execute_plan(qplan.build_plan(stream))
+
+    clear_tile_planes()
+    clear_credit_cache()
+    sequential_out = sequential_pass()  # warm tiles, credit prefix rows
+    before = qplan.plan_stats()
+    fused_out = fused_pass()
+    after = qplan.plan_stats()
+
+    exact = all(
+        not isinstance(a, BaseException) and not isinstance(b, BaseException)
+        and json.dumps(a) == json.dumps(b)
+        for a, b in zip(sequential_out, fused_out)
+    ) and len(sequential_out) == len(fused_out) == len(stream)
+
+    repeats = 2 if quick else 3
+    scalar = time_workload(sequential_pass, "scalar", repeats=repeats)
+    fast = time_workload(fused_pass, "batch", repeats=max(repeats, 3))
+
+    plan = qplan.build_plan(stream)
+    row = _row("agentic_mix",
+               f"{len(stream)} Poisson-mixed queries across all seven "
+               f"endpoints, one fused multi-query plan vs per-request "
+               f"sequential dispatch (CSE + shared CTP batch + shared "
+               f"matrix pass + tile regroup + review->era reuse; "
+               f"response cache off on both sides; byte-identical "
+               f"responses)",
+               scalar, fast, 0.0 if exact else 1.0)
+    row["queries"] = len(stream)
+    row["unique_queries"] = len(plan.uniques)
+    row["cse_hits"] = plan.cse_hits
+    row["reuse_hits"] = after["reuse_hits"] - before["reuse_hits"]
+    row["ops"] = after["ops"] - before["ops"]
+    row["ops_fused"] = after["ops_fused"] - before["ops_fused"]
+    row["throughput_qps"] = {
+        "sequential": len(stream) / scalar.best_seconds,
+        "fused": len(stream) / fast.best_seconds,
+    }
+    catalog_events.reset_catalog()
+    return row
+
+
 def _row(name: str, description: str, scalar: Timing, batch: Timing,
          max_rel_err: float) -> dict:
     return {
@@ -1221,6 +1332,7 @@ _BENCHES = {
     "catalog_churn": _bench_catalog_churn,
     "scenario_grid": _bench_scenario_grid,
     "policy_point_queries": _bench_policy_point_queries,
+    "agentic_mix": _bench_agentic_mix,
 }
 
 

@@ -11,6 +11,12 @@ package turns many small concurrent requests into few large batch calls:
   deadline-aware, greedy-coalescing (:class:`MicroBatcher`);
 * :mod:`repro.serve.cache` — the LRU response cache keyed on canonical
   payloads;
+* :mod:`repro.serve.plan` — the multi-query planner: a heterogeneous
+  batch compiled into few fused columnar ops (CSE on canonical keys,
+  cross-endpoint reuse, per-slot error isolation) behind ``POST
+  /batch`` and every per-endpoint micro-batcher;
+* :mod:`repro.serve.rpc` — the ``repro mcp`` stdio JSON-RPC 2.0
+  bridge for MCP hosts and shell pipelines;
 * :mod:`repro.serve.server` — the transport-free
   :class:`ServiceEngine` plus the stdlib ``ThreadingHTTPServer`` front
   end (``repro serve``);
@@ -27,17 +33,25 @@ graceful-degradation contract (429 / 504 / structured 400s).
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import MISS, LRUCache
 from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.plan import (
+    QueryPlan,
+    build_plan,
+    execute_plan,
+    plan_stats,
+)
 from repro.serve.prefork import (
     PreforkServer,
     reuseport_available,
     run_prefork_server,
 )
+from repro.serve.rpc import rpc_response, run_stdio_bridge
 from repro.serve.schemas import (
     ENDPOINTS,
     LicenseRequest,
     MachineRequest,
     RateRequest,
     ReviewRequest,
+    ThresholdAtRequest,
     parse_request,
 )
 from repro.serve.server import (
@@ -59,6 +73,7 @@ __all__ = [
     "LicenseRequest",
     "MachineRequest",
     "ReviewRequest",
+    "ThresholdAtRequest",
     "parse_request",
     "ServeConfig",
     "ServeServer",
@@ -68,4 +83,10 @@ __all__ = [
     "PreforkServer",
     "reuseport_available",
     "run_prefork_server",
+    "QueryPlan",
+    "build_plan",
+    "execute_plan",
+    "plan_stats",
+    "rpc_response",
+    "run_stdio_bridge",
 ]

@@ -82,8 +82,11 @@ class MicroBatcher:
         Short dotted-metric name (``"rate"``, ``"license"``).
     dispatch:
         ``dispatch(requests) -> results``, called on the worker thread
-        with 1..max_batch requests; must return one result per request in
-        order.  A raised exception fails every request in the batch.
+        with 1..max_batch *deduplicated* requests (identical canonical
+        requests are computed once and fanned out to every waiter); must
+        return one result per request in order.  A result that is a
+        ``BaseException`` instance fails only that request's future; a
+        raised exception fails every request in the batch.
     max_batch:
         Largest batch handed to ``dispatch``.
     max_wait_ms:
@@ -129,6 +132,7 @@ class MicroBatcher:
         self._last_dispatch_epoch = current_epoch()
         self._expired = 0
         self._overflows = 0
+        self._dedup_hits = 0
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"repro-serve-{name}")
         if start:
@@ -232,6 +236,21 @@ class MicroBatcher:
             return
         counter_inc(f"serve.{self.name}.dispatches")
         counter_inc(f"serve.{self.name}.batched_requests", len(live))
+        # Intra-batch dedup: identical canonical requests admitted in the
+        # same batch are computed once and fanned out to every waiter
+        # (the cross-request LRU only catches repeats across batches).
+        # Canonical schema objects expose ``cache_key``; opaque requests
+        # (unit tests, ad-hoc dispatchers) fall back to one slot each.
+        slots: dict[object, list[_Pending]] = {}
+        for k, pending in enumerate(live):
+            key = getattr(pending.request, "cache_key", None)
+            slots.setdefault(key if key is not None else ("_slot", k),
+                             []).append(pending)
+        uniques = [group[0] for group in slots.values()]
+        dedup_hits = len(live) - len(uniques)
+        if dedup_hits:
+            self._dedup_hits += dedup_hits
+            counter_inc("serve.batch.dedup_hits", dedup_hits)
         try:
             # The whole dispatch runs under the catalog read guard: a
             # mutation event (write guard) waits for the batch to drain,
@@ -242,24 +261,33 @@ class MicroBatcher:
                 epoch = current_epoch()
                 with trace(f"serve.batch.{self.name}", size=len(live)):
                     results = list(
-                        self._dispatch([p.request for p in live]))
+                        self._dispatch([p.request for p in uniques]))
             with self._cond:
                 self._last_dispatch_epoch = epoch
-            if len(results) != len(live):
+            if len(results) != len(uniques):
                 raise ValidationError(
                     f"{self.name} dispatch returned {len(results)} results "
-                    f"for {len(live)} requests",
-                    context={"got": len(results), "valid": len(live)},
+                    f"for {len(uniques)} requests",
+                    context={"got": len(results), "valid": len(uniques)},
                 )
         except BaseException as exc:  # noqa: BLE001 — fanned out per future
             for pending in live:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
-        for pending, result in zip(live, results):
-            pending.future.set_result(result)
+        completed = 0
+        for group, result in zip(slots.values(), results):
+            for pending in group:
+                # A BaseException result is that request's own failure
+                # (the planner isolates errors per slot); it fails this
+                # future without poisoning its batch-mates.
+                if isinstance(result, BaseException):
+                    pending.future.set_exception(result)
+                else:
+                    pending.future.set_result(result)
+                    completed += 1
         with self._cond:
-            self._completed += len(live)
+            self._completed += completed
 
     # -- introspection ------------------------------------------------------
 
@@ -280,6 +308,7 @@ class MicroBatcher:
                 "completed": self._completed,
                 "expired": self._expired,
                 "overflows": self._overflows,
+                "dedup_hits": self._dedup_hits,
                 "batch_size_histogram": histogram,
                 "mean_batch_size": (total_batched / dispatches
                                     if dispatches else 0.0),

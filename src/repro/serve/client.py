@@ -199,6 +199,22 @@ class ServeClient:
         object."""
         return self.request("POST", "/scenario", fields)
 
+    def threshold_at(self, **fields: object) -> ServeResponse:
+        """POST /threshold_at — e.g. ``client.threshold_at(year=1994.0)``."""
+        return self.request("POST", "/threshold_at", fields)
+
+    def batch(self, requests: list[dict]) -> ServeResponse:
+        """POST /batch — one fused multi-query plan.
+
+        ``requests`` is a list of flattened sub-requests, each carrying
+        its ``"endpoint"`` alongside that endpoint's own fields, e.g.
+        ``[{"endpoint": "rate", "clock_mhz": 150}, {"endpoint":
+        "review", "year": 1994.0}]``.  The response body holds one
+        ``{"status", "body"}`` pair per slot (errors isolated per
+        sub-request) plus the plan's CSE/fusion summary.
+        """
+        return self.request("POST", "/batch", {"requests": requests})
+
     def catalog_append(self, event: dict) -> ServeResponse:
         """POST /catalog/append — apply one catalog mutation event.
 

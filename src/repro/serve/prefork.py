@@ -406,6 +406,8 @@ class PreforkServer:
         per_worker = {}
         hashes = set()
         requests_total = 0
+        plan_totals = {"plans": 0, "ops_fused": 0, "cse_hits": 0,
+                       "reuse_hits": 0}
         for worker in self.workers:
             body = worker.request("metrics", timeout)
             per_worker[str(worker.worker_id)] = body
@@ -414,10 +416,14 @@ class PreforkServer:
                 hashes.add(serve.get("snapshot_manifest_hash"))
                 requests_total += int(
                     body.get("counters", {}).get("serve.requests", 0))
+                worker_plan = serve.get("plan", {})
+                for name in plan_totals:
+                    plan_totals[name] += int(worker_plan.get(name, 0))
         return {
             "mode": self.mode,
             "n_workers": self.n_workers,
             "requests_total": requests_total,
+            "plan": plan_totals,
             "snapshot_skew": len(hashes) > 1,
             "workers": per_worker,
         }

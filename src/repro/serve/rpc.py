@@ -1,0 +1,154 @@
+"""``repro mcp`` — the line-delimited JSON-RPC bridge over the engine.
+
+The ROADMAP's agentic surface: automated clients (MCP hosts, notebook
+drivers, shell pipelines) speak newline-delimited JSON-RPC 2.0 over
+stdin/stdout, and every method forwards to the same transport-free
+:class:`~repro.serve.server.ServiceEngine` the HTTP front end uses — no
+new compute paths, same canonical schemas, same response cache, same
+multi-query planner behind ``batch``.
+
+Methods::
+
+    list_machines    {}                    -> the epoch-tagged catalog listing
+    list_thresholds  {}                    -> the threshold-era history
+    rate_config      /rate payload         -> one CTP rating
+    policy_scorecard /policy payload       -> one Chapter-5 scorecard
+    threshold_at     /threshold_at payload -> the threshold in force
+    batch            /batch payload        -> one fused multi-query plan
+
+Error mapping (HTTP status -> JSON-RPC error object)::
+
+    400 -> -32602 invalid params      429 -> -32001 overloaded
+    504 -> -32002 deadline exceeded   500 -> -32603 internal error
+    unparseable line -> -32700        unknown method -> -32601
+
+The structured ``{"error": {...}}`` body rides along as ``error.data``,
+so a bridge client sees exactly the taxonomy context an HTTP client
+would.  Requests without an ``id`` are notifications: they are executed
+but get no response line, per the JSON-RPC 2.0 spec.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.obs.trace import counter_inc
+
+__all__ = ["RPC_METHODS", "rpc_response", "run_stdio_bridge"]
+
+#: JSON-RPC method name -> the engine endpoint it forwards to (None:
+#: served by a read-only engine listing, not ``handle``).
+RPC_METHODS = {
+    "list_machines": None,
+    "list_thresholds": None,
+    "rate_config": "rate",
+    "policy_scorecard": "policy",
+    "threshold_at": "threshold_at",
+    "batch": "batch",
+}
+
+_STATUS_CODES = {
+    400: (-32602, "invalid params"),
+    429: (-32001, "service overloaded"),
+    504: (-32002, "deadline exceeded"),
+    500: (-32603, "internal error"),
+}
+
+
+def _error(id_: object, code: int, message: str,
+           data: object | None = None) -> dict:
+    error: dict = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"jsonrpc": "2.0", "id": id_, "error": error}
+
+
+def _result(id_: object, result: dict) -> dict:
+    return {"jsonrpc": "2.0", "id": id_, "result": result}
+
+
+def rpc_response(engine, request: object) -> dict | None:
+    """Serve one decoded JSON-RPC request; ``None`` for notifications.
+
+    Never raises: malformed envelopes, unknown methods, and engine
+    errors all map to JSON-RPC error objects (the engine itself already
+    guarantees its failures arrive as structured status/body pairs).
+    """
+    if not isinstance(request, dict):
+        return _error(None, -32600, "request must be a JSON object",
+                      {"got": type(request).__name__})
+    id_ = request.get("id")
+    is_notification = "id" not in request
+    method = request.get("method")
+    if not isinstance(method, str) or method not in RPC_METHODS:
+        if is_notification:
+            return None
+        return _error(id_, -32601, f"unknown method {method!r}",
+                      {"valid": sorted(RPC_METHODS)})
+    params = request.get("params", {})
+    counter_inc(f"serve.rpc.{method}")
+    if RPC_METHODS[method] is None:
+        if params not in ({}, [], None):
+            response = _error(id_, -32602,
+                              f"{method} takes no parameters",
+                              {"got": params})
+            return None if is_notification else response
+        listing = (engine.list_machines if method == "list_machines"
+                   else engine.list_thresholds)
+        try:
+            body = listing()
+        except Exception as exc:  # noqa: BLE001 — bridge must not die
+            response = _error(id_, -32603, str(exc))
+            return None if is_notification else response
+        return None if is_notification else _result(id_, body)
+    status, body = engine.handle(RPC_METHODS[method], params)
+    if is_notification:
+        return None
+    if status == 200:
+        return _result(id_, body)
+    code, label = _STATUS_CODES.get(status, (-32603, "internal error"))
+    message = body.get("error", {}).get("message", label)
+    return _error(id_, code, message, body.get("error"))
+
+
+def run_stdio_bridge(engine=None, stdin: IO[str] | None = None,
+                     stdout: IO[str] | None = None) -> int:
+    """Serve JSON-RPC lines from ``stdin`` until EOF; returns the count.
+
+    One JSON value per line in, one JSON value per line out (flushed
+    per response, so a pipe-driven host sees answers immediately).
+    Blank lines are skipped; a line that is not valid JSON gets a
+    ``-32700`` parse error and the loop continues — a glitched client
+    cannot kill the bridge.  Owns the engine's lifecycle only when it
+    constructed the engine itself.
+    """
+    from repro.serve.server import ServiceEngine
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    own_engine = engine is None
+    if own_engine:
+        engine = ServiceEngine()
+    served = 0
+    try:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError:
+                response = _error(None, -32700, "parse error",
+                                  {"got_bytes": len(line)})
+            else:
+                response = rpc_response(engine, request)
+            served += 1
+            if response is not None:
+                stdout.write(json.dumps(response) + "\n")
+                stdout.flush()
+    finally:
+        if own_engine:
+            engine.close()
+    return served

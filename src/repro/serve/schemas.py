@@ -40,6 +40,7 @@ __all__ = [
     "ReviewRequest",
     "PolicyRequest",
     "ScenarioRequest",
+    "ThresholdAtRequest",
     "parse_request",
 ]
 
@@ -368,6 +369,32 @@ def parse_scenario(payload: object) -> ScenarioRequest:
                            year=year)
 
 
+@dataclass(frozen=True)
+class ThresholdAtRequest:
+    """A canonical ``/threshold_at`` request: one lookup date.
+
+    The cheapest query the planner knows — one era bisect — and the one
+    agentic clients issue constantly between heavier calls, so it gets
+    its own endpoint (and JSON-RPC method) instead of riding on a full
+    ``/review``.
+    """
+
+    year: float
+
+    _FIELDS = ("year",)
+
+    @property
+    def cache_key(self) -> tuple:
+        return ("threshold_at", self.year)
+
+
+def parse_threshold_at(payload: object) -> ThresholdAtRequest:
+    payload = _require_object(payload, "threshold_at")
+    _reject_unknown(payload, ThresholdAtRequest._FIELDS, "threshold_at")
+    year = check_year(_number(payload, "year", 1995.5), "year")
+    return ThresholdAtRequest(year=year)
+
+
 _PARSERS = {
     "rate": parse_rate,
     "license": parse_license,
@@ -375,6 +402,7 @@ _PARSERS = {
     "review": parse_review,
     "policy": parse_policy,
     "scenario": parse_scenario,
+    "threshold_at": parse_threshold_at,
 }
 
 #: The POST endpoints the service understands, in routing order.

@@ -14,6 +14,9 @@ Two layers, separable on purpose:
       POST /scenario  counterfactual-world scorecard (micro-batched)
       POST /machine   catalog lookup + controllability assessment
       POST /review    the annual review for a date
+      POST /threshold_at     the control threshold in force at a date
+      POST /batch     a heterogeneous list of sub-requests fused into
+                      one multi-query plan (errors isolated per slot)
       POST /catalog/append   apply one catalog mutation event (epoch bump)
       GET  /healthz   liveness + config echo
       GET  /metrics   metrics_snapshot() + queue/batch/cache/latency state
@@ -28,15 +31,19 @@ Request handling rules (the contract the test suite pins):
   deadline is ``504``; malformed input is ``400``; an unknown path is
   ``404``; a wrong method is ``405``;
 * ``/rate``, ``/license``, ``/policy``, and ``/scenario`` coalesce
-  concurrent requests through the batch kernels
-  (:func:`repro.ctp.batch.ctp_homogeneous_batch`,
-  :func:`repro.controllability.index.classify_index_matrix`,
-  :func:`repro.diffusion.policy_grid.evaluate_policy_grid`,
-  :func:`repro.scenarios.grid.evaluate_scenario_grid`); results are
-  bit-identical to dispatching each request alone, because every
-  per-request value depends only on that request's row (for ``/policy``
-  and ``/scenario``, its grid/tensor cell — and both grid engines are
-  bit-exact per cell).
+  concurrent requests through the shared multi-query planner
+  (:mod:`repro.serve.plan`), which compiles every micro-batch into
+  fused columnar ops (one :func:`repro.ctp.batch.ctp_homogeneous_batch`
+  per coupling, one controllability matrix pass, one tile-bucket
+  regroup); results are bit-identical to dispatching each request
+  alone, because every per-request value depends only on that request's
+  row (for ``/policy`` and ``/scenario``, its grid/tensor cell — and
+  both grid engines are bit-exact per cell);
+* ``/batch`` runs a heterogeneous list of sub-requests as one plan —
+  CSE across duplicates, cross-endpoint reuse, one read-guard epoch —
+  and returns per-slot ``{"status", "body"}`` pairs byte-identical to
+  issuing each sub-request alone; a sub-request failure never fails the
+  envelope.
 """
 
 from __future__ import annotations
@@ -46,24 +53,11 @@ import math
 import threading
 import time
 from collections import deque
-from collections.abc import Sequence
 from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import asdict, dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-import numpy as np
-
-from repro.controllability.index import (
-    CLASS_BY_CODE,
-    DEFAULT_WEIGHTS,
-    classify_index_matrix,
-    index_matrix,
-    score_matrix,
-)
-from repro.core.review import run_annual_review
-from repro.ctp.batch import ctp_homogeneous_batch
-from repro.diffusion.policy import ExportControlPolicy, threshold_at
-from repro.machines.spec import MachineSpec
+from repro.controllability.index import CLASS_BY_CODE
 from repro.obs.errors import (
     DeadlineExceededError,
     ReproError,
@@ -78,15 +72,20 @@ from repro.catalog.registry import (
 from repro.obs.trace import counter_inc, trace
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import MISS, LRUCache
+from repro.serve.plan import (
+    build_plan,
+    execute_plan,
+    machine_body,
+    plan_stats,
+    review_body,
+    threshold_at_body,
+)
 from repro.serve.schemas import (
     ENDPOINTS,
     GET_ENDPOINTS,
-    LicenseRequest,
     MachineRequest,
-    PolicyRequest,
-    RateRequest,
     ReviewRequest,
-    ScenarioRequest,
+    ThresholdAtRequest,
     parse_request,
 )
 
@@ -201,31 +200,17 @@ class ServiceEngine:
         self.worker_id = worker_id
         self.cache = LRUCache(self.config.cache_size)
         self.latency = LatencyRecorder()
+        # Every micro-batched endpoint dispatches through the shared
+        # multi-query planner (one fused plan per drained batch), so
+        # fusion happens even across concurrent single-endpoint clients.
         self.batchers: dict[str, MicroBatcher] = {
-            "rate": MicroBatcher(
-                "rate", self._dispatch_rate,
+            name: MicroBatcher(
+                name, self._dispatch_plan,
                 max_batch=self.config.max_batch,
                 max_wait_ms=self.config.max_wait_ms,
                 queue_limit=self.config.queue_limit,
-            ),
-            "license": MicroBatcher(
-                "license", self._dispatch_license,
-                max_batch=self.config.max_batch,
-                max_wait_ms=self.config.max_wait_ms,
-                queue_limit=self.config.queue_limit,
-            ),
-            "policy": MicroBatcher(
-                "policy", self._dispatch_policy,
-                max_batch=self.config.max_batch,
-                max_wait_ms=self.config.max_wait_ms,
-                queue_limit=self.config.queue_limit,
-            ),
-            "scenario": MicroBatcher(
-                "scenario", self._dispatch_scenario,
-                max_batch=self.config.max_batch,
-                max_wait_ms=self.config.max_wait_ms,
-                queue_limit=self.config.queue_limit,
-            ),
+            )
+            for name in ("rate", "license", "policy", "scenario")
         }
         self._handlers = {
             "rate": self._rate,
@@ -234,6 +219,7 @@ class ServiceEngine:
             "review": self._review,
             "policy": self._policy,
             "scenario": self._scenario,
+            "threshold_at": self._threshold_at,
         }
         self._started_at = time.monotonic()
         self._closed = False
@@ -280,6 +266,8 @@ class ServiceEngine:
             with trace(f"serve.{endpoint}"):
                 if endpoint == "catalog_append":
                     return 200, self._catalog_append(payload)
+                if endpoint == "batch":
+                    return 200, self._batch(payload)
                 request = parse_request(endpoint, payload)
                 # The canonical key is prefixed with the catalog epoch in
                 # force at admission: a mutation event bumps the epoch, so
@@ -344,204 +332,134 @@ class ServiceEngine:
         return self._await(
             self.batchers["scenario"].submit(request, deadline_s=deadline))
 
-    # -- batched dispatchers (worker thread) --------------------------------
+    # -- batched dispatcher (worker thread) ---------------------------------
 
-    def _dispatch_rate(self, requests: Sequence[RateRequest]) -> list[dict]:
-        """Rate a whole batch through ``ctp_homogeneous_batch``.
+    def _dispatch_plan(self, requests: list) -> list:
+        """Serve one drained micro-batch as one fused query plan.
 
-        Requests are grouped by coupling (parameters are fixed at the
-        defaults), each group rated in one batch-kernel call.  Each
-        rating is ``tp_i * S[n_i]`` against a shared read-only prefix-sum
-        row, so a request's result is independent of its batch-mates —
-        batched and one-at-a-time dispatch agree bit for bit.
+        All four batchers share this dispatcher: the planner compiles
+        whatever mix it is handed into fused columnar ops (one
+        ``ctp_homogeneous_batch`` per coupling, one controllability
+        matrix pass, one tile-bucket regroup per plane) and scatters
+        per-request bodies bit-identical to one-at-a-time dispatch.  The
+        MicroBatcher already holds the catalog read guard for the whole
+        dispatch (the guard is not reentrant), and fans a
+        ``BaseException`` result out as that request's own failure — a
+        poisoned batch-mate never fails its neighbors.
         """
-        results: list[dict | None] = [None] * len(requests)
-        groups: dict[object, list[int]] = {}
-        for i, request in enumerate(requests):
-            groups.setdefault(request.coupling, []).append(i)
-        for coupling, indices in groups.items():
-            elements = [requests[i].element() for i in indices]
-            ns = np.array([requests[i].processors for i in indices])
-            ratings = ctp_homogeneous_batch(elements, ns, coupling)
-            for i, rating in zip(indices, ratings):
-                request = requests[i]
-                threshold = threshold_at(request.year)
-                rating = float(rating)
-                results[i] = {
-                    "endpoint": "rate",
-                    "ctp_mtops": rating,
-                    "threshold_mtops": threshold,
-                    "supercomputer": bool(rating >= threshold),
-                    "processors": request.processors,
-                    "coupling": request.coupling.name.lower(),
-                    "year": request.year,
-                }
-        return results  # type: ignore[return-value]
-
-    def _dispatch_license(
-        self, requests: Sequence[LicenseRequest]
-    ) -> list[dict]:
-        """Decide a batch of license applications in one pass.
-
-        Ratings come from the (precomputed) catalog specs; the
-        controllability assessment for the whole batch runs through one
-        ``score_matrix``/``index_matrix``/``classify_index_matrix`` call,
-        whose row arithmetic matches the scalar ``assess`` bit for bit.
-        """
-        machines = tuple(r.machine for r in requests)
-        scores = score_matrix(machines)
-        weights = np.array([[DEFAULT_WEIGHTS.size, DEFAULT_WEIGHTS.units,
-                             DEFAULT_WEIGHTS.channel, DEFAULT_WEIGHTS.price,
-                             DEFAULT_WEIGHTS.scalability]])
-        indices = index_matrix(weights, scores)[0]
-        codes = classify_index_matrix(
-            indices, DEFAULT_WEIGHTS.uncontrollable_below,
-            DEFAULT_WEIGHTS.controllable_at)
-        results = []
-        for request, index, code in zip(requests, indices, codes):
-            decision = ExportControlPolicy(
-                request.threshold_mtops
-            ).license_decision(request.machine, request.destination)
-            results.append({
-                "endpoint": "license",
-                "machine": request.machine.key,
-                "destination": request.destination,
-                "year": request.year,
-                "rating_mtops": decision.rating_mtops,
-                "threshold_mtops": request.threshold_mtops,
-                "tier": decision.tier.name.lower(),
-                "tier_label": decision.tier.value,
-                "requires_license": decision.requires_license,
-                "safeguards_required": decision.safeguards_required,
-                "approved": decision.approved,
-                "controllability_index": float(index),
-                "classification": CLASS_BY_CODE[int(code)].value,
-            })
-        return results
-
-    def _dispatch_policy(
-        self, requests: Sequence[PolicyRequest]
-    ) -> list[dict]:
-        """Score a batch of policy questions through the tile plane.
-
-        :func:`repro.tiles.policy_cells` groups the batch by tile
-        bucket — concurrent point queries landing in the same tile cost
-        one tile build (or a pure cache hit across batches) — and a
-        sparse agentic mix never triggers a full-lattice
-        ``evaluate_policy_grid`` build.  Every cell value is
-        independent of its batch-mates (tile cells are bit-exact
-        against the scalar evaluator), so batched and one-at-a-time
-        dispatch agree bit for bit, and responses are byte-identical to
-        the former whole-batch grid build.
-        """
-        from repro.tiles import policy_cells
-
-        cells = policy_cells(
-            [(r.threshold_mtops, r.year) for r in requests])
-        results = []
-        for cell in cells:
-            results.append({
-                "endpoint": "policy",
-                "threshold_mtops": cell.threshold_mtops,
-                "year": cell.year,
-                "frontier_mtops": cell.frontier_mtops,
-                "credible": cell.credible,
-                "protected_count": len(cell.protected_applications),
-                "illusory_count": len(cell.illusory_applications),
-                "protected_applications": [
-                    a.name for a in cell.protected_applications],
-                "illusory_applications": [
-                    a.name for a in cell.illusory_applications],
-                "burden_units": cell.burden_units,
-                "uncontrollable_covered_systems": [
-                    m.key for m in cell.uncontrollable_covered_systems],
-            })
-        return results
-
-    def _dispatch_scenario(
-        self, requests: Sequence[ScenarioRequest]
-    ) -> list[dict]:
-        """Score a batch of world questions through the tile plane.
-
-        :func:`repro.tiles.scenario_cells` groups the batch by
-        (world, tile bucket) — scenario tiles are scenario-major slabs,
-        so same-world same-tile batch-mates share one build — and a
-        sparse agentic mix never triggers a full-tensor
-        ``evaluate_scenario_grid`` build.  Every cell value is
-        independent of its batch-mates, so batched and one-at-a-time
-        dispatch agree bit for bit, byte-identical to the former
-        whole-batch tensor build.  The MicroBatcher already holds the
-        catalog read guard for the whole dispatch
-        (``_caller_holds_guard`` — the guard is not reentrant), which is
-        also what makes the tiles epoch-consistent with the cache keys
-        stamped at admission.
-        """
-        from repro.tiles import scenario_cells
-
-        points = scenario_cells(
-            [(r.scenario, r.threshold_mtops, r.year) for r in requests],
-            _caller_holds_guard=True)
-        results = []
-        for request, point in zip(requests, points):
-            cell = point.cell
-            results.append({
-                "endpoint": "scenario",
-                "scenario": request.scenario.name,
-                "world": _jsonable_scenario(request.scenario),
-                "historical": request.scenario.is_historical,
-                "threshold_mtops": cell.threshold_mtops,
-                "year": cell.year,
-                "frontier_mtops": cell.frontier_mtops,
-                "credible": cell.credible,
-                "protected_count": len(cell.protected_applications),
-                "illusory_count": len(cell.illusory_applications),
-                "burden_units": cell.burden_units,
-                "uncontrollable_count":
-                    len(cell.uncontrollable_covered_systems),
-                "threshold_in_force_mtops":
-                    point.threshold_in_force_mtops,
-                "in_force_credible": point.in_force_credible,
-            })
-        return results
+        return execute_plan(build_plan(requests), caller_holds_guard=True)
 
     # -- direct (unbatched) handlers ----------------------------------------
 
     def _machine(self, request: MachineRequest) -> dict:
-        machine = request.machine
-        return {
-            "endpoint": "machine",
-            "machine": machine.key,
-            "country": machine.country,
-            "year": machine.year,
-            "architecture": machine.architecture.value,
-            "processors": machine.n_processors,
-            "ctp_mtops": machine.ctp_mtops,
-            "max_config_ctp_mtops": machine.max_configuration().ctp_mtops,
-            **_assessment_fields(machine),
-        }
+        return machine_body(request)
 
     def _review(self, request: ReviewRequest) -> dict:
-        review = run_annual_review(request.year, request.policy)
-        premises = review.premises
+        return review_body(request)
+
+    def _threshold_at(self, request: ThresholdAtRequest) -> dict:
+        return threshold_at_body(request)
+
+    # -- the /batch envelope ------------------------------------------------
+
+    @staticmethod
+    def _sub_response(exc: BaseException) -> tuple[int, dict]:
+        """Status + body for one failed sub-request — the same mapping
+        :meth:`handle` applies, so a slot is byte-identical to issuing
+        the sub-request alone."""
+        if isinstance(exc, ServiceOverloadedError):
+            return 429, error_body(exc)
+        if isinstance(exc, DeadlineExceededError):
+            return 504, error_body(exc)
+        if isinstance(exc, ReproError):
+            return 400, error_body(exc)
+        return 500, {"error": {"type": "InternalError",
+                               "message": str(exc), "context": {}}}
+
+    def _batch(self, payload: object) -> dict:
+        """Run a heterogeneous sub-request list as one fused plan.
+
+        The envelope never fails for a sub-request's sake: every slot
+        reports its own ``{"status", "body"}`` pair, byte-identical to
+        issuing that sub-request alone at the same epoch (parse errors
+        included).  Cached slots are answered from the LRU exactly as
+        single requests would be; the misses execute as one plan under
+        one read-guard acquisition.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                "/batch body must be a JSON object",
+                context={"got": type(payload).__name__, "valid": "object"},
+            )
+        unknown = sorted(set(payload) - {"requests"})
+        if unknown:
+            raise ValidationError(
+                f"unknown /batch field(s): {', '.join(map(str, unknown))}",
+                context={"got": unknown, "valid": ["requests"]},
+            )
+        items = payload.get("requests")
+        if not isinstance(items, list):
+            raise ValidationError(
+                "/batch requires a 'requests' list",
+                context={"got": type(items).__name__, "valid": "list"},
+            )
+        if len(items) > self.config.queue_limit:
+            raise ValidationError(
+                "/batch request list exceeds the queue limit",
+                context={"got": len(items),
+                         "valid": f"<= {self.config.queue_limit}"},
+            )
+        counter_inc("serve.batch.sub_requests", len(items))
+        epoch = current_epoch()
+        results: list[dict | None] = [None] * len(items)
+        pending: list[tuple[int, tuple, object]] = []
+        cache_hits = 0
+        for i, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise ValidationError(
+                        f"/batch requests[{i}] must be a JSON object",
+                        context={"slot": i, "got": type(item).__name__,
+                                 "valid": "object"},
+                    )
+                endpoint = item.get("endpoint")
+                if endpoint not in ENDPOINTS:
+                    raise ValidationError(
+                        f"/batch requests[{i}].endpoint must be one of "
+                        f"{', '.join(sorted(ENDPOINTS))}",
+                        context={"slot": i, "got": endpoint,
+                                 "valid": sorted(ENDPOINTS)},
+                    )
+                fields = {k: v for k, v in item.items() if k != "endpoint"}
+                request = parse_request(endpoint, fields)
+            except ReproError as exc:
+                results[i] = {"status": 400, "body": error_body(exc)}
+                continue
+            key = (epoch, *request.cache_key)
+            body = self.cache.get(key)
+            if body is not MISS:
+                cache_hits += 1
+                results[i] = {"status": 200, "body": body}
+            else:
+                pending.append((i, key, request))
+        summary = {"queries": 0, "unique_queries": 0, "cse_hits": 0}
+        if pending:
+            plan = build_plan([request for _, _, request in pending])
+            outcomes = execute_plan(plan)
+            summary = plan.summary()
+            for (i, key, _), outcome in zip(pending, outcomes):
+                if isinstance(outcome, BaseException):
+                    status, body = self._sub_response(outcome)
+                    results[i] = {"status": status, "body": body}
+                else:
+                    self.cache.put(key, outcome)
+                    results[i] = {"status": 200, "body": outcome}
+        summary["cache_hits"] = cache_hits
         return {
-            "endpoint": "review",
-            "year": request.year,
-            "policy": request.policy.name.lower(),
-            "premises": {
-                f"premise{report.number}": report.holds
-                for report in (premises.premise1, premises.premise2,
-                               premises.premise3)
-            },
-            "bounds_mtops": {
-                "lower_uncontrollable": review.bounds.uncontrollable_mtops,
-                "lower_foreign": review.bounds.foreign_mtops,
-                "upper_application": review.bounds.upper_application_mtops,
-                "upper_theoretical": review.bounds.upper_theoretical_mtops,
-            },
-            "threshold_in_force_mtops": review.threshold_in_force,
-            "recommended_threshold_mtops":
-                review.recommendation.threshold_mtops,
-            "threshold_is_stale": review.threshold_is_stale,
+            "endpoint": "batch",
+            "count": len(items),
+            "results": results,
+            "plan": summary,
         }
 
     # -- catalog mutation ---------------------------------------------------
@@ -662,7 +580,7 @@ class ServiceEngine:
             "status": "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "endpoints": sorted(ENDPOINTS) + sorted(GET_ENDPOINTS)
-            + ["catalog/append", "healthz", "metrics"],
+            + ["batch", "catalog/append", "healthz", "metrics"],
             "queue_depth": {name: batcher.depth()
                             for name, batcher in self.batchers.items()},
             "config": asdict(self.config),
@@ -683,26 +601,11 @@ class ServiceEngine:
             "catalog_epoch": current_epoch(),
             "batchers": {name: batcher.stats()
                          for name, batcher in self.batchers.items()},
+            "plan": plan_stats(),
             "latency": self.latency.quantiles(),
             **self._identity(),
         }
         return snapshot
-
-
-def _jsonable_scenario(scenario) -> dict:
-    from repro.scenarios.spec import scenario_to_payload
-
-    return scenario_to_payload(scenario)
-
-
-def _assessment_fields(machine: MachineSpec) -> dict:
-    from repro.controllability.index import assess
-
-    assessment = assess(machine)
-    return {
-        "controllability_index": assessment.index,
-        "classification": assessment.classification.value,
-    }
 
 
 # ---------------------------------------------------------------------------
@@ -711,6 +614,7 @@ def _assessment_fields(machine: MachineSpec) -> dict:
 
 _MAX_BODY_BYTES = 1_000_000
 _POST_PATHS = {f"/{name}": name for name in ENDPOINTS}
+_POST_PATHS["/batch"] = "batch"
 _POST_PATHS["/catalog/append"] = "catalog_append"
 _GET_PATHS = ("/healthz", "/metrics") + tuple(
     f"/{name}" for name in GET_ENDPOINTS)

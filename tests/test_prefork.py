@@ -113,6 +113,29 @@ class TestFleet:
         assert report["requests_total"] >= 4
         assert set(report["workers"]) == {"0", "1"}
 
+    def test_fleet_plan_stats_rollup(self, fleet):
+        """``serve.plan`` counters sum across the fleet: a /batch with
+        duplicate sub-requests must surface plans and cse_hits in the
+        parent roll-up no matter which worker served it."""
+        client = ServeClient(port=fleet.port)
+        try:
+            # Params no other test issues: a prior test's response in
+            # the worker's LRU would turn these slots into cache hits
+            # and zero the plan's cse_hits.
+            body = client.batch([
+                {"endpoint": "rate", "clock_mhz": 151.0, "processors": 8},
+                {"endpoint": "rate", "clock_mhz": 151.0, "processors": 8},
+                {"endpoint": "threshold_at", "year": 1993.25},
+            ]).require_ok()
+        finally:
+            client.close()
+        assert body["plan"]["cse_hits"] == 1
+        report = fleet.metrics(timeout=5.0)
+        plan = report["plan"]
+        assert set(plan) == {"plans", "ops_fused", "cse_hits", "reuse_hits"}
+        assert plan["plans"] >= 1
+        assert plan["cse_hits"] >= 1
+
 
 class TestParity:
     def test_fleet_bodies_identical_to_single_process(self):
